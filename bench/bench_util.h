@@ -1,0 +1,30 @@
+// Shared helpers for the figure benches.
+//
+// Every figure harness prints CSV to stdout so the paper's plots can be
+// regenerated with any plotting tool. GA sizes are environment-tunable:
+// defaults keep `for b in build/bench/*` minutes-scale; paper-scale runs
+// set CCFUZZ_POP=500 CCFUZZ_ISLANDS=20 CCFUZZ_GENERATIONS=40.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ccfuzz::bench {
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return end != v ? parsed : fallback;
+}
+
+/// Prints the standard bench banner with scaling hints.
+inline void banner(const char* figure, const char* what) {
+  std::printf("# %s — %s\n", figure, what);
+  std::printf("# scale with CCFUZZ_POP / CCFUZZ_ISLANDS / CCFUZZ_GENERATIONS "
+              "(paper: 500 / 20 / ~40)\n");
+}
+
+}  // namespace ccfuzz::bench

@@ -1,0 +1,74 @@
+// Figure 4d: CC-Fuzz GA progress — mean packets sent over the top-20
+// lowest-throughput traces per generation, default BBR vs the paper's
+// proposed fix (ProbeRTT on RTO).
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "cca/registry.h"
+#include "fuzz/fuzzer.h"
+#include "util/csv.h"
+
+using namespace ccfuzz;
+
+namespace {
+
+std::vector<fuzz::GenStats> run_ga(const char* cca_name, std::uint64_t seed) {
+  scenario::ScenarioConfig scfg;
+  scfg.duration = TimeNs::seconds(5);
+  scfg.net.queue_capacity = 50;
+
+  trace::TrafficTraceModel tm;
+  tm.max_packets = 3000;
+  tm.initial_packets = 1500;
+  tm.duration = scfg.duration;
+
+  fuzz::GaConfig gcfg;
+  gcfg.population = static_cast<int>(bench::env_long("CCFUZZ_POP", 48));
+  gcfg.islands = static_cast<int>(bench::env_long("CCFUZZ_ISLANDS", 4));
+  gcfg.max_generations =
+      static_cast<int>(bench::env_long("CCFUZZ_GENERATIONS", 8));
+  gcfg.crossover_fraction = 0.3;
+  gcfg.migration_interval = 10;
+  gcfg.migration_fraction = 0.1;
+  gcfg.seed = seed;
+
+  fuzz::TraceEvaluator ev(
+      scfg, cca::make_factory(cca_name),
+      std::make_shared<fuzz::LowSendRateScore>(),
+      fuzz::TraceScoreWeights{.per_packet = 1e-4, .per_drop = 1e-3});
+  fuzz::Fuzzer fuzzer(gcfg, std::make_shared<fuzz::TrafficModel>(tm), ev);
+  std::vector<fuzz::GenStats> out;
+  for (int g = 0; g < gcfg.max_generations; ++g) out.push_back(fuzzer.step());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 4d",
+                "GA progress: packets sent, default BBR vs ProbeRTT-on-RTO");
+  const auto def = run_ga("bbr", 42);
+  const auto fix = run_ga("bbr-probertt-on-rto", 42);
+
+  CsvWriter csv(std::cout,
+                {"generation", "bbr_top20_packets_sent",
+                 "bbr_fix_top20_packets_sent", "bbr_stalled_traces",
+                 "bbr_fix_stalled_traces"});
+  for (std::size_t g = 0; g < def.size() && g < fix.size(); ++g) {
+    csv.row({static_cast<double>(g), def[g].topk_mean_packets_sent,
+             fix[g].topk_mean_packets_sent,
+             static_cast<double>(def[g].stalled_count),
+             static_cast<double>(fix[g].stalled_count)});
+  }
+  std::printf(
+      "# shape check: both series decline (the fix trades some throughput "
+      "for robustness, so the GA can push its packets-sent down by forcing "
+      "RTOs); the stall counter separates them — only default BBR "
+      "accumulates permanently-stalled traces at paper-scale budgets.\n");
+  std::printf("# final: bbr=%.0f (stalled %d) fix=%.0f (stalled %d)\n",
+              def.back().topk_mean_packets_sent, def.back().stalled_count,
+              fix.back().topk_mean_packets_sent, fix.back().stalled_count);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Micro-benchmarks for the GA machinery: trace evolution operators and a
+// full generation step (evaluation dominates; operators must be noise).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cca/registry.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/selection.h"
+
+using namespace ccfuzz;
+
+namespace {
+
+trace::TrafficTraceModel traffic_model() {
+  trace::TrafficTraceModel m;
+  m.max_packets = 3000;
+  m.duration = TimeNs::seconds(5);
+  return m;
+}
+
+void BM_TrafficMutation(benchmark::State& state) {
+  const auto model = traffic_model();
+  Rng rng(3);
+  trace::Trace t = model.generate(rng);
+  for (auto _ : state) {
+    t = model.mutate(t, rng);
+    benchmark::DoNotOptimize(t.stamps.data());
+  }
+}
+BENCHMARK(BM_TrafficMutation);
+
+void BM_TrafficCrossover(benchmark::State& state) {
+  const auto model = traffic_model();
+  Rng rng(5);
+  const trace::Trace a = model.generate(rng);
+  const trace::Trace b = model.generate(rng);
+  for (auto _ : state) {
+    auto child = model.crossover(a, b, rng);
+    benchmark::DoNotOptimize(child.stamps.data());
+  }
+}
+BENCHMARK(BM_TrafficCrossover);
+
+void BM_RankSelection(benchmark::State& state) {
+  fuzz::RankSelector sel(500);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.pick(rng));
+  }
+}
+BENCHMARK(BM_RankSelection);
+
+void BM_FuzzerGeneration(benchmark::State& state) {
+  // One full GA generation (24 members, 2 s simulations, parallel).
+  scenario::ScenarioConfig scfg;
+  scfg.duration = TimeNs::seconds(2);
+  fuzz::GaConfig gcfg;
+  gcfg.population = 24;
+  gcfg.islands = 3;
+  gcfg.seed = 11;
+  for (auto _ : state) {
+    fuzz::TraceEvaluator ev(scfg, cca::make_factory("reno"),
+                            std::make_shared<fuzz::LowUtilizationScore>());
+    fuzz::Fuzzer fuzzer(
+        gcfg, std::make_shared<fuzz::TrafficModel>(traffic_model()), ev);
+    benchmark::DoNotOptimize(fuzzer.step().best_score);
+  }
+}
+BENCHMARK(BM_FuzzerGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

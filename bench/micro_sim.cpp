@@ -1,0 +1,81 @@
+// Micro-benchmarks for the simulation substrate: event throughput, full
+// dumbbell simulation speed, trace generation, and the BBR bandwidth
+// filter. These quantify why simulation-based fuzzing parallelizes well
+// (paper §3.6).
+#include <benchmark/benchmark.h>
+
+#include "cca/registry.h"
+#include "scenario/runner.h"
+#include "sim/simulator.h"
+#include "trace/dist_packets.h"
+#include "util/windowed_filter.h"
+
+using namespace ccfuzz;
+
+namespace {
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t fired = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.schedule_in(DurationNs::micros((i * 37) % 1000),
+                      [&fired] { ++fired; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_DumbbellSimulatedSecond(benchmark::State& state) {
+  // Cost of one simulated second of a full Reno-over-dumbbell run — the
+  // GA's unit of work (~5 of these per trace evaluation).
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(1);
+  const auto factory = cca::make_factory("reno");
+  for (auto _ : state) {
+    const auto run = scenario::run_scenario(cfg, factory, {});
+    benchmark::DoNotOptimize(run.cca_segments_delivered);
+  }
+}
+BENCHMARK(BM_DumbbellSimulatedSecond);
+
+void BM_DumbbellBbrSimulatedSecond(benchmark::State& state) {
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(1);
+  const auto factory = cca::make_factory("bbr");
+  for (auto _ : state) {
+    const auto run = scenario::run_scenario(cfg, factory, {});
+    benchmark::DoNotOptimize(run.cca_segments_delivered);
+  }
+}
+BENCHMARK(BM_DumbbellBbrSimulatedSecond);
+
+void BM_DistPackets5000(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    auto stamps =
+        trace::dist_packets(5000, TimeNs::zero(), TimeNs::seconds(5), rng);
+    benchmark::DoNotOptimize(stamps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_DistPackets5000);
+
+void BM_WindowedMaxFilter(benchmark::State& state) {
+  WindowedMax<double, std::int64_t> filter(10);
+  std::int64_t round = 0;
+  double v = 100.0;
+  for (auto _ : state) {
+    v = v * 1.000001 + 1.0;
+    benchmark::DoNotOptimize(filter.update(v, ++round));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowedMaxFilter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

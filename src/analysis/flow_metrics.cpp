@@ -1,0 +1,95 @@
+#include "analysis/flow_metrics.h"
+
+#include "util/stats.h"
+
+namespace ccfuzz::analysis {
+namespace {
+
+const std::vector<net::PacketEvent>& pick_stream(
+    const scenario::RunResult& run, Stream stream) {
+  switch (stream) {
+    case Stream::kIngress: return run.recorder.ingress();
+    case Stream::kEgress: return run.recorder.egress();
+    case Stream::kDrops: return run.recorder.drops();
+  }
+  return run.recorder.egress();
+}
+
+RateSeries rates_from_times(const std::vector<double>& times_s,
+                            double duration_s, double window_s,
+                            double bits_per_packet) {
+  RateSeries out;
+  const auto rates = ccfuzz::windowed_rate(times_s, 0.0, duration_s, window_s);
+  out.time_s.reserve(rates.size());
+  out.mbps.reserve(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    out.time_s.push_back((static_cast<double>(i) + 0.5) * window_s);
+    out.mbps.push_back(rates[i] * bits_per_packet * 1e-6);
+  }
+  return out;
+}
+
+}  // namespace
+
+RateSeries rate_series(const scenario::RunResult& run, Stream stream,
+                       net::FlowId flow, DurationNs window) {
+  std::vector<double> times;
+  for (const auto& e : pick_stream(run, stream)) {
+    if (e.flow == flow) times.push_back(e.time.to_seconds());
+  }
+  return rates_from_times(times, run.config.duration.to_seconds(),
+                          window.to_seconds(),
+                          static_cast<double>(run.config.net.packet_bytes) * 8.0);
+}
+
+DelaySeries delay_series(const scenario::RunResult& run, net::FlowId flow) {
+  DelaySeries out;
+  for (const auto& d : run.recorder.delays()) {
+    if (d.flow != flow) continue;
+    out.time_s.push_back(d.time.to_seconds());
+    out.delay_ms.push_back(d.queue_delay.to_millis());
+  }
+  return out;
+}
+
+RateSeries link_rate_series(const scenario::RunResult& run,
+                            const std::vector<TimeNs>& trace_times,
+                            DurationNs window) {
+  const double bits = static_cast<double>(run.config.net.packet_bytes) * 8.0;
+  if (run.config.mode == scenario::FuzzMode::kLink) {
+    std::vector<double> times;
+    times.reserve(trace_times.size());
+    for (const TimeNs t : trace_times) times.push_back(t.to_seconds());
+    return rates_from_times(times, run.config.duration.to_seconds(),
+                            window.to_seconds(), bits);
+  }
+  // Traffic mode: the link rate is constant.
+  RateSeries out;
+  const double duration_s = run.config.duration.to_seconds();
+  const double window_s = window.to_seconds();
+  const double mbps = run.config.net.bottleneck_rate.mbps_f();
+  for (double t = window_s / 2; t < duration_s; t += window_s) {
+    out.time_s.push_back(t);
+    out.mbps.push_back(mbps);
+  }
+  return out;
+}
+
+double utilization(const scenario::RunResult& run, TimeNs from, TimeNs to) {
+  if (to <= from) return 0.0;
+  std::int64_t packets = 0;
+  for (const auto& e : run.recorder.egress()) {
+    if (e.flow == net::FlowId::kCcaData && e.time >= from && e.time < to) {
+      ++packets;
+    }
+  }
+  const double bits =
+      static_cast<double>(packets) *
+      static_cast<double>(run.config.net.packet_bytes) * 8.0;
+  const double capacity =
+      static_cast<double>(run.config.net.bottleneck_rate.bits_per_second()) *
+      (to - from).to_seconds();
+  return capacity > 0 ? bits / capacity : 0.0;
+}
+
+}  // namespace ccfuzz::analysis

@@ -1,0 +1,50 @@
+// Post-run series extraction for the paper's figures.
+//
+// Fig 4a/4b plot ingress/egress/traffic rates (Mbps) against time; Fig 4e
+// plots per-packet queueing delay against time. Everything derives from the
+// BottleneckRecorder carried in a RunResult.
+#pragma once
+
+#include <vector>
+
+#include "net/packet.h"
+#include "scenario/runner.h"
+#include "util/time.h"
+
+namespace ccfuzz::analysis {
+
+/// One rate series: midpoint time of each window (seconds) and the rate in
+/// Mbps over that window.
+struct RateSeries {
+  std::vector<double> time_s;
+  std::vector<double> mbps;
+};
+
+/// One scatter series of per-packet queueing delays.
+struct DelaySeries {
+  std::vector<double> time_s;
+  std::vector<double> delay_ms;
+};
+
+/// Which recorder stream to turn into a series.
+enum class Stream { kIngress, kEgress, kDrops };
+
+/// Windowed rate of `flow` packets in `stream` over [0, duration).
+RateSeries rate_series(const scenario::RunResult& run, Stream stream,
+                       net::FlowId flow,
+                       DurationNs window = DurationNs::millis(100));
+
+/// Queueing delay of every `flow` packet that crossed the bottleneck.
+DelaySeries delay_series(const scenario::RunResult& run, net::FlowId flow);
+
+/// Link service rate implied by the *link trace* (link mode) or the fixed
+/// bottleneck rate (traffic mode), windowed like rate_series.
+RateSeries link_rate_series(const scenario::RunResult& run,
+                            const std::vector<TimeNs>& trace_times,
+                            DurationNs window = DurationNs::millis(100));
+
+/// Convenience: overall utilization of the CCA flow in [from, to), as a
+/// fraction of the configured bottleneck rate.
+double utilization(const scenario::RunResult& run, TimeNs from, TimeNs to);
+
+}  // namespace ccfuzz::analysis

@@ -1,0 +1,57 @@
+// Realism scoring (paper §5, Fig 5): quantify how "realistic" a link trace
+// is by running a panel of CCAs over it and scoring the best utilization any
+// of them achieves. Traces under which no reasonable CCA can perform (e.g.
+// famine early, feast late) are rejected; traces where at least one CCA does
+// well are accepted.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/config.h"
+#include "tcp/congestion_control.h"
+#include "trace/trace.h"
+
+namespace ccfuzz::analysis {
+
+/// One CCA's outcome under the trace.
+struct PanelEntry {
+  std::string cca;
+  double utilization = 0.0;  ///< goodput / average trace rate
+};
+
+/// Verdict for one trace.
+struct RealismResult {
+  std::vector<PanelEntry> panel;
+  double score = 0.0;  ///< best utilization across the panel
+  bool accepted = false;
+};
+
+/// Multi-CCA realism scorer.
+class RealismScorer {
+ public:
+  struct Config {
+    scenario::ScenarioConfig scenario{};
+    /// Accept when the best panel utilization reaches this fraction.
+    double accept_threshold = 0.6;
+  };
+
+  /// `panel` entries are (name, factory) pairs; all built-ins via
+  /// cca::make_factory qualify.
+  RealismScorer(Config cfg,
+                std::vector<std::pair<std::string, tcp::CcaFactory>> panel);
+
+  /// Runs every panel CCA over the trace (link mode) and scores it.
+  RealismResult score(const trace::Trace& t) const;
+
+  /// Cheaper variant (§5): evaluate a single panel member chosen by
+  /// `pick` (e.g. round-robin or random index) instead of the full panel.
+  RealismResult score_single(const trace::Trace& t, std::size_t pick) const;
+
+ private:
+  Config cfg_;
+  std::vector<std::pair<std::string, tcp::CcaFactory>> panel_;
+};
+
+}  // namespace ccfuzz::analysis

@@ -1,0 +1,49 @@
+#include "analysis/timeline.h"
+
+#include <ostream>
+
+namespace ccfuzz::analysis {
+namespace {
+
+bool is_diagnostic(tcp::TcpEventType t) {
+  switch (t) {
+    case tcp::TcpEventType::kSend:
+    case tcp::TcpEventType::kAck:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> timeline_rows(const tcp::TcpEventLog& log,
+                                       const TimelineOptions& opt) {
+  std::vector<std::string> rows;
+  for (const auto& ev : log.events()) {
+    if (ev.time < opt.from || ev.time >= opt.to) continue;
+    if (opt.diagnostics_only && !is_diagnostic(ev.type)) continue;
+    rows.push_back(ev.to_string());
+    if (opt.max_rows > 0 && rows.size() >= opt.max_rows) break;
+  }
+  return rows;
+}
+
+void print_timeline(std::ostream& os, const tcp::TcpEventLog& log,
+                    const TimelineOptions& opt) {
+  for (const auto& row : timeline_rows(log, opt)) {
+    os << row << '\n';
+  }
+}
+
+StallDiagnostics stall_diagnostics(const tcp::TcpEventLog& log) {
+  StallDiagnostics d;
+  d.rtos = log.count(tcp::TcpEventType::kRto);
+  d.spurious_retx = log.count(tcp::TcpEventType::kSpuriousRetx);
+  d.probe_round_ends = log.count(tcp::TcpEventType::kProbeRoundEnd);
+  d.bw_filter_drops = log.count(tcp::TcpEventType::kBwFilterDrop);
+  d.marks_lost = log.count(tcp::TcpEventType::kMarkLost);
+  return d;
+}
+
+}  // namespace ccfuzz::analysis

@@ -1,0 +1,47 @@
+// Fig 4c: a human-readable timeline of the sender-side event sequence that
+// triggers the BBR stall (RTO → spurious retransmissions → late SACKs →
+// premature probe-round ends → bandwidth-filter collapse).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tcp/event_log.h"
+#include "util/time.h"
+
+namespace ccfuzz::analysis {
+
+/// Options for timeline extraction.
+struct TimelineOptions {
+  /// Only include events in [from, to).
+  TimeNs from = TimeNs::zero();
+  TimeNs to = TimeNs::infinite();
+  /// Drop plain data sends/ACKs, keeping the diagnostic events (losses,
+  /// retransmissions, SACKs, RTOs, BBR model transitions).
+  bool diagnostics_only = false;
+  /// Cap on emitted rows (0 = unlimited).
+  std::size_t max_rows = 0;
+};
+
+/// Filters and renders an event log into printable rows.
+std::vector<std::string> timeline_rows(const tcp::TcpEventLog& log,
+                                       const TimelineOptions& opt = {});
+
+/// Writes one row per line to `os`.
+void print_timeline(std::ostream& os, const tcp::TcpEventLog& log,
+                    const TimelineOptions& opt = {});
+
+/// Compact summary of stall-relevant counts over a log (used by tests and
+/// the Fig 4c bench header).
+struct StallDiagnostics {
+  std::int64_t rtos = 0;
+  std::int64_t spurious_retx = 0;
+  std::int64_t probe_round_ends = 0;
+  std::int64_t bw_filter_drops = 0;
+  std::int64_t marks_lost = 0;
+};
+
+StallDiagnostics stall_diagnostics(const tcp::TcpEventLog& log);
+
+}  // namespace ccfuzz::analysis

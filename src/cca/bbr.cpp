@@ -1,0 +1,359 @@
+#include "cca/bbr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccfuzz::cca {
+
+constexpr std::array<double, Bbr::kCycleLength> Bbr::kPacingGainCycle;
+
+Bbr::Bbr(const Config& cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      cwnd_(cfg.initial_cwnd),
+      bw_filter_(cfg.bw_filter_rounds) {}
+
+const char* Bbr::mode_name(Mode m) {
+  switch (m) {
+    case Mode::kStartup: return "STARTUP";
+    case Mode::kDrain: return "DRAIN";
+    case Mode::kProbeBw: return "PROBE_BW";
+    case Mode::kProbeRtt: return "PROBE_RTT";
+  }
+  return "?";
+}
+
+void Bbr::init(const tcp::SenderState& st) {
+  cwnd_ = cfg_.initial_cwnd;
+  mode_ = Mode::kStartup;
+  pacing_gain_ = kHighGain;
+  cwnd_gain_ = kHighGain;
+  min_rtt_ = st.srtt;  // usually -1 at init
+  min_rtt_stamp_ = st.now;
+  // Initial pacing rate from the initial window over a nominal 1 ms RTT
+  // (Linux bbr_init_pacing_rate_from_rtt before any RTT sample).
+  const DurationNs rtt =
+      st.srtt >= DurationNs::zero() ? st.srtt : DurationNs::millis(1);
+  has_seen_rtt_ = st.srtt >= DurationNs::zero();
+  const double bw_pps =
+      static_cast<double>(cfg_.initial_cwnd) / rtt.to_seconds();
+  set_pacing_rate(st, bw_pps, kHighGain);
+}
+
+bool Bbr::sample_usable(const tcp::RateSample& rs) const {
+  switch (cfg_.sample_policy) {
+    case SamplePolicy::kNs3Loose: return rs.valid_loose();
+    case SamplePolicy::kLinuxStrict: return rs.valid();
+  }
+  return false;
+}
+
+std::int64_t Bbr::bdp_segments(double bw_pps, double gain) const {
+  if (min_rtt_ < DurationNs::zero()) {
+    // No RTT sample yet: fall back to the initial window (Linux returns
+    // TCP_INIT_CWND scaled by gain here).
+    return static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(cfg_.initial_cwnd) * gain));
+  }
+  const double bdp = bw_pps * min_rtt_.to_seconds();
+  return static_cast<std::int64_t>(std::ceil(bdp * gain));
+}
+
+std::int64_t Bbr::quantization_budget(std::int64_t cwnd) const {
+  cwnd += cfg_.quantization_budget_segments;
+  // Extra allowance entering the probing phase (Linux adds 2 in cycle 0).
+  if (mode_ == Mode::kProbeBw && cycle_idx_ == 0) cwnd += 2;
+  return cwnd;
+}
+
+// ---------------------------------------------------------------------------
+// Model updates (Linux bbr_update_model order)
+// ---------------------------------------------------------------------------
+
+void Bbr::update_round(const tcp::SenderState& st, const tcp::RateSample& rs) {
+  // A packet-timed round ends when the most recently delivered segment was
+  // sent after the start-of-round delivery count. Spurious retransmissions
+  // restamp prior_delivered, which is exactly how the paper's stall ends
+  // rounds prematurely.
+  if (rs.prior_delivered >= next_rtt_delivered_) {
+    next_rtt_delivered_ = st.delivered;
+    ++round_count_;
+    round_start_ = true;
+    packet_conservation_ = false;
+    if (log_) {
+      log_->emit(st.now, tcp::TcpEventType::kProbeRoundEnd, -1,
+                 static_cast<double>(round_count_));
+    }
+  } else {
+    round_start_ = false;
+  }
+}
+
+void Bbr::update_bw(const tcp::SenderState& st, const tcp::RateSample& rs) {
+  round_start_ = false;
+  if (!sample_usable(rs)) return;
+
+  update_round(st, rs);
+
+  // Feed the delivery-rate sample into the max filter unless it is an
+  // app-limited sample below the current estimate.
+  const double bw = rs.delivery_rate_pps;
+  if (!rs.is_app_limited || bw >= max_bw_pps()) {
+    const double before = max_bw_pps();
+    bw_filter_.update(bw, round_count_);
+    if (log_) {
+      log_->emit(st.now, tcp::TcpEventType::kBwSample, -1, bw);
+      if (max_bw_pps() < before) {
+        log_->emit(st.now, tcp::TcpEventType::kBwFilterDrop, -1, max_bw_pps());
+      }
+    }
+  }
+}
+
+void Bbr::update_cycle_phase(const tcp::SenderState& st,
+                             const tcp::RateSample& rs) {
+  if (mode_ == Mode::kProbeBw && is_next_cycle_phase(st, rs)) {
+    advance_cycle_phase(st.now);
+  }
+}
+
+bool Bbr::is_next_cycle_phase(const tcp::SenderState& st,
+                              const tcp::RateSample& rs) const {
+  const bool is_full_length =
+      min_rtt_ >= DurationNs::zero() && (st.now - cycle_stamp_) > min_rtt_;
+  if (pacing_gain_ == 1.0) return is_full_length;
+
+  const auto inflight = rs.prior_in_flight;
+  const double bw = max_bw_pps();
+  if (pacing_gain_ > 1.0) {
+    // Keep probing until inflight reaches gain*BDP, unless loss says the
+    // path cannot hold that much.
+    return is_full_length &&
+           (rs.losses > 0 || inflight >= bdp_segments(bw, pacing_gain_));
+  }
+  // Draining phase: stop early once the extra queue is gone.
+  return is_full_length || inflight <= bdp_segments(bw, 1.0);
+}
+
+void Bbr::advance_cycle_phase(TimeNs now) {
+  cycle_idx_ = (cycle_idx_ + 1) % kCycleLength;
+  cycle_stamp_ = now;
+  pacing_gain_ = kPacingGainCycle[static_cast<std::size_t>(cycle_idx_)];
+}
+
+void Bbr::check_full_bw_reached(const tcp::RateSample& rs) {
+  if (full_bw_reached_ || !round_start_ || rs.is_app_limited) return;
+  if (max_bw_pps() >= full_bw_pps_ * cfg_.full_bw_threshold) {
+    full_bw_pps_ = max_bw_pps();
+    full_bw_cnt_ = 0;
+    return;
+  }
+  ++full_bw_cnt_;
+  full_bw_reached_ = full_bw_cnt_ >= cfg_.full_bw_rounds;
+}
+
+void Bbr::check_drain(const tcp::SenderState& st) {
+  if (mode_ == Mode::kStartup && full_bw_reached_) {
+    mode_ = Mode::kDrain;
+    pacing_gain_ = 1.0 / kHighGain;
+    cwnd_gain_ = kHighGain;
+  }
+  if (mode_ == Mode::kDrain &&
+      st.in_flight() <= bdp_segments(max_bw_pps(), 1.0)) {
+    enter_probe_bw(st.now);
+  }
+}
+
+void Bbr::enter_probe_bw(TimeNs now) {
+  mode_ = Mode::kProbeBw;
+  cwnd_gain_ = cfg_.cwnd_gain;
+  // Start anywhere in the cycle except the 0.75 drain phase (Linux picks
+  // uniformly among 7 of the 8 phases, then advances once).
+  cycle_idx_ =
+      kCycleLength - 1 - static_cast<int>(rng_.uniform_int(0, kCycleLength - 2));
+  advance_cycle_phase(now);
+}
+
+void Bbr::update_min_rtt(const tcp::SenderState& st,
+                         const tcp::RateSample& rs) {
+  const bool filter_expired =
+      st.now > min_rtt_stamp_ + cfg_.min_rtt_window;
+  if (rs.rtt >= DurationNs::zero() &&
+      (min_rtt_ < DurationNs::zero() || rs.rtt < min_rtt_ || filter_expired)) {
+    min_rtt_ = rs.rtt;
+    min_rtt_stamp_ = st.now;
+  }
+
+  if (filter_expired && mode_ != Mode::kProbeRtt &&
+      cfg_.probe_rtt_duration > DurationNs::zero()) {
+    enter_probe_rtt(st);
+  }
+
+  if (mode_ == Mode::kProbeRtt) {
+    // Hold cwnd at the floor for max(probe_rtt_duration, 1 round) measured
+    // from the moment inflight actually falls to the floor.
+    if (probe_rtt_done_stamp_ < TimeNs::zero() && st.in_flight() <= kMinCwnd) {
+      probe_rtt_done_stamp_ = st.now + cfg_.probe_rtt_duration;
+      probe_rtt_round_done_ = false;
+      next_rtt_delivered_ = st.delivered;
+    } else if (probe_rtt_done_stamp_ >= TimeNs::zero()) {
+      if (round_start_) probe_rtt_round_done_ = true;
+      if (probe_rtt_round_done_) check_probe_rtt_done(st);
+    }
+  }
+}
+
+void Bbr::enter_probe_rtt(const tcp::SenderState& st) {
+  save_cwnd(st);
+  mode_ = Mode::kProbeRtt;
+  pacing_gain_ = 1.0;
+  cwnd_gain_ = 1.0;
+  probe_rtt_done_stamp_ = TimeNs(-1);
+  probe_rtt_round_done_ = false;
+  ++probe_rtt_entries_;
+  if (log_) log_->emit(st.now, tcp::TcpEventType::kProbeRttEnter);
+}
+
+void Bbr::check_probe_rtt_done(const tcp::SenderState& st) {
+  if (st.now <= probe_rtt_done_stamp_) return;
+  min_rtt_stamp_ = st.now;  // schedule the next PROBE_RTT a window from now
+  cwnd_ = std::max(cwnd_, prior_cwnd_);
+  restore_mode_after_probe_rtt(st);
+  if (log_) log_->emit(st.now, tcp::TcpEventType::kProbeRttExit);
+}
+
+void Bbr::restore_mode_after_probe_rtt(const tcp::SenderState& st) {
+  if (!full_bw_reached_) {
+    mode_ = Mode::kStartup;
+    pacing_gain_ = kHighGain;
+    cwnd_gain_ = kHighGain;
+  } else {
+    enter_probe_bw(st.now);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control: pacing rate and cwnd
+// ---------------------------------------------------------------------------
+
+void Bbr::set_pacing_rate(const tcp::SenderState& st, double bw_pps,
+                          double gain) {
+  // On the first genuine RTT sample, rebuild the startup pacing rate from
+  // the real RTT instead of the nominal 1 ms (Linux has_seen_rtt logic).
+  if (!has_seen_rtt_ && st.srtt >= DurationNs::zero()) {
+    has_seen_rtt_ = true;
+    bw_pps = static_cast<double>(cwnd_) / st.srtt.to_seconds();
+  }
+  const double paced =
+      bw_pps * gain * (1.0 - cfg_.pacing_margin) *
+      static_cast<double>(st.mss_bytes) * 8.0;
+  const DataRate rate(static_cast<std::int64_t>(std::max(paced, 1.0)));
+  // Before the pipe is known to be full, never let the rate decrease: a
+  // transient underestimate must not slow the startup ramp.
+  if (full_bw_reached_ || rate > pacing_rate_ || pacing_rate_.is_zero()) {
+    pacing_rate_ = rate;
+  }
+}
+
+void Bbr::save_cwnd(const tcp::SenderState& st) {
+  (void)st;
+  if (prev_ca_state_ == CaState::kOpen && mode_ != Mode::kProbeRtt) {
+    prior_cwnd_ = cwnd_;
+  } else {
+    prior_cwnd_ = std::max(prior_cwnd_, cwnd_);
+  }
+}
+
+void Bbr::set_cwnd(const tcp::SenderState& st, const tcp::RateSample& rs,
+                   std::int64_t acked, double bw_pps, double gain) {
+  if (acked > 0) {
+    // Recovery / restore handling (Linux bbr_set_cwnd_to_recover_or_restore).
+    const CaState state = st.in_loss      ? CaState::kLoss
+                          : st.in_recovery ? CaState::kRecovery
+                                           : CaState::kOpen;
+    std::int64_t cwnd = cwnd_;
+    if (rs.losses > 0) cwnd = std::max<std::int64_t>(cwnd - rs.losses, 1);
+
+    bool conservation_done = false;
+    if (state == CaState::kRecovery && prev_ca_state_ != CaState::kRecovery) {
+      // Entering fast recovery: one round of packet conservation.
+      packet_conservation_ = true;
+      next_rtt_delivered_ = st.delivered;
+      cwnd = st.in_flight() + acked;
+    } else if (prev_ca_state_ != CaState::kOpen && state == CaState::kOpen) {
+      // Exiting recovery/loss: restore the pre-loss window.
+      cwnd = std::max(cwnd, prior_cwnd_);
+      packet_conservation_ = false;
+    }
+    prev_ca_state_ = state;
+
+    if (packet_conservation_) {
+      cwnd_ = std::max(cwnd, st.in_flight() + acked);
+      conservation_done = true;
+    }
+
+    if (!conservation_done) {
+      std::int64_t target = bdp_segments(bw_pps, gain);
+      target = quantization_budget(target);
+      if (full_bw_reached_) {
+        cwnd = std::min(cwnd + acked, target);
+      } else if (cwnd < target || st.delivered < cfg_.initial_cwnd) {
+        cwnd = cwnd + acked;
+      }
+      cwnd_ = std::max<std::int64_t>(cwnd, kMinCwnd);
+    }
+  }
+  if (mode_ == Mode::kProbeRtt) {
+    cwnd_ = std::min<std::int64_t>(cwnd_, kMinCwnd);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+void Bbr::on_ack(const tcp::SenderState& st, const tcp::AckEvent& ev,
+                 const tcp::RateSample& rs) {
+  (void)ev;
+  update_bw(st, rs);
+  update_cycle_phase(st, rs);
+  check_full_bw_reached(rs);
+  check_drain(st);
+  update_min_rtt(st, rs);
+
+  const double bw = max_bw_pps();
+  set_pacing_rate(st, bw, pacing_gain_);
+  set_cwnd(st, rs, rs.acked_sacked, bw, cwnd_gain_);
+}
+
+void Bbr::on_congestion_event(const tcp::SenderState& st,
+                              tcp::CongestionEvent ev) {
+  switch (ev) {
+    case tcp::CongestionEvent::kEnterRecovery:
+      // cwnd adjustment happens on the next ACK via recover_or_restore;
+      // remember the pre-loss window now.
+      save_cwnd(st);
+      break;
+    case tcp::CongestionEvent::kRto: {
+      save_cwnd(st);
+      prev_ca_state_ = CaState::kLoss;
+      full_bw_pps_ = 0.0;  // Linux resets full_bw but not full_bw_cnt
+      round_start_ = true;  // Linux: treat RTO like the end of a round
+      // tcp_enter_loss collapses the window to what is actually in flight.
+      cwnd_ = std::max<std::int64_t>(st.in_flight() + 1, 1);
+      if (cfg_.probe_rtt_on_rto && mode_ != Mode::kProbeRtt) {
+        // Paper §4.1 mitigation: momentarily slowing down lets the in-flight
+        // SACKs arrive, avoiding the spurious retransmissions that corrupt
+        // round clocking.
+        enter_probe_rtt(st);
+      }
+      break;
+    }
+    case tcp::CongestionEvent::kExitRecovery:
+    case tcp::CongestionEvent::kExitLoss:
+      // Restoration happens on the next ACK (state observed as kOpen).
+      break;
+  }
+}
+
+}  // namespace ccfuzz::cca

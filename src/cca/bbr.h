@@ -1,0 +1,184 @@
+// TCP BBR v1 congestion control, following Linux tcp_bbr.c (and, where the
+// two differ, the ns-3 port the paper evaluates — see Config::sample_policy).
+//
+// BBR maintains a model of the path: the bottleneck bandwidth (windowed max
+// over the last 10 packet-timed round trips of delivery-rate samples) and the
+// minimum RTT (windowed min over 10 seconds). Pacing rate and cwnd derive
+// from that model through the mode machine:
+//
+//   STARTUP   gain 2/ln2 ≈ 2.89, exits when bw stops growing 25% for 3 rounds
+//   DRAIN     inverse gain until inflight <= 1 BDP
+//   PROBE_BW  8-phase gain cycle [1.25, 0.75, 1, 1, 1, 1, 1, 1]
+//   PROBE_RTT cwnd = 4 for max(200 ms, 1 round) when min-RTT goes stale (10 s)
+//
+// The paper's §4.1 stall arises from the interaction of the delivery-rate
+// sampler with round accounting: a probe round ends when the rate sample's
+// prior_delivered reaches next_rtt_delivered, and spurious retransmissions
+// restamp prior_delivered, so late SACKs after an RTO end rounds prematurely
+// and feed corrupted samples into the max filter until the genuine bandwidth
+// estimate ages out. Once the estimate is low, delayed ACKs form a positive
+// feedback loop (slow pacing → sparse ACKs → low samples) and the flow stalls
+// permanently. Config::probe_rtt_on_rto enables the paper's proposed fix.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "tcp/congestion_control.h"
+#include "tcp/event_log.h"
+#include "util/rng.h"
+#include "util/time.h"
+#include "util/windowed_filter.h"
+
+namespace ccfuzz::cca {
+
+/// BBR v1. Deterministic: the PROBE_BW entry phase randomization draws from
+/// a seeded generator (paper §3.6 requires repeatable CCA randomness).
+class Bbr final : public tcp::CongestionControl {
+ public:
+  /// Which delivery-rate samples drive round accounting and the bw filter.
+  enum class SamplePolicy {
+    /// ns-3 behaviour (paper's test subject): any sample with timing data is
+    /// consumed, including those whose interval is below the min RTT.
+    kNs3Loose,
+    /// Linux tcp_rate_gen behaviour: below-min-RTT samples are discarded.
+    kLinuxStrict,
+  };
+
+  struct Config {
+    std::int64_t initial_cwnd = 10;
+    /// Windowed max-filter length for bandwidth, in packet-timed rounds.
+    int bw_filter_rounds = 10;
+    /// Min-RTT filter window; staleness triggers PROBE_RTT.
+    DurationNs min_rtt_window = DurationNs::seconds(10);
+    /// Time to hold cwnd at kMinCwnd in PROBE_RTT.
+    DurationNs probe_rtt_duration = DurationNs::millis(200);
+    /// STARTUP exit: bw must grow by this factor per round...
+    double full_bw_threshold = 1.25;
+    /// ...within this many consecutive rounds, else the pipe is full.
+    int full_bw_rounds = 3;
+    /// Pacing-rate safety margin (Linux bbr_pacing_margin_percent).
+    double pacing_margin = 0.01;
+    /// cwnd gain applied to the BDP outside PROBE_RTT.
+    double cwnd_gain = 2.0;
+    /// Extra segments over the BDP target to absorb ACK quantization
+    /// (Linux bbr_quantization_budget with TSO segs goal of 1).
+    std::int64_t quantization_budget_segments = 3;
+    SamplePolicy sample_policy = SamplePolicy::kNs3Loose;
+    /// The paper's proposed mitigation (§4.1): enter PROBE_RTT when an RTO
+    /// fires, so in-flight SACKs drain before any spurious retransmission.
+    bool probe_rtt_on_rto = false;
+    /// Seed for the PROBE_BW phase randomization.
+    std::uint64_t seed = 0x66BBDD0055AA1122ULL;
+  };
+
+  enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
+
+  Bbr() : Bbr(Config{}) {}
+  explicit Bbr(const Config& cfg);
+
+  void init(const tcp::SenderState& st) override;
+  void on_ack(const tcp::SenderState& st, const tcp::AckEvent& ev,
+              const tcp::RateSample& rs) override;
+  void on_congestion_event(const tcp::SenderState& st,
+                           tcp::CongestionEvent ev) override;
+
+  std::int64_t cwnd_segments() const override { return cwnd_; }
+  DataRate pacing_rate() const override { return pacing_rate_; }
+  const char* name() const override {
+    return cfg_.probe_rtt_on_rto ? "bbr-probertt-on-rto" : "bbr";
+  }
+
+  // ---- Model introspection (tests, Fig 4c/4d analysis) ----
+  double bw_estimate_pps() const override { return max_bw_pps(); }
+  DurationNs min_rtt_estimate() const override { return min_rtt_; }
+  Mode mode() const { return mode_; }
+  int cycle_index() const { return cycle_idx_; }
+  std::int64_t round_count() const { return round_count_; }
+  bool full_bw_reached() const { return full_bw_reached_; }
+  double pacing_gain() const { return pacing_gain_; }
+  std::int64_t probe_rtt_entries() const { return probe_rtt_entries_; }
+
+  /// Attaches the sender's event log so BBR-internal transitions appear on
+  /// the Fig 4c timeline (probe-round ends, bw samples, filter drops).
+  void attach_event_log(tcp::TcpEventLog* log) override { log_ = log; }
+
+  /// Human-readable mode name.
+  static const char* mode_name(Mode m);
+
+ private:
+  static constexpr int kCycleLength = 8;
+  static constexpr std::int64_t kMinCwnd = 4;
+  /// 2/ln(2), the STARTUP pacing/cwnd gain.
+  static constexpr double kHighGain = 2.885;
+  static constexpr std::array<double, kCycleLength> kPacingGainCycle = {
+      1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+
+  bool sample_usable(const tcp::RateSample& rs) const;
+  double max_bw_pps() const { return bw_filter_.get(); }
+  /// BDP in segments for gain; falls back to initial cwnd without an RTT.
+  std::int64_t bdp_segments(double bw_pps, double gain) const;
+  std::int64_t quantization_budget(std::int64_t cwnd) const;
+
+  void update_round(const tcp::SenderState& st, const tcp::RateSample& rs);
+  void update_bw(const tcp::SenderState& st, const tcp::RateSample& rs);
+  void update_cycle_phase(const tcp::SenderState& st,
+                          const tcp::RateSample& rs);
+  bool is_next_cycle_phase(const tcp::SenderState& st,
+                           const tcp::RateSample& rs) const;
+  void advance_cycle_phase(TimeNs now);
+  void check_full_bw_reached(const tcp::RateSample& rs);
+  void check_drain(const tcp::SenderState& st);
+  void update_min_rtt(const tcp::SenderState& st, const tcp::RateSample& rs);
+  void enter_probe_rtt(const tcp::SenderState& st);
+  void check_probe_rtt_done(const tcp::SenderState& st);
+  void restore_mode_after_probe_rtt(const tcp::SenderState& st);
+  void enter_probe_bw(TimeNs now);
+
+  void set_pacing_rate(const tcp::SenderState& st, double bw_pps, double gain);
+  void set_cwnd(const tcp::SenderState& st, const tcp::RateSample& rs,
+                std::int64_t acked, double bw_pps, double gain);
+  void save_cwnd(const tcp::SenderState& st);
+
+  Config cfg_;
+  Rng rng_;
+  tcp::TcpEventLog* log_ = nullptr;
+
+  Mode mode_ = Mode::kStartup;
+  double pacing_gain_ = kHighGain;
+  double cwnd_gain_ = kHighGain;
+  std::int64_t cwnd_;
+  DataRate pacing_rate_ = DataRate::zero();
+  bool has_seen_rtt_ = false;
+
+  // Bandwidth model: windowed max of delivery-rate samples over rounds.
+  WindowedMax<double, std::int64_t> bw_filter_;
+  std::int64_t round_count_ = 0;
+  bool round_start_ = false;
+  std::int64_t next_rtt_delivered_ = 0;
+
+  // STARTUP full-pipe detection.
+  double full_bw_pps_ = 0.0;
+  int full_bw_cnt_ = 0;
+  bool full_bw_reached_ = false;
+
+  // Min-RTT model and PROBE_RTT bookkeeping.
+  DurationNs min_rtt_ = DurationNs(-1);
+  TimeNs min_rtt_stamp_ = TimeNs::zero();
+  TimeNs probe_rtt_done_stamp_ = TimeNs(-1);
+  bool probe_rtt_round_done_ = false;
+  std::int64_t probe_rtt_entries_ = 0;
+
+  // PROBE_BW gain cycling.
+  int cycle_idx_ = 0;
+  TimeNs cycle_stamp_ = TimeNs::zero();
+
+  // Recovery/restore of cwnd across loss episodes (Linux bbr_save_cwnd).
+  enum class CaState { kOpen, kRecovery, kLoss };
+  CaState prev_ca_state_ = CaState::kOpen;
+  std::int64_t prior_cwnd_ = 0;
+  bool packet_conservation_ = false;
+};
+
+}  // namespace ccfuzz::cca

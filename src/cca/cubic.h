@@ -1,0 +1,163 @@
+// TCP CUBIC (RFC 8312) with a faithful reproduction of the ns-3
+// implementation bug the paper reports (§4.2).
+//
+// The bug: in slow start, ns-3's CUBIC increases cwnd by the full number of
+// segments acknowledged *without clamping at ssthresh*. After an RTO whose
+// head retransmission finally succeeds, the receiver's buffered data causes
+// one cumulative ACK covering a large jump — the buggy code then inflates
+// cwnd far past ssthresh and the sender bursts ~1 RTO worth of pending data
+// into the bottleneck, causing catastrophic loss. Linux clamps the slow-start
+// growth at ssthresh and feeds the remainder through congestion avoidance
+// (Cubic::Config::ns3_slow_start_bug = false).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "tcp/congestion_control.h"
+#include "util/time.h"
+
+namespace ccfuzz::cca {
+
+/// CUBIC congestion control with a toggleable ns-3 slow-start bug.
+class Cubic final : public tcp::CongestionControl {
+ public:
+  struct Config {
+    std::int64_t initial_cwnd = 10;
+    double c = 0.4;          ///< cubic scaling constant
+    double beta = 0.7;       ///< multiplicative decrease factor
+    bool fast_convergence = true;
+    /// true: reproduce the ns-3 bug (unclamped slow-start growth);
+    /// false: Linux-correct behaviour.
+    bool ns3_slow_start_bug = false;
+  };
+
+  Cubic() : Cubic(Config{}) {}
+  explicit Cubic(const Config& cfg) : cfg_(cfg), cwnd_(cfg.initial_cwnd) {}
+
+  void init(const tcp::SenderState& st) override {
+    (void)st;
+    cwnd_ = cfg_.initial_cwnd;
+    reset_epoch();
+  }
+
+  void on_ack(const tcp::SenderState& st, const tcp::AckEvent& ev,
+              const tcp::RateSample& rs) override {
+    (void)rs;
+    if (st.in_recovery || st.in_loss) return;
+    std::int64_t acked = ev.newly_acked;
+    if (acked <= 0) return;
+
+    if (cwnd_ < ssthresh_) {
+      if (cfg_.ns3_slow_start_bug) {
+        // ns-3 TcpCubic: unconditional growth by segments acked, then done.
+        // No clamp at ssthresh — the §4.2 bug.
+        cwnd_ += acked;
+        return;
+      }
+      // Linux tcp_slow_start: clamp at ssthresh, remainder goes to CA.
+      const std::int64_t grow = std::min(acked, ssthresh_ - cwnd_);
+      cwnd_ += grow;
+      acked -= grow;
+      if (acked <= 0) return;
+    }
+    congestion_avoidance(st, acked);
+  }
+
+  void on_congestion_event(const tcp::SenderState& st,
+                           tcp::CongestionEvent ev) override {
+    switch (ev) {
+      case tcp::CongestionEvent::kEnterRecovery:
+        multiplicative_decrease();
+        cwnd_ = ssthresh_;
+        break;
+      case tcp::CongestionEvent::kRto:
+        multiplicative_decrease();
+        cwnd_ = 1;
+        reset_epoch();
+        break;
+      case tcp::CongestionEvent::kExitRecovery:
+      case tcp::CongestionEvent::kExitLoss:
+        break;
+    }
+    (void)st;
+  }
+
+  std::int64_t cwnd_segments() const override { return cwnd_; }
+  std::int64_t ssthresh_segments() const override { return ssthresh_; }
+  const char* name() const override {
+    return cfg_.ns3_slow_start_bug ? "cubic-ns3bug" : "cubic";
+  }
+
+  /// Last computed cubic target window (introspection for tests).
+  double last_target() const { return last_target_; }
+
+ private:
+  void reset_epoch() {
+    epoch_start_ = TimeNs(-1);
+    cwnd_cnt_ = 0;
+    k_ = 0.0;
+    origin_point_ = 0;
+  }
+
+  void multiplicative_decrease() {
+    // Fast convergence: release bandwidth faster when the loss happened
+    // below the previous maximum.
+    if (cfg_.fast_convergence && cwnd_ < w_max_) {
+      w_max_ = static_cast<double>(cwnd_) * (2.0 - cfg_.beta) / 2.0;
+    } else {
+      w_max_ = static_cast<double>(cwnd_);
+    }
+    ssthresh_ = std::max<std::int64_t>(
+        static_cast<std::int64_t>(static_cast<double>(cwnd_) * cfg_.beta), 2);
+    epoch_start_ = TimeNs(-1);
+  }
+
+  void congestion_avoidance(const tcp::SenderState& st, std::int64_t acked) {
+    const TimeNs now = st.now;
+    if (epoch_start_ < TimeNs::zero()) {
+      epoch_start_ = now;
+      if (static_cast<double>(cwnd_) < w_max_) {
+        k_ = std::cbrt((w_max_ - static_cast<double>(cwnd_)) / cfg_.c);
+        origin_point_ = w_max_;
+      } else {
+        k_ = 0.0;
+        origin_point_ = static_cast<double>(cwnd_);
+      }
+    }
+    // Predict the window one RTT ahead (RFC 8312 §4.1/4.2).
+    const double rtt_s =
+        st.srtt >= DurationNs::zero() ? st.srtt.to_seconds() : 0.0;
+    const double t = (now - epoch_start_).to_seconds() + rtt_s;
+    const double dt = t - k_;
+    const double target = origin_point_ + cfg_.c * dt * dt * dt;
+    last_target_ = target;
+
+    std::int64_t cnt;  // ACKs needed per +1 segment
+    if (target > static_cast<double>(cwnd_)) {
+      cnt = static_cast<std::int64_t>(
+          static_cast<double>(cwnd_) / (target - static_cast<double>(cwnd_)));
+    } else {
+      cnt = 100 * cwnd_;  // effectively frozen
+    }
+    cnt = std::max<std::int64_t>(cnt, 2);
+    cwnd_cnt_ += acked;
+    while (cwnd_cnt_ >= cnt) {
+      cwnd_cnt_ -= cnt;
+      ++cwnd_;
+    }
+  }
+
+  Config cfg_;
+  std::int64_t cwnd_;
+  std::int64_t ssthresh_ = std::numeric_limits<std::int64_t>::max() / 2;
+  std::int64_t cwnd_cnt_ = 0;
+  double w_max_ = 0.0;
+  double origin_point_ = 0.0;
+  double k_ = 0.0;
+  TimeNs epoch_start_ = TimeNs(-1);
+  double last_target_ = 0.0;
+};
+
+}  // namespace ccfuzz::cca

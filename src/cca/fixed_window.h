@@ -1,0 +1,36 @@
+// A congestion control stub with a constant window (and optional pacing).
+//
+// Not a real CCA: it exists so network-layer and sender-layer tests can
+// exercise transport machinery under a known, constant offered load, and so
+// examples can show the minimal CongestionControl implementation.
+#pragma once
+
+#include <cstdint>
+
+#include "tcp/congestion_control.h"
+
+namespace ccfuzz::cca {
+
+/// Constant-cwnd congestion control (testing aid / minimal example).
+class FixedWindow final : public tcp::CongestionControl {
+ public:
+  explicit FixedWindow(std::int64_t cwnd, DataRate pacing = DataRate::zero())
+      : cwnd_(cwnd), pacing_(pacing) {}
+
+  void on_ack(const tcp::SenderState& st, const tcp::AckEvent& ev,
+              const tcp::RateSample& rs) override {
+    (void)st;
+    (void)ev;
+    (void)rs;
+  }
+
+  std::int64_t cwnd_segments() const override { return cwnd_; }
+  DataRate pacing_rate() const override { return pacing_; }
+  const char* name() const override { return "fixed-window"; }
+
+ private:
+  std::int64_t cwnd_;
+  DataRate pacing_;
+};
+
+}  // namespace ccfuzz::cca

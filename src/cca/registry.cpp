@@ -1,0 +1,60 @@
+#include "cca/registry.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "cca/bbr.h"
+#include "cca/cubic.h"
+#include "cca/reno.h"
+
+namespace ccfuzz::cca {
+
+tcp::CcaFactory make_factory(std::string_view name) {
+  if (name == "reno") {
+    return [] { return std::make_unique<Reno>(); };
+  }
+  if (name == "cubic") {
+    return [] { return std::make_unique<Cubic>(); };
+  }
+  if (name == "cubic-ns3bug") {
+    return [] {
+      Cubic::Config cfg;
+      cfg.ns3_slow_start_bug = true;
+      return std::make_unique<Cubic>(cfg);
+    };
+  }
+  if (name == "bbr") {
+    return [] { return std::make_unique<Bbr>(); };
+  }
+  if (name == "bbr-linux-strict") {
+    return [] {
+      Bbr::Config cfg;
+      cfg.sample_policy = Bbr::SamplePolicy::kLinuxStrict;
+      return std::make_unique<Bbr>(cfg);
+    };
+  }
+  if (name == "bbr-probertt-on-rto") {
+    return [] {
+      Bbr::Config cfg;
+      cfg.probe_rtt_on_rto = true;
+      return std::make_unique<Bbr>(cfg);
+    };
+  }
+  throw std::invalid_argument("unknown congestion control: " +
+                              std::string(name));
+}
+
+bool is_known_cca(std::string_view name) {
+  for (const auto& n : known_ccas()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> known_ccas() {
+  return {"reno",           "cubic",
+          "cubic-ns3bug",   "bbr",
+          "bbr-linux-strict", "bbr-probertt-on-rto"};
+}
+
+}  // namespace ccfuzz::cca

@@ -1,0 +1,28 @@
+// Name → factory registry for congestion control algorithms.
+//
+// Scenarios, benches and examples select CCAs by string ("bbr",
+// "cubic-ns3bug", ...). Each simulation gets a fresh instance via the
+// factory, which is what the fuzzer's parallel evaluator requires.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tcp/congestion_control.h"
+
+namespace ccfuzz::cca {
+
+/// Returns a factory for a built-in CCA by name, or throws
+/// std::invalid_argument for an unknown name. Known names:
+///   "reno", "cubic", "cubic-ns3bug", "bbr", "bbr-linux-strict",
+///   "bbr-probertt-on-rto".
+tcp::CcaFactory make_factory(std::string_view name);
+
+/// True if `name` identifies a built-in CCA.
+bool is_known_cca(std::string_view name);
+
+/// All built-in CCA names (for help strings and panel sweeps).
+std::vector<std::string> known_ccas();
+
+}  // namespace ccfuzz::cca

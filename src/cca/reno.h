@@ -1,0 +1,90 @@
+// TCP NewReno congestion control (RFC 5681/6582 with SACK-based recovery).
+//
+// The baseline CCA of the paper's §4.3 finding: CC-Fuzz rediscovers the
+// low-rate (shrew) attack against it — periodic bursts that kill the same
+// retransmission repeatedly, locking the flow into exponential RTO backoff.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tcp/congestion_control.h"
+
+namespace ccfuzz::cca {
+
+/// NewReno: slow start, AIMD congestion avoidance, multiplicative decrease
+/// on fast retransmit, cwnd=1 on RTO.
+class Reno final : public tcp::CongestionControl {
+ public:
+  struct Config {
+    std::int64_t initial_cwnd = 10;
+    std::int64_t min_cwnd_after_loss = 2;  ///< ssthresh floor (RFC 5681)
+  };
+
+  Reno() : Reno(Config{}) {}
+  explicit Reno(const Config& cfg) : cfg_(cfg), cwnd_(cfg.initial_cwnd) {}
+
+  void init(const tcp::SenderState& st) override {
+    (void)st;
+    cwnd_ = cfg_.initial_cwnd;
+  }
+
+  void on_ack(const tcp::SenderState& st, const tcp::AckEvent& ev,
+              const tcp::RateSample& rs) override {
+    (void)rs;
+    if (st.in_recovery || st.in_loss) return;  // no growth during recovery
+    std::int64_t acked = ev.newly_acked;
+    if (acked <= 0) return;
+    acked = slow_start(acked);
+    if (acked > 0) congestion_avoidance(acked);
+  }
+
+  void on_congestion_event(const tcp::SenderState& st,
+                           tcp::CongestionEvent ev) override {
+    switch (ev) {
+      case tcp::CongestionEvent::kEnterRecovery:
+        ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, cfg_.min_cwnd_after_loss);
+        cwnd_ = ssthresh_;
+        break;
+      case tcp::CongestionEvent::kRto:
+        ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, cfg_.min_cwnd_after_loss);
+        cwnd_ = 1;
+        cwnd_cnt_ = 0;
+        break;
+      case tcp::CongestionEvent::kExitRecovery:
+      case tcp::CongestionEvent::kExitLoss:
+        break;
+    }
+    (void)st;
+  }
+
+  std::int64_t cwnd_segments() const override { return cwnd_; }
+  std::int64_t ssthresh_segments() const override { return ssthresh_; }
+  const char* name() const override { return "reno"; }
+
+ private:
+  /// Linux tcp_slow_start: grow by acked, capped at ssthresh; returns the
+  /// ACK count left over for congestion avoidance.
+  std::int64_t slow_start(std::int64_t acked) {
+    if (cwnd_ >= ssthresh_) return acked;
+    const std::int64_t grow = std::min(acked, ssthresh_ - cwnd_);
+    cwnd_ += grow;
+    return acked - grow;
+  }
+
+  /// +1 segment per cwnd worth of ACKs.
+  void congestion_avoidance(std::int64_t acked) {
+    cwnd_cnt_ += acked;
+    while (cwnd_cnt_ >= cwnd_) {
+      cwnd_cnt_ -= cwnd_;
+      ++cwnd_;
+    }
+  }
+
+  Config cfg_;
+  std::int64_t cwnd_;
+  std::int64_t ssthresh_ = std::numeric_limits<std::int64_t>::max() / 2;
+  std::int64_t cwnd_cnt_ = 0;
+};
+
+}  // namespace ccfuzz::cca

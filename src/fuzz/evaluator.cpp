@@ -1,0 +1,29 @@
+#include "fuzz/evaluator.h"
+
+#include "util/stats.h"
+
+namespace ccfuzz::fuzz {
+
+scenario::RunResult TraceEvaluator::run_full(const trace::Trace& t) const {
+  return scenario::run_scenario(scenario_, cca_, t.stamps);
+}
+
+Evaluation TraceEvaluator::evaluate(const trace::Trace& t) const {
+  const scenario::RunResult run = run_full(t);
+  Evaluation e;
+  e.score.performance = score_->performance_score(run);
+  e.score.trace = trace_weights_.trace_score(run);
+  e.goodput_mbps = run.goodput_mbps();
+  e.cca_sent = run.cca_sent;
+  e.cca_delivered = run.cca_segments_delivered;
+  e.cca_drops = run.cca_drops;
+  e.cross_sent = run.cross_sent;
+  e.cross_drops = run.cross_drops;
+  e.rto_count = run.rto_count;
+  const auto delays = run.cca_queue_delays_s();
+  e.p10_delay_s = percentile(delays, 10.0);
+  e.stalled = run.stalled(DurationNs::seconds(1));
+  return e;
+}
+
+}  // namespace ccfuzz::fuzz

@@ -1,0 +1,59 @@
+// Trace fitness evaluation: run the simulation, apply the scoring function,
+// keep a compact per-trace summary for GA bookkeeping and reporting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fuzz/score.h"
+#include "scenario/config.h"
+#include "scenario/runner.h"
+#include "tcp/congestion_control.h"
+#include "trace/trace.h"
+
+namespace ccfuzz::fuzz {
+
+/// Compact result of evaluating one trace (the full RunResult with its
+/// packet records is discarded after scoring to keep populations small).
+struct Evaluation {
+  Score score;
+  double goodput_mbps = 0.0;
+  std::int64_t cca_sent = 0;
+  std::int64_t cca_delivered = 0;
+  std::int64_t cca_drops = 0;
+  std::int64_t cross_sent = 0;
+  std::int64_t cross_drops = 0;
+  std::int64_t rto_count = 0;
+  double p10_delay_s = 0.0;
+  bool stalled = false;
+};
+
+/// Pure-function evaluator: thread-safe as long as the CCA factory and
+/// score function are stateless (all built-ins are).
+class TraceEvaluator {
+ public:
+  TraceEvaluator(scenario::ScenarioConfig scenario, tcp::CcaFactory cca,
+                 std::shared_ptr<const ScoreFunction> score,
+                 TraceScoreWeights trace_weights = {})
+      : scenario_(std::move(scenario)),
+        cca_(std::move(cca)),
+        score_(std::move(score)),
+        trace_weights_(trace_weights) {}
+
+  /// Runs the simulation for `t` and scores it.
+  Evaluation evaluate(const trace::Trace& t) const;
+
+  /// Runs the simulation and returns the full result (figure generation).
+  scenario::RunResult run_full(const trace::Trace& t) const;
+
+  const scenario::ScenarioConfig& scenario() const { return scenario_; }
+  const ScoreFunction& score_function() const { return *score_; }
+
+ private:
+  scenario::ScenarioConfig scenario_;
+  tcp::CcaFactory cca_;
+  std::shared_ptr<const ScoreFunction> score_;
+  TraceScoreWeights trace_weights_;
+};
+
+}  // namespace ccfuzz::fuzz

@@ -1,0 +1,219 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "fuzz/selection.h"
+#include "util/thread_pool.h"
+
+namespace ccfuzz::fuzz {
+namespace {
+
+bool better(const Member& a, const Member& b) {
+  return a.eval.score.total() > b.eval.score.total();
+}
+
+void sort_best_first(std::vector<Member>& members) {
+  std::stable_sort(members.begin(), members.end(), better);
+}
+
+}  // namespace
+
+Fuzzer::Fuzzer(const GaConfig& cfg, std::shared_ptr<const TraceModel> model,
+               TraceEvaluator evaluator)
+    : cfg_(cfg), model_(std::move(model)), evaluator_(std::move(evaluator)) {
+  assert(cfg_.population >= 2 && "population too small");
+  assert(cfg_.islands >= 1 && "need at least one island");
+  assert(cfg_.islands <= cfg_.population && "more islands than members");
+
+  Rng master(cfg_.seed);
+  islands_.resize(static_cast<std::size_t>(cfg_.islands));
+  const int base = cfg_.population / cfg_.islands;
+  const int extra = cfg_.population % cfg_.islands;
+  for (int i = 0; i < cfg_.islands; ++i) {
+    Island& isl = islands_[static_cast<std::size_t>(i)];
+    isl.rng = master.fork(static_cast<std::uint64_t>(i) + 1);
+    const int count = base + (i < extra ? 1 : 0);
+    isl.members.reserve(static_cast<std::size_t>(count));
+    for (int m = 0; m < count; ++m) {
+      Member mem;
+      mem.genome = model_->generate(isl.rng);
+      isl.members.push_back(std::move(mem));
+    }
+  }
+}
+
+void Fuzzer::evaluate_all() {
+  // Gather unevaluated members across all islands and evaluate them as one
+  // parallel batch. Results land by index → deterministic regardless of
+  // thread scheduling (§3.6).
+  std::vector<Member*> todo;
+  for (auto& isl : islands_) {
+    for (auto& m : isl.members) {
+      if (!m.evaluated) todo.push_back(&m);
+    }
+  }
+  const auto work = [&](std::size_t i) {
+    todo[i]->eval = evaluator_.evaluate(todo[i]->genome);
+    todo[i]->evaluated = true;
+  };
+  if (cfg_.parallel && todo.size() > 1) {
+    global_thread_pool().parallel_for(todo.size(), work);
+  } else {
+    for (std::size_t i = 0; i < todo.size(); ++i) work(i);
+  }
+  total_evaluations_ += static_cast<std::int64_t>(todo.size());
+}
+
+void Fuzzer::breed_island(Island& isl) {
+  sort_best_first(isl.members);
+  const std::size_t n = isl.members.size();
+  const std::size_t elites = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(cfg_.elites_per_island, 0)), n);
+
+  std::size_t crossovers = static_cast<std::size_t>(
+      cfg_.crossover_fraction * static_cast<double>(n) + 0.5);
+  crossovers = std::min(crossovers, n - elites);
+  // Link mode has no crossover (§3.2): those slots become mutations.
+  if (n < 2 || !model_->supports_crossover()) crossovers = 0;
+
+  RankSelector select(n);
+  std::vector<Member> next;
+  next.reserve(n);
+
+  // Elites survive unchanged, evaluation included.
+  for (std::size_t i = 0; i < elites; ++i) next.push_back(isl.members[i]);
+
+  for (std::size_t i = 0; i < crossovers; ++i) {
+    const auto [a, b] = select.pick_pair(isl.rng);
+    auto child = model_->crossover(isl.members[a].genome,
+                                   isl.members[b].genome, isl.rng);
+    Member m;
+    m.genome = std::move(*child);
+    next.push_back(std::move(m));
+  }
+
+  while (next.size() < n) {
+    const std::size_t p = select.pick(isl.rng);
+    Member m;
+    if (cfg_.anneal) {
+      // §3.2: smooth the parent between evaluation and mutation, so
+      // variation fades wherever it is not needed to keep the score.
+      m.genome =
+          model_->mutate(trace::anneal(isl.members[p].genome, cfg_.anneal_cfg),
+                         isl.rng);
+    } else {
+      m.genome = model_->mutate(isl.members[p].genome, isl.rng);
+    }
+    next.push_back(std::move(m));
+  }
+
+  isl.members = std::move(next);
+}
+
+void Fuzzer::migrate() {
+  if (islands_.size() < 2) return;
+  const std::size_t n0 = islands_[0].members.size();
+  const std::size_t count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg_.migration_fraction *
+                                  static_cast<double>(n0)));
+  // Ring migration: snapshot each island's top members first so a migrant
+  // cannot hop two islands in one round.
+  std::vector<std::vector<Member>> exports(islands_.size());
+  for (std::size_t i = 0; i < islands_.size(); ++i) {
+    auto& members = islands_[i].members;
+    sort_best_first(members);
+    const std::size_t k = std::min(count, members.size());
+    exports[i].assign(members.begin(),
+                      members.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+  for (std::size_t i = 0; i < islands_.size(); ++i) {
+    const std::size_t dst = (i + 1) % islands_.size();
+    auto& members = islands_[dst].members;
+    // Replace the worst members of the destination (members are sorted).
+    const std::size_t k = std::min(exports[i].size(), members.size());
+    for (std::size_t j = 0; j < k; ++j) {
+      members[members.size() - 1 - j] = exports[i][j];
+    }
+  }
+}
+
+GenStats Fuzzer::collect_stats() {
+  GenStats gs;
+  gs.generation = generation_;
+  std::vector<const Member*> all;
+  double sum = 0.0;
+  for (const auto& isl : islands_) {
+    for (const auto& m : isl.members) {
+      all.push_back(&m);
+      sum += m.eval.score.total();
+      gs.stalled_count += m.eval.stalled ? 1 : 0;
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Member* a, const Member* b) {
+    return better(*a, *b);
+  });
+  gs.best_score = all.front()->eval.score.total();
+  gs.mean_score = sum / static_cast<double>(all.size());
+
+  const std::size_t k = std::min<std::size_t>(kTopK, all.size());
+  double sent = 0.0, goodput = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    sent += static_cast<double>(all[i]->eval.cca_sent);
+    goodput += all[i]->eval.goodput_mbps;
+  }
+  gs.topk_mean_packets_sent = sent / static_cast<double>(k);
+  gs.topk_mean_goodput_mbps = goodput / static_cast<double>(k);
+  gs.evaluations = total_evaluations_;
+
+  if (!best_ever_.evaluated || better(*all.front(), best_ever_)) {
+    best_ever_ = *all.front();
+  }
+  return gs;
+}
+
+GenStats Fuzzer::step() {
+  evaluate_all();
+  const GenStats gs = collect_stats();
+  history_.push_back(gs);
+  ++generation_;
+
+  if (cfg_.migration_interval > 0 &&
+      generation_ % cfg_.migration_interval == 0) {
+    migrate();
+  }
+  for (auto& isl : islands_) breed_island(isl);
+  return gs;
+}
+
+const std::vector<GenStats>& Fuzzer::run() {
+  double best = -1e300;
+  int since_improvement = 0;
+  for (int g = 0; g < cfg_.max_generations; ++g) {
+    const GenStats gs = step();
+    if (gs.best_score > best + 1e-12) {
+      best = gs.best_score;
+      since_improvement = 0;
+    } else if (cfg_.patience > 0 && ++since_improvement >= cfg_.patience) {
+      break;
+    }
+  }
+  // The final breed left fresh members unevaluated; evaluate so best() and
+  // top_members() reflect the final population.
+  evaluate_all();
+  return history_;
+}
+
+std::vector<Member> Fuzzer::top_members(std::size_t k) const {
+  std::vector<Member> all;
+  for (const auto& isl : islands_) {
+    for (const auto& m : isl.members) {
+      if (m.evaluated) all.push_back(m);
+    }
+  }
+  sort_best_first(all);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace ccfuzz::fuzz

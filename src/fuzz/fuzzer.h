@@ -1,0 +1,116 @@
+// The CC-Fuzz genetic-algorithm driver (paper Figure 1, §3.5, §4).
+//
+// A population of traces is split across islands (island-isolation [21] for
+// solution diversity). Each generation, every island: evaluates its members
+// (in parallel, deterministically), ranks them, carries kElite members over
+// unchanged, fills a crossover quota by splicing rank-selected parents, and
+// fills the remainder with rank-selected mutations. Every
+// `migration_interval` generations the top fraction of each island migrates
+// to the next island in a ring, replacing its worst members.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fuzz/evaluator.h"
+#include "fuzz/trace_model.h"
+#include "trace/annealing.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace ccfuzz::fuzz {
+
+/// GA parameters. Paper-scale defaults are population 500, 20 islands,
+/// kElite 1, 30% crossovers, 10% migration every 10 generations (§4).
+struct GaConfig {
+  int population = 500;
+  int islands = 20;
+  int elites_per_island = 1;
+  double crossover_fraction = 0.3;
+  int migration_interval = 10;
+  double migration_fraction = 0.1;
+  int max_generations = 40;
+  /// Stop early when the best score has not improved for this many
+  /// generations; 0 disables early stopping.
+  int patience = 0;
+  /// Optional trace annealing (§3.2) applied to mutation parents.
+  bool anneal = false;
+  trace::AnnealingConfig anneal_cfg{};
+  std::uint64_t seed = 0x5EED5EED5EEDULL;
+  /// Evaluate islands' members in parallel on the global thread pool.
+  bool parallel = true;
+};
+
+/// One population member: a trace and (once evaluated) its fitness.
+struct Member {
+  trace::Trace genome;
+  Evaluation eval;
+  bool evaluated = false;
+};
+
+/// Per-generation statistics (Fig 4d plots a series of these).
+struct GenStats {
+  int generation = 0;
+  double best_score = 0.0;
+  double mean_score = 0.0;
+  /// Mean packets sent by the CCA over the top-k fittest traces — the Fig 4d
+  /// y-axis ("avg of the top 20 traces with the lowest throughput").
+  double topk_mean_packets_sent = 0.0;
+  double topk_mean_goodput_mbps = 0.0;
+  /// Members whose run ended in a stall (no progress in the last second).
+  int stalled_count = 0;
+  std::int64_t evaluations = 0;
+};
+
+/// The GA loop. Construct, then run() or step() generation by generation.
+class Fuzzer {
+ public:
+  /// `model` and `evaluator` are copied/shared; `cfg.population` is split
+  /// evenly across islands (remainder to the first islands).
+  Fuzzer(const GaConfig& cfg, std::shared_ptr<const TraceModel> model,
+         TraceEvaluator evaluator);
+
+  /// Runs one generation (evaluate → select → breed → maybe migrate).
+  /// Returns that generation's stats.
+  GenStats step();
+
+  /// Runs until max_generations or early-stop; returns the full history.
+  const std::vector<GenStats>& run();
+
+  /// Best member ever observed (valid after the first step()).
+  const Member& best() const { return best_ever_; }
+
+  const std::vector<GenStats>& history() const { return history_; }
+  int generation() const { return generation_; }
+  std::int64_t total_evaluations() const { return total_evaluations_; }
+
+  /// Top-k members of the current population, best first (across islands).
+  std::vector<Member> top_members(std::size_t k) const;
+
+  /// For Fig 4d-style sweeps: number used to average the top-k metric.
+  static constexpr std::size_t kTopK = 20;
+
+ private:
+  struct Island {
+    std::vector<Member> members;
+    Rng rng;
+  };
+
+  void evaluate_all();
+  void breed_island(Island& isl);
+  void migrate();
+  GenStats collect_stats();
+
+  GaConfig cfg_;
+  std::shared_ptr<const TraceModel> model_;
+  TraceEvaluator evaluator_;
+  std::vector<Island> islands_;
+  Member best_ever_;
+  std::vector<GenStats> history_;
+  int generation_ = 0;
+  std::int64_t total_evaluations_ = 0;
+};
+
+}  // namespace ccfuzz::fuzz

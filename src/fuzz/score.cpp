@@ -1,0 +1,42 @@
+#include "fuzz/score.h"
+
+#include "util/stats.h"
+
+namespace ccfuzz::fuzz {
+
+double LowUtilizationScore::performance_score(
+    const scenario::RunResult& run) const {
+  const auto windows = run.windowed_throughput_mbps(window_);
+  return -mean_of_lowest_fraction(windows, fraction_);
+}
+
+double HighDelayScore::performance_score(
+    const scenario::RunResult& run) const {
+  const auto delays = run.cca_queue_delays_s();
+  if (delays.empty()) {
+    // No CCA packet ever crossed the bottleneck: treat as the worst-case
+    // delay signal is absent; neutral score.
+    return 0.0;
+  }
+  return percentile(delays, pct_);
+}
+
+double HighLossScore::performance_score(const scenario::RunResult& run) const {
+  const DurationNs active = run.config.duration - run.config.flow_start;
+  if (active <= DurationNs::zero()) return 0.0;
+  return static_cast<double>(run.cca_drops) / active.to_seconds();
+}
+
+double LowGoodputScore::performance_score(
+    const scenario::RunResult& run) const {
+  return -run.goodput_mbps();
+}
+
+double LowSendRateScore::performance_score(
+    const scenario::RunResult& run) const {
+  const DurationNs active = run.config.duration - run.config.flow_start;
+  if (active <= DurationNs::zero()) return 0.0;
+  return -static_cast<double>(run.cca_sent) / active.to_seconds();
+}
+
+}  // namespace ccfuzz::fuzz

@@ -1,0 +1,102 @@
+// Scoring functions (paper §3.4).
+//
+// A trace's fitness has two parts: a performance score quantifying how badly
+// the CCA behaved (higher = worse CCA performance = fitter trace), and a
+// trace score rewarding desirable trace properties that are hard to enforce
+// during generation (e.g. minimal cross-traffic vectors).
+#pragma once
+
+#include <memory>
+
+#include "scenario/runner.h"
+#include "util/time.h"
+
+namespace ccfuzz::fuzz {
+
+/// Fitness breakdown for one evaluated trace.
+struct Score {
+  double performance = 0.0;
+  double trace = 0.0;
+  double total() const { return performance + trace; }
+};
+
+/// Performance-score strategy interface. Implementations must be pure
+/// functions of the run result (thread-safe, no mutable state).
+class ScoreFunction {
+ public:
+  virtual ~ScoreFunction() = default;
+  /// Higher return = worse CCA behaviour = fitter adversarial trace.
+  virtual double performance_score(const scenario::RunResult& run) const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// §3.4: windowed throughput, averaged over the lowest `fraction` of
+/// windows, negated (low utilization ⇒ high score). Using the lowest-20%
+/// windows instead of overall throughput avoids favouring traces that only
+/// hurt the flow early, improving trace diversity.
+class LowUtilizationScore final : public ScoreFunction {
+ public:
+  explicit LowUtilizationScore(DurationNs window = DurationNs::millis(500),
+                               double fraction = 0.2)
+      : window_(window), fraction_(fraction) {}
+
+  double performance_score(const scenario::RunResult& run) const override;
+  const char* name() const override { return "low-utilization"; }
+
+ private:
+  DurationNs window_;
+  double fraction_;
+};
+
+/// §4.3 (Fig 4e): the p-th percentile of CCA queueing delay. A high low
+/// percentile means the queue never drains — a persistent standing queue.
+class HighDelayScore final : public ScoreFunction {
+ public:
+  explicit HighDelayScore(double pct = 10.0) : pct_(pct) {}
+
+  double performance_score(const scenario::RunResult& run) const override;
+  const char* name() const override { return "high-delay"; }
+
+ private:
+  double pct_;
+};
+
+/// Rewards CCA packet loss at the bottleneck (drops per second).
+class HighLossScore final : public ScoreFunction {
+ public:
+  double performance_score(const scenario::RunResult& run) const override;
+  const char* name() const override { return "high-loss"; }
+};
+
+/// Negated total goodput. Simpler than LowUtilizationScore; used by the
+/// Fig 4d progress bench where the paper plots raw packets sent.
+class LowGoodputScore final : public ScoreFunction {
+ public:
+  double performance_score(const scenario::RunResult& run) const override;
+  const char* name() const override { return "low-goodput"; }
+};
+
+/// Negated packets *sent* by the CCA. This is the Fig 4d objective: a flow
+/// that stops transmitting (the §4.1 BBR stall collapses the pacing rate)
+/// scores higher than one that keeps sending into losses, steering the GA
+/// toward send-side stalls rather than brute-force drop floods.
+class LowSendRateScore final : public ScoreFunction {
+ public:
+  double performance_score(const scenario::RunResult& run) const override;
+  const char* name() const override { return "low-send-rate"; }
+};
+
+/// Trace-score weights (traffic mode): negative weight on total injected
+/// packets and on injected packets that were dropped, steering the GA
+/// toward minimal adversarial vectors (§3.3–3.4).
+struct TraceScoreWeights {
+  double per_packet = 0.0;
+  double per_drop = 0.0;
+
+  double trace_score(const scenario::RunResult& run) const {
+    return -per_packet * static_cast<double>(run.cross_sent) -
+           per_drop * static_cast<double>(run.cross_drops);
+  }
+};
+
+}  // namespace ccfuzz::fuzz

@@ -1,0 +1,36 @@
+#include "fuzz/selection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccfuzz::fuzz {
+
+RankSelector::RankSelector(std::size_t n) {
+  assert(n >= 1 && "selector needs at least one entry");
+  cumulative_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / static_cast<double>(i + 1);
+    cumulative_[i] = acc;
+  }
+  for (auto& c : cumulative_) c /= acc;
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t RankSelector::pick(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+std::pair<std::size_t, std::size_t> RankSelector::pick_pair(Rng& rng) const {
+  assert(cumulative_.size() >= 2 && "pair selection needs two entries");
+  const std::size_t a = pick(rng);
+  std::size_t b = pick(rng);
+  // Resample the partner until distinct; rank weights keep this fast.
+  while (b == a) b = pick(rng);
+  return {a, b};
+}
+
+}  // namespace ccfuzz::fuzz

@@ -1,0 +1,33 @@
+// Rank-based selection (paper §3.5): traces are ranked best-first and
+// sampled with probability proportional to 1/rank.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ccfuzz::fuzz {
+
+/// Samples indices [0, n) with P(i) ∝ 1/(i+1). Index 0 is the best-ranked
+/// entry. Build once per generation, sample repeatedly.
+class RankSelector {
+ public:
+  /// `n` must be >= 1.
+  explicit RankSelector(std::size_t n);
+
+  /// Draws one rank index.
+  std::size_t pick(Rng& rng) const;
+
+  /// Draws an unordered pair of distinct indices (for crossover parents).
+  /// Requires n >= 2.
+  std::pair<std::size_t, std::size_t> pick_pair(Rng& rng) const;
+
+  std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized cumulative 1/rank weights
+};
+
+}  // namespace ccfuzz::fuzz

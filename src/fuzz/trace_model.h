@@ -1,0 +1,81 @@
+// Genome operations seen by the GA, independent of trace kind.
+//
+// Link and traffic traces share the representation (sorted timestamps) but
+// differ in generation constraints and evolution operators (§3.2, §3.3);
+// this interface lets the Fuzzer drive either uniformly. Link mode has no
+// crossover — the paper argues two service curves cannot be spliced without
+// violating their invariants — so crossover() may return nullopt and the
+// Fuzzer substitutes mutation.
+#pragma once
+
+#include <optional>
+
+#include "trace/mutation.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace ccfuzz::fuzz {
+
+/// GA genome operations for one trace kind.
+class TraceModel {
+ public:
+  virtual ~TraceModel() = default;
+  virtual trace::Trace generate(Rng& rng) const = 0;
+  virtual trace::Trace mutate(const trace::Trace& t, Rng& rng) const = 0;
+  /// nullopt when the kind does not support crossover (link mode).
+  virtual std::optional<trace::Trace> crossover(const trace::Trace& a,
+                                                const trace::Trace& b,
+                                                Rng& rng) const = 0;
+  /// True when crossover() can produce children for this kind.
+  virtual bool supports_crossover() const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Link service curves (§3.2): fixed packet budget, no crossover.
+class LinkModel final : public TraceModel {
+ public:
+  explicit LinkModel(const trace::LinkTraceModel& model) : model_(model) {}
+
+  trace::Trace generate(Rng& rng) const override { return model_.generate(rng); }
+  trace::Trace mutate(const trace::Trace& t, Rng& rng) const override {
+    return model_.mutate(t, rng);
+  }
+  std::optional<trace::Trace> crossover(const trace::Trace&,
+                                        const trace::Trace&,
+                                        Rng&) const override {
+    return std::nullopt;
+  }
+  bool supports_crossover() const override { return false; }
+  const char* name() const override { return "link"; }
+
+  const trace::LinkTraceModel& params() const { return model_; }
+
+ private:
+  trace::LinkTraceModel model_;
+};
+
+/// Cross-traffic vectors (§3.3): variable packet budget, splice crossover.
+class TrafficModel final : public TraceModel {
+ public:
+  explicit TrafficModel(const trace::TrafficTraceModel& model)
+      : model_(model) {}
+
+  trace::Trace generate(Rng& rng) const override { return model_.generate(rng); }
+  trace::Trace mutate(const trace::Trace& t, Rng& rng) const override {
+    return model_.mutate(t, rng);
+  }
+  std::optional<trace::Trace> crossover(const trace::Trace& a,
+                                        const trace::Trace& b,
+                                        Rng& rng) const override {
+    return model_.crossover(a, b, rng);
+  }
+  bool supports_crossover() const override { return true; }
+  const char* name() const override { return "traffic"; }
+
+  const trace::TrafficTraceModel& params() const { return model_; }
+
+ private:
+  trace::TrafficTraceModel model_;
+};
+
+}  // namespace ccfuzz::fuzz

@@ -1,0 +1,41 @@
+// Fixed-delay, infinite-capacity pipe: models uncongested paths (source →
+// gateway access links, and the ACK return path in the paper's dumbbell).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace ccfuzz::net {
+
+/// Delivers every packet exactly `delay` after send(); preserves ordering
+/// (FIFO tie-break in the event queue keeps equal-time packets ordered).
+class DelayPipe {
+ public:
+  DelayPipe(sim::Simulator& sim, DurationNs delay,
+            std::function<void(Packet&&)> deliver)
+      : sim_(sim), delay_(delay), deliver_(std::move(deliver)) {}
+
+  /// Sends a packet into the pipe at the current simulation time.
+  void send(Packet&& p) {
+    ++in_flight_;
+    sim_.schedule_in(delay_, [this, pkt = std::move(p)]() mutable {
+      --in_flight_;
+      deliver_(std::move(pkt));
+    });
+  }
+
+  DurationNs delay() const { return delay_; }
+  std::int64_t in_flight() const { return in_flight_; }
+
+ private:
+  sim::Simulator& sim_;
+  DurationNs delay_;
+  std::function<void(Packet&&)> deliver_;
+  std::int64_t in_flight_ = 0;
+};
+
+}  // namespace ccfuzz::net

@@ -1,0 +1,71 @@
+#include "net/link.h"
+
+#include <cassert>
+
+namespace ccfuzz::net {
+
+void BottleneckLink::complete_transmission(Packet&& p, TimeNs egress) {
+  ++served_;
+  if (egress_) egress_(p, egress);
+  if (deliver_) {
+    // Move the packet into the delayed delivery event.
+    sim_.schedule_at(egress + prop_delay_,
+                     [this, pkt = std::move(p)]() mutable { deliver_(std::move(pkt)); });
+  }
+}
+
+TraceDrivenLink::TraceDrivenLink(sim::Simulator& sim, DropTailQueue& queue,
+                                 DurationNs prop_delay,
+                                 std::vector<TimeNs> service_times)
+    : BottleneckLink(sim, queue, prop_delay), times_(std::move(service_times)) {
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    assert(times_[i - 1] <= times_[i] && "service trace must be sorted");
+  }
+#endif
+}
+
+void TraceDrivenLink::start() {
+  if (next_ < times_.size()) {
+    sim_.schedule_at(times_[next_], [this] { on_opportunity(); });
+  }
+}
+
+void TraceDrivenLink::on_opportunity() {
+  const TimeNs now = sim_.now();
+  if (auto p = queue_.dequeue()) {
+    complete_transmission(std::move(*p), now);
+  } else {
+    ++wasted_;
+  }
+  ++next_;
+  if (next_ < times_.size()) {
+    sim_.schedule_at(times_[next_], [this] { on_opportunity(); });
+  }
+}
+
+FixedRateLink::FixedRateLink(sim::Simulator& sim, DropTailQueue& queue,
+                             DurationNs prop_delay, DataRate rate)
+    : BottleneckLink(sim, queue, prop_delay), rate_(rate) {
+  queue_.set_nonempty_notifier([this] { maybe_begin_service(); });
+}
+
+void FixedRateLink::start() { maybe_begin_service(); }
+
+void FixedRateLink::maybe_begin_service() {
+  if (busy_ || queue_.empty()) return;
+  auto p = queue_.dequeue();
+  busy_ = true;
+  const DurationNs tx = rate_.transfer_time(p->size_bytes);
+  sim_.schedule_in(tx, [this, pkt = std::move(*p)]() mutable {
+    on_transmit_done(std::move(pkt));
+  });
+}
+
+void FixedRateLink::on_transmit_done(Packet&& p) {
+  complete_transmission(std::move(p), sim_.now());
+  busy_ = false;
+  maybe_begin_service();
+}
+
+}  // namespace ccfuzz::net

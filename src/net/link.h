@@ -1,0 +1,100 @@
+// Bottleneck link models.
+//
+// TraceDrivenLink implements MahiMahi semantics (paper §3.2): a link trace is
+// a sorted sequence of timestamps; each timestamp is an opportunity to
+// transmit exactly one packet from the queue. If the queue is empty the
+// opportunity is wasted. This is the representation the GA mutates in link
+// fuzzing mode.
+//
+// FixedRateLink serializes packets back-to-back at a constant rate; it is the
+// bottleneck used in traffic fuzzing mode (§3.3), where the trace controls
+// cross traffic instead.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace ccfuzz::net {
+
+/// Invoked when a packet finishes propagation and arrives at the sink.
+using DeliveryFn = std::function<void(Packet&&)>;
+/// Invoked at the instant a packet leaves the bottleneck (egress), before
+/// propagation. Used for egress-rate recording.
+using EgressFn = std::function<void(const Packet&, TimeNs)>;
+
+/// Common interface for bottleneck links draining a DropTailQueue.
+class BottleneckLink {
+ public:
+  virtual ~BottleneckLink() = default;
+
+  /// Schedules initial service activity. Call once before running.
+  virtual void start() = 0;
+
+  /// Sink-side delivery callback (after propagation delay).
+  void set_delivery(DeliveryFn fn) { deliver_ = std::move(fn); }
+  /// Egress observation callback (at transmission completion instant).
+  void set_egress_observer(EgressFn fn) { egress_ = std::move(fn); }
+
+  /// Packets transmitted so far.
+  std::int64_t packets_served() const { return served_; }
+
+ protected:
+  BottleneckLink(sim::Simulator& sim, DropTailQueue& queue, DurationNs prop_delay)
+      : sim_(sim), queue_(queue), prop_delay_(prop_delay) {}
+
+  /// Transmits one packet (already dequeued) at time `egress`: notifies the
+  /// egress observer and schedules sink delivery after propagation.
+  void complete_transmission(Packet&& p, TimeNs egress);
+
+  sim::Simulator& sim_;
+  DropTailQueue& queue_;
+  DurationNs prop_delay_;
+  DeliveryFn deliver_;
+  EgressFn egress_;
+  std::int64_t served_ = 0;
+};
+
+/// MahiMahi-style trace-driven link: one service opportunity per timestamp.
+class TraceDrivenLink final : public BottleneckLink {
+ public:
+  /// `service_times` must be sorted ascending. Opportunities before start()
+  /// is called are honoured as long as they are >= the current sim time.
+  TraceDrivenLink(sim::Simulator& sim, DropTailQueue& queue,
+                  DurationNs prop_delay, std::vector<TimeNs> service_times);
+
+  void start() override;
+
+  /// Number of service opportunities that found an empty queue.
+  std::int64_t wasted_opportunities() const { return wasted_; }
+
+ private:
+  void on_opportunity();
+
+  std::vector<TimeNs> times_;
+  std::size_t next_ = 0;
+  std::int64_t wasted_ = 0;
+};
+
+/// Constant-rate store-and-forward link.
+class FixedRateLink final : public BottleneckLink {
+ public:
+  FixedRateLink(sim::Simulator& sim, DropTailQueue& queue,
+                DurationNs prop_delay, DataRate rate);
+
+  void start() override;
+
+ private:
+  void maybe_begin_service();
+  void on_transmit_done(Packet&& p);
+
+  DataRate rate_;
+  bool busy_ = false;
+};
+
+}  // namespace ccfuzz::net

@@ -1,0 +1,85 @@
+// Fixed-size drop-tail FIFO queue — the gateway buffer of the paper's
+// dumbbell (§3.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace ccfuzz::net {
+
+/// Per-flow enqueue/drop counters.
+struct QueueStats {
+  std::array<std::int64_t, kFlowCount> enqueued{};
+  std::array<std::int64_t, kFlowCount> dropped{};
+  std::array<std::int64_t, kFlowCount> dequeued{};
+  std::int64_t total_enqueued() const {
+    std::int64_t s = 0;
+    for (auto v : enqueued) s += v;
+    return s;
+  }
+  std::int64_t total_dropped() const {
+    std::int64_t s = 0;
+    for (auto v : dropped) s += v;
+    return s;
+  }
+};
+
+/// Drop-tail FIFO with a fixed capacity in packets.
+class DropTailQueue {
+ public:
+  /// `capacity` is the maximum number of queued packets (> 0).
+  explicit DropTailQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Attempts to enqueue; returns false (and counts a drop) when full.
+  /// Fires the non-empty notifier on an empty→non-empty transition.
+  bool try_enqueue(Packet p, TimeNs now) {
+    if (q_.size() >= capacity_) {
+      ++stats_.dropped[static_cast<std::size_t>(p.flow)];
+      if (on_drop_) on_drop_(p, now);
+      return false;
+    }
+    p.enqueued_at = now;
+    ++stats_.enqueued[static_cast<std::size_t>(p.flow)];
+    const bool was_empty = q_.empty();
+    q_.push_back(std::move(p));
+    if (was_empty && on_nonempty_) on_nonempty_();
+    return true;
+  }
+
+  /// Removes and returns the head packet, or nullopt when empty.
+  std::optional<Packet> dequeue() {
+    if (q_.empty()) return std::nullopt;
+    Packet p = std::move(q_.front());
+    q_.pop_front();
+    ++stats_.dequeued[static_cast<std::size_t>(p.flow)];
+    return p;
+  }
+
+  std::size_t size() const { return q_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return q_.empty(); }
+  const QueueStats& stats() const { return stats_; }
+
+  /// Called on every empty→non-empty transition (used by rate-based links to
+  /// resume draining).
+  void set_nonempty_notifier(std::function<void()> fn) { on_nonempty_ = std::move(fn); }
+  /// Called for every dropped packet.
+  void set_drop_notifier(std::function<void(const Packet&, TimeNs)> fn) {
+    on_drop_ = std::move(fn);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> q_;
+  QueueStats stats_;
+  std::function<void()> on_nonempty_;
+  std::function<void(const Packet&, TimeNs)> on_drop_;
+};
+
+}  // namespace ccfuzz::net

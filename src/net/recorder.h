@@ -1,0 +1,66 @@
+// Records per-packet events at the bottleneck for post-run analysis.
+//
+// Everything the paper plots (ingress/egress rates, queuing delay, drops —
+// Figures 4a/4b/4e) derives from these records; scoring functions (§3.4)
+// consume them too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace ccfuzz::net {
+
+/// One bottleneck event: a packet arriving at (ingress), departing from
+/// (egress), or being dropped at the gateway queue.
+struct PacketEvent {
+  TimeNs time;
+  FlowId flow;
+  std::int32_t size_bytes;
+};
+
+/// A queuing-delay sample: packet egress time and the delay it experienced
+/// in the gateway queue (egress − enqueue).
+struct DelaySample {
+  TimeNs time;    ///< egress instant
+  FlowId flow;
+  DurationNs queue_delay;
+};
+
+/// Accumulates bottleneck events during a run. Plain data; attach via the
+/// queue/link callbacks (see scenario::Dumbbell).
+class BottleneckRecorder {
+ public:
+  void record_ingress(const Packet& p, TimeNs now) {
+    ingress_.push_back({now, p.flow, p.size_bytes});
+  }
+  void record_drop(const Packet& p, TimeNs now) {
+    drops_.push_back({now, p.flow, p.size_bytes});
+  }
+  void record_egress(const Packet& p, TimeNs now) {
+    egress_.push_back({now, p.flow, p.size_bytes});
+    delays_.push_back({now, p.flow, now - p.enqueued_at});
+  }
+
+  const std::vector<PacketEvent>& ingress() const { return ingress_; }
+  const std::vector<PacketEvent>& egress() const { return egress_; }
+  const std::vector<PacketEvent>& drops() const { return drops_; }
+  const std::vector<DelaySample>& delays() const { return delays_; }
+
+  /// Egress count for one flow.
+  std::int64_t egress_count(FlowId flow) const {
+    std::int64_t n = 0;
+    for (const auto& e : egress_) n += (e.flow == flow) ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<PacketEvent> ingress_;
+  std::vector<PacketEvent> egress_;
+  std::vector<PacketEvent> drops_;
+  std::vector<DelaySample> delays_;
+};
+
+}  // namespace ccfuzz::net

@@ -1,0 +1,77 @@
+// Scenario configuration: the paper's dumbbell (§3.1) and experiment knobs.
+//
+// Defaults follow §4's setup: 12 Mbps bottleneck (average bandwidth in link
+// mode), 20 ms propagation delay, TCP SACK + delayed ACKs enabled, and
+// min-RTO = 1 s (RFC 6298 §2.4; the paper notes Linux uses 200 ms).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/time.h"
+
+namespace ccfuzz::scenario {
+
+/// Which half of the search space the trace controls (paper §3.1).
+enum class FuzzMode {
+  /// Trace = bottleneck service curve; no cross traffic.
+  kLink,
+  /// Trace = cross-traffic injection times; bottleneck rate fixed.
+  kTraffic,
+};
+
+/// Physical path parameters of the dumbbell.
+struct NetworkConfig {
+  /// Bottleneck rate: the fixed rate in traffic mode, and the average rate
+  /// the link trace should honour in link mode. 12 Mbps with 1500 B frames
+  /// serializes one packet per millisecond.
+  DataRate bottleneck_rate = DataRate::mbps(12);
+  /// One-way propagation delay of the bottleneck link.
+  DurationNs bottleneck_delay = DurationNs::millis(20);
+  /// Reverse (ACK) path delay; uncongested in the paper's topology.
+  DurationNs ack_path_delay = DurationNs::millis(20);
+  /// Source → gateway access link delay ("high speed links").
+  DurationNs access_delay = DurationNs::micros(100);
+  /// Gateway drop-tail FIFO capacity in packets (~1.25 BDP by default).
+  std::size_t queue_capacity = 50;
+  std::int32_t packet_bytes = 1500;
+
+  /// Base round-trip time excluding queueing and serialization.
+  DurationNs base_rtt() const {
+    return access_delay + bottleneck_delay + ack_path_delay;
+  }
+  /// Bandwidth-delay product in packets (rounded down).
+  std::int64_t bdp_packets() const {
+    return (bottleneck_rate.bits_per_second() * base_rtt().ns()) /
+           (static_cast<std::int64_t>(packet_bytes) * 8 * 1'000'000'000);
+  }
+};
+
+/// One experiment: a CCA flow over the dumbbell with a link or traffic trace.
+struct ScenarioConfig {
+  FuzzMode mode = FuzzMode::kTraffic;
+  NetworkConfig net{};
+
+  /// Simulated run length; traces live in [0, duration).
+  TimeNs duration = TimeNs::seconds(5);
+  /// When the CCA flow starts (cross traffic may precede it, Fig 4e).
+  TimeNs flow_start = TimeNs::zero();
+  /// Application data volume in segments (default: unbounded source).
+  std::int64_t total_segments = std::numeric_limits<std::int64_t>::max();
+
+  // --- Transport knobs (paper §4 defaults) ---
+  DurationNs min_rto = DurationNs::seconds(1);
+  bool delayed_ack = true;
+  int ack_every = 2;
+  DurationNs delack_timeout = DurationNs::millis(200);
+  std::int64_t initial_cwnd = 10;
+  /// Receive buffer in segments (ns-3's 128 KiB default ≈ 87 × 1500 B).
+  std::int64_t receive_window_segments = 87;
+
+  /// Record the detailed per-event TCP log (timeline figures). Counters are
+  /// always kept; the detailed log costs allocations, so fuzzing leaves it
+  /// off.
+  bool log_tcp_events = false;
+};
+
+}  // namespace ccfuzz::scenario

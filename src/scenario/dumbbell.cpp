@@ -1,0 +1,82 @@
+#include "scenario/dumbbell.h"
+
+#include <utility>
+
+namespace ccfuzz::scenario {
+
+Dumbbell::Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
+                   std::unique_ptr<tcp::CongestionControl> cca,
+                   std::vector<TimeNs> trace_times)
+    : sim_(sim), cfg_(cfg) {
+  queue_ = std::make_unique<net::DropTailQueue>(cfg_.net.queue_capacity);
+  queue_->set_drop_notifier([this](const net::Packet& p, TimeNs now) {
+    recorder_.record_drop(p, now);
+  });
+
+  // Bottleneck link: fuzzed service curve (link mode) or fixed rate.
+  if (cfg_.mode == FuzzMode::kLink) {
+    link_ = std::make_unique<net::TraceDrivenLink>(
+        sim_, *queue_, cfg_.net.bottleneck_delay, std::move(trace_times));
+  } else {
+    link_ = std::make_unique<net::FixedRateLink>(
+        sim_, *queue_, cfg_.net.bottleneck_delay, cfg_.net.bottleneck_rate);
+    cross_ = std::make_unique<net::CrossTrafficInjector>(
+        sim_, *queue_, std::move(trace_times), cfg_.net.packet_bytes);
+  }
+  link_->set_egress_observer([this](const net::Packet& p, TimeNs now) {
+    recorder_.record_egress(p, now);
+  });
+
+  // ACK return path: receiver → sender, uncongested.
+  ack_pipe_ = std::make_unique<net::DelayPipe>(
+      sim_, cfg_.net.ack_path_delay,
+      [this](net::Packet&& p) { sender_->on_ack_packet(p); });
+
+  tcp::TcpReceiver::Config rcfg;
+  rcfg.delayed_ack = cfg_.delayed_ack;
+  rcfg.ack_every = cfg_.ack_every;
+  rcfg.delack_timeout = cfg_.delack_timeout;
+  rcfg.rwnd_segments = cfg_.receive_window_segments;
+  receiver_ = std::make_unique<tcp::TcpReceiver>(
+      sim_, rcfg, [this](net::Packet&& p) { ack_pipe_->send(std::move(p)); });
+
+  // Sink side of the bottleneck: CCA data reaches the receiver; cross
+  // traffic terminates (its job was done in the queue).
+  link_->set_delivery([this](net::Packet&& p) {
+    if (p.flow == net::FlowId::kCcaData) receiver_->on_data_packet(p);
+  });
+
+  // Access link: sender → gateway queue, with ingress recording.
+  access_pipe_ = std::make_unique<net::DelayPipe>(
+      sim_, cfg_.net.access_delay, [this](net::Packet&& p) {
+        recorder_.record_ingress(p, sim_.now());
+        queue_->try_enqueue(std::move(p), sim_.now());
+      });
+
+  tcp::TcpSender::Config scfg;
+  scfg.total_segments = cfg_.total_segments;
+  scfg.mss_bytes = cfg_.net.packet_bytes;
+  scfg.initial_cwnd = cfg_.initial_cwnd;
+  scfg.initial_rwnd_segments = cfg_.receive_window_segments;
+  scfg.rtt.min_rto = cfg_.min_rto;
+  scfg.log_events = cfg_.log_tcp_events;
+  sender_ = std::make_unique<tcp::TcpSender>(
+      sim_, scfg, std::move(cca),
+      [this](net::Packet&& p) { access_pipe_->send(std::move(p)); });
+
+  // Cross traffic bypasses the access pipe (it models aggregate arrivals at
+  // the gateway) but is still recorded as bottleneck ingress.
+  if (cross_) {
+    cross_->set_inject_observer([this](const net::Packet& p, TimeNs now) {
+      recorder_.record_ingress(p, now);
+    });
+  }
+}
+
+void Dumbbell::start() {
+  link_->start();
+  if (cross_) cross_->start();
+  sender_->start(cfg_.flow_start);
+}
+
+}  // namespace ccfuzz::scenario

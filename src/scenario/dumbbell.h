@@ -1,0 +1,74 @@
+// The paper's dumbbell topology (§3.1), assembled from net/ and tcp/ parts:
+//
+//   CCA sender ──access──▶ ┌─────────┐             ┌──────┐
+//                          │ gateway │──bottleneck─▶ sink │──▶ receiver
+//   cross traffic ────────▶│  FIFO   │   (20 ms)   └──────┘      │
+//                          └─────────┘                           │
+//   sender ◀──────────────── ACK path (20 ms) ───────────────────┘
+//
+// In link mode the bottleneck is a TraceDrivenLink fed by the fuzzed service
+// curve; in traffic mode it is a FixedRateLink and the fuzzed trace drives
+// the CrossTrafficInjector.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/cross_traffic.h"
+#include "net/delay_pipe.h"
+#include "net/link.h"
+#include "net/queue.h"
+#include "net/recorder.h"
+#include "sim/simulator.h"
+#include "scenario/config.h"
+#include "tcp/congestion_control.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+
+namespace ccfuzz::scenario {
+
+/// Owns every component of one simulation run and wires their callbacks.
+/// Build it, call start(), then Simulator::run_until(duration).
+class Dumbbell {
+ public:
+  /// `trace_times` is the link service curve (link mode) or the cross-traffic
+  /// injection schedule (traffic mode); must be sorted ascending.
+  Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
+           std::unique_ptr<tcp::CongestionControl> cca,
+           std::vector<TimeNs> trace_times);
+
+  Dumbbell(const Dumbbell&) = delete;
+  Dumbbell& operator=(const Dumbbell&) = delete;
+
+  /// Schedules flow start, link service and cross-traffic injections.
+  void start();
+
+  // ---- Component access (tests & analysis) ----
+  tcp::TcpSender& sender() { return *sender_; }
+  const tcp::TcpSender& sender() const { return *sender_; }
+  tcp::TcpReceiver& receiver() { return *receiver_; }
+  const tcp::TcpReceiver& receiver() const { return *receiver_; }
+  net::DropTailQueue& queue() { return *queue_; }
+  const net::DropTailQueue& queue() const { return *queue_; }
+  const net::BottleneckRecorder& recorder() const { return recorder_; }
+  const net::CrossTrafficInjector* cross_traffic() const {
+    return cross_.get();
+  }
+  const net::BottleneckLink& link() const { return *link_; }
+  const ScenarioConfig& config() const { return cfg_; }
+
+ private:
+  sim::Simulator& sim_;
+  ScenarioConfig cfg_;
+
+  net::BottleneckRecorder recorder_;
+  std::unique_ptr<net::DropTailQueue> queue_;
+  std::unique_ptr<net::BottleneckLink> link_;
+  std::unique_ptr<net::DelayPipe> access_pipe_;  // sender → gateway
+  std::unique_ptr<net::DelayPipe> ack_pipe_;     // receiver → sender
+  std::unique_ptr<net::CrossTrafficInjector> cross_;  // traffic mode only
+  std::unique_ptr<tcp::TcpReceiver> receiver_;
+  std::unique_ptr<tcp::TcpSender> sender_;
+};
+
+}  // namespace ccfuzz::scenario

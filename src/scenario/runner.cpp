@@ -1,0 +1,91 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "scenario/dumbbell.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace ccfuzz::scenario {
+
+double RunResult::goodput_mbps() const {
+  const DurationNs active = config.duration - config.flow_start;
+  if (active <= DurationNs::zero()) return 0.0;
+  const double bits = static_cast<double>(cca_segments_delivered) *
+                      static_cast<double>(config.net.packet_bytes) * 8.0;
+  return bits / active.to_seconds() * 1e-6;
+}
+
+std::vector<double> RunResult::windowed_throughput_mbps(
+    DurationNs window) const {
+  std::vector<double> egress_times;
+  egress_times.reserve(recorder.egress().size());
+  for (const auto& e : recorder.egress()) {
+    if (e.flow == net::FlowId::kCcaData) {
+      egress_times.push_back(e.time.to_seconds());
+    }
+  }
+  const auto rates = windowed_rate(egress_times, config.flow_start.to_seconds(),
+                                   config.duration.to_seconds(),
+                                   window.to_seconds());
+  std::vector<double> mbps(rates.size());
+  const double bits = static_cast<double>(config.net.packet_bytes) * 8.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    mbps[i] = rates[i] * bits * 1e-6;
+  }
+  return mbps;
+}
+
+std::vector<double> RunResult::cca_queue_delays_s() const {
+  std::vector<double> out;
+  out.reserve(recorder.delays().size());
+  for (const auto& d : recorder.delays()) {
+    if (d.flow == net::FlowId::kCcaData) {
+      out.push_back(d.queue_delay.to_seconds());
+    }
+  }
+  return out;
+}
+
+bool RunResult::stalled(DurationNs tail) const {
+  if (cca_sent == 0) return false;  // never started: not "stuck", just idle
+  const TimeNs cutoff = config.duration - tail;
+  for (const auto& e : recorder.egress()) {
+    if (e.flow == net::FlowId::kCcaData && e.time >= cutoff) return false;
+  }
+  return true;
+}
+
+RunResult run_scenario(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
+                       std::vector<TimeNs> trace_times) {
+  sim::Simulator sim;
+  Dumbbell db(sim, cfg, cca(), std::move(trace_times));
+  db.start();
+  sim.run_until(cfg.duration);
+
+  RunResult r;
+  r.config = cfg;
+  r.cca_segments_delivered = db.receiver().segments_received();
+  r.cca_egress_packets = db.recorder().egress_count(net::FlowId::kCcaData);
+  r.cca_sent = db.sender().total_sent();
+  r.cca_retransmissions = db.sender().total_retransmissions();
+  r.rto_count = db.sender().rto_count();
+  r.fast_recovery_count = db.sender().fast_retransmit_entries();
+  r.spurious_retx_count = db.sender().spurious_retx_count();
+  r.final_rto_backoff = db.sender().rto_backoff();
+  r.queue_stats = db.queue().stats();
+  r.cca_drops = r.queue_stats.dropped[static_cast<std::size_t>(
+      net::FlowId::kCcaData)];
+  if (const auto* ct = db.cross_traffic()) {
+    r.cross_sent = ct->packets_sent();
+    r.cross_drops = ct->packets_dropped();
+  }
+  r.final_bw_estimate_pps = db.sender().cca().bw_estimate_pps();
+  r.final_min_rtt_estimate = db.sender().cca().min_rtt_estimate();
+  r.recorder = db.recorder();
+  r.tcp_log = db.sender().log();
+  return r;
+}
+
+}  // namespace ccfuzz::scenario

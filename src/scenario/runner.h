@@ -1,0 +1,73 @@
+// One-call simulation harness: run a CCA over a link/traffic trace and
+// collect everything the scoring functions (§3.4) and figures consume.
+//
+// run_scenario() is a pure function of (config, cca factory, trace): it
+// builds a fresh Simulator and Dumbbell, runs to the configured duration and
+// extracts a RunResult. That purity is what makes the GA's parallel
+// evaluation deterministic (paper §3.6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/queue.h"
+#include "net/recorder.h"
+#include "scenario/config.h"
+#include "tcp/congestion_control.h"
+#include "tcp/event_log.h"
+#include "util/time.h"
+
+namespace ccfuzz::scenario {
+
+/// Everything observable from one simulation run.
+struct RunResult {
+  ScenarioConfig config;
+
+  // --- CCA flow outcome ---
+  std::int64_t cca_segments_delivered = 0;  ///< in-order at the receiver
+  std::int64_t cca_egress_packets = 0;      ///< through the bottleneck
+  std::int64_t cca_sent = 0;                ///< transmissions incl. retx
+  std::int64_t cca_retransmissions = 0;
+  std::int64_t cca_drops = 0;               ///< CCA packets lost at the queue
+  std::int64_t rto_count = 0;
+  std::int64_t fast_recovery_count = 0;
+  std::int64_t spurious_retx_count = 0;
+  int final_rto_backoff = 0;
+
+  // --- Cross traffic outcome (traffic mode) ---
+  std::int64_t cross_sent = 0;
+  std::int64_t cross_drops = 0;
+
+  // --- Bottleneck observations ---
+  net::QueueStats queue_stats;
+  net::BottleneckRecorder recorder;
+
+  // --- Final CCA model state (BBR introspection; 0/-1 for others) ---
+  double final_bw_estimate_pps = 0.0;
+  DurationNs final_min_rtt_estimate = DurationNs(-1);
+
+  // --- Detailed TCP event log (when ScenarioConfig::log_tcp_events) ---
+  tcp::TcpEventLog tcp_log;
+
+  /// Average CCA goodput over [flow_start, duration) in Mbps, from in-order
+  /// delivered segments.
+  double goodput_mbps() const;
+
+  /// CCA egress throughput per window (Mbps) over [flow_start, duration).
+  std::vector<double> windowed_throughput_mbps(DurationNs window) const;
+
+  /// Queueing-delay samples (seconds) experienced by CCA packets, in egress
+  /// order.
+  std::vector<double> cca_queue_delays_s() const;
+
+  /// True when the CCA made no bottleneck progress over the trailing
+  /// `tail` of the run despite having started — the paper's "stuck" signal.
+  bool stalled(DurationNs tail) const;
+};
+
+/// Runs one simulation. `trace_times` is the link service curve (link mode)
+/// or cross-traffic schedule (traffic mode), sorted ascending.
+RunResult run_scenario(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
+                       std::vector<TimeNs> trace_times);
+
+}  // namespace ccfuzz::scenario

@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccfuzz::sim {
+
+EventId EventQueue::schedule(TimeNs at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  cancelled_.insert(id);
+}
+
+void EventQueue::prune() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+TimeNs EventQueue::next_time() {
+  prune();
+  return heap_.empty() ? TimeNs::infinite() : heap_.front().at;
+}
+
+TimeNs EventQueue::run_next() {
+  prune();
+  assert(!heap_.empty() && "run_next on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  e.fn();
+  return e.at;
+}
+
+}  // namespace ccfuzz::sim

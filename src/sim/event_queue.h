@@ -1,0 +1,68 @@
+// Discrete-event core: a priority queue of timestamped callbacks.
+//
+// Determinism contract: events at equal timestamps fire in insertion order
+// (FIFO tie-break via a monotone sequence number). This makes every
+// simulation bit-reproducible, which the GA depends on for convergence
+// (paper §3.6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ccfuzz::sim {
+
+/// Opaque handle used to cancel a scheduled event. 0 is never a valid id.
+using EventId = std::uint64_t;
+
+/// Min-heap of (time, seq) → callback with O(log n) push/pop and lazy
+/// cancellation (cancelled entries are skipped when they surface).
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`; returns a cancellation handle.
+  EventId schedule(TimeNs at, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op.
+  void cancel(EventId id);
+
+  /// True if no live events remain.
+  bool empty() { prune(); return heap_.empty(); }
+
+  /// Number of live (non-cancelled, not-yet-fired) events.
+  std::size_t size() const { return heap_.size() - cancelled_.size(); }
+
+  /// Timestamp of the earliest live event; TimeNs::infinite() if none.
+  TimeNs next_time();
+
+  /// Pops and runs the earliest live event; returns its timestamp.
+  /// Requires !empty().
+  TimeNs run_next();
+
+ private:
+  struct Entry {
+    TimeNs at;
+    std::uint64_t seq = 0;
+    EventId id = 0;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Discards cancelled entries sitting at the heap top.
+  void prune();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace ccfuzz::sim

@@ -1,0 +1,94 @@
+// The Simulator owns the virtual clock and event queue and drives a single
+// deterministic run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+namespace ccfuzz::sim {
+
+/// A single-threaded discrete-event simulation. Components hold a reference
+/// and schedule callbacks; run_until() advances the virtual clock.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  TimeNs now() const { return now_; }
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  EventId schedule_in(DurationNs delay, std::function<void()> fn) {
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute time. Times in the past fire "now" but
+  /// never move the clock backwards.
+  EventId schedule_at(TimeNs at, std::function<void()> fn) {
+    if (at < now_) at = now_;
+    return queue_.schedule(at, std::move(fn));
+  }
+
+  /// Cancels a pending event (no-op if already fired).
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue is exhausted or the clock would pass
+  /// `deadline`; the clock is left at min(deadline, last event time).
+  /// Returns the number of events executed.
+  std::uint64_t run_until(TimeNs deadline);
+
+  /// Runs until the queue drains completely.
+  std::uint64_t run_all() { return run_until(TimeNs::infinite()); }
+
+  /// Total events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  TimeNs now_ = TimeNs::zero();
+  std::uint64_t executed_ = 0;
+};
+
+/// A restartable one-shot timer bound to a Simulator. Re-arming cancels any
+/// pending expiry. Used for RTO, delayed-ACK, pacing release, etc.
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_(sim), on_fire_(std::move(on_fire)) {}
+
+  /// (Re)arms the timer to fire `delay` from now.
+  void arm(DurationNs delay) {
+    cancel();
+    expiry_ = sim_.now() + delay;
+    id_ = sim_.schedule_in(delay, [this] {
+      id_ = 0;
+      on_fire_();
+    });
+  }
+
+  /// Stops the timer if pending.
+  void cancel() {
+    if (id_ != 0) {
+      sim_.cancel(id_);
+      id_ = 0;
+    }
+  }
+
+  /// True if armed and not yet fired.
+  bool pending() const { return id_ != 0; }
+
+  /// Absolute expiry time of the last arm() (valid only while pending).
+  TimeNs expiry() const { return expiry_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> on_fire_;
+  EventId id_ = 0;
+  TimeNs expiry_ = TimeNs::zero();
+};
+
+}  // namespace ccfuzz::sim

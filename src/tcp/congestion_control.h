@@ -1,0 +1,89 @@
+// Congestion control plugin interface, modeled on Linux tcp_congestion_ops.
+//
+// A CCA observes ACK events (with delivery-rate samples) and congestion
+// events, and exposes a congestion window plus an optional pacing rate.
+// Implementations live in src/cca/ (Reno, CUBIC, BBR); the sender drives
+// them identically, so a user-defined CCA can be fuzzed by implementing this
+// interface (see examples/custom_cca.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "tcp/types.h"
+#include "util/time.h"
+
+namespace ccfuzz::tcp {
+
+class TcpEventLog;
+
+/// Congestion events delivered to the CCA (subset of Linux CA events).
+enum class CongestionEvent {
+  kEnterRecovery,  ///< fast retransmit: entering loss recovery
+  kExitRecovery,   ///< recovery point cumulatively acknowledged
+  kRto,            ///< retransmission timeout fired (CA_Loss)
+  kExitLoss,       ///< RTO recovery completed
+};
+
+/// Abstract congestion control algorithm.
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// Called once before the first transmission. `st` remains valid for the
+  /// sender's lifetime and is updated in place before every callback.
+  virtual void init(const SenderState& st) { (void)st; }
+
+  /// Main per-ACK hook, invoked after SACK/loss processing and rate-sample
+  /// generation (mirrors Linux cong_control / cong_avoid + in_ack_event).
+  virtual void on_ack(const SenderState& st, const AckEvent& ev,
+                      const RateSample& rs) = 0;
+
+  /// Congestion state transitions (fast retransmit, RTO, recovery exits).
+  virtual void on_congestion_event(const SenderState& st, CongestionEvent ev) {
+    (void)st;
+    (void)ev;
+  }
+
+  /// Called after every data transmission (new or retransmit). BBR uses
+  /// this only indirectly; provided for algorithms that track sends.
+  virtual void on_sent(const SenderState& st, SeqNr seq, bool is_retransmit) {
+    (void)st;
+    (void)seq;
+    (void)is_retransmit;
+  }
+
+  /// Current congestion window in segments (>= 1).
+  virtual std::int64_t cwnd_segments() const = 0;
+
+  /// Pacing rate; DataRate::zero() means "not paced" (pure ACK clocking,
+  /// used by Reno/CUBIC). BBR always paces.
+  virtual DataRate pacing_rate() const { return DataRate::zero(); }
+
+  /// Slow-start threshold in segments, for introspection; int64 max when
+  /// unused (BBR).
+  virtual std::int64_t ssthresh_segments() const {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+
+  /// Algorithm name for logs and reports.
+  virtual const char* name() const = 0;
+
+  // ---- Introspection hooks for tests / analysis (optional) ----
+
+  /// Bottleneck bandwidth estimate in segments/sec (0 if not modeled).
+  virtual double bw_estimate_pps() const { return 0.0; }
+  /// Min-RTT estimate used by the model; -1 if not modeled.
+  virtual DurationNs min_rtt_estimate() const { return DurationNs(-1); }
+  /// The sender offers its event log so model-internal transitions (BBR
+  /// probe rounds, bandwidth samples) can appear on analysis timelines.
+  virtual void attach_event_log(TcpEventLog* log) { (void)log; }
+};
+
+/// Factory signature used by scenarios and the fuzzer: each simulation gets
+/// a fresh CCA instance.
+using CcaFactory = std::function<std::unique_ptr<CongestionControl>()>;
+
+}  // namespace ccfuzz::tcp

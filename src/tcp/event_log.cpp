@@ -1,0 +1,42 @@
+#include "tcp/event_log.h"
+
+#include <cstdio>
+
+namespace ccfuzz::tcp {
+
+const char* to_string(TcpEventType t) {
+  switch (t) {
+    case TcpEventType::kSend: return "SEND";
+    case TcpEventType::kRetransmit: return "RETX";
+    case TcpEventType::kSpuriousRetx: return "SPURIOUS_RETX";
+    case TcpEventType::kAck: return "ACK";
+    case TcpEventType::kDupAck: return "DUPACK";
+    case TcpEventType::kSack: return "SACK";
+    case TcpEventType::kMarkLost: return "MARK_LOST";
+    case TcpEventType::kEnterRecovery: return "ENTER_RECOVERY";
+    case TcpEventType::kExitRecovery: return "EXIT_RECOVERY";
+    case TcpEventType::kRto: return "RTO";
+    case TcpEventType::kExitLoss: return "EXIT_LOSS";
+    case TcpEventType::kProbeRoundEnd: return "PROBE_ROUND_END";
+    case TcpEventType::kBwSample: return "BW_SAMPLE";
+    case TcpEventType::kBwFilterDrop: return "BW_FILTER_DROP";
+    case TcpEventType::kProbeRttEnter: return "PROBE_RTT_ENTER";
+    case TcpEventType::kProbeRttExit: return "PROBE_RTT_EXIT";
+  }
+  return "UNKNOWN";
+}
+
+std::string TcpEvent::to_string() const {
+  char buf[128];
+  if (seq >= 0) {
+    std::snprintf(buf, sizeof(buf), "%10.6fs %-16s seq=%lld val=%.3f",
+                  time.to_seconds(), ccfuzz::tcp::to_string(type),
+                  static_cast<long long>(seq), value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%10.6fs %-16s val=%.3f",
+                  time.to_seconds(), ccfuzz::tcp::to_string(type), value);
+  }
+  return buf;
+}
+
+}  // namespace ccfuzz::tcp

@@ -1,0 +1,82 @@
+// Structured TCP event log.
+//
+// Fig 4c of the paper is a timeline of the sender-side events that trigger
+// the BBR stall (RTO → spurious retransmissions → late SACKs → premature
+// probe-round ends → bandwidth-filter collapse). The sender emits typed
+// events here; analysis/timeline.cc renders them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tcp/types.h"
+#include "util/time.h"
+
+namespace ccfuzz::tcp {
+
+/// Event kinds recorded by the sender (and BBR, via the sender).
+enum class TcpEventType : std::uint8_t {
+  kSend,            ///< first transmission of a segment
+  kRetransmit,      ///< retransmission (fast retransmit or RTO-driven)
+  kSpuriousRetx,    ///< retransmission of a segment later found delivered
+  kAck,             ///< cumulative ACK advanced
+  kDupAck,          ///< duplicate ACK (possibly carrying SACK)
+  kSack,            ///< segment newly SACKed
+  kMarkLost,        ///< segment marked lost by SACK scoreboard
+  kEnterRecovery,   ///< fast-recovery entered
+  kExitRecovery,
+  kRto,             ///< retransmission timeout fired
+  kExitLoss,
+  kProbeRoundEnd,   ///< BBR: probe round ended (rs.prior_delivered clocking)
+  kBwSample,        ///< BBR: bandwidth sample accepted into the max-filter
+  kBwFilterDrop,    ///< BBR: filter output decreased (good samples aged out)
+  kProbeRttEnter,   ///< BBR: entered ProbeRTT
+  kProbeRttExit,
+};
+
+/// Human-readable name for an event type.
+const char* to_string(TcpEventType t);
+
+/// One timeline entry. `seq`/`value` meaning depends on the type (segment
+/// seq for send/sack events; rate in pps for bw events; etc.).
+struct TcpEvent {
+  TimeNs time;
+  TcpEventType type;
+  SeqNr seq = -1;
+  double value = 0.0;
+  std::string to_string() const;
+};
+
+/// Append-only event log. Disabled by default in fuzzing runs (allocation
+/// free when disabled) and enabled for analysis / figure generation.
+class TcpEventLog {
+ public:
+  explicit TcpEventLog(bool enabled = false) : enabled_(enabled) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void emit(TimeNs t, TcpEventType type, SeqNr seq = -1, double value = 0.0) {
+    if (!enabled_) {
+      counts_[static_cast<std::size_t>(type)]++;
+      return;
+    }
+    counts_[static_cast<std::size_t>(type)]++;
+    events_.push_back({t, type, seq, value});
+  }
+
+  const std::vector<TcpEvent>& events() const { return events_; }
+
+  /// Total occurrences of `type` (counted even when detailed logging is off).
+  std::int64_t count(TcpEventType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+
+ private:
+  bool enabled_;
+  std::vector<TcpEvent> events_;
+  std::int64_t counts_[16]{};
+};
+
+}  // namespace ccfuzz::tcp

@@ -1,0 +1,143 @@
+#include "tcp/receiver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccfuzz::tcp {
+
+TcpReceiver::TcpReceiver(sim::Simulator& sim, const Config& cfg,
+                         std::function<void(net::Packet&&)> send_ack)
+    : sim_(sim),
+      cfg_(cfg),
+      send_ack_(std::move(send_ack)),
+      delack_timer_(sim, [this] { on_delack_timer(); }) {}
+
+void TcpReceiver::on_data_packet(const net::Packet& p) {
+  const SeqNr seq = p.tcp.seq;
+  assert(seq >= 0 && "data packet without sequence number");
+
+  if (seq < rcv_nxt_) {
+    // Old/duplicate segment (e.g. a spurious retransmission arriving after
+    // the original). RFC 5681: ACK immediately so the sender can resync.
+    ++duplicates_;
+    send_ack_now(p.tcp.tx_id);
+    return;
+  }
+
+  if (seq == rcv_nxt_) {
+    // RFC 5681: an immediate ACK when the segment fills all or part of a
+    // gap. This covers the post-RTO head retransmission whose cumulative
+    // ACK must not sit behind the delack timer.
+    const bool filled_gap = !ooo_.empty();
+    ++rcv_nxt_;
+    ++segments_received_;
+    absorb_in_order();
+    if (filled_gap) {
+      pending_ack_segments_ = 0;
+      send_ack_now(p.tcp.tx_id);
+      return;
+    }
+    ++pending_ack_segments_;
+    if (!cfg_.delayed_ack || pending_ack_segments_ >= cfg_.ack_every) {
+      pending_ack_segments_ = 0;
+      send_ack_now(p.tcp.tx_id);
+    } else if (!delack_timer_.pending()) {
+      delack_timer_.arm(cfg_.delack_timeout);
+    }
+    return;
+  }
+
+  // Out of order: duplicate delivery of a buffered seq also lands here.
+  const bool already_buffered = [&] {
+    auto it = ooo_.upper_bound(seq);
+    if (it != ooo_.begin()) {
+      --it;
+      if (seq >= it->first && seq < it->second) return true;
+    }
+    return false;
+  }();
+  if (already_buffered) {
+    ++duplicates_;
+  } else {
+    add_out_of_order(seq);
+  }
+  pending_ack_segments_ = 0;
+  send_ack_now(p.tcp.tx_id);
+}
+
+void TcpReceiver::absorb_in_order() {
+  for (auto it = ooo_.begin(); it != ooo_.end() && it->first <= rcv_nxt_;) {
+    if (it->second > rcv_nxt_) {
+      segments_received_ += it->second - rcv_nxt_;
+      rcv_nxt_ = it->second;
+    }
+    const SeqNr start = it->first;
+    it = ooo_.erase(it);
+    std::erase(recent_blocks_, start);
+  }
+}
+
+void TcpReceiver::add_out_of_order(SeqNr seq) {
+  // Insert [seq, seq+1), merging with neighbours.
+  SeqNr start = seq;
+  SeqNr end = seq + 1;
+  auto it = ooo_.upper_bound(seq);
+  // Merge with predecessor block ending at seq.
+  if (it != ooo_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second == seq) {
+      start = prev->first;
+      std::erase(recent_blocks_, prev->first);
+      ooo_.erase(prev);
+    }
+  }
+  // Merge with successor block starting at seq+1.
+  it = ooo_.find(end);
+  if (it != ooo_.end()) {
+    end = it->second;
+    std::erase(recent_blocks_, it->first);
+    ooo_.erase(it);
+  }
+  ooo_[start] = end;
+  // Most recently changed block goes first (RFC 2018 §4).
+  std::erase(recent_blocks_, start);
+  recent_blocks_.push_front(start);
+}
+
+void TcpReceiver::fill_sacks(net::TcpHeader& h) const {
+  h.n_sacks = 0;
+  for (const SeqNr start : recent_blocks_) {
+    if (h.n_sacks >= cfg_.max_sack_blocks) break;
+    auto it = ooo_.find(start);
+    if (it == ooo_.end()) continue;
+    h.sacks[h.n_sacks++] = net::SackBlock{it->first, it->second};
+  }
+}
+
+std::int64_t TcpReceiver::buffered_out_of_order() const {
+  std::int64_t n = 0;
+  for (const auto& [start, end] : ooo_) n += end - start;
+  return n;
+}
+
+void TcpReceiver::send_ack_now(std::int64_t acked_tx_id) {
+  delack_timer_.cancel();
+  pending_ack_segments_ = 0;
+  net::Packet ack;
+  ack.id = 0xA000000000000000ULL + next_ack_id_++;
+  ack.flow = net::FlowId::kAck;
+  ack.size_bytes = cfg_.ack_bytes;
+  ack.created_at = sim_.now();
+  ack.tcp.ack = rcv_nxt_;
+  ack.tcp.acked_tx_id = acked_tx_id;
+  ack.tcp.wnd = advertised_window();
+  fill_sacks(ack.tcp);
+  ++acks_sent_;
+  send_ack_(std::move(ack));
+}
+
+void TcpReceiver::on_delack_timer() {
+  if (pending_ack_segments_ > 0) send_ack_now(-1);
+}
+
+}  // namespace ccfuzz::tcp

@@ -1,0 +1,167 @@
+// TCP sender: reliability, SACK scoreboard, loss recovery, RTO with
+// exponential backoff, delivery-rate sampling, and CCA-driven transmission
+// (windowed and/or paced).
+//
+// The implementation mirrors the Linux machinery the paper's findings depend
+// on:
+//  - per-segment delivery snapshots are restamped on *every* transmission
+//    (tcp_rate_skb_sent), so a spurious retransmission corrupts the rate
+//    sample of a late-arriving SACK for the original copy (§4.1 BBR stall);
+//  - tcp_enter_loss marks all non-SACKed outstanding segments lost at RTO
+//    and clears retransmission marks, producing those spurious
+//    retransmissions in the first place;
+//  - FACK-style loss marking (>= dupthresh segments SACKed above) drives
+//    fast retransmit; a lost retransmission is only recovered by RTO, which
+//    is what the low-rate attack (§4.3) and the CUBIC finding (§4.2) exploit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "tcp/congestion_control.h"
+#include "tcp/event_log.h"
+#include "tcp/rtt_estimator.h"
+#include "tcp/types.h"
+#include "util/time.h"
+
+namespace ccfuzz::tcp {
+
+/// Sender endpoint of the CCA flow under test.
+class TcpSender {
+ public:
+  struct Config {
+    /// Application data volume in segments; default: unbounded source.
+    std::int64_t total_segments = std::numeric_limits<std::int64_t>::max();
+    std::int32_t mss_bytes = net::kDefaultPacketBytes;
+    /// Initial congestion window hint passed to the CCA (Linux: 10).
+    std::int64_t initial_cwnd = 10;
+    /// FACK reordering threshold in segments (classic dupack threshold 3).
+    int dupack_threshold = 3;
+    /// Peer receive window assumed before the first ACK arrives; ACKs with
+    /// TcpHeader::wnd >= 0 update it. A persistent hole at the receiver
+    /// closes the window and silences new data — the flow-control half of
+    /// the paper's stall scenarios.
+    std::int64_t initial_rwnd_segments = 87;
+    RttEstimator::Config rtt{};
+    /// Record detailed events (timeline figures); counters are always kept.
+    bool log_events = false;
+  };
+
+  /// `send_data` injects a data packet toward the bottleneck queue.
+  TcpSender(sim::Simulator& sim, const Config& cfg,
+            std::unique_ptr<CongestionControl> cca,
+            std::function<void(net::Packet&&)> send_data);
+
+  /// Schedules connection start (first transmission) at time `at`.
+  void start(TimeNs at);
+
+  /// Handles an arriving ACK (cumulative + SACK blocks).
+  void on_ack_packet(const net::Packet& ack);
+
+  // ---- Introspection ----
+  const SenderState& state() const { return st_; }
+  const RttEstimator& rtt_estimator() const { return rtt_; }
+  CongestionControl& cca() { return *cca_; }
+  const CongestionControl& cca() const { return *cca_; }
+  TcpEventLog& log() { return log_; }
+  const TcpEventLog& log() const { return log_; }
+
+  SeqNr snd_una() const { return snd_una_; }
+  SeqNr snd_nxt() const { return snd_nxt_; }
+  /// Right edge of the peer-advertised window (flow-control limit).
+  SeqNr window_right_edge() const { return wnd_right_; }
+  std::int64_t delivered() const { return st_.delivered; }
+  std::int64_t total_sent() const { return st_.total_sent; }
+  std::int64_t total_retransmissions() const { return st_.total_retx; }
+  std::int64_t rto_count() const { return rto_count_; }
+  std::int64_t fast_retransmit_entries() const { return fast_recovery_count_; }
+  std::int64_t spurious_retx_count() const { return spurious_retx_; }
+  int rto_backoff() const { return backoff_; }
+
+ private:
+  /// Per-segment bookkeeping — the simulated SKB.
+  struct Segment {
+    TimeNs first_sent = TimeNs::zero();
+    TimeNs last_sent = TimeNs::zero();
+    // tcp_rate_skb_sent snapshots, restamped on every transmission.
+    // tx_delivered_mstamp < 0 means "already consumed for a rate sample".
+    TimeNs tx_first_tx_mstamp = TimeNs::zero();
+    TimeNs tx_delivered_mstamp = TimeNs(-1);
+    std::int64_t tx_delivered = 0;  ///< the paper's "prior delivered"
+    std::int64_t last_tx_id = -1;
+    int tx_count = 0;
+    bool sacked = false;
+    bool lost = false;
+    bool retrans_out = false;  ///< retransmission currently in flight
+    bool delivered_flag = false;
+  };
+
+  /// Accumulates the per-ACK rate sample (Linux tcp_rate_skb_delivered).
+  struct RateSampleBuilder {
+    bool has = false;
+    std::int64_t prior_delivered = 0;
+    TimeNs prior_mstamp = TimeNs::zero();
+    DurationNs interval_snd = DurationNs(-1);
+    bool is_retrans = false;
+  };
+
+  Segment& seg(SeqNr s) { return segs_[static_cast<std::size_t>(s - snd_una_)]; }
+  bool has_seg(SeqNr s) const { return s >= snd_una_ && s < snd_nxt_; }
+
+  void refresh_state();
+  void deliver_segment(Segment& sg, TimeNs now, RateSampleBuilder& rsb);
+  void mark_losses_from_fack(std::int64_t* newly_lost);
+  void maybe_enter_recovery(TimeNs now, std::int64_t newly_lost);
+  void maybe_exit_recovery(TimeNs now);
+  RateSample generate_rate_sample(const RateSampleBuilder& rsb,
+                                  std::int64_t acked_sacked,
+                                  std::int64_t losses,
+                                  std::int64_t prior_in_flight,
+                                  DurationNs rtt_sample);
+
+  // Transmission path.
+  bool can_transmit() const;
+  bool has_retransmit_work() const;
+  SeqNr next_retransmit_seq() const;
+  void send_segment(SeqNr s, bool is_retx);
+  void try_send();
+  void pacing_fire();
+  void arm_rto(bool force);
+  void on_rto_timer();
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  std::unique_ptr<CongestionControl> cca_;
+  std::function<void(net::Packet&&)> send_data_;
+  RttEstimator rtt_;
+  TcpEventLog log_;
+  sim::Timer rto_timer_;
+  sim::Timer pacing_timer_;
+
+  SenderState st_{};
+  std::deque<Segment> segs_;  // segments [snd_una_, snd_nxt_)
+  SeqNr snd_una_ = 0;
+  SeqNr snd_nxt_ = 0;
+  SeqNr wnd_right_ = 0;       // flow-control right edge (snd_una + rwnd)
+  SeqNr fack_ = 0;            // highest SACKed seq + 1 (forward ack)
+  SeqNr recovery_point_ = -1; // snd_nxt at recovery entry
+  int backoff_ = 0;           // RTO exponential backoff exponent
+  std::int64_t rto_count_ = 0;
+  std::int64_t fast_recovery_count_ = 0;
+  std::int64_t spurious_retx_ = 0;
+  std::int64_t next_tx_id_ = 0;
+
+  // tcp_rate.c flow-level state. Negative mstamp == "pipeline not started".
+  std::int64_t delivered_ = 0;
+  TimeNs delivered_mstamp_ = TimeNs(-1);
+  TimeNs first_tx_mstamp_ = TimeNs(-1);
+
+  bool started_ = false;
+};
+
+}  // namespace ccfuzz::tcp

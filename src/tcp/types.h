@@ -1,0 +1,93 @@
+// Shared TCP types: rate samples (Linux tcp_rate.c semantics), ACK events,
+// and the sender-state snapshot exposed to congestion control modules.
+//
+// Sequence numbers are segment-granularity: 1 seq == 1 MSS segment. The
+// "delivered" counter counts segments delivered (cumulatively ACKed or
+// SACKed), mirroring Linux's tp->delivered in packets.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace ccfuzz::tcp {
+
+using SeqNr = std::int64_t;
+
+/// Delivery rate sample generated per ACK event, following Linux
+/// tcp_rate.c. BBR's probe-round clocking consumes `prior_delivered`:
+/// a probe round ends when prior_delivered >= next_rtt_delivered. Because
+/// every (re)transmission restamps the per-segment delivered snapshot, a
+/// spurious retransmission followed by the SACK of the original copy yields
+/// a corrupted sample — the mechanism behind the paper's BBR stall (§4.1).
+struct RateSample {
+  /// Segments delivered over the sample interval; -1 when no sample.
+  std::int64_t delivered = -1;
+  /// Sample interval: max(send interval, ack interval); invalid if <= 0.
+  DurationNs interval = DurationNs(-1);
+  /// tp->delivered when the most-recently-delivered segment was last sent.
+  std::int64_t prior_delivered = 0;
+  /// tp->delivered_mstamp at that send.
+  TimeNs prior_time = TimeNs::zero();
+  /// Delivery rate in segments/second; 0 when invalid.
+  double delivery_rate_pps = 0.0;
+  /// Segments newly cumulatively-ACKed or SACKed by this ACK.
+  std::int64_t acked_sacked = 0;
+  /// Segments newly marked lost by this ACK's SACK processing.
+  std::int64_t losses = 0;
+  /// RTT measured from a non-retransmitted segment; -1 if none this ACK.
+  DurationNs rtt = DurationNs(-1);
+  /// True if the sampled segment had been retransmitted.
+  bool is_retrans = false;
+  /// True if the sampled segment was sent while application-limited.
+  bool is_app_limited = false;
+  /// Packets in flight just before this ACK was processed.
+  std::int64_t prior_in_flight = 0;
+  /// True when interval < the observed min RTT. Linux discards such samples
+  /// (tcp_rate_gen sets interval_us = -1); ns-3's port does not, and the
+  /// paper's BBR stall depends on consuming them. The sender keeps the data
+  /// and lets the CCA choose its policy (Bbr::Config::sample_policy).
+  bool below_min_rtt = false;
+
+  /// Linux-strict validity (what tcp_rate_gen would hand to the CCA).
+  bool valid() const {
+    return delivered >= 0 && interval.ns() > 0 && !below_min_rtt;
+  }
+  /// ns-3-loose validity: any sample with timing information.
+  bool valid_loose() const { return delivered >= 0 && interval.ns() > 0; }
+};
+
+/// Summary of one inbound ACK, passed to the CCA alongside the RateSample.
+struct AckEvent {
+  TimeNs now;
+  SeqNr cumulative_ack = 0;       ///< next expected seq after this ACK
+  std::int64_t newly_acked = 0;   ///< segments cumulatively acked by this ACK
+  std::int64_t newly_sacked = 0;  ///< segments newly SACKed by this ACK
+  bool is_duplicate = false;      ///< no cum-ack advance and no new data acked
+};
+
+/// Live sender counters exposed (read-only) to congestion control.
+/// Mirrors the Linux tcp_sock fields CCAs consume.
+struct SenderState {
+  TimeNs now;
+  std::int64_t delivered = 0;     ///< total segments delivered (acked+sacked)
+  std::int64_t packets_out = 0;   ///< snd_nxt - snd_una (outstanding window)
+  std::int64_t sacked_out = 0;    ///< segments SACKed below snd_nxt
+  std::int64_t lost_out = 0;      ///< segments marked lost, not yet re-delivered
+  std::int64_t retrans_out = 0;   ///< retransmitted segments still outstanding
+  std::int64_t total_sent = 0;    ///< all data transmissions incl. retx
+  std::int64_t total_retx = 0;    ///< retransmissions only
+  DurationNs srtt = DurationNs(-1);
+  DurationNs last_rtt = DurationNs(-1);
+  DurationNs min_rtt = DurationNs(-1);  ///< lifetime minimum RTT observed
+  bool in_recovery = false;       ///< fast-recovery (CA_Recovery analogue)
+  bool in_loss = false;           ///< RTO recovery (CA_Loss analogue)
+  std::int32_t mss_bytes = 1500;
+
+  /// Linux tcp_packets_in_flight().
+  std::int64_t in_flight() const {
+    return packets_out - sacked_out - lost_out + retrans_out;
+  }
+};
+
+}  // namespace ccfuzz::tcp

@@ -1,0 +1,49 @@
+#include "trace/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ccfuzz::trace {
+
+Trace anneal(const Trace& t, const AnnealingConfig& cfg) {
+  Trace out = t;
+  const std::size_t n = t.stamps.size();
+  if (n < 3 || cfg.sigma <= 0.0 || cfg.strength <= 0.0) return out;
+
+  // Precompute the one-sided kernel.
+  std::vector<double> w(cfg.radius + 1);
+  for (std::size_t j = 0; j <= cfg.radius; ++j) {
+    const double x = static_cast<double>(j) / cfg.sigma;
+    w[j] = std::exp(-0.5 * x * x);
+  }
+
+  const double alpha = std::clamp(cfg.strength, 0.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    double wsum = 0.0;
+    const std::size_t lo = i >= cfg.radius ? i - cfg.radius : 0;
+    const std::size_t hi = std::min(i + cfg.radius, n - 1);
+    for (std::size_t k = lo; k <= hi; ++k) {
+      const std::size_t d = k > i ? k - i : i - k;
+      acc += w[d] * static_cast<double>(t.stamps[k].ns());
+      wsum += w[d];
+    }
+    const double smoothed = acc / wsum;
+    const double blended =
+        (1.0 - alpha) * static_cast<double>(t.stamps[i].ns()) +
+        alpha * smoothed;
+    out.stamps[i] = TimeNs(static_cast<std::int64_t>(blended + 0.5));
+  }
+
+  // Index-space smoothing of a sorted sequence is order-preserving up to
+  // rounding; enforce the invariant and the window exactly.
+  std::sort(out.stamps.begin(), out.stamps.end());
+  const TimeNs max_stamp(t.duration.ns() - 1);
+  for (auto& s : out.stamps) {
+    s = std::clamp(s, TimeNs::zero(), max_stamp);
+  }
+  return out;
+}
+
+}  // namespace ccfuzz::trace

@@ -1,0 +1,28 @@
+// Trace annealing (paper §3.2, optional): Gaussian smoothing of packet
+// timestamps applied between evaluation and mutation. Over generations this
+// flattens link-rate variation in regions that do not contribute to the bad
+// behaviour, leaving easier-to-read traces.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/trace.h"
+
+namespace ccfuzz::trace {
+
+struct AnnealingConfig {
+  /// Kernel standard deviation in packet-index units.
+  double sigma = 2.0;
+  /// Blend factor: 0 leaves the trace unchanged, 1 fully smooths it. Small
+  /// values anneal gently over many generations.
+  double strength = 0.5;
+  /// Kernel radius in indices (samples beyond 3σ contribute < 1%).
+  std::size_t radius = 6;
+};
+
+/// Returns a smoothed copy of `t`: each timestamp moves toward the Gaussian-
+/// weighted average of its index-neighbours. The result stays sorted and
+/// inside [0, duration), and keeps the same packet count.
+Trace anneal(const Trace& t, const AnnealingConfig& cfg = {});
+
+}  // namespace ccfuzz::trace

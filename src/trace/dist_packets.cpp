@@ -1,0 +1,68 @@
+#include "trace/dist_packets.h"
+
+namespace ccfuzz::trace {
+namespace {
+
+void dist_recurse(std::int64_t num, TimeNs start, TimeNs end, Rng& rng,
+                  const DistPacketsConfig& cfg, std::vector<TimeNs>& out) {
+  if (num == 0) return;
+  const TimeNs mid((start.ns() + end.ns()) / 2);
+  if (num == 1) {
+    out.push_back(mid);
+    return;
+  }
+  if (end.ns() - start.ns() <= 1) {
+    // Degenerate interval: emit the remaining packets as one burst. The
+    // paper's pseudocode never bottoms out explicitly; nanosecond
+    // resolution makes this the natural terminal case.
+    out.insert(out.end(), static_cast<std::size_t>(num), mid);
+    return;
+  }
+
+  const double rate = static_cast<double>(num) /
+                      static_cast<double>(end.ns() - start.ns());
+  const bool constrained =
+      cfg.rate_constraints && (end - start) >= cfg.k_agg;
+
+  TimeNs tsplit = mid;
+  std::int64_t num_left = num / 2;
+  for (int attempt = 0; attempt < cfg.max_attempts; ++attempt) {
+    const TimeNs t(rng.uniform_int(start.ns(), end.ns()));
+    const std::int64_t nl = rng.uniform_int(0, num);
+    if (!constrained) {
+      tsplit = t;
+      num_left = nl;
+      break;
+    }
+    // Guard zero-width sides: an empty side with packets has infinite rate
+    // and always violates the upper bound, so resample.
+    const double lw = static_cast<double>(t.ns() - start.ns());
+    const double rw = static_cast<double>(end.ns() - t.ns());
+    const double lrate = lw > 0 ? static_cast<double>(nl) / lw
+                                : (nl > 0 ? 1e300 : 0.0);
+    const double rrate = rw > 0 ? static_cast<double>(num - nl) / rw
+                                : (num - nl > 0 ? 1e300 : 0.0);
+    if (lrate > cfg.rate_high * rate || rrate > cfg.rate_high * rate) continue;
+    if (lrate < cfg.rate_low * rate || rrate < cfg.rate_low * rate) continue;
+    tsplit = t;
+    num_left = nl;
+    break;
+  }
+  // Falls through with the even split when every attempt was rejected.
+
+  dist_recurse(num_left, start, tsplit, rng, cfg, out);
+  dist_recurse(num - num_left, tsplit, end, rng, cfg, out);
+}
+
+}  // namespace
+
+std::vector<TimeNs> dist_packets(std::int64_t num, TimeNs start, TimeNs end,
+                                 Rng& rng, const DistPacketsConfig& cfg) {
+  std::vector<TimeNs> out;
+  if (num <= 0 || end <= start) return out;
+  out.reserve(static_cast<std::size_t>(num));
+  dist_recurse(num, start, end, rng, cfg, out);
+  return out;  // in-order recursion keeps stamps sorted
+}
+
+}  // namespace ccfuzz::trace

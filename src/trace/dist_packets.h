@@ -1,0 +1,41 @@
+// DistPackets (paper Figure 2): recursive random packet-placement with
+// bounded long-term rate variation.
+//
+// The algorithm splits [start, end) at a uniform point, assigns a uniform
+// share of the packets to each side, and recurses — but resamples any split
+// whose per-side average rate leaves [0.5×, 2×] of the parent rate. Below
+// the aggregation threshold kAgg the bound checks are skipped, allowing
+// arbitrary short-term burstiness (jitter / aggregation). Traffic fuzzing
+// drops the rate constraints entirely (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ccfuzz::trace {
+
+/// Tuning knobs for DistPackets. Defaults are the paper's (§4, Fig 3).
+struct DistPacketsConfig {
+  /// Interval length below which rate-bound checks are relaxed.
+  DurationNs k_agg = DurationNs::millis(50);
+  /// Per-side average rate must stay within [low, high] × parent rate.
+  double rate_low = 0.5;
+  double rate_high = 2.0;
+  /// false: no rate constraints at any scale (traffic fuzzing, Fig 5).
+  bool rate_constraints = true;
+  /// Rejection-sampling guard: after this many failed split attempts the
+  /// packets are split evenly (the paper's pseudocode loops forever; an
+  /// even split preserves its invariants and guarantees termination).
+  int max_attempts = 64;
+};
+
+/// Distributes `num` packet timestamps over [start, end). Deterministic for
+/// a given Rng state. Returned stamps are sorted; duplicates model bursts.
+std::vector<TimeNs> dist_packets(std::int64_t num, TimeNs start, TimeNs end,
+                                 Rng& rng,
+                                 const DistPacketsConfig& cfg = {});
+
+}  // namespace ccfuzz::trace

@@ -1,0 +1,106 @@
+#include "trace/mutation.h"
+
+#include <algorithm>
+
+namespace ccfuzz::trace {
+namespace {
+
+/// Splits `t` at a uniform time, regenerates one side (coin toss) with
+/// `count_for_side(old_count, side_width)` packets, and reassembles.
+template <typename CountFn>
+Trace split_and_redistribute(const Trace& t, Rng& rng,
+                             const DistPacketsConfig& dist, CountFn count_for_side) {
+  Trace out;
+  out.kind = t.kind;
+  out.duration = t.duration;
+  if (t.duration <= TimeNs::zero()) return out;
+
+  const TimeNs split(rng.uniform_int(0, t.duration.ns()));
+  const auto split_it =
+      std::lower_bound(t.stamps.begin(), t.stamps.end(), split);
+  const std::int64_t left_count = split_it - t.stamps.begin();
+  const std::int64_t right_count =
+      static_cast<std::int64_t>(t.stamps.size()) - left_count;
+
+  if (rng.coin()) {
+    // Regenerate the left side, keep the right.
+    const std::int64_t n = count_for_side(left_count, right_count);
+    out.stamps = dist_packets(n, TimeNs::zero(), split, rng, dist);
+    out.stamps.insert(out.stamps.end(), split_it, t.stamps.end());
+  } else {
+    // Keep the left side, regenerate the right.
+    const std::int64_t n = count_for_side(right_count, left_count);
+    out.stamps.assign(t.stamps.begin(), split_it);
+    const auto right = dist_packets(n, split, t.duration, rng, dist);
+    out.stamps.insert(out.stamps.end(), right.begin(), right.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace LinkTraceModel::generate(Rng& rng) const {
+  Trace t;
+  t.kind = TraceKind::kLink;
+  t.duration = duration;
+  t.stamps = dist_packets(total_packets, TimeNs::zero(), duration, rng, dist);
+  return t;
+}
+
+Trace LinkTraceModel::mutate(const Trace& t, Rng& rng) const {
+  // Budget-preserving: the regenerated side keeps its packet count.
+  return split_and_redistribute(
+      t, rng, dist,
+      [](std::int64_t side_count, std::int64_t) { return side_count; });
+}
+
+Trace TrafficTraceModel::generate(Rng& rng) const {
+  Trace t;
+  t.kind = TraceKind::kTraffic;
+  t.duration = duration;
+  const std::int64_t n = initial_packets > 0
+                             ? std::min(initial_packets, max_packets)
+                             : max_packets;
+  t.stamps = dist_packets(n, TimeNs::zero(), duration, rng, dist);
+  return t;
+}
+
+Trace TrafficTraceModel::mutate(const Trace& t, Rng& rng) const {
+  // The regenerated side's count is resampled within the remaining budget
+  // (§3.3: "the number of packets in that portion are changed randomly").
+  const std::int64_t budget = max_packets;
+  return split_and_redistribute(
+      t, rng, dist,
+      [budget, &rng](std::int64_t, std::int64_t other_side) {
+        return rng.uniform_int(0, std::max<std::int64_t>(budget - other_side, 0));
+      });
+}
+
+Trace TrafficTraceModel::crossover(const Trace& a, const Trace& b,
+                                   Rng& rng) const {
+  // Coin-toss which parent contributes the left half.
+  const Trace& left = rng.coin() ? a : b;
+  const Trace& right = (&left == &a) ? b : a;
+
+  const std::int64_t max_split = static_cast<std::int64_t>(
+      std::min(left.stamps.size(), right.stamps.size()));
+  const std::int64_t k = rng.uniform_int(0, max_split);
+
+  Trace out;
+  out.kind = TraceKind::kTraffic;
+  out.duration = a.duration;
+  out.stamps.assign(left.stamps.begin(), left.stamps.begin() + k);
+  out.stamps.insert(out.stamps.end(), right.stamps.begin() + k,
+                    right.stamps.end());
+  // The splice point can interleave: left[k-1] may exceed right[k]. Restore
+  // the sorted invariant (cheap: the sequence is piecewise sorted).
+  std::inplace_merge(out.stamps.begin(), out.stamps.begin() + k,
+                     out.stamps.end());
+  // Respect the budget in case parents came from a larger model.
+  if (static_cast<std::int64_t>(out.stamps.size()) > max_packets) {
+    out.stamps.resize(static_cast<std::size_t>(max_packets));
+  }
+  return out;
+}
+
+}  // namespace ccfuzz::trace

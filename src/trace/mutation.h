@@ -1,0 +1,60 @@
+// Evolution operators for traces (paper §3.2, §3.3).
+//
+// Link traces: mutation picks a random split point and redistributes the
+// packets on one side (coin toss) with DistPackets, preserving the total
+// packet budget and the initial generation's rate-variation envelope. Link
+// traces have no crossover — there is no way to splice two service curves
+// without violating the invariants (§3.2).
+//
+// Traffic traces: mutation additionally resamples the packet count of the
+// regenerated side (bounded by max_packets), and crossover splices the left
+// half of one parent with the right half of the other by packet index.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/dist_packets.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace ccfuzz::trace {
+
+/// Generator + mutation parameters for link traces.
+struct LinkTraceModel {
+  /// Fixed packet budget (pins the average bandwidth).
+  std::int64_t total_packets = 5000;
+  TimeNs duration = TimeNs::seconds(5);
+  DistPacketsConfig dist{};
+
+  /// A fresh initial-generation trace.
+  Trace generate(Rng& rng) const;
+
+  /// Split-and-redistribute mutation; preserves the packet budget.
+  Trace mutate(const Trace& t, Rng& rng) const;
+};
+
+/// Generator + mutation + crossover parameters for traffic traces.
+struct TrafficTraceModel {
+  /// Upper bound on cross-traffic packets; the count below it is variable
+  /// and the trace score (§3.4) pushes it toward minimal vectors.
+  std::int64_t max_packets = 5000;
+  /// Packet count of initial-generation traces (defaults to the maximum
+  /// when <= 0).
+  std::int64_t initial_packets = -1;
+  TimeNs duration = TimeNs::seconds(5);
+  /// Rate constraints are off by default: realistic cross traffic may be
+  /// highly adversarial (§3.1 reason 3).
+  DistPacketsConfig dist{.rate_constraints = false};
+
+  Trace generate(Rng& rng) const;
+
+  /// Split mutation that also resamples the regenerated side's packet
+  /// count within the remaining budget.
+  Trace mutate(const Trace& t, Rng& rng) const;
+
+  /// Left-of-one + right-of-other splice by packet index (§3.3). The child
+  /// inherits its total count from the splice, so counts drift naturally.
+  Trace crossover(const Trace& a, const Trace& b, Rng& rng) const;
+};
+
+}  // namespace ccfuzz::trace

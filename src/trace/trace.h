@@ -1,0 +1,55 @@
+// The GA's genome: a network trace, i.e. a sorted sequence of packet
+// timestamps over a fixed window [0, duration).
+//
+// In link mode a timestamp is one bottleneck service opportunity (MahiMahi
+// semantics, §3.2); in traffic mode it is one cross-traffic packet arriving
+// at the gateway (§3.3). Link traces have a fixed packet budget (pinning the
+// average bandwidth); traffic traces have a variable count up to a maximum,
+// which the trace score pushes down to find minimal adversarial vectors.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ccfuzz::trace {
+
+/// Which half of the search space this trace occupies.
+enum class TraceKind : std::uint8_t { kLink, kTraffic };
+
+/// A sorted packet-timestamp sequence over [0, duration).
+struct Trace {
+  TraceKind kind = TraceKind::kLink;
+  TimeNs duration = TimeNs::zero();
+  std::vector<TimeNs> stamps;
+
+  std::size_t size() const { return stamps.size(); }
+  bool empty() const { return stamps.empty(); }
+
+  /// True when stamps are sorted and inside [0, duration). Duplicates are
+  /// allowed: simultaneous timestamps model back-to-back bursts.
+  bool well_formed() const {
+    if (!std::is_sorted(stamps.begin(), stamps.end())) return false;
+    if (stamps.empty()) return true;
+    return stamps.front() >= TimeNs::zero() && stamps.back() < duration;
+  }
+
+  /// Average rate implied by the stamps for `packet_bytes` frames, in bps.
+  double average_rate_bps(std::int32_t packet_bytes) const {
+    if (duration <= TimeNs::zero()) return 0.0;
+    return static_cast<double>(stamps.size()) *
+           static_cast<double>(packet_bytes) * 8.0 /
+           duration.to_seconds();
+  }
+
+  /// Number of stamps inside [from, to).
+  std::int64_t count_in(TimeNs from, TimeNs to) const {
+    const auto lo = std::lower_bound(stamps.begin(), stamps.end(), from);
+    const auto hi = std::lower_bound(stamps.begin(), stamps.end(), to);
+    return hi - lo;
+  }
+};
+
+}  // namespace ccfuzz::trace

@@ -1,0 +1,77 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ccfuzz::trace {
+
+void write_trace(std::ostream& os, const Trace& t) {
+  os << "# ccfuzz-trace v1\n";
+  os << "# kind " << (t.kind == TraceKind::kLink ? "link" : "traffic") << "\n";
+  os << "# duration_ns " << t.duration.ns() << "\n";
+  for (const TimeNs s : t.stamps) {
+    os << s.ns() << "\n";
+  }
+  if (!os) throw std::runtime_error("trace write failed");
+}
+
+void save_trace(const std::string& path, const Trace& t) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open trace file for write: " + path);
+  write_trace(f, t);
+}
+
+Trace read_trace(std::istream& is) {
+  Trace t;
+  std::string line;
+  bool have_kind = false;
+  bool have_duration = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hs(line.substr(1));
+      std::string key;
+      hs >> key;
+      if (key == "kind") {
+        std::string v;
+        hs >> v;
+        if (v == "link") {
+          t.kind = TraceKind::kLink;
+        } else if (v == "traffic") {
+          t.kind = TraceKind::kTraffic;
+        } else {
+          throw std::runtime_error("trace: unknown kind '" + v + "'");
+        }
+        have_kind = true;
+      } else if (key == "duration_ns") {
+        std::int64_t ns = -1;
+        hs >> ns;
+        if (!hs || ns < 0) throw std::runtime_error("trace: bad duration");
+        t.duration = TimeNs(ns);
+        have_duration = true;
+      }
+      continue;
+    }
+    std::istringstream vs(line);
+    std::int64_t ns = 0;
+    vs >> ns;
+    if (!vs) throw std::runtime_error("trace: bad timestamp line: " + line);
+    t.stamps.emplace_back(ns);
+  }
+  if (!have_kind || !have_duration) {
+    throw std::runtime_error("trace: missing kind/duration header");
+  }
+  if (!t.well_formed()) {
+    throw std::runtime_error("trace: stamps not sorted within [0, duration)");
+  }
+  return t;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(f);
+}
+
+}  // namespace ccfuzz::trace

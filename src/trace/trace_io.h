@@ -1,0 +1,27 @@
+// Plain-text trace serialization, for saving adversarial traces found by
+// the fuzzer and replaying them later (regression tests, figure scripts).
+//
+// Format: '#'-prefixed header lines (kind, duration), then one integer
+// nanosecond timestamp per line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace ccfuzz::trace {
+
+/// Writes `t` to `os`. Throws std::runtime_error on stream failure.
+void write_trace(std::ostream& os, const Trace& t);
+
+/// Writes `t` to `path` (overwrites). Throws std::runtime_error on failure.
+void save_trace(const std::string& path, const Trace& t);
+
+/// Parses a trace from `is`. Throws std::runtime_error on malformed input.
+Trace read_trace(std::istream& is);
+
+/// Loads a trace from `path`. Throws std::runtime_error on failure.
+Trace load_trace(const std::string& path);
+
+}  // namespace ccfuzz::trace

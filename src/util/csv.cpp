@@ -1,0 +1,54 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace ccfuzz {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(std::ostream& out,
+                     std::initializer_list<std::string_view> header)
+    : out_(out) {
+  bool first = true;
+  for (auto h : header) {
+    if (!first) out_ << ',';
+    out_ << h;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  bool first = true;
+  for (double v : values) {
+    if (!first) out_ << ',';
+    out_ << format_double(v);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  bool first = true;
+  for (double v : values) {
+    if (!first) out_ << ',';
+    out_ << format_double(v);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(std::string_view label, std::initializer_list<double> values) {
+  out_ << label;
+  for (double v : values) out_ << ',' << format_double(v);
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace ccfuzz

@@ -1,0 +1,39 @@
+// Minimal CSV emission for bench/figure series.
+//
+// Benches print figure data as CSV to stdout (and optionally to files under
+// an output directory) so the paper's plots can be regenerated with any
+// plotting tool.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccfuzz {
+
+/// Streams rows of a CSV table to an ostream. Values are formatted with
+/// enough precision to round-trip doubles used in figures.
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, std::initializer_list<std::string_view> header);
+
+  /// Writes one row; the number of values should match the header.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<double>& values);
+  /// Mixed row with a leading string label (e.g. series name).
+  void row(std::string_view label, std::initializer_list<double> values);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+};
+
+/// Formats a double compactly (no trailing zeros beyond precision 9).
+std::string format_double(double v);
+
+}  // namespace ccfuzz

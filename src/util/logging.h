@@ -1,0 +1,54 @@
+// Lightweight leveled logging.
+//
+// Simulations are hot loops; logging must be zero-cost when disabled. The
+// level is a process-wide atomic checked before any formatting happens.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace ccfuzz {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+namespace detail {
+inline std::atomic<int>& log_level_storage() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+}  // namespace detail
+
+/// Sets the process-wide log level.
+inline void set_log_level(LogLevel level) {
+  detail::log_level_storage().store(static_cast<int>(level),
+                                    std::memory_order_relaxed);
+}
+
+/// Returns true if messages at `level` are currently emitted.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <=
+         detail::log_level_storage().load(std::memory_order_relaxed);
+}
+
+/// printf-style logging; formatting is skipped entirely when disabled.
+template <typename... Args>
+void log_at(LogLevel level, const char* fmt, Args&&... args) {
+  if (!log_enabled(level)) return;
+  static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  std::fprintf(stderr, "[%s] ", names[static_cast<int>(level)]);
+  if constexpr (sizeof...(Args) == 0) {
+    std::fputs(fmt, stderr);
+  } else {
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+  }
+  std::fputc('\n', stderr);
+}
+
+#define CCFUZZ_LOG_DEBUG(...) ::ccfuzz::log_at(::ccfuzz::LogLevel::kDebug, __VA_ARGS__)
+#define CCFUZZ_LOG_INFO(...) ::ccfuzz::log_at(::ccfuzz::LogLevel::kInfo, __VA_ARGS__)
+#define CCFUZZ_LOG_WARN(...) ::ccfuzz::log_at(::ccfuzz::LogLevel::kWarn, __VA_ARGS__)
+#define CCFUZZ_LOG_ERROR(...) ::ccfuzz::log_at(::ccfuzz::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace ccfuzz

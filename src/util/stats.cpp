@@ -1,0 +1,92 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccfuzz {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double mean_of_lowest_fraction(std::span<const double> xs, double fraction) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  std::size_t k = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(v.size())));
+  k = std::clamp<std::size_t>(k, 1, v.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < k; ++i) s += v[i];
+  return s / static_cast<double>(k);
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+std::vector<double> windowed_rate(std::span<const double> event_times_s,
+                                  double t_start_s, double t_end_s,
+                                  double window_s) {
+  std::vector<double> out;
+  if (t_end_s <= t_start_s || window_s <= 0.0) return out;
+  const std::size_t n_windows = static_cast<std::size_t>(
+      std::ceil((t_end_s - t_start_s) / window_s));
+  out.assign(n_windows, 0.0);
+  for (double t : event_times_s) {
+    if (t < t_start_s || t >= t_end_s) continue;
+    const std::size_t w = static_cast<std::size_t>((t - t_start_s) / window_s);
+    if (w < n_windows) out[w] += 1.0;
+  }
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    // The last window may be partial; normalize by its true width so the
+    // "lowest 20% of windows" score is not biased by truncation.
+    const double lo = t_start_s + static_cast<double>(w) * window_s;
+    const double width = std::min(window_s, t_end_s - lo);
+    out[w] /= width;
+  }
+  return out;
+}
+
+}  // namespace ccfuzz

@@ -1,0 +1,51 @@
+// Small statistics helpers used by scoring functions and analysis.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ccfuzz {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation; 0 for fewer than 2 samples.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies + sorts internally;
+/// 0 for an empty span.
+double percentile(std::span<const double> xs, double p);
+
+/// Mean of the lowest `fraction` of the samples (paper §3.4: "average of the
+/// lowest 20% of the windows"). At least one sample is always included.
+double mean_of_lowest_fraction(std::span<const double> xs, double fraction);
+
+/// Minimum / maximum; 0 for an empty span.
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Running summary accumulator (count / mean / min / max).
+class Summary {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Buckets event timestamps (seconds) into fixed-width windows and returns
+/// per-window rates in events/second over [t_start, t_end).
+std::vector<double> windowed_rate(std::span<const double> event_times_s,
+                                  double t_start_s, double t_end_s,
+                                  double window_s);
+
+}  // namespace ccfuzz

@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace ccfuzz {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 4;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Chunked work-stealing via a shared atomic counter keeps task overhead low
+  // for large populations.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t n_tasks = std::min(n, workers_.size());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    in_flight_ += n_tasks;
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+      tasks_.push([next, n, &fn] {
+        for (;;) {
+          const std::size_t i = next->fetch_add(1);
+          if (i >= n) return;
+          fn(i);
+        }
+      });
+    }
+  }
+  cv_task_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool& global_thread_pool() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("CCFUZZ_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace ccfuzz

@@ -1,0 +1,53 @@
+// Fixed-size thread pool for parallel trace evaluation.
+//
+// Simulations are self-contained and deterministic, so the pool only needs
+// fork/join semantics: parallel_for over an index range. Results are written
+// by index, so output order (and thus GA behaviour) is independent of thread
+// scheduling — the paper's reproducibility argument (§3.6) holds under
+// parallelism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ccfuzz {
+
+/// A minimal fork/join thread pool. Construct once, submit batches.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, n), distributing across workers, and
+  /// blocks until all iterations complete. Exceptions in fn terminate (the
+  /// simulator treats internal errors as fatal bugs).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::queue<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Global pool shared by fuzzing drivers (lazily constructed).
+/// Thread count can be capped via the CCFUZZ_THREADS environment variable.
+ThreadPool& global_thread_pool();
+
+}  // namespace ccfuzz

@@ -1,0 +1,25 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace ccfuzz {
+
+std::string DurationNs::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", to_millis());
+  return buf;
+}
+
+std::string TimeNs::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds());
+  return buf;
+}
+
+std::string DataRate::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fMbps", mbps_f());
+  return buf;
+}
+
+}  // namespace ccfuzz

@@ -1,0 +1,139 @@
+// Strong types for simulated time, durations and data rates.
+//
+// All simulation time is held as signed 64-bit nanoseconds. At 12 Mbps a
+// 1500 B frame serializes in exactly 1 ms, so every constant in the paper is
+// exactly representable. Strong types keep seconds/milliseconds/packets from
+// being mixed up silently.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace ccfuzz {
+
+/// A span of simulated time in nanoseconds. Value type, totally ordered.
+class DurationNs {
+ public:
+  constexpr DurationNs() = default;
+  constexpr explicit DurationNs(std::int64_t ns) : ns_(ns) {}
+
+  /// Factory helpers. All exact (integer nanoseconds).
+  static constexpr DurationNs nanos(std::int64_t v) { return DurationNs(v); }
+  static constexpr DurationNs micros(std::int64_t v) { return DurationNs(v * 1'000); }
+  static constexpr DurationNs millis(std::int64_t v) { return DurationNs(v * 1'000'000); }
+  static constexpr DurationNs seconds(std::int64_t v) { return DurationNs(v * 1'000'000'000); }
+  /// Fractional seconds; rounds to nearest nanosecond.
+  static constexpr DurationNs from_seconds_f(double s) {
+    return DurationNs(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr DurationNs zero() { return DurationNs(0); }
+  static constexpr DurationNs infinite() {
+    return DurationNs(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_infinite() const { return ns_ == infinite().ns(); }
+
+  constexpr auto operator<=>(const DurationNs&) const = default;
+
+  constexpr DurationNs operator+(DurationNs o) const { return DurationNs(ns_ + o.ns_); }
+  constexpr DurationNs operator-(DurationNs o) const { return DurationNs(ns_ - o.ns_); }
+  constexpr DurationNs operator*(std::int64_t k) const { return DurationNs(ns_ * k); }
+  constexpr DurationNs operator/(std::int64_t k) const { return DurationNs(ns_ / k); }
+  constexpr double operator/(DurationNs o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr DurationNs& operator+=(DurationNs o) { ns_ += o.ns_; return *this; }
+  constexpr DurationNs& operator-=(DurationNs o) { ns_ -= o.ns_; return *this; }
+  constexpr DurationNs operator-() const { return DurationNs(-ns_); }
+
+  /// Scales by a double, rounding to the nearest nanosecond.
+  constexpr DurationNs scaled(double k) const {
+    return DurationNs(static_cast<std::int64_t>(static_cast<double>(ns_) * k + 0.5));
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute point on the simulated clock, nanoseconds since sim start.
+class TimeNs {
+ public:
+  constexpr TimeNs() = default;
+  constexpr explicit TimeNs(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr TimeNs zero() { return TimeNs(0); }
+  static constexpr TimeNs infinite() {
+    return TimeNs(std::numeric_limits<std::int64_t>::max());
+  }
+  static constexpr TimeNs millis(std::int64_t v) { return TimeNs(v * 1'000'000); }
+  static constexpr TimeNs seconds(std::int64_t v) { return TimeNs(v * 1'000'000'000); }
+  static constexpr TimeNs from_seconds_f(double s) {
+    return TimeNs(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr bool is_infinite() const { return ns_ == infinite().ns(); }
+
+  constexpr auto operator<=>(const TimeNs&) const = default;
+
+  constexpr TimeNs operator+(DurationNs d) const { return TimeNs(ns_ + d.ns()); }
+  constexpr TimeNs operator-(DurationNs d) const { return TimeNs(ns_ - d.ns()); }
+  constexpr DurationNs operator-(TimeNs o) const { return DurationNs(ns_ - o.ns_); }
+  constexpr TimeNs& operator+=(DurationNs d) { ns_ += d.ns(); return *this; }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// A data rate in bits per second. Converts between packet service intervals
+/// and rates for fixed packet sizes.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  constexpr explicit DataRate(std::int64_t bps) : bps_(bps) {}
+
+  static constexpr DataRate bps(std::int64_t v) { return DataRate(v); }
+  static constexpr DataRate kbps(std::int64_t v) { return DataRate(v * 1'000); }
+  static constexpr DataRate mbps(std::int64_t v) { return DataRate(v * 1'000'000); }
+  static constexpr DataRate zero() { return DataRate(0); }
+
+  constexpr std::int64_t bits_per_second() const { return bps_; }
+  constexpr double mbps_f() const { return static_cast<double>(bps_) * 1e-6; }
+  constexpr bool is_zero() const { return bps_ == 0; }
+
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+  /// Time to serialize `bytes` at this rate. Requires a non-zero rate.
+  constexpr DurationNs transfer_time(std::int64_t bytes) const {
+    return DurationNs((bytes * 8 * 1'000'000'000) / bps_);
+  }
+
+  /// Rate that serializes `bytes` every `interval`.
+  static constexpr DataRate from_bytes_per(std::int64_t bytes, DurationNs interval) {
+    return DataRate(bytes * 8 * 1'000'000'000 / interval.ns());
+  }
+
+  /// Scales the rate by a dimensionless gain (e.g. BBR pacing gain).
+  constexpr DataRate scaled(double k) const {
+    return DataRate(static_cast<std::int64_t>(static_cast<double>(bps_) * k + 0.5));
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t bps_ = 0;
+};
+
+}  // namespace ccfuzz

@@ -1,0 +1,104 @@
+// Kathleen Nichols' windowed min/max estimator, as used by Linux
+// (lib/minmax.c) and by BBR for its 10-round-trip bandwidth max-filter and
+// 10-second min-RTT filter.
+//
+// The filter tracks the best (max or min) sample seen over a sliding window,
+// plus second- and third-best candidates positioned so the estimate degrades
+// gracefully as the best sample ages out.
+#pragma once
+
+#include <cstdint>
+
+namespace ccfuzz {
+
+/// Comparator tags for WindowedFilter.
+struct MaxFilterTag {
+  template <typename V>
+  static bool better(V candidate, V incumbent) { return candidate >= incumbent; }
+};
+struct MinFilterTag {
+  template <typename V>
+  static bool better(V candidate, V incumbent) { return candidate <= incumbent; }
+};
+
+/// Windowed extremum filter over samples tagged with a monotonically
+/// non-decreasing "time" (any integer unit: round count, nanoseconds, ...).
+///
+/// V: sample value type (integer or double). T: time type (integer).
+/// Tag: MaxFilterTag or MinFilterTag.
+template <typename V, typename T, typename Tag>
+class WindowedFilter {
+ public:
+  WindowedFilter() = default;
+  /// `window` is the maximum age (in time units) a best-sample may reach
+  /// before it is discarded.
+  explicit WindowedFilter(T window) : window_(window) {}
+
+  /// Resets the filter so `sample` at `time` is the sole estimate.
+  void reset(V sample, T time) {
+    est_[0] = est_[1] = est_[2] = Entry{sample, time};
+  }
+
+  /// Changes the window length (takes effect on subsequent updates).
+  void set_window(T window) { window_ = window; }
+
+  /// Feeds a new sample; returns the updated windowed estimate.
+  V update(V sample, T time) {
+    if (empty_or_better(sample) || time - est_[2].time > window_) {
+      // New best, or the entire pipeline has expired.
+      reset(sample, time);
+      return get();
+    }
+    if (Tag::better(sample, est_[1].value)) {
+      est_[1] = Entry{sample, time};
+      est_[2] = est_[1];
+    } else if (Tag::better(sample, est_[2].value)) {
+      est_[2] = Entry{sample, time};
+    }
+    // Age out the best estimate.
+    if (time - est_[0].time > window_) {
+      est_[0] = est_[1];
+      est_[1] = est_[2];
+      est_[2] = Entry{sample, time};
+      if (time - est_[0].time > window_) {
+        est_[0] = est_[1];
+        est_[1] = est_[2];
+      }
+    } else if (est_[1].time == est_[0].time && time - est_[1].time > window_ / 4) {
+      // Best is in first quarter of window: push 2nd choice forward.
+      est_[1] = est_[2] = Entry{sample, time};
+    } else if (est_[2].time == est_[1].time && time - est_[2].time > window_ / 2) {
+      est_[2] = Entry{sample, time};
+    }
+    return get();
+  }
+
+  /// Current windowed estimate (value of the best in-window sample).
+  V get() const { return est_[0].value; }
+  /// Time at which the current best sample was recorded.
+  T best_time() const { return est_[0].time; }
+
+ private:
+  struct Entry {
+    V value{};
+    T time{};
+  };
+  bool empty_or_better(V sample) const {
+    return !initialized() || Tag::better(sample, est_[0].value);
+  }
+  bool initialized() const {
+    // reset() always sets all three; default state has all zero times/values.
+    return !(est_[0].time == T{} && est_[0].value == V{} &&
+             est_[2].time == T{} && est_[2].value == V{});
+  }
+
+  T window_{};
+  Entry est_[3]{};
+};
+
+template <typename V, typename T>
+using WindowedMax = WindowedFilter<V, T, MaxFilterTag>;
+template <typename V, typename T>
+using WindowedMin = WindowedFilter<V, T, MinFilterTag>;
+
+}  // namespace ccfuzz

@@ -1,0 +1,90 @@
+// Tests for the Fig 4c timeline renderer.
+#include "analysis/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccfuzz::analysis {
+namespace {
+
+tcp::TcpEventLog sample_log() {
+  tcp::TcpEventLog log(true);
+  log.emit(TimeNs::millis(10), tcp::TcpEventType::kSend, 0);
+  log.emit(TimeNs::millis(20), tcp::TcpEventType::kAck, 1);
+  log.emit(TimeNs::millis(1040), tcp::TcpEventType::kRto, 1, 1.0);
+  log.emit(TimeNs::millis(1040), tcp::TcpEventType::kMarkLost, 2);
+  log.emit(TimeNs::millis(1041), tcp::TcpEventType::kRetransmit, 1);
+  log.emit(TimeNs::millis(1042), tcp::TcpEventType::kSpuriousRetx, 2, 2.0);
+  log.emit(TimeNs::millis(1043), tcp::TcpEventType::kProbeRoundEnd, -1, 12.0);
+  log.emit(TimeNs::millis(1044), tcp::TcpEventType::kBwFilterDrop, -1, 15.0);
+  return log;
+}
+
+TEST(Timeline, AllRowsByDefault) {
+  const auto rows = timeline_rows(sample_log());
+  EXPECT_EQ(rows.size(), 8u);
+}
+
+TEST(Timeline, TimeWindowFilters) {
+  TimelineOptions opt;
+  opt.from = TimeNs::millis(1040);
+  opt.to = TimeNs::millis(1042);
+  const auto rows = timeline_rows(sample_log(), opt);
+  EXPECT_EQ(rows.size(), 3u);  // rto, mark-lost, retransmit
+}
+
+TEST(Timeline, DiagnosticsOnlyDropsSendsAndAcks) {
+  TimelineOptions opt;
+  opt.diagnostics_only = true;
+  const auto rows = timeline_rows(sample_log(), opt);
+  EXPECT_EQ(rows.size(), 6u);
+}
+
+TEST(Timeline, MaxRowsCaps) {
+  TimelineOptions opt;
+  opt.max_rows = 2;
+  EXPECT_EQ(timeline_rows(sample_log(), opt).size(), 2u);
+}
+
+TEST(Timeline, PrintWritesOneRowPerLine) {
+  std::ostringstream os;
+  print_timeline(os, sample_log());
+  int lines = 0;
+  for (char c : os.str()) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 8);
+}
+
+TEST(Timeline, RowsContainEventNames) {
+  const auto rows = timeline_rows(sample_log());
+  bool has_rto = false, has_spurious = false;
+  for (const auto& r : rows) {
+    if (r.find("RTO") != std::string::npos) has_rto = true;
+    if (r.find("SPURIOUS_RETX") != std::string::npos) has_spurious = true;
+  }
+  EXPECT_TRUE(has_rto);
+  EXPECT_TRUE(has_spurious);
+}
+
+TEST(StallDiagnostics, CountsStallChain) {
+  const auto d = stall_diagnostics(sample_log());
+  EXPECT_EQ(d.rtos, 1);
+  EXPECT_EQ(d.spurious_retx, 1);
+  EXPECT_EQ(d.probe_round_ends, 1);
+  EXPECT_EQ(d.bw_filter_drops, 1);
+  EXPECT_EQ(d.marks_lost, 1);
+}
+
+TEST(StallDiagnostics, WorksWithDisabledDetailLog) {
+  // Counters survive even when detailed events are off (fuzzing mode).
+  tcp::TcpEventLog log(false);
+  log.emit(TimeNs::millis(1), tcp::TcpEventType::kRto);
+  log.emit(TimeNs::millis(2), tcp::TcpEventType::kSpuriousRetx);
+  const auto d = stall_diagnostics(log);
+  EXPECT_EQ(d.rtos, 1);
+  EXPECT_EQ(d.spurious_retx, 1);
+  EXPECT_TRUE(log.events().empty());
+}
+
+}  // namespace
+}  // namespace ccfuzz::analysis

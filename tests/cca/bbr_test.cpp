@@ -1,0 +1,369 @@
+// Unit tests for BBR v1: model machinery (round clocking, bandwidth filter,
+// mode machine) and the §4.1 stall ingredients, driven with synthetic
+// samples.
+#include "cca/bbr.h"
+
+#include <gtest/gtest.h>
+
+namespace ccfuzz::cca {
+namespace {
+
+/// Builders for synthetic sender state / rate samples.
+struct Driver {
+  tcp::SenderState st;
+  std::int64_t delivered = 0;
+
+  Driver() {
+    st.now = TimeNs::zero();
+    st.srtt = DurationNs(-1);
+    st.mss_bytes = 1500;
+  }
+
+  /// Feeds one ACK: `n` segments delivered at rate `pps`, sent when
+  /// `prior_delivered` had been delivered, with RTT `rtt`.
+  void ack(Bbr& bbr, std::int64_t n, double pps, std::int64_t prior_delivered,
+           DurationNs rtt = DurationNs::millis(40),
+           DurationNs interval = DurationNs::millis(40),
+           bool below_min_rtt = false, std::int64_t in_flight = 10) {
+    delivered += n;
+    st.delivered = delivered;
+    st.packets_out = in_flight;
+    if (rtt >= DurationNs::zero()) {
+      st.srtt = rtt;
+      if (st.min_rtt < DurationNs::zero() || rtt < st.min_rtt) st.min_rtt = rtt;
+    }
+    tcp::AckEvent ev;
+    ev.now = st.now;
+    ev.newly_acked = n;
+    tcp::RateSample rs;
+    rs.delivered = n;
+    rs.interval = interval;
+    rs.prior_delivered = prior_delivered;
+    rs.delivery_rate_pps = pps;
+    rs.acked_sacked = n;
+    rs.rtt = rtt;
+    rs.below_min_rtt = below_min_rtt;
+    rs.prior_in_flight = in_flight;
+    bbr.on_ack(st, ev, rs);
+  }
+
+  void advance(DurationNs d) { st.now += d; }
+};
+
+TEST(Bbr, InitStartsInStartupWithHighGain) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kStartup);
+  EXPECT_NEAR(bbr.pacing_gain(), 2.885, 1e-9);
+  EXPECT_EQ(bbr.cwnd_segments(), 10);
+  EXPECT_GT(bbr.pacing_rate().bits_per_second(), 0);
+}
+
+TEST(Bbr, BandwidthFilterTracksMaxSample) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  d.ack(bbr, 1, 500.0, 0);
+  EXPECT_DOUBLE_EQ(bbr.bw_estimate_pps(), 500.0);
+  d.advance(DurationNs::millis(40));
+  d.ack(bbr, 1, 300.0, d.delivered);  // lower sample: filter keeps 500
+  EXPECT_DOUBLE_EQ(bbr.bw_estimate_pps(), 500.0);
+  d.advance(DurationNs::millis(40));
+  d.ack(bbr, 1, 900.0, d.delivered);
+  EXPECT_DOUBLE_EQ(bbr.bw_estimate_pps(), 900.0);
+}
+
+TEST(Bbr, RoundAdvancesWhenPriorDeliveredReachesThreshold) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  EXPECT_EQ(bbr.round_count(), 0);
+  d.ack(bbr, 1, 100.0, 0);  // prior_delivered 0 >= next_rtt_delivered 0
+  EXPECT_EQ(bbr.round_count(), 1);
+  // Samples from before the new round threshold do not advance the round.
+  d.ack(bbr, 1, 100.0, 0);
+  EXPECT_EQ(bbr.round_count(), 1);
+  // A sample sent after the threshold does.
+  d.ack(bbr, 1, 100.0, d.delivered - 1);
+  EXPECT_EQ(bbr.round_count(), 2);
+}
+
+TEST(Bbr, StartupExitsToDrainAfterThreeFlatRounds) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  // Growing bandwidth: stays in STARTUP.
+  double bw = 100.0;
+  for (int round = 0; round < 5; ++round) {
+    d.advance(DurationNs::millis(40));
+    d.ack(bbr, 2, bw, d.delivered, DurationNs::millis(40),
+          DurationNs::millis(40), false, 100);
+    bw *= 1.5;
+  }
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kStartup);
+  EXPECT_FALSE(bbr.full_bw_reached());
+  // Plateau: the first flat sample still exceeds the previous baseline by
+  // 25% (the baseline lags one round), then three genuinely flat rounds
+  // trip the detector → DRAIN.
+  for (int round = 0; round < 4; ++round) {
+    d.advance(DurationNs::millis(40));
+    d.ack(bbr, 2, bw, d.delivered, DurationNs::millis(40),
+          DurationNs::millis(40), false, 100);
+  }
+  EXPECT_TRUE(bbr.full_bw_reached());
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kDrain);
+  EXPECT_LT(bbr.pacing_gain(), 1.0);
+}
+
+TEST(Bbr, DrainExitsToProbeBwWhenInflightAtBdp) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  double bw = 100.0;
+  for (int round = 0; round < 9; ++round) {
+    d.advance(DurationNs::millis(40));
+    d.ack(bbr, 2, bw, d.delivered, DurationNs::millis(40),
+          DurationNs::millis(40), false, 100);
+    if (round < 5) bw *= 1.5;
+  }
+  ASSERT_EQ(bbr.mode(), Bbr::Mode::kDrain);
+  // Inflight down to BDP (bw ≈ 759 pps × 40 ms ≈ 31 segments).
+  d.advance(DurationNs::millis(40));
+  d.ack(bbr, 2, bw, d.delivered, DurationNs::millis(40),
+        DurationNs::millis(40), false, 5);
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kProbeBw);
+}
+
+TEST(Bbr, ProbeBwCyclesGains) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  // Reach PROBE_BW.
+  double bw = 100.0;
+  for (int round = 0; round < 10; ++round) {
+    d.advance(DurationNs::millis(40));
+    d.ack(bbr, 2, bw, d.delivered, DurationNs::millis(40),
+          DurationNs::millis(40), false, round < 8 ? 100 : 5);
+    if (round < 5) bw *= 1.5;
+  }
+  ASSERT_EQ(bbr.mode(), Bbr::Mode::kProbeBw);
+  // Over many full-length phases the gain must include probing (1.25) and
+  // draining (0.75) values. The 1.25 phase only advances once inflight
+  // reaches gain×BDP (Linux bbr_is_next_cycle_phase), so feed high inflight
+  // while probing and low inflight otherwise.
+  bool saw_high = false, saw_low = false;
+  for (int i = 0; i < 32; ++i) {
+    d.advance(DurationNs::millis(50));  // > min_rtt → full-length phase
+    const std::int64_t inflight = bbr.pacing_gain() > 1.0 ? 200 : 5;
+    d.ack(bbr, 2, bw, d.delivered, DurationNs::millis(40),
+          DurationNs::millis(40), false, inflight);
+    if (bbr.pacing_gain() > 1.2) saw_high = true;
+    if (bbr.pacing_gain() < 0.8) saw_low = true;
+  }
+  EXPECT_TRUE(saw_high);
+  EXPECT_TRUE(saw_low);
+}
+
+TEST(Bbr, PacingNeverDropsBeforeFullBw) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  d.ack(bbr, 2, 1000.0, 0);
+  const auto high = bbr.pacing_rate();
+  d.advance(DurationNs::millis(40));
+  d.ack(bbr, 1, 10.0, d.delivered);  // low sample pre-full-bw
+  EXPECT_GE(bbr.pacing_rate().bits_per_second(), high.bits_per_second());
+}
+
+TEST(Bbr, MinRttWindowExpiryEntersProbeRtt) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  d.ack(bbr, 1, 100.0, 0);
+  ASSERT_NE(bbr.mode(), Bbr::Mode::kProbeRtt);
+  // Advance past the 10 s min-RTT window without a lower RTT.
+  d.advance(DurationNs::seconds(11));
+  d.ack(bbr, 1, 100.0, d.delivered, DurationNs::millis(50));
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kProbeRtt);
+  EXPECT_EQ(bbr.probe_rtt_entries(), 1);
+  EXPECT_LE(bbr.cwnd_segments(), 4);
+}
+
+TEST(Bbr, ProbeRttExitsAfterDurationAndRound) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  d.ack(bbr, 1, 100.0, 0);
+  d.advance(DurationNs::seconds(11));
+  d.ack(bbr, 1, 100.0, d.delivered, DurationNs::millis(50));
+  ASSERT_EQ(bbr.mode(), Bbr::Mode::kProbeRtt);
+  // Low inflight arms the dwell clock; a round passes; 200 ms elapse.
+  d.ack(bbr, 1, 100.0, d.delivered, DurationNs::millis(50),
+        DurationNs::millis(40), false, 2);
+  d.advance(DurationNs::millis(100));
+  d.ack(bbr, 1, 100.0, d.delivered, DurationNs::millis(50),
+        DurationNs::millis(40), false, 2);
+  d.advance(DurationNs::millis(150));
+  d.ack(bbr, 1, 100.0, d.delivered, DurationNs::millis(50),
+        DurationNs::millis(40), false, 2);
+  EXPECT_NE(bbr.mode(), Bbr::Mode::kProbeRtt);
+}
+
+// --- §4.1 stall ingredients ------------------------------------------------
+
+TEST(Bbr, LoosePolicyConsumesBelowMinRttSamples) {
+  Bbr::Config cfg;
+  cfg.sample_policy = Bbr::SamplePolicy::kNs3Loose;
+  Bbr bbr(cfg);
+  Driver d;
+  bbr.init(d.st);
+  d.ack(bbr, 1, 100.0, 0);
+  const auto rounds = bbr.round_count();
+  d.ack(bbr, 1, 5000.0, d.delivered, DurationNs(-1), DurationNs::millis(1),
+        /*below_min_rtt=*/true);
+  EXPECT_EQ(bbr.round_count(), rounds + 1);  // round advanced
+}
+
+TEST(Bbr, StrictPolicyIgnoresBelowMinRttSamples) {
+  Bbr::Config cfg;
+  cfg.sample_policy = Bbr::SamplePolicy::kLinuxStrict;
+  Bbr bbr(cfg);
+  Driver d;
+  bbr.init(d.st);
+  d.ack(bbr, 1, 100.0, 0);
+  const auto rounds = bbr.round_count();
+  const auto bw = bbr.bw_estimate_pps();
+  d.ack(bbr, 1, 5000.0, d.delivered, DurationNs(-1), DurationNs::millis(1),
+        /*below_min_rtt=*/true);
+  EXPECT_EQ(bbr.round_count(), rounds);       // no round advance
+  EXPECT_DOUBLE_EQ(bbr.bw_estimate_pps(), bw);  // no filter update
+}
+
+TEST(Bbr, FilterCollapsesAfterTenRoundsOfCorruptSamples) {
+  // The stall core: corrupted round clocking churns rounds while only low
+  // samples arrive; after 10 rounds the genuine estimate ages out.
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  d.ack(bbr, 10, 1000.0, 0);  // genuine 12 Mbps-equivalent estimate
+  ASSERT_DOUBLE_EQ(bbr.bw_estimate_pps(), 1000.0);
+  for (int i = 0; i < 12; ++i) {
+    d.advance(DurationNs::millis(1));
+    // Every sample claims prior_delivered == current delivered (restamped
+    // by a spurious retransmission) → ends a round each time.
+    d.ack(bbr, 1, 12.0, d.delivered, DurationNs(-1), DurationNs::millis(200),
+          /*below_min_rtt=*/false);
+  }
+  EXPECT_DOUBLE_EQ(bbr.bw_estimate_pps(), 12.0);
+}
+
+TEST(Bbr, RtoCollapsesCwndAndResetsFullBwBaseline) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  d.ack(bbr, 5, 500.0, 0);
+  d.st.packets_out = 3;
+  d.st.lost_out = 2;  // in_flight = 1
+  bbr.on_congestion_event(d.st, tcp::CongestionEvent::kRto);
+  EXPECT_EQ(bbr.cwnd_segments(), 2);  // in_flight + 1
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kStartup);  // mode unchanged by RTO
+}
+
+TEST(Bbr, ProbeRttOnRtoFixEntersProbeRtt) {
+  Bbr::Config cfg;
+  cfg.probe_rtt_on_rto = true;
+  Bbr bbr(cfg);
+  Driver d;
+  bbr.init(d.st);
+  d.ack(bbr, 5, 500.0, 0);
+  bbr.on_congestion_event(d.st, tcp::CongestionEvent::kRto);
+  EXPECT_EQ(bbr.mode(), Bbr::Mode::kProbeRtt);
+  EXPECT_EQ(std::string(bbr.name()), "bbr-probertt-on-rto");
+}
+
+TEST(Bbr, RecoveryEntryUsesPacketConservation) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  d.ack(bbr, 5, 500.0, 0);  // cwnd grows
+  const auto cwnd_before = bbr.cwnd_segments();
+  bbr.on_congestion_event(d.st, tcp::CongestionEvent::kEnterRecovery);
+  // First ACK in recovery: cwnd = in_flight + acked. The driver's ack()
+  // writes packets_out; sacked_out stays, so in_flight = 8 - 2 = 6.
+  d.st.in_recovery = true;
+  d.st.sacked_out = 2;
+  d.advance(DurationNs::millis(40));
+  d.ack(bbr, 1, 500.0, d.delivered, DurationNs::millis(40),
+        DurationNs::millis(40), false, /*in_flight=*/8);
+  EXPECT_LE(bbr.cwnd_segments(), cwnd_before);
+  EXPECT_EQ(bbr.cwnd_segments(), 6 + 1);
+}
+
+TEST(Bbr, CwndRestoredAfterRecoveryExit) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  for (int i = 0; i < 5; ++i) {
+    d.advance(DurationNs::millis(40));
+    d.ack(bbr, 4, 500.0, d.delivered);
+  }
+  const auto cwnd_before = bbr.cwnd_segments();
+  bbr.on_congestion_event(d.st, tcp::CongestionEvent::kEnterRecovery);
+  d.st.in_recovery = true;
+  d.advance(DurationNs::millis(40));
+  d.ack(bbr, 1, 500.0, d.delivered, DurationNs::millis(40),
+        DurationNs::millis(40), false, 4);
+  ASSERT_LT(bbr.cwnd_segments(), cwnd_before);
+  // Exit recovery: next ACK in open state restores the saved cwnd.
+  d.st.in_recovery = false;
+  d.advance(DurationNs::millis(40));
+  d.ack(bbr, 1, 500.0, d.delivered, DurationNs::millis(40),
+        DurationNs::millis(40), false, 4);
+  EXPECT_GE(bbr.cwnd_segments(), cwnd_before);
+}
+
+TEST(Bbr, AppLimitedSampleBelowEstimateIgnored) {
+  Bbr bbr;
+  Driver d;
+  bbr.init(d.st);
+  d.ack(bbr, 5, 1000.0, 0);
+  tcp::RateSample rs;
+  rs.delivered = 1;
+  rs.interval = DurationNs::millis(40);
+  rs.prior_delivered = d.delivered;
+  rs.delivery_rate_pps = 50.0;
+  rs.is_app_limited = true;
+  rs.acked_sacked = 1;
+  rs.rtt = DurationNs::millis(40);
+  d.st.delivered += 1;
+  tcp::AckEvent ev;
+  ev.newly_acked = 1;
+  bbr.on_ack(d.st, ev, rs);
+  EXPECT_DOUBLE_EQ(bbr.bw_estimate_pps(), 1000.0);
+}
+
+TEST(Bbr, DeterministicAcrossInstancesWithSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    Bbr::Config cfg;
+    cfg.seed = seed;
+    Bbr bbr(cfg);
+    Driver d;
+    bbr.init(d.st);
+    double bw = 100.0;
+    std::vector<int> cycle_trace;
+    for (int i = 0; i < 40; ++i) {
+      d.advance(DurationNs::millis(50));
+      d.ack(bbr, 2, bw, d.delivered, DurationNs::millis(40),
+            DurationNs::millis(40), false, i < 7 ? 100 : 5);
+      if (i < 5) bw *= 1.4;
+      cycle_trace.push_back(bbr.cycle_index());
+    }
+    return cycle_trace;
+  };
+  EXPECT_EQ(run(7), run(7));
+  // Different seeds may pick different PROBE_BW entry phases.
+}
+
+}  // namespace
+}  // namespace ccfuzz::cca

@@ -1,0 +1,152 @@
+// Unit tests for CUBIC, including the ns-3 slow-start bug the paper found
+// (§4.2): unclamped cwnd growth past ssthresh on a large cumulative ACK.
+#include "cca/cubic.h"
+
+#include <gtest/gtest.h>
+
+namespace ccfuzz::cca {
+namespace {
+
+tcp::SenderState state(TimeNs now = TimeNs::zero(),
+                       DurationNs srtt = DurationNs::millis(40)) {
+  tcp::SenderState st;
+  st.now = now;
+  st.srtt = srtt;
+  return st;
+}
+
+tcp::AckEvent acked(std::int64_t n) {
+  tcp::AckEvent ev;
+  ev.newly_acked = n;
+  return ev;
+}
+
+TEST(Cubic, SlowStartGrowth) {
+  Cubic c;
+  c.init(state());
+  c.on_ack(state(), acked(10), {});
+  EXPECT_EQ(c.cwnd_segments(), 20);
+  EXPECT_EQ(std::string(c.name()), "cubic");
+}
+
+TEST(Cubic, MultiplicativeDecreaseUsesBeta) {
+  Cubic c;
+  c.init(state());
+  c.on_ack(state(), acked(90), {});  // cwnd 100
+  ASSERT_EQ(c.cwnd_segments(), 100);
+  c.on_congestion_event(state(), tcp::CongestionEvent::kEnterRecovery);
+  EXPECT_EQ(c.cwnd_segments(), 70);  // beta = 0.7
+  EXPECT_EQ(c.ssthresh_segments(), 70);
+}
+
+TEST(Cubic, RtoResetsToOneSegment) {
+  Cubic c;
+  c.init(state());
+  c.on_ack(state(), acked(40), {});
+  c.on_congestion_event(state(), tcp::CongestionEvent::kRto);
+  EXPECT_EQ(c.cwnd_segments(), 1);
+}
+
+// --- The paper's §4.2 finding -------------------------------------------
+
+TEST(CubicNs3Bug, UnclampedSlowStartBlowsPastSsthresh) {
+  // ns-3 behaviour: a large post-RTO cumulative ACK inflates cwnd by the
+  // full segment count even though ssthresh is tiny.
+  Cubic::Config cfg;
+  cfg.ns3_slow_start_bug = true;
+  Cubic c(cfg);
+  c.init(state());
+  c.on_ack(state(), acked(90), {});  // cwnd 100, still slow start
+  c.on_congestion_event(state(), tcp::CongestionEvent::kEnterRecovery);
+  c.on_congestion_event(state(), tcp::CongestionEvent::kRto);
+  // ssthresh ≈ 0.7 * 70 = 49, cwnd = 1. The RTO-recovery cumulative ACK
+  // covers ~1 RTO of data, say 120 segments.
+  const std::int64_t ssthresh = c.ssthresh_segments();
+  ASSERT_EQ(c.cwnd_segments(), 1);
+  c.on_ack(state(), acked(120), {});
+  // Buggy: cwnd = 1 + 120 = 121, way past ssthresh (the catastrophic burst).
+  EXPECT_EQ(c.cwnd_segments(), 121);
+  EXPECT_GT(c.cwnd_segments(), ssthresh + 50);
+  EXPECT_EQ(std::string(c.name()), "cubic-ns3bug");
+}
+
+TEST(CubicFixed, SlowStartClampedAtSsthresh) {
+  // Linux behaviour on the same sequence: clamp at ssthresh, remainder
+  // through congestion avoidance (bounded growth).
+  Cubic c;  // ns3_slow_start_bug = false
+  c.init(state());
+  c.on_ack(state(), acked(90), {});
+  c.on_congestion_event(state(), tcp::CongestionEvent::kEnterRecovery);
+  c.on_congestion_event(state(), tcp::CongestionEvent::kRto);
+  const std::int64_t ssthresh = c.ssthresh_segments();
+  ASSERT_EQ(c.cwnd_segments(), 1);
+  c.on_ack(state(), acked(120), {});
+  EXPECT_LE(c.cwnd_segments(), ssthresh + 40);  // CA growth is gentle
+}
+
+TEST(CubicFixed, BugAndFixDivergeOnExactSameInput) {
+  Cubic::Config buggy_cfg;
+  buggy_cfg.ns3_slow_start_bug = true;
+  Cubic buggy(buggy_cfg);
+  Cubic fixed;
+  for (Cubic* c : {&buggy, &fixed}) {
+    c->init(state());
+    c->on_ack(state(), acked(90), {});
+    c->on_congestion_event(state(), tcp::CongestionEvent::kEnterRecovery);
+    c->on_congestion_event(state(), tcp::CongestionEvent::kRto);
+    c->on_ack(state(), acked(200), {});
+  }
+  EXPECT_GT(buggy.cwnd_segments(), 2 * fixed.cwnd_segments());
+}
+
+// --- Cubic window function behaviour -------------------------------------
+
+TEST(Cubic, ConcaveRegionApproachesWmax) {
+  Cubic c;
+  c.init(state());
+  c.on_ack(state(), acked(90), {});  // cwnd 100
+  c.on_congestion_event(state(), tcp::CongestionEvent::kEnterRecovery);
+  // cwnd 70, w_max 100 (no fast convergence on first loss since cwnd<w_max
+  // is false). Grow through CA for a while; cwnd should increase but stay
+  // in the vicinity of w_max rather than exploding.
+  TimeNs t = TimeNs::millis(100);
+  for (int i = 0; i < 100; ++i) {
+    t += DurationNs::millis(40);
+    c.on_ack(state(t), acked(c.cwnd_segments()), {});
+  }
+  EXPECT_GT(c.cwnd_segments(), 70);
+  EXPECT_LT(c.cwnd_segments(), 400);
+}
+
+TEST(Cubic, FastConvergenceLowersWmaxOnRepeatLoss) {
+  Cubic c;
+  c.init(state());
+  c.on_ack(state(), acked(90), {});  // cwnd 100
+  c.on_congestion_event(state(), tcp::CongestionEvent::kEnterRecovery);
+  const auto after_first = c.cwnd_segments();  // 70
+  // Second loss below the previous max → fast convergence shrinks w_max.
+  c.on_congestion_event(state(), tcp::CongestionEvent::kEnterRecovery);
+  EXPECT_LT(c.cwnd_segments(), after_first);
+}
+
+TEST(Cubic, NoGrowthDuringRecovery) {
+  Cubic c;
+  c.init(state());
+  tcp::SenderState st = state();
+  st.in_recovery = true;
+  c.on_ack(st, acked(10), {});
+  EXPECT_EQ(c.cwnd_segments(), 10);
+}
+
+TEST(Cubic, TargetComputedAfterEpochStart) {
+  Cubic c;
+  c.init(state());
+  // Push past ssthresh via a loss event to enter CA.
+  c.on_ack(state(), acked(90), {});
+  c.on_congestion_event(state(), tcp::CongestionEvent::kEnterRecovery);
+  c.on_ack(state(TimeNs::millis(40)), acked(10), {});
+  EXPECT_GT(c.last_target(), 0.0);
+}
+
+}  // namespace
+}  // namespace ccfuzz::cca

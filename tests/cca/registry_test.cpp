@@ -1,0 +1,45 @@
+// Unit tests for the CCA name registry.
+#include "cca/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ccfuzz::cca {
+namespace {
+
+TEST(Registry, KnownNamesProduceWorkingFactories) {
+  for (const auto& name : known_ccas()) {
+    SCOPED_TRACE(name);
+    EXPECT_TRUE(is_known_cca(name));
+    auto factory = make_factory(name);
+    auto cca = factory();
+    ASSERT_NE(cca, nullptr);
+    EXPECT_GE(cca->cwnd_segments(), 1);
+  }
+}
+
+TEST(Registry, FactoryReturnsFreshInstances) {
+  auto factory = make_factory("reno");
+  auto a = factory();
+  auto b = factory();
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(Registry, NamesRoundTripThroughInstances) {
+  EXPECT_STREQ(make_factory("reno")()->name(), "reno");
+  EXPECT_STREQ(make_factory("cubic")()->name(), "cubic");
+  EXPECT_STREQ(make_factory("cubic-ns3bug")()->name(), "cubic-ns3bug");
+  EXPECT_STREQ(make_factory("bbr")()->name(), "bbr");
+  EXPECT_STREQ(make_factory("bbr-probertt-on-rto")()->name(),
+               "bbr-probertt-on-rto");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_FALSE(is_known_cca("vegas"));
+  EXPECT_THROW(make_factory("vegas"), std::invalid_argument);
+  EXPECT_THROW(make_factory(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccfuzz::cca

@@ -1,0 +1,83 @@
+// Tests for the TraceEvaluator (simulation + scoring glue).
+#include "fuzz/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "cca/registry.h"
+#include "trace/mutation.h"
+
+namespace ccfuzz::fuzz {
+namespace {
+
+TraceEvaluator make_evaluator(const char* cca = "reno") {
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(3);
+  return TraceEvaluator(cfg, cca::make_factory(cca),
+                        std::make_shared<LowUtilizationScore>(),
+                        TraceScoreWeights{.per_packet = 1e-4, .per_drop = 1e-3});
+}
+
+TEST(TraceEvaluator, EmptyTraceGivesCleanRun) {
+  auto ev = make_evaluator();
+  trace::Trace t;
+  t.kind = trace::TraceKind::kTraffic;
+  t.duration = TimeNs::seconds(3);
+  const Evaluation e = ev.evaluate(t);
+  EXPECT_GT(e.goodput_mbps, 9.0);
+  EXPECT_EQ(e.cross_sent, 0);
+  EXPECT_DOUBLE_EQ(e.score.trace, 0.0);
+  EXPECT_FALSE(e.stalled);
+}
+
+TEST(TraceEvaluator, DeterministicEvaluation) {
+  auto ev = make_evaluator();
+  Rng rng(3);
+  trace::TrafficTraceModel model;
+  model.duration = TimeNs::seconds(3);
+  model.max_packets = 1000;
+  const trace::Trace t = model.generate(rng);
+  const Evaluation a = ev.evaluate(t);
+  const Evaluation b = ev.evaluate(t);
+  EXPECT_DOUBLE_EQ(a.score.total(), b.score.total());
+  EXPECT_EQ(a.cca_sent, b.cca_sent);
+  EXPECT_EQ(a.cross_drops, b.cross_drops);
+}
+
+TEST(TraceEvaluator, TraceScorePenalizesHeavyTraffic) {
+  auto ev = make_evaluator();
+  trace::Trace light, heavy;
+  light.kind = heavy.kind = trace::TraceKind::kTraffic;
+  light.duration = heavy.duration = TimeNs::seconds(3);
+  for (int i = 0; i < 10; ++i) light.stamps.emplace_back(TimeNs::millis(i));
+  for (int i = 0; i < 2000; ++i) {
+    heavy.stamps.emplace_back(TimeNs::millis(i));
+  }
+  const Evaluation el = ev.evaluate(light);
+  const Evaluation eh = ev.evaluate(heavy);
+  EXPECT_GT(el.score.trace, eh.score.trace);
+}
+
+TEST(TraceEvaluator, RunFullExposesRecorder) {
+  auto ev = make_evaluator();
+  trace::Trace t;
+  t.kind = trace::TraceKind::kTraffic;
+  t.duration = TimeNs::seconds(3);
+  const auto run = ev.run_full(t);
+  EXPECT_FALSE(run.recorder.egress().empty());
+}
+
+TEST(TraceEvaluator, SummaryFieldsPopulated) {
+  auto ev = make_evaluator();
+  trace::Trace t;
+  t.kind = trace::TraceKind::kTraffic;
+  t.duration = TimeNs::seconds(3);
+  for (int i = 0; i < 500; ++i) t.stamps.emplace_back(TimeNs::millis(2 * i));
+  const Evaluation e = ev.evaluate(t);
+  EXPECT_GT(e.cca_sent, 0);
+  EXPECT_GT(e.cca_delivered, 0);
+  EXPECT_EQ(e.cross_sent, 500);
+  EXPECT_GE(e.p10_delay_s, 0.0);
+}
+
+}  // namespace
+}  // namespace ccfuzz::fuzz

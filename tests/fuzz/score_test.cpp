@@ -1,0 +1,117 @@
+// Tests for the scoring functions (paper §3.4), evaluated over real runs.
+#include "fuzz/score.h"
+
+#include <gtest/gtest.h>
+
+#include "cca/registry.h"
+
+namespace ccfuzz::fuzz {
+namespace {
+
+scenario::ScenarioConfig base_config() {
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(3);
+  return cfg;
+}
+
+scenario::RunResult clean_run() {
+  return scenario::run_scenario(base_config(), cca::make_factory("reno"), {});
+}
+
+scenario::RunResult choked_run() {
+  // Link mode with opportunities only in the first 500 ms: terrible
+  // utilization afterwards.
+  scenario::ScenarioConfig cfg = base_config();
+  cfg.mode = scenario::FuzzMode::kLink;
+  std::vector<TimeNs> trace;
+  for (int i = 1; i < 500; ++i) trace.emplace_back(TimeNs::millis(i));
+  return scenario::run_scenario(cfg, cca::make_factory("reno"), trace);
+}
+
+TEST(LowUtilizationScore, RanksChokedAboveClean) {
+  LowUtilizationScore score;
+  EXPECT_GT(score.performance_score(choked_run()),
+            score.performance_score(clean_run()));
+}
+
+TEST(LowUtilizationScore, CleanRunScoresNearNegativeLinkRate) {
+  // Lowest-20% windows of a clean Reno run include slow start, so the
+  // score sits between -12 and 0, closer to the link rate.
+  LowUtilizationScore score;
+  const double s = score.performance_score(clean_run());
+  EXPECT_LT(s, -4.0);
+  EXPECT_GT(s, -12.5);
+}
+
+TEST(LowUtilizationScore, UsesLowestWindows) {
+  // A narrower "lowest fraction" must score >= the default (its mean can
+  // only drop when averaging fewer, smaller windows).
+  const auto run = clean_run();
+  LowUtilizationScore narrow(DurationNs::millis(500), 0.1);
+  LowUtilizationScore wide(DurationNs::millis(500), 0.9);
+  EXPECT_GE(narrow.performance_score(run), wide.performance_score(run));
+}
+
+TEST(HighDelayScore, QueueBuildupScoresHigher) {
+  // Fig 4e's premise: BBR alone keeps the queue shallow, but cross-traffic
+  // refills force a standing queue even its 10th-percentile delay shows.
+  scenario::ScenarioConfig cfg = base_config();
+  const auto clean =
+      scenario::run_scenario(cfg, cca::make_factory("bbr"), {});
+  std::vector<TimeNs> trace;
+  for (std::size_t i = 0; i < cfg.net.queue_capacity; ++i) {
+    trace.emplace_back(TimeNs::zero());  // pre-fill the queue
+  }
+  for (int i = 1; i < 1500; ++i) {
+    trace.emplace_back(TimeNs::millis(2 * i));  // 6 Mbps refill stream
+  }
+  const auto congested =
+      scenario::run_scenario(cfg, cca::make_factory("bbr"), trace);
+  HighDelayScore score(10.0);
+  EXPECT_GT(score.performance_score(congested),
+            score.performance_score(clean));
+}
+
+TEST(HighDelayScore, NoEgressIsNeutral) {
+  scenario::RunResult empty;
+  empty.config = base_config();
+  HighDelayScore score;
+  EXPECT_DOUBLE_EQ(score.performance_score(empty), 0.0);
+}
+
+TEST(HighLossScore, CountsCcaDropsPerSecond) {
+  scenario::RunResult r;
+  r.config = base_config();
+  r.cca_drops = 30;
+  HighLossScore score;
+  EXPECT_DOUBLE_EQ(score.performance_score(r), 10.0);  // 30 drops / 3 s
+}
+
+TEST(LowGoodputScore, NegatesGoodput) {
+  const auto run = clean_run();
+  LowGoodputScore score;
+  EXPECT_DOUBLE_EQ(score.performance_score(run), -run.goodput_mbps());
+}
+
+TEST(TraceScoreWeights, PenalizesPacketsAndDrops) {
+  scenario::RunResult r;
+  r.cross_sent = 100;
+  r.cross_drops = 20;
+  TraceScoreWeights w{.per_packet = 0.01, .per_drop = 0.1};
+  EXPECT_DOUBLE_EQ(w.trace_score(r), -(100 * 0.01 + 20 * 0.1));
+}
+
+TEST(TraceScoreWeights, ZeroWeightsAreNeutral) {
+  scenario::RunResult r;
+  r.cross_sent = 1000;
+  TraceScoreWeights w{};
+  EXPECT_DOUBLE_EQ(w.trace_score(r), 0.0);
+}
+
+TEST(Score, TotalIsSumOfComponents) {
+  Score s{.performance = 2.5, .trace = -0.5};
+  EXPECT_DOUBLE_EQ(s.total(), 2.0);
+}
+
+}  // namespace
+}  // namespace ccfuzz::fuzz

@@ -1,0 +1,77 @@
+// Tests for 1/rank selection (paper §3.5).
+#include "fuzz/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccfuzz::fuzz {
+namespace {
+
+TEST(RankSelector, SingleEntryAlwaysPicked) {
+  RankSelector s(1);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s.pick(rng), 0u);
+  }
+}
+
+TEST(RankSelector, FrequenciesFollowOneOverRank) {
+  const std::size_t n = 5;
+  RankSelector s(n);
+  Rng rng(7);
+  std::vector<int> counts(n, 0);
+  const int draws = 200'000;
+  for (int i = 0; i < draws; ++i) counts[s.pick(rng)]++;
+  // Harmonic normalization: H5 = 1 + 1/2 + ... + 1/5 = 2.2833...
+  const double h5 = 1.0 + 0.5 + 1.0 / 3 + 0.25 + 0.2;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double expected = (1.0 / static_cast<double>(r + 1)) / h5;
+    const double actual = static_cast<double>(counts[r]) / draws;
+    EXPECT_NEAR(actual, expected, 0.01) << "rank " << r;
+  }
+}
+
+TEST(RankSelector, BestRankDominates) {
+  RankSelector s(100);
+  Rng rng(3);
+  int best = 0;
+  const int draws = 10'000;
+  for (int i = 0; i < draws; ++i) {
+    best += s.pick(rng) == 0 ? 1 : 0;
+  }
+  // P(rank 0) = 1/H100 ≈ 0.193.
+  EXPECT_NEAR(static_cast<double>(best) / draws, 0.193, 0.02);
+}
+
+TEST(RankSelector, PairsAreDistinct) {
+  RankSelector s(4);
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto [a, b] = s.pick_pair(rng);
+    ASSERT_NE(a, b);
+    ASSERT_LT(a, 4u);
+    ASSERT_LT(b, 4u);
+  }
+}
+
+TEST(RankSelector, DeterministicForSeed) {
+  RankSelector s(10);
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(s.pick(a), s.pick(b));
+  }
+}
+
+TEST(RankSelector, AllRanksReachable) {
+  RankSelector s(8);
+  Rng rng(13);
+  std::vector<bool> seen(8, false);
+  for (int i = 0; i < 10'000; ++i) seen[s.pick(rng)] = true;
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_TRUE(seen[r]) << "rank " << r << " never drawn";
+  }
+}
+
+}  // namespace
+}  // namespace ccfuzz::fuzz

@@ -1,0 +1,85 @@
+// Unit tests for the fixed-delay pipe (access links, ACK return path).
+#include "net/delay_pipe.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ccfuzz::net {
+namespace {
+
+TEST(DelayPipe, DeliversAfterExactDelay) {
+  sim::Simulator sim;
+  std::vector<std::int64_t> arrivals_ms;
+  DelayPipe pipe(sim, DurationNs::millis(20), [&](Packet&&) {
+    arrivals_ms.push_back(sim.now().to_millis());
+  });
+  Packet p;
+  pipe.send(std::move(p));
+  sim.run_all();
+  EXPECT_EQ(arrivals_ms, (std::vector<std::int64_t>{20}));
+}
+
+TEST(DelayPipe, PreservesFifoOrderForSimultaneousSends) {
+  sim::Simulator sim;
+  std::vector<std::uint64_t> ids;
+  DelayPipe pipe(sim, DurationNs::millis(5),
+                 [&](Packet&& p) { ids.push_back(p.id); });
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Packet p;
+    p.id = i;
+    pipe.send(std::move(p));
+  }
+  sim.run_all();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(ids[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(DelayPipe, InFlightCountTracksOccupancy) {
+  sim::Simulator sim;
+  DelayPipe pipe(sim, DurationNs::millis(10), [](Packet&&) {});
+  Packet a, b;
+  pipe.send(std::move(a));
+  pipe.send(std::move(b));
+  EXPECT_EQ(pipe.in_flight(), 2);
+  sim.run_all();
+  EXPECT_EQ(pipe.in_flight(), 0);
+}
+
+TEST(DelayPipe, ZeroDelayDeliversAtSameTime) {
+  sim::Simulator sim;
+  std::int64_t arrival = -1;
+  DelayPipe pipe(sim, DurationNs::zero(),
+                 [&](Packet&&) { arrival = sim.now().ns(); });
+  sim.schedule_at(TimeNs::millis(3), [&] {
+    Packet p;
+    pipe.send(std::move(p));
+  });
+  sim.run_all();
+  EXPECT_EQ(arrival, TimeNs::millis(3).ns());
+}
+
+TEST(DelayPipe, PacketContentsPassThroughUntouched) {
+  sim::Simulator sim;
+  Packet got;
+  DelayPipe pipe(sim, DurationNs::millis(1),
+                 [&](Packet&& p) { got = std::move(p); });
+  Packet p;
+  p.id = 77;
+  p.flow = FlowId::kAck;
+  p.tcp.ack = 42;
+  p.tcp.sacks[0] = {10, 12};
+  p.tcp.n_sacks = 1;
+  pipe.send(std::move(p));
+  sim.run_all();
+  EXPECT_EQ(got.id, 77u);
+  EXPECT_EQ(got.flow, FlowId::kAck);
+  EXPECT_EQ(got.tcp.ack, 42);
+  EXPECT_EQ(got.tcp.sacks[0], (SackBlock{10, 12}));
+}
+
+}  // namespace
+}  // namespace ccfuzz::net

@@ -1,0 +1,162 @@
+// Unit tests for the bottleneck link models: MahiMahi trace semantics and
+// fixed-rate store-and-forward.
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccfuzz::net {
+namespace {
+
+Packet make_packet(std::uint64_t id) {
+  Packet p;
+  p.id = id;
+  p.flow = FlowId::kCcaData;
+  return p;
+}
+
+struct LinkFixture {
+  sim::Simulator sim;
+  DropTailQueue queue{100};
+  std::vector<std::uint64_t> delivered;
+  std::vector<std::int64_t> delivery_times_ms;
+  std::vector<std::int64_t> egress_times_ms;
+
+  void attach(BottleneckLink& link) {
+    link.set_delivery([this](Packet&& p) {
+      delivered.push_back(p.id);
+      delivery_times_ms.push_back(sim.now().to_millis());
+    });
+    link.set_egress_observer([this](const Packet&, TimeNs t) {
+      egress_times_ms.push_back(t.to_millis());
+    });
+  }
+};
+
+TEST(TraceDrivenLink, OnePacketPerOpportunity) {
+  LinkFixture f;
+  TraceDrivenLink link(f.sim, f.queue, DurationNs::zero(),
+                       {TimeNs::millis(10), TimeNs::millis(20), TimeNs::millis(30)});
+  f.attach(link);
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    f.queue.try_enqueue(make_packet(i), TimeNs::zero());
+  }
+  link.start();
+  f.sim.run_all();
+  // Two packets serviced at the first two opportunities; third wasted.
+  EXPECT_EQ(f.delivered, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(f.egress_times_ms, (std::vector<std::int64_t>{10, 20}));
+  EXPECT_EQ(link.packets_served(), 2);
+  EXPECT_EQ(link.wasted_opportunities(), 1);
+}
+
+TEST(TraceDrivenLink, WastedOpportunityNotRecovered) {
+  // MahiMahi semantics: a packet arriving after an opportunity must wait for
+  // the next one, even if the earlier opportunity went unused.
+  LinkFixture f;
+  TraceDrivenLink link(f.sim, f.queue, DurationNs::zero(),
+                       {TimeNs::millis(10), TimeNs::millis(50)});
+  f.attach(link);
+  link.start();
+  f.sim.schedule_at(TimeNs::millis(20), [&] {
+    f.queue.try_enqueue(make_packet(7), f.sim.now());
+  });
+  f.sim.run_all();
+  EXPECT_EQ(f.egress_times_ms, (std::vector<std::int64_t>{50}));
+  EXPECT_EQ(link.wasted_opportunities(), 1);
+}
+
+TEST(TraceDrivenLink, PropagationDelayApplied) {
+  LinkFixture f;
+  TraceDrivenLink link(f.sim, f.queue, DurationNs::millis(20),
+                       {TimeNs::millis(5)});
+  f.attach(link);
+  f.queue.try_enqueue(make_packet(1), TimeNs::zero());
+  link.start();
+  f.sim.run_all();
+  EXPECT_EQ(f.egress_times_ms, (std::vector<std::int64_t>{5}));
+  EXPECT_EQ(f.delivery_times_ms, (std::vector<std::int64_t>{25}));
+}
+
+TEST(TraceDrivenLink, BurstOpportunitiesDrainBackToBack) {
+  // Multiple identical timestamps model aggregation bursts.
+  LinkFixture f;
+  TraceDrivenLink link(f.sim, f.queue, DurationNs::zero(),
+                       {TimeNs::millis(10), TimeNs::millis(10), TimeNs::millis(10)});
+  f.attach(link);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    f.queue.try_enqueue(make_packet(i), TimeNs::zero());
+  }
+  link.start();
+  f.sim.run_all();
+  EXPECT_EQ(f.delivered.size(), 3u);
+  EXPECT_EQ(f.egress_times_ms, (std::vector<std::int64_t>{10, 10, 10}));
+}
+
+TEST(TraceDrivenLink, EmptyTraceServesNothing) {
+  LinkFixture f;
+  TraceDrivenLink link(f.sim, f.queue, DurationNs::zero(), {});
+  f.attach(link);
+  f.queue.try_enqueue(make_packet(1), TimeNs::zero());
+  link.start();
+  f.sim.run_all();
+  EXPECT_TRUE(f.delivered.empty());
+  EXPECT_EQ(link.packets_served(), 0);
+}
+
+TEST(FixedRateLink, ServesAtConfiguredRate) {
+  // 12 Mbps, 1500 B → one packet per ms, starting when the queue fills.
+  LinkFixture f;
+  FixedRateLink link(f.sim, f.queue, DurationNs::zero(), DataRate::mbps(12));
+  f.attach(link);
+  link.start();
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    f.queue.try_enqueue(make_packet(i), TimeNs::zero());
+  }
+  f.sim.run_all();
+  EXPECT_EQ(f.egress_times_ms, (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(link.packets_served(), 3);
+}
+
+TEST(FixedRateLink, ResumesAfterIdle) {
+  LinkFixture f;
+  FixedRateLink link(f.sim, f.queue, DurationNs::zero(), DataRate::mbps(12));
+  f.attach(link);
+  link.start();
+  f.queue.try_enqueue(make_packet(0), TimeNs::zero());
+  f.sim.run_all();
+  ASSERT_EQ(f.egress_times_ms.size(), 1u);
+  // Queue refilled 10 ms later: service restarts from the arrival time.
+  f.sim.schedule_at(TimeNs::millis(10), [&] {
+    f.queue.try_enqueue(make_packet(1), f.sim.now());
+  });
+  f.sim.run_all();
+  EXPECT_EQ(f.egress_times_ms, (std::vector<std::int64_t>{1, 11}));
+}
+
+TEST(FixedRateLink, PropagationDelayAfterSerialization) {
+  LinkFixture f;
+  FixedRateLink link(f.sim, f.queue, DurationNs::millis(20), DataRate::mbps(12));
+  f.attach(link);
+  link.start();
+  f.queue.try_enqueue(make_packet(0), TimeNs::zero());
+  f.sim.run_all();
+  EXPECT_EQ(f.delivery_times_ms, (std::vector<std::int64_t>{21}));
+}
+
+TEST(FixedRateLink, HalfSizePacketsServeFaster) {
+  LinkFixture f;
+  FixedRateLink link(f.sim, f.queue, DurationNs::zero(), DataRate::mbps(12));
+  f.attach(link);
+  link.start();
+  Packet p = make_packet(0);
+  p.size_bytes = 750;
+  f.queue.try_enqueue(std::move(p), TimeNs::zero());
+  f.sim.run_all();
+  ASSERT_EQ(f.egress_times_ms.size(), 1u);
+  EXPECT_EQ(f.sim.now(), TimeNs(500'000));  // 0.5 ms
+}
+
+}  // namespace
+}  // namespace ccfuzz::net

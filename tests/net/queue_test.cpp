@@ -1,0 +1,97 @@
+// Unit tests for the drop-tail gateway queue.
+#include "net/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace ccfuzz::net {
+namespace {
+
+Packet make_packet(FlowId flow, std::uint64_t id = 0) {
+  Packet p;
+  p.id = id;
+  p.flow = flow;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.try_enqueue(make_packet(FlowId::kCcaData, i), TimeNs::zero()));
+  }
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->id, i);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTailQueue, DropsWhenFull) {
+  DropTailQueue q(2);
+  EXPECT_TRUE(q.try_enqueue(make_packet(FlowId::kCcaData), TimeNs::zero()));
+  EXPECT_TRUE(q.try_enqueue(make_packet(FlowId::kCcaData), TimeNs::zero()));
+  EXPECT_FALSE(q.try_enqueue(make_packet(FlowId::kCrossTraffic), TimeNs::zero()));
+  EXPECT_EQ(q.size(), 2u);
+  const auto& st = q.stats();
+  EXPECT_EQ(st.enqueued[static_cast<std::size_t>(FlowId::kCcaData)], 2);
+  EXPECT_EQ(st.dropped[static_cast<std::size_t>(FlowId::kCrossTraffic)], 1);
+  EXPECT_EQ(st.total_dropped(), 1);
+}
+
+TEST(DropTailQueue, EnqueueStampsArrivalTime) {
+  DropTailQueue q(2);
+  q.try_enqueue(make_packet(FlowId::kCcaData), TimeNs::millis(42));
+  auto p = q.dequeue();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->enqueued_at, TimeNs::millis(42));
+}
+
+TEST(DropTailQueue, NonEmptyNotifierFiresOnTransitionOnly) {
+  DropTailQueue q(4);
+  int notified = 0;
+  q.set_nonempty_notifier([&] { ++notified; });
+  q.try_enqueue(make_packet(FlowId::kCcaData), TimeNs::zero());
+  q.try_enqueue(make_packet(FlowId::kCcaData), TimeNs::zero());
+  EXPECT_EQ(notified, 1);
+  (void)q.dequeue();
+  (void)q.dequeue();
+  q.try_enqueue(make_packet(FlowId::kCcaData), TimeNs::zero());
+  EXPECT_EQ(notified, 2);
+}
+
+TEST(DropTailQueue, DropNotifierSeesDroppedPacket) {
+  DropTailQueue q(1);
+  Packet dropped;
+  TimeNs when;
+  q.set_drop_notifier([&](const Packet& p, TimeNs t) {
+    dropped = p;
+    when = t;
+  });
+  q.try_enqueue(make_packet(FlowId::kCcaData, 1), TimeNs::zero());
+  q.try_enqueue(make_packet(FlowId::kCrossTraffic, 99), TimeNs::millis(3));
+  EXPECT_EQ(dropped.id, 99u);
+  EXPECT_EQ(dropped.flow, FlowId::kCrossTraffic);
+  EXPECT_EQ(when, TimeNs::millis(3));
+}
+
+TEST(DropTailQueue, PerFlowDequeueCounters) {
+  DropTailQueue q(4);
+  q.try_enqueue(make_packet(FlowId::kCcaData), TimeNs::zero());
+  q.try_enqueue(make_packet(FlowId::kCrossTraffic), TimeNs::zero());
+  (void)q.dequeue();
+  (void)q.dequeue();
+  const auto& st = q.stats();
+  EXPECT_EQ(st.dequeued[static_cast<std::size_t>(FlowId::kCcaData)], 1);
+  EXPECT_EQ(st.dequeued[static_cast<std::size_t>(FlowId::kCrossTraffic)], 1);
+}
+
+TEST(DropTailQueue, CapacityOneBehaves) {
+  DropTailQueue q(1);
+  EXPECT_TRUE(q.try_enqueue(make_packet(FlowId::kCcaData), TimeNs::zero()));
+  EXPECT_FALSE(q.try_enqueue(make_packet(FlowId::kCcaData), TimeNs::zero()));
+  (void)q.dequeue();
+  EXPECT_TRUE(q.try_enqueue(make_packet(FlowId::kCcaData), TimeNs::zero()));
+}
+
+}  // namespace
+}  // namespace ccfuzz::net

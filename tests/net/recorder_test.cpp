@@ -1,0 +1,60 @@
+// Unit tests for the bottleneck recorder feeding figures and scores.
+#include "net/recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace ccfuzz::net {
+namespace {
+
+Packet make_packet(FlowId flow, TimeNs enq = TimeNs::zero()) {
+  Packet p;
+  p.flow = flow;
+  p.enqueued_at = enq;
+  return p;
+}
+
+TEST(BottleneckRecorder, RecordsIngressEgressDrops) {
+  BottleneckRecorder r;
+  r.record_ingress(make_packet(FlowId::kCcaData), TimeNs::millis(1));
+  r.record_drop(make_packet(FlowId::kCrossTraffic), TimeNs::millis(2));
+  r.record_egress(make_packet(FlowId::kCcaData, TimeNs::millis(1)),
+                  TimeNs::millis(3));
+  EXPECT_EQ(r.ingress().size(), 1u);
+  EXPECT_EQ(r.drops().size(), 1u);
+  EXPECT_EQ(r.egress().size(), 1u);
+  EXPECT_EQ(r.ingress()[0].flow, FlowId::kCcaData);
+  EXPECT_EQ(r.drops()[0].time, TimeNs::millis(2));
+}
+
+TEST(BottleneckRecorder, QueueDelayIsEgressMinusEnqueue) {
+  BottleneckRecorder r;
+  r.record_egress(make_packet(FlowId::kCcaData, TimeNs::millis(10)),
+                  TimeNs::millis(35));
+  ASSERT_EQ(r.delays().size(), 1u);
+  EXPECT_EQ(r.delays()[0].queue_delay, DurationNs::millis(25));
+  EXPECT_EQ(r.delays()[0].time, TimeNs::millis(35));
+}
+
+TEST(BottleneckRecorder, EgressCountFiltersByFlow) {
+  BottleneckRecorder r;
+  for (int i = 0; i < 3; ++i) {
+    r.record_egress(make_packet(FlowId::kCcaData), TimeNs::millis(i));
+  }
+  for (int i = 0; i < 2; ++i) {
+    r.record_egress(make_packet(FlowId::kCrossTraffic), TimeNs::millis(i));
+  }
+  EXPECT_EQ(r.egress_count(FlowId::kCcaData), 3);
+  EXPECT_EQ(r.egress_count(FlowId::kCrossTraffic), 2);
+  EXPECT_EQ(r.egress_count(FlowId::kAck), 0);
+}
+
+TEST(BottleneckRecorder, EmptyByDefault) {
+  BottleneckRecorder r;
+  EXPECT_TRUE(r.ingress().empty());
+  EXPECT_TRUE(r.egress().empty());
+  EXPECT_TRUE(r.drops().empty());
+  EXPECT_TRUE(r.delays().empty());
+}
+
+}  // namespace
+}  // namespace ccfuzz::net

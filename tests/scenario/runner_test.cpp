@@ -1,0 +1,122 @@
+// Tests for the one-call run harness and its RunResult metrics.
+#include "scenario/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "cca/registry.h"
+
+namespace ccfuzz::scenario {
+namespace {
+
+ScenarioConfig base_config() {
+  ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(3);
+  return cfg;
+}
+
+TEST(Runner, RenoCleanLinkResult) {
+  const auto r = run_scenario(base_config(), cca::make_factory("reno"), {});
+  EXPECT_GT(r.goodput_mbps(), 9.0);
+  EXPECT_GT(r.cca_segments_delivered, 2000);
+  EXPECT_EQ(r.cross_sent, 0);
+  EXPECT_FALSE(r.stalled(DurationNs::millis(500)));
+}
+
+TEST(Runner, DeterministicAcrossCalls) {
+  const auto a = run_scenario(base_config(), cca::make_factory("cubic"), {});
+  const auto b = run_scenario(base_config(), cca::make_factory("cubic"), {});
+  EXPECT_EQ(a.cca_segments_delivered, b.cca_segments_delivered);
+  EXPECT_EQ(a.cca_sent, b.cca_sent);
+  EXPECT_EQ(a.rto_count, b.rto_count);
+  EXPECT_EQ(a.recorder.egress().size(), b.recorder.egress().size());
+}
+
+TEST(Runner, WindowedThroughputSeries) {
+  const auto r = run_scenario(base_config(), cca::make_factory("reno"), {});
+  const auto w = r.windowed_throughput_mbps(DurationNs::millis(500));
+  ASSERT_EQ(w.size(), 6u);
+  // Post slow-start windows run near link rate.
+  EXPECT_GT(w.back(), 9.0);
+  for (double v : w) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 12.5);
+  }
+}
+
+TEST(Runner, CrossTrafficCountsReported) {
+  ScenarioConfig cfg = base_config();
+  std::vector<TimeNs> trace;
+  for (int i = 0; i < 100; ++i) trace.emplace_back(TimeNs::millis(10 + i));
+  const auto r = run_scenario(cfg, cca::make_factory("reno"), trace);
+  EXPECT_EQ(r.cross_sent, 100);
+  EXPECT_GE(r.cross_drops, 0);
+}
+
+TEST(Runner, QueueDelaysPopulated) {
+  const auto r = run_scenario(base_config(), cca::make_factory("reno"), {});
+  const auto delays = r.cca_queue_delays_s();
+  EXPECT_EQ(delays.size(), static_cast<std::size_t>(r.cca_egress_packets));
+  for (double d : delays) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 0.06);  // 50-packet queue ≈ 50 ms max
+  }
+}
+
+TEST(Runner, StalledDetectsDeadTail) {
+  // Link mode with opportunities only in the first second: the flow cannot
+  // make progress afterwards → stalled.
+  ScenarioConfig cfg = base_config();
+  cfg.mode = FuzzMode::kLink;
+  std::vector<TimeNs> trace;
+  for (int i = 1; i < 1000; ++i) trace.emplace_back(TimeNs::millis(i));
+  const auto r = run_scenario(cfg, cca::make_factory("reno"), trace);
+  EXPECT_TRUE(r.stalled(DurationNs::millis(1500)));
+  EXPECT_FALSE(r.stalled(DurationNs::seconds(3)));  // early egress exists
+}
+
+TEST(Runner, GoodputAccountsForLateFlowStart) {
+  ScenarioConfig cfg = base_config();
+  cfg.flow_start = TimeNs::seconds(1);
+  const auto r = run_scenario(cfg, cca::make_factory("reno"), {});
+  // Goodput normalized over the 2 s of actual flow time.
+  EXPECT_GT(r.goodput_mbps(), 8.0);
+}
+
+TEST(Runner, TotalSegmentsLimitsTransfer) {
+  ScenarioConfig cfg = base_config();
+  cfg.total_segments = 100;
+  const auto r = run_scenario(cfg, cca::make_factory("reno"), {});
+  EXPECT_EQ(r.cca_segments_delivered, 100);
+  EXPECT_LE(r.cca_sent, 120);  // a few retransmissions at most
+}
+
+TEST(Runner, BbrRunsCleanLink) {
+  const auto r = run_scenario(base_config(), cca::make_factory("bbr"), {});
+  EXPECT_GT(r.goodput_mbps(), 9.0) << "BBR must fill a clean 12 Mbps pipe";
+  EXPECT_FALSE(r.stalled(DurationNs::millis(500)));
+  // Model introspection: bandwidth estimate near 1000 pps.
+  EXPECT_GT(r.final_bw_estimate_pps, 800.0);
+  EXPECT_LT(r.final_bw_estimate_pps, 1400.0);
+}
+
+TEST(Runner, BbrKeepsQueueShorterThanCubic) {
+  // BBR's design goal: high throughput with less standing queue than
+  // loss-based CCAs on the same path.
+  ScenarioConfig cfg = base_config();
+  cfg.duration = TimeNs::seconds(5);
+  const auto bbr = run_scenario(cfg, cca::make_factory("bbr"), {});
+  const auto cubic = run_scenario(cfg, cca::make_factory("cubic"), {});
+  const auto bbr_delays = bbr.cca_queue_delays_s();
+  const auto cubic_delays = cubic.cca_queue_delays_s();
+  ASSERT_FALSE(bbr_delays.empty());
+  ASSERT_FALSE(cubic_delays.empty());
+  double bbr_mean = 0, cubic_mean = 0;
+  for (double d : bbr_delays) bbr_mean += d;
+  for (double d : cubic_delays) cubic_mean += d;
+  bbr_mean /= static_cast<double>(bbr_delays.size());
+  cubic_mean /= static_cast<double>(cubic_delays.size());
+  EXPECT_LT(bbr_mean, cubic_mean);
+}
+
+}  // namespace
+}  // namespace ccfuzz::scenario

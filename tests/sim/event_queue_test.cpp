@@ -1,0 +1,112 @@
+// Unit tests for the discrete-event queue, especially the determinism
+// contract (FIFO tie-break at equal timestamps).
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccfuzz::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimeNs::millis(30), [&] { order.push_back(3); });
+  q.schedule(TimeNs::millis(10), [&] { order.push_back(1); });
+  q.schedule(TimeNs::millis(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimestampsFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(TimeNs::millis(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(TimeNs::millis(1), [&] { fired = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoOp) {
+  EventQueue q;
+  q.cancel(123456);  // must not crash or affect anything
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelMiddleEventSkipsOnlyIt) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimeNs::millis(1), [&] { order.push_back(1); });
+  const EventId id = q.schedule(TimeNs::millis(2), [&] { order.push_back(2); });
+  q.schedule(TimeNs::millis(3), [&] { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLiveEvent) {
+  EventQueue q;
+  EXPECT_TRUE(q.next_time().is_infinite());
+  const EventId id = q.schedule(TimeNs::millis(5), [] {});
+  q.schedule(TimeNs::millis(9), [] {});
+  EXPECT_EQ(q.next_time(), TimeNs::millis(5));
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), TimeNs::millis(9));
+}
+
+TEST(EventQueue, RunNextReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(TimeNs::millis(7), [] {});
+  EXPECT_EQ(q.run_next(), TimeNs::millis(7));
+}
+
+TEST(EventQueue, EventsScheduledDuringExecutionRun) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(TimeNs::millis(1), [&] {
+    ++fired;
+    q.schedule(TimeNs::millis(2), [&] { ++fired; });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SizeExcludesCancelled) {
+  EventQueue q;
+  const EventId a = q.schedule(TimeNs::millis(1), [] {});
+  q.schedule(TimeNs::millis(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, StressManyEventsStayOrdered) {
+  EventQueue q;
+  std::vector<std::int64_t> times;
+  // Deterministic pseudo-shuffled schedule.
+  for (std::int64_t i = 0; i < 5000; ++i) {
+    const std::int64_t t = (i * 2654435761u) % 100000;
+    q.schedule(TimeNs(t), [&times, t] { times.push_back(t); });
+  }
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(times.size(), 5000u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    ASSERT_LE(times[i - 1], times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ccfuzz::sim

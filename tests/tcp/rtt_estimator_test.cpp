@@ -1,0 +1,86 @@
+// Unit tests for RFC 6298 RTT estimation / RTO computation.
+#include "tcp/rtt_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace ccfuzz::tcp {
+namespace {
+
+TEST(RttEstimator, InitialRtoBeforeAnySample) {
+  RttEstimator e;
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_EQ(e.rto(), DurationNs::seconds(1));
+}
+
+TEST(RttEstimator, FirstSampleInitializesSrttAndVar) {
+  RttEstimator e;
+  e.on_measurement(DurationNs::millis(100));
+  EXPECT_TRUE(e.has_sample());
+  EXPECT_EQ(e.srtt(), DurationNs::millis(100));
+  EXPECT_EQ(e.rttvar(), DurationNs::millis(50));
+}
+
+TEST(RttEstimator, EwmaFollowsRfc6298Weights) {
+  RttEstimator e;
+  e.on_measurement(DurationNs::millis(100));
+  e.on_measurement(DurationNs::millis(200));
+  // rttvar = 3/4*50 + 1/4*|100-200| = 62.5 ms; srtt = 7/8*100 + 1/8*200 = 112.5 ms
+  EXPECT_EQ(e.rttvar(), DurationNs::nanos(62'500'000));
+  EXPECT_EQ(e.srtt(), DurationNs::nanos(112'500'000));
+}
+
+TEST(RttEstimator, RtoClampedToMinRto) {
+  // Paper setup: min-RTO = 1 s even though srtt is tiny.
+  RttEstimator e;
+  e.on_measurement(DurationNs::millis(40));
+  EXPECT_EQ(e.rto(), DurationNs::seconds(1));
+}
+
+TEST(RttEstimator, LinuxStyleMinRto) {
+  RttEstimator::Config cfg;
+  cfg.min_rto = DurationNs::millis(200);
+  RttEstimator e(cfg);
+  e.on_measurement(DurationNs::millis(40));
+  // srtt 40 ms + 4*rttvar 80 ms = 120 ms < 200 ms floor.
+  EXPECT_EQ(e.rto(), DurationNs::millis(200));
+}
+
+TEST(RttEstimator, RtoUsesVarTerm) {
+  RttEstimator::Config cfg;
+  cfg.min_rto = DurationNs::millis(1);
+  RttEstimator e(cfg);
+  e.on_measurement(DurationNs::millis(100));
+  // rto = srtt + 4*rttvar = 100 + 200 = 300 ms.
+  EXPECT_EQ(e.rto(), DurationNs::millis(300));
+}
+
+TEST(RttEstimator, BackoffDoublesAndClampsAtMax) {
+  RttEstimator::Config cfg;
+  cfg.max_rto = DurationNs::seconds(8);
+  RttEstimator e(cfg);
+  e.on_measurement(DurationNs::millis(100));
+  const DurationNs base = e.rto();  // 1 s (min_rto)
+  EXPECT_EQ(e.rto_backed_off(0), base);
+  EXPECT_EQ(e.rto_backed_off(1), base * 2);
+  EXPECT_EQ(e.rto_backed_off(2), base * 4);
+  EXPECT_EQ(e.rto_backed_off(3), base * 8);
+  EXPECT_EQ(e.rto_backed_off(10), DurationNs::seconds(8));  // clamped
+}
+
+TEST(RttEstimator, NegativeMeasurementIgnored) {
+  RttEstimator e;
+  e.on_measurement(DurationNs(-5));
+  EXPECT_FALSE(e.has_sample());
+}
+
+TEST(RttEstimator, TracksMinAndLastRtt) {
+  RttEstimator e;
+  e.on_measurement(DurationNs::millis(120));
+  e.on_measurement(DurationNs::millis(80));
+  e.on_measurement(DurationNs::millis(150));
+  EXPECT_EQ(e.min_rtt(), DurationNs::millis(80));
+  EXPECT_EQ(e.last_rtt(), DurationNs::millis(150));
+}
+
+}  // namespace
+}  // namespace ccfuzz::tcp

@@ -1,0 +1,262 @@
+// Unit tests for the TCP sender: windowing, SACK scoreboard, fast
+// retransmit, RTO behaviour and pacing.
+#include "tcp/sender.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cca/fixed_window.h"
+#include "sim/simulator.h"
+
+namespace ccfuzz::tcp {
+namespace {
+
+/// Captures every data packet the sender emits.
+struct SenderFixture {
+  sim::Simulator sim;
+  std::vector<net::Packet> sent;
+  TcpSender::Config cfg;
+
+  SenderFixture() {
+    cfg.rtt.min_rto = DurationNs::seconds(1);
+    cfg.initial_cwnd = 10;
+  }
+
+  std::unique_ptr<TcpSender> make(std::int64_t cwnd,
+                                  DataRate pacing = DataRate::zero()) {
+    return std::make_unique<TcpSender>(
+        sim, cfg, std::make_unique<cca::FixedWindow>(cwnd, pacing),
+        [this](net::Packet&& p) { sent.push_back(std::move(p)); });
+  }
+
+  net::Packet ack(SeqNr cum, std::initializer_list<net::SackBlock> sacks = {}) {
+    net::Packet a;
+    a.flow = net::FlowId::kAck;
+    a.tcp.ack = cum;
+    a.tcp.n_sacks = 0;
+    for (const auto& b : sacks) {
+      a.tcp.sacks[static_cast<std::size_t>(a.tcp.n_sacks++)] = b;
+    }
+    return a;
+  }
+};
+
+TEST(TcpSender, SendsWindowAtStart) {
+  SenderFixture f;
+  auto tx = f.make(4);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));
+  ASSERT_EQ(f.sent.size(), 4u);
+  for (SeqNr s = 0; s < 4; ++s) {
+    EXPECT_EQ(f.sent[static_cast<std::size_t>(s)].tcp.seq, s);
+  }
+  EXPECT_EQ(tx->snd_nxt(), 4);
+  EXPECT_EQ(tx->state().packets_out, 4);
+}
+
+TEST(TcpSender, StartTimeHonoured) {
+  SenderFixture f;
+  auto tx = f.make(2);
+  tx->start(TimeNs::millis(500));
+  f.sim.run_until(TimeNs::millis(499));
+  EXPECT_TRUE(f.sent.empty());
+  f.sim.run_until(TimeNs::millis(501));
+  EXPECT_EQ(f.sent.size(), 2u);
+}
+
+TEST(TcpSender, AckAdvancesWindowAndSendsMore) {
+  SenderFixture f;
+  auto tx = f.make(3);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));
+  ASSERT_EQ(f.sent.size(), 3u);
+  f.sim.schedule_at(TimeNs::millis(50),
+                    [&] { tx->on_ack_packet(f.ack(2)); });
+  f.sim.run_until(TimeNs::millis(51));
+  EXPECT_EQ(tx->snd_una(), 2);
+  EXPECT_EQ(f.sent.size(), 5u);  // window slid by 2
+  EXPECT_EQ(tx->delivered(), 2);
+}
+
+TEST(TcpSender, LimitedByTotalSegments) {
+  SenderFixture f;
+  f.cfg.total_segments = 3;
+  auto tx = f.make(10);
+  tx->start(TimeNs::zero());
+  // Stop before the first RTO: with no ACK path the sender would otherwise
+  // retransmit forever.
+  f.sim.run_until(TimeNs::millis(500));
+  EXPECT_EQ(f.sent.size(), 3u);
+}
+
+TEST(TcpSender, RttMeasurementFeedsEstimator) {
+  SenderFixture f;
+  auto tx = f.make(2);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));
+  f.sim.schedule_at(TimeNs::millis(40),
+                    [&] { tx->on_ack_packet(f.ack(1)); });
+  f.sim.run_until(TimeNs::millis(41));
+  EXPECT_EQ(tx->rtt_estimator().last_rtt(), DurationNs::millis(40));
+  EXPECT_EQ(tx->state().min_rtt, DurationNs::millis(40));
+}
+
+TEST(TcpSender, FackLossMarkingTriggersFastRetransmit) {
+  SenderFixture f;
+  auto tx = f.make(8);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));  // seq 0..7 outstanding
+  // SACKs for 1..3 (seq 0 lost). FACK = 4 → 4 - 3 = 1 > 0 → mark seq 0 lost.
+  f.sim.schedule_at(TimeNs::millis(40), [&] {
+    tx->on_ack_packet(f.ack(0, {{1, 2}}));
+    tx->on_ack_packet(f.ack(0, {{1, 3}}));
+    tx->on_ack_packet(f.ack(0, {{1, 4}}));
+  });
+  f.sim.run_until(TimeNs::millis(45));
+  EXPECT_EQ(tx->fast_retransmit_entries(), 1);
+  EXPECT_TRUE(tx->state().in_recovery);
+  EXPECT_EQ(tx->total_retransmissions(), 1);
+  // The retransmission is of seq 0.
+  bool found = false;
+  for (const auto& p : f.sent) {
+    if (p.tcp.seq == 0 && p.tcp.tx_id != f.sent[0].tcp.tx_id) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TcpSender, RecoveryExitsWhenRecoveryPointAcked) {
+  SenderFixture f;
+  auto tx = f.make(8);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));
+  f.sim.schedule_at(TimeNs::millis(40), [&] {
+    tx->on_ack_packet(f.ack(0, {{1, 4}}));  // mark 0 lost, enter recovery
+  });
+  f.sim.schedule_at(TimeNs::millis(80), [&] {
+    tx->on_ack_packet(f.ack(8));  // everything through snd_nxt acked
+  });
+  f.sim.run_until(TimeNs::millis(81));
+  EXPECT_FALSE(tx->state().in_recovery);
+  EXPECT_EQ(tx->snd_una(), 8);
+}
+
+TEST(TcpSender, RtoRetransmitsHeadAndBacksOff) {
+  SenderFixture f;
+  auto tx = f.make(4);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));
+  ASSERT_EQ(f.sent.size(), 4u);
+  // No ACKs at all: RTO at ~1 s retransmits the head first (the fixed
+  // window then lets the other lost segments follow).
+  f.sim.run_until(TimeNs::millis(1100));
+  EXPECT_EQ(tx->rto_count(), 1);
+  EXPECT_EQ(tx->rto_backoff(), 1);
+  ASSERT_GE(f.sent.size(), 5u);
+  EXPECT_EQ(f.sent[4].tcp.seq, 0);
+  EXPECT_TRUE(tx->state().in_loss);
+  // Second RTO is backed off: fires ~2 s after the first.
+  f.sim.run_until(TimeNs::millis(3200));
+  EXPECT_EQ(tx->rto_count(), 2);
+  EXPECT_EQ(tx->rto_backoff(), 2);
+}
+
+TEST(TcpSender, RtoMarksAllUnsackedLost) {
+  SenderFixture f;
+  auto tx = f.make(4);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));
+  f.sim.schedule_at(TimeNs::millis(40), [&] {
+    tx->on_ack_packet(f.ack(0, {{2, 3}}));  // seq 2 sacked
+  });
+  f.sim.run_until(TimeNs::seconds(2));
+  EXPECT_GE(tx->rto_count(), 1);
+  // lost_out covers 0,1,3 (not the SACKed 2).
+  EXPECT_EQ(tx->state().sacked_out, 1);
+  EXPECT_GE(tx->state().lost_out, 3 - 1);  // some may have been retransmitted
+}
+
+TEST(TcpSender, KarnBackoffResetOnNewAck) {
+  SenderFixture f;
+  auto tx = f.make(4);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));
+  f.sim.run_until(TimeNs::millis(1100));  // first RTO
+  ASSERT_EQ(tx->rto_backoff(), 1);
+  f.sim.schedule_at(TimeNs::millis(1200),
+                    [&] { tx->on_ack_packet(f.ack(1)); });
+  f.sim.run_until(TimeNs::millis(1201));
+  EXPECT_EQ(tx->rto_backoff(), 0);
+}
+
+TEST(TcpSender, PacedTransmissionSpacesPackets) {
+  SenderFixture f;
+  auto tx = f.make(10, DataRate::mbps(12));  // 1 packet per ms
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(100));
+  ASSERT_EQ(f.sent.size(), 10u);
+  for (std::size_t i = 1; i < f.sent.size(); ++i) {
+    const auto gap = f.sent[i].created_at - f.sent[i - 1].created_at;
+    EXPECT_EQ(gap, DurationNs::millis(1)) << "packet " << i;
+  }
+}
+
+TEST(TcpSender, DupAckEventFlagged) {
+  SenderFixture f;
+  auto tx = f.make(4);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));
+  f.sim.schedule_at(TimeNs::millis(40), [&] {
+    tx->on_ack_packet(f.ack(0, {{1, 2}}));  // dup: no cum advance
+  });
+  f.sim.run_until(TimeNs::millis(41));
+  EXPECT_EQ(tx->log().count(TcpEventType::kDupAck), 1);
+  EXPECT_EQ(tx->log().count(TcpEventType::kSack), 1);
+}
+
+TEST(TcpSender, SpuriousRetransmissionDetected) {
+  // Force the §4.1 pattern at the unit level: a retransmitted segment whose
+  // SACK for the original copy arrives immediately after the retransmission.
+  SenderFixture f;
+  auto tx = f.make(8);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));  // 0..7 out
+  // Establish min_rtt = 40 ms.
+  f.sim.schedule_at(TimeNs::millis(40),
+                    [&] { tx->on_ack_packet(f.ack(1)); });
+  // RTO fires at t = 1040 ms (min-RTO 1 s from the ACK): everything is
+  // marked lost and the fixed window lets the whole lost queue be
+  // retransmitted immediately. SACKs for the ORIGINAL copies arrive 1 ms
+  // later — far quicker than any real round trip.
+  f.sim.schedule_at(TimeNs::millis(1041), [&] {
+    tx->on_ack_packet(f.ack(1, {{2, 5}}));
+  });
+  f.sim.run_until(TimeNs::millis(1100));
+  ASSERT_GE(tx->rto_count(), 1);
+  ASSERT_GE(tx->total_retransmissions(), 1);
+  EXPECT_GE(tx->spurious_retx_count(), 1);
+}
+
+TEST(TcpSender, EventLogRecordsSendsWhenEnabled) {
+  SenderFixture f;
+  f.cfg.log_events = true;
+  auto tx = f.make(3);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));
+  EXPECT_EQ(tx->log().count(TcpEventType::kSend), 3);
+  EXPECT_EQ(tx->log().events().size(), 3u);
+}
+
+TEST(TcpSender, EventCountersKeptEvenWhenLogDisabled) {
+  SenderFixture f;
+  f.cfg.log_events = false;
+  auto tx = f.make(3);
+  tx->start(TimeNs::zero());
+  f.sim.run_until(TimeNs::millis(1));
+  EXPECT_EQ(tx->log().count(TcpEventType::kSend), 3);
+  EXPECT_TRUE(tx->log().events().empty());
+}
+
+}  // namespace
+}  // namespace ccfuzz::tcp

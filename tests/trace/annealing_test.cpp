@@ -1,0 +1,99 @@
+// Tests for trace annealing (Gaussian timestamp smoothing, §3.2).
+#include "trace/annealing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/dist_packets.h"
+
+namespace ccfuzz::trace {
+namespace {
+
+Trace bursty_trace() {
+  // Alternating bursts and gaps: high local rate variance.
+  Trace t;
+  t.kind = TraceKind::kLink;
+  t.duration = TimeNs::seconds(1);
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 20; ++i) {
+      t.stamps.push_back(TimeNs::millis(burst * 100 + i / 10));
+    }
+  }
+  return t;
+}
+
+double gap_variance(const Trace& t) {
+  if (t.size() < 2) return 0.0;
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    gaps.push_back(
+        static_cast<double>(t.stamps[i].ns() - t.stamps[i - 1].ns()));
+  }
+  double mean = 0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  return var / static_cast<double>(gaps.size());
+}
+
+TEST(Annealing, PreservesCountOrderAndWindow) {
+  const Trace t = bursty_trace();
+  const Trace a = anneal(t);
+  EXPECT_EQ(a.size(), t.size());
+  EXPECT_TRUE(std::is_sorted(a.stamps.begin(), a.stamps.end()));
+  EXPECT_GE(a.stamps.front(), TimeNs::zero());
+  EXPECT_LT(a.stamps.back(), a.duration);
+}
+
+TEST(Annealing, ReducesLocalRateVariance) {
+  const Trace t = bursty_trace();
+  const Trace a = anneal(t, {.sigma = 3.0, .strength = 1.0, .radius = 9});
+  EXPECT_LT(gap_variance(a), gap_variance(t));
+}
+
+TEST(Annealing, RepeatedApplicationConverges) {
+  Trace t = bursty_trace();
+  double prev = gap_variance(t);
+  for (int i = 0; i < 10; ++i) {
+    t = anneal(t, {.sigma = 2.0, .strength = 0.5, .radius = 6});
+    const double v = gap_variance(t);
+    EXPECT_LE(v, prev * 1.0001);
+    prev = v;
+  }
+}
+
+TEST(Annealing, ZeroStrengthIsIdentity) {
+  const Trace t = bursty_trace();
+  const Trace a = anneal(t, {.sigma = 2.0, .strength = 0.0});
+  EXPECT_EQ(a.stamps, t.stamps);
+}
+
+TEST(Annealing, TinyTracesPassThrough) {
+  Trace t;
+  t.duration = TimeNs::seconds(1);
+  t.stamps = {TimeNs::millis(500)};
+  EXPECT_EQ(anneal(t).stamps, t.stamps);
+  t.stamps.push_back(TimeNs::millis(600));
+  EXPECT_EQ(anneal(t).stamps, t.stamps);
+}
+
+TEST(Annealing, MeanTimePreservedApproximately) {
+  Rng rng(3);
+  Trace t;
+  t.kind = TraceKind::kLink;
+  t.duration = TimeNs::seconds(5);
+  t.stamps = dist_packets(1000, TimeNs::zero(), t.duration, rng);
+  const Trace a = anneal(t, {.sigma = 2.0, .strength = 1.0});
+  double mt = 0, ma = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    mt += static_cast<double>(t.stamps[i].ns());
+    ma += static_cast<double>(a.stamps[i].ns());
+  }
+  EXPECT_NEAR(ma / mt, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace ccfuzz::trace

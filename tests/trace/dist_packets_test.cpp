@@ -1,0 +1,141 @@
+// Property tests for DistPackets (paper Fig 2): packet conservation,
+// ordering, window containment, and the rate-variation envelope.
+#include "trace/dist_packets.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/trace.h"
+
+namespace ccfuzz::trace {
+namespace {
+
+TEST(DistPackets, EmptyAndTrivialCases) {
+  Rng rng(1);
+  EXPECT_TRUE(dist_packets(0, TimeNs::zero(), TimeNs::seconds(1), rng).empty());
+  EXPECT_TRUE(dist_packets(5, TimeNs::seconds(1), TimeNs::seconds(1), rng).empty());
+  const auto one = dist_packets(1, TimeNs::millis(100), TimeNs::millis(200), rng);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], TimeNs::millis(150));  // midpoint
+}
+
+TEST(DistPackets, Deterministic) {
+  Rng a(42), b(42);
+  const auto ta = dist_packets(1000, TimeNs::zero(), TimeNs::seconds(5), a);
+  const auto tb = dist_packets(1000, TimeNs::zero(), TimeNs::seconds(5), b);
+  EXPECT_EQ(ta, tb);
+}
+
+/// Sweep across packet counts and durations: every output must conserve
+/// the count, be sorted, and stay inside the window.
+class DistPacketsProperty
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {};
+
+TEST_P(DistPacketsProperty, ConservesCountSortedInWindow) {
+  const auto [num, duration_ms] = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const TimeNs end = TimeNs::millis(duration_ms);
+    const auto stamps = dist_packets(num, TimeNs::zero(), end, rng);
+    ASSERT_EQ(stamps.size(), static_cast<std::size_t>(num));
+    EXPECT_TRUE(std::is_sorted(stamps.begin(), stamps.end()));
+    if (!stamps.empty()) {
+      EXPECT_GE(stamps.front(), TimeNs::zero());
+      EXPECT_LE(stamps.back(), end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistPacketsProperty,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 2, 10, 100, 1000, 5000),
+                       ::testing::Values<std::int64_t>(50, 500, 5000)));
+
+TEST(DistPackets, LongTermRateStaysWithinEnvelope) {
+  // Fig 3a: with constraints on, the cumulative curve hugs the average.
+  // Check rate over each half: the recursive 0.5–2× bound applies to the
+  // first split, so each half holds between 25% and 75% of the packets
+  // (tsplit is random, but each side's *rate* is bounded).
+  Rng rng(7);
+  const std::int64_t num = 5000;
+  const TimeNs end = TimeNs::seconds(5);
+  DistPacketsConfig cfg;  // defaults: kAgg 50 ms, [0.5, 2.0]
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto stamps = dist_packets(num, TimeNs::zero(), end, rng, cfg);
+    Trace t{TraceKind::kLink, end, stamps};
+    // Windows of 1 s (well above kAgg): the recursive bound composes, so a
+    // window's rate can drift a few multiples from the mean but not more.
+    for (int w = 0; w < 5; ++w) {
+      const auto count =
+          t.count_in(TimeNs::seconds(w), TimeNs::seconds(w + 1));
+      EXPECT_GT(count, num / 5 / 5) << "window " << w;
+      EXPECT_LT(count, num / 5 * 5) << "window " << w;
+    }
+  }
+}
+
+TEST(DistPackets, UnconstrainedModeAllowsExtremeSkew) {
+  // With constraints off (traffic fuzzing / Fig 5b), extreme mass
+  // imbalance must be reachable across seeds.
+  DistPacketsConfig cfg;
+  cfg.rate_constraints = false;
+  const TimeNs end = TimeNs::seconds(5);
+  bool saw_skew = false;
+  for (std::uint64_t seed = 0; seed < 40 && !saw_skew; ++seed) {
+    Rng rng(seed);
+    const auto stamps = dist_packets(1000, TimeNs::zero(), end, rng, cfg);
+    Trace t{TraceKind::kTraffic, end, stamps};
+    const auto first_half = t.count_in(TimeNs::zero(), TimeNs::millis(2500));
+    if (first_half < 200 || first_half > 800) saw_skew = true;
+  }
+  EXPECT_TRUE(saw_skew);
+}
+
+TEST(DistPackets, SubAggBurstsExist) {
+  // Below kAgg the splits are unconstrained, so bursts (several packets in
+  // a few ms) appear — Fig 3b's jitter structure.
+  Rng rng(11);
+  const auto stamps =
+      dist_packets(5000, TimeNs::zero(), TimeNs::seconds(5), rng);
+  std::int64_t max_in_5ms = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < stamps.size(); ++i) {
+    while (stamps[i].ns() - stamps[j].ns() > 5'000'000) ++j;
+    max_in_5ms = std::max<std::int64_t>(max_in_5ms,
+                                        static_cast<std::int64_t>(i - j + 1));
+  }
+  // Uniform spacing would put 5 packets per 5 ms; bursts exceed that well.
+  EXPECT_GT(max_in_5ms, 10);
+}
+
+TEST(DistPackets, AverageRateMatchesBudget) {
+  Rng rng(13);
+  const auto stamps =
+      dist_packets(5000, TimeNs::zero(), TimeNs::seconds(5), rng);
+  Trace t{TraceKind::kLink, TimeNs::seconds(5), stamps};
+  // 5000 packets × 1500 B over 5 s = 12 Mbps exactly (count conservation).
+  EXPECT_DOUBLE_EQ(t.average_rate_bps(1500), 12e6);
+}
+
+TEST(DistPackets, TightKAggStillTerminates) {
+  Rng rng(17);
+  DistPacketsConfig cfg;
+  cfg.k_agg = DurationNs::nanos(10);  // constraints apply almost everywhere
+  const auto stamps =
+      dist_packets(2000, TimeNs::zero(), TimeNs::millis(100), rng, cfg);
+  EXPECT_EQ(stamps.size(), 2000u);
+}
+
+TEST(DistPackets, HugeKAggIsFullyUnconstrained) {
+  Rng rng(19);
+  DistPacketsConfig cfg;
+  cfg.k_agg = DurationNs::seconds(100);  // never constrained
+  const auto stamps =
+      dist_packets(1000, TimeNs::zero(), TimeNs::seconds(5), rng, cfg);
+  EXPECT_EQ(stamps.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(stamps.begin(), stamps.end()));
+}
+
+}  // namespace
+}  // namespace ccfuzz::trace

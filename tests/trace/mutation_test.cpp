@@ -1,0 +1,180 @@
+// Tests for the GA evolution operators: link mutation (budget-preserving),
+// traffic mutation (budget-respecting), and traffic crossover.
+#include "trace/mutation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ccfuzz::trace {
+namespace {
+
+TEST(LinkTraceModel, GenerateHonoursBudgetAndWindow) {
+  LinkTraceModel model;
+  model.total_packets = 1234;
+  model.duration = TimeNs::seconds(3);
+  Rng rng(1);
+  const Trace t = model.generate(rng);
+  EXPECT_EQ(t.kind, TraceKind::kLink);
+  EXPECT_EQ(t.size(), 1234u);
+  EXPECT_TRUE(t.well_formed() || t.stamps.back() == t.duration);
+}
+
+TEST(LinkTraceModel, MutationPreservesPacketBudget) {
+  LinkTraceModel model;
+  model.total_packets = 500;
+  model.duration = TimeNs::seconds(2);
+  Rng rng(2);
+  Trace t = model.generate(rng);
+  for (int i = 0; i < 50; ++i) {
+    t = model.mutate(t, rng);
+    ASSERT_EQ(t.size(), 500u) << "mutation " << i;
+    ASSERT_TRUE(std::is_sorted(t.stamps.begin(), t.stamps.end()));
+  }
+}
+
+TEST(LinkTraceModel, MutationChangesOnlyOneSide) {
+  LinkTraceModel model;
+  model.total_packets = 1000;
+  model.duration = TimeNs::seconds(5);
+  Rng rng(3);
+  const Trace t = model.generate(rng);
+  const Trace m = model.mutate(t, rng);
+  // Some prefix or suffix of the original survives verbatim.
+  std::size_t common_prefix = 0;
+  while (common_prefix < t.size() && common_prefix < m.size() &&
+         t.stamps[common_prefix] == m.stamps[common_prefix]) {
+    ++common_prefix;
+  }
+  std::size_t common_suffix = 0;
+  while (common_suffix < t.size() && common_suffix < m.size() &&
+         t.stamps[t.size() - 1 - common_suffix] ==
+             m.stamps[m.size() - 1 - common_suffix]) {
+    ++common_suffix;
+  }
+  EXPECT_GT(common_prefix + common_suffix, 0u)
+      << "one side of the split must survive";
+  EXPECT_LT(common_prefix + common_suffix, t.size())
+      << "the other side must change";
+}
+
+TEST(LinkTraceModel, MutationIsDeterministicGivenRngState) {
+  LinkTraceModel model;
+  Rng r1(5), r2(5);
+  const Trace t = model.generate(r1);
+  const Trace t2 = model.generate(r2);
+  const Trace m1 = model.mutate(t, r1);
+  const Trace m2 = model.mutate(t2, r2);
+  EXPECT_EQ(m1.stamps, m2.stamps);
+}
+
+TEST(TrafficTraceModel, GenerateUsesMaxPacketsByDefault) {
+  TrafficTraceModel model;
+  model.max_packets = 300;
+  model.duration = TimeNs::seconds(1);
+  Rng rng(7);
+  const Trace t = model.generate(rng);
+  EXPECT_EQ(t.kind, TraceKind::kTraffic);
+  EXPECT_EQ(t.size(), 300u);
+}
+
+TEST(TrafficTraceModel, InitialPacketsOverride) {
+  TrafficTraceModel model;
+  model.max_packets = 300;
+  model.initial_packets = 50;
+  Rng rng(7);
+  EXPECT_EQ(model.generate(rng).size(), 50u);
+}
+
+TEST(TrafficTraceModel, MutationRespectsBudget) {
+  TrafficTraceModel model;
+  model.max_packets = 200;
+  model.duration = TimeNs::seconds(2);
+  Rng rng(11);
+  Trace t = model.generate(rng);
+  for (int i = 0; i < 100; ++i) {
+    t = model.mutate(t, rng);
+    ASSERT_LE(t.size(), 200u) << "mutation " << i;
+    ASSERT_TRUE(std::is_sorted(t.stamps.begin(), t.stamps.end()));
+  }
+}
+
+TEST(TrafficTraceModel, MutationVariesPacketCount) {
+  // §3.3: mutation resamples the regenerated side's count.
+  TrafficTraceModel model;
+  model.max_packets = 200;
+  model.duration = TimeNs::seconds(2);
+  Rng rng(13);
+  Trace t = model.generate(rng);
+  bool count_changed = false;
+  std::size_t prev = t.size();
+  for (int i = 0; i < 20 && !count_changed; ++i) {
+    t = model.mutate(t, rng);
+    count_changed = t.size() != prev;
+    prev = t.size();
+  }
+  EXPECT_TRUE(count_changed);
+}
+
+TEST(TrafficTraceModel, CrossoverProducesSortedSplice) {
+  TrafficTraceModel model;
+  model.max_packets = 100;
+  model.duration = TimeNs::seconds(1);
+  Rng rng(17);
+  const Trace a = model.generate(rng);
+  const Trace b = model.mutate(a, rng);
+  for (int i = 0; i < 50; ++i) {
+    const Trace child = model.crossover(a, b, rng);
+    ASSERT_TRUE(std::is_sorted(child.stamps.begin(), child.stamps.end()));
+    ASSERT_LE(child.size(), 100u);
+    EXPECT_EQ(child.kind, TraceKind::kTraffic);
+  }
+}
+
+TEST(TrafficTraceModel, CrossoverChildInheritsFromBothParents) {
+  TrafficTraceModel model;
+  model.max_packets = 50;
+  model.duration = TimeNs::seconds(1);
+  Rng rng(19);
+  // Parent A: all packets early; parent B: all packets late.
+  Trace a, b;
+  a.kind = b.kind = TraceKind::kTraffic;
+  a.duration = b.duration = model.duration;
+  for (int i = 0; i < 50; ++i) {
+    a.stamps.push_back(TimeNs::millis(i));         // 0–49 ms
+    b.stamps.push_back(TimeNs::millis(900 + i));   // 900–949 ms
+  }
+  bool saw_mixed = false;
+  for (int i = 0; i < 30 && !saw_mixed; ++i) {
+    const Trace child = model.crossover(a, b, rng);
+    const bool has_early =
+        !child.stamps.empty() && child.stamps.front() < TimeNs::millis(100);
+    const bool has_late =
+        !child.stamps.empty() && child.stamps.back() >= TimeNs::millis(900);
+    saw_mixed = has_early && has_late;
+  }
+  EXPECT_TRUE(saw_mixed);
+}
+
+TEST(TrafficTraceModel, CrossoverCountDriftsTowardRightParent) {
+  // §3.3: the child's total count follows the right-side parent's tail.
+  TrafficTraceModel model;
+  model.max_packets = 1000;
+  model.duration = TimeNs::seconds(1);
+  Rng rng(23);
+  Trace small, large;
+  small.kind = large.kind = TraceKind::kTraffic;
+  small.duration = large.duration = model.duration;
+  for (int i = 0; i < 10; ++i) small.stamps.push_back(TimeNs::millis(i));
+  for (int i = 0; i < 500; ++i) large.stamps.push_back(TimeNs::millis(i));
+  bool saw_shrunk = false, saw_grown = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto n = model.crossover(small, large, rng).size();
+    if (n < 100) saw_shrunk = true;
+    if (n > 100) saw_grown = true;
+  }
+  EXPECT_TRUE(saw_shrunk || saw_grown);
+}
+
+}  // namespace
+}  // namespace ccfuzz::trace

@@ -1,0 +1,86 @@
+// Tests for trace text serialization.
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccfuzz::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.kind = TraceKind::kTraffic;
+  t.duration = TimeNs::seconds(5);
+  t.stamps = {TimeNs::millis(1), TimeNs::millis(500), TimeNs::millis(4999)};
+  return t;
+}
+
+TEST(TraceIo, RoundTripThroughStream) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_trace(ss, t);
+  const Trace r = read_trace(ss);
+  EXPECT_EQ(r.kind, t.kind);
+  EXPECT_EQ(r.duration, t.duration);
+  EXPECT_EQ(r.stamps, t.stamps);
+}
+
+TEST(TraceIo, RoundTripLinkKind) {
+  Trace t = sample_trace();
+  t.kind = TraceKind::kLink;
+  std::stringstream ss;
+  write_trace(ss, t);
+  EXPECT_EQ(read_trace(ss).kind, TraceKind::kLink);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Trace t;
+  t.kind = TraceKind::kLink;
+  t.duration = TimeNs::seconds(1);
+  std::stringstream ss;
+  write_trace(ss, t);
+  const Trace r = read_trace(ss);
+  EXPECT_TRUE(r.stamps.empty());
+  EXPECT_EQ(r.duration, TimeNs::seconds(1));
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream ss("123\n456\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownKind) {
+  std::stringstream ss("# kind bogus\n# duration_ns 10\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnsortedStamps) {
+  std::stringstream ss("# kind link\n# duration_ns 1000000000\n500\n100\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsStampOutsideWindow) {
+  std::stringstream ss("# kind link\n# duration_ns 1000\n2000\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsGarbageTimestampLine) {
+  std::stringstream ss("# kind link\n# duration_ns 1000\nabc\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace t = sample_trace();
+  const std::string path = ::testing::TempDir() + "/ccfuzz_trace_io_test.txt";
+  save_trace(path, t);
+  const Trace r = load_trace(path);
+  EXPECT_EQ(r.stamps, t.stamps);
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/path/trace.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ccfuzz::trace

@@ -1,0 +1,52 @@
+// Unit tests for CSV emission used by figure benches.
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccfuzz {
+namespace {
+
+TEST(CsvWriter, HeaderWrittenOnConstruction) {
+  std::ostringstream os;
+  CsvWriter w(os, {"time_s", "mbps"});
+  EXPECT_EQ(os.str(), "time_s,mbps\n");
+  EXPECT_EQ(w.rows_written(), 0u);
+}
+
+TEST(CsvWriter, RowsAreCommaSeparated) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b", "c"});
+  w.row({1.0, 2.5, 3.0});
+  EXPECT_EQ(os.str(), "a,b,c\n1,2.5,3\n");
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(CsvWriter, VectorRow) {
+  std::ostringstream os;
+  CsvWriter w(os, {"x"});
+  w.row(std::vector<double>{0.125});
+  EXPECT_EQ(os.str(), "x\n0.125\n");
+}
+
+TEST(CsvWriter, LabeledRow) {
+  std::ostringstream os;
+  CsvWriter w(os, {"series", "v1", "v2"});
+  w.row("bbr", {1.0, 2.0});
+  EXPECT_EQ(os.str(), "series,v1,v2\nbbr,1,2\n");
+}
+
+TEST(FormatDouble, RoundTripsTypicalFigureValues) {
+  EXPECT_EQ(format_double(12.0), "12");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(1e-9), "1e-09");
+  EXPECT_EQ(format_double(-3.25), "-3.25");
+}
+
+TEST(FormatDouble, HighPrecisionValuesKeepNineSignificantDigits) {
+  EXPECT_EQ(format_double(1.23456789012345), "1.23456789");
+}
+
+}  // namespace
+}  // namespace ccfuzz

@@ -1,0 +1,103 @@
+// Unit tests for statistics helpers used by scoring functions.
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccfuzz {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, StddevPopulation) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 17.5);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(Stats, PercentileEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 10), 7.0);
+}
+
+TEST(Stats, MeanOfLowestFractionMatchesPaperExample) {
+  // §3.4: "the average of the lowest 20% of the windows".
+  std::vector<double> xs;
+  for (int i = 1; i <= 10; ++i) xs.push_back(i);  // 1..10
+  EXPECT_DOUBLE_EQ(mean_of_lowest_fraction(xs, 0.2), 1.5);  // mean(1,2)
+}
+
+TEST(Stats, MeanOfLowestFractionAlwaysIncludesOneSample) {
+  const std::vector<double> xs{5, 1, 9};
+  EXPECT_DOUBLE_EQ(mean_of_lowest_fraction(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(mean_of_lowest_fraction(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(mean_of_lowest_fraction({}, 0.2), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3, -1, 7};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7);
+  EXPECT_DOUBLE_EQ(min_of({}), 0.0);
+}
+
+TEST(Summary, AccumulatesRunningStats) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  s.add(2);
+  s.add(8);
+  s.add(5);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(WindowedRate, CountsEventsPerWindow) {
+  // Events at 0.1s..0.4s; windows of 0.25s over [0, 1).
+  const std::vector<double> times{0.1, 0.2, 0.3, 0.4};
+  const auto rates = windowed_rate(times, 0.0, 1.0, 0.25);
+  ASSERT_EQ(rates.size(), 4u);
+  EXPECT_DOUBLE_EQ(rates[0], 2 / 0.25);  // 0.1, 0.2
+  EXPECT_DOUBLE_EQ(rates[1], 2 / 0.25);  // 0.3, 0.4
+  EXPECT_DOUBLE_EQ(rates[2], 0.0);
+  EXPECT_DOUBLE_EQ(rates[3], 0.0);
+}
+
+TEST(WindowedRate, IgnoresEventsOutsideRange) {
+  const std::vector<double> times{-0.5, 0.1, 1.5};
+  const auto rates = windowed_rate(times, 0.0, 1.0, 0.5);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);  // only 0.1
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+}
+
+TEST(WindowedRate, PartialLastWindowUsesItsRealWidth) {
+  // Range 0.9s with window 0.5s → windows [0,0.5), [0.5,0.9).
+  const std::vector<double> times{0.6, 0.7};
+  const auto rates = windowed_rate(times, 0.0, 0.9, 0.5);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_NEAR(rates[1], 2 / 0.4, 1e-9);
+}
+
+}  // namespace
+}  // namespace ccfuzz

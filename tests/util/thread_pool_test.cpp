@@ -1,0 +1,76 @@
+// Unit tests for the fork/join thread pool used by the parallel evaluator.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace ccfuzz {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) {
+    ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ResultsByIndexAreDeterministic) {
+  ThreadPool pool(8);
+  std::vector<std::uint64_t> out(500);
+  pool.parallel_for(500, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, SequentialBatchesDoNotInterfere) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+  sum = 0;
+  pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::vector<int> out(50, 0);
+  pool.parallel_for(50, [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 50);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  ThreadPool& a = global_thread_pool();
+  ThreadPool& b = global_thread_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1u);
+}
+
+TEST(ThreadPool, NestedWorkFromCallerThread) {
+  // parallel_for must be callable repeatedly with work that itself takes
+  // non-trivial time, without deadlocking.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(64, [&](std::size_t) {
+      volatile double x = 1.0;
+      for (int i = 0; i < 1000; ++i) x = x * 1.000001;
+      total++;
+    });
+  }
+  EXPECT_EQ(total.load(), 20 * 64);
+}
+
+}  // namespace
+}  // namespace ccfuzz

@@ -1,0 +1,82 @@
+// Unit tests for the strong time/duration/rate types.
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace ccfuzz {
+namespace {
+
+TEST(DurationNs, FactoryUnitsAreExact) {
+  EXPECT_EQ(DurationNs::nanos(7).ns(), 7);
+  EXPECT_EQ(DurationNs::micros(3).ns(), 3'000);
+  EXPECT_EQ(DurationNs::millis(20).ns(), 20'000'000);
+  EXPECT_EQ(DurationNs::seconds(5).ns(), 5'000'000'000);
+}
+
+TEST(DurationNs, FractionalSecondsRoundToNearest) {
+  EXPECT_EQ(DurationNs::from_seconds_f(0.001).ns(), 1'000'000);
+  EXPECT_EQ(DurationNs::from_seconds_f(1e-9).ns(), 1);
+  EXPECT_EQ(DurationNs::from_seconds_f(-0.001).ns(), -1'000'000);
+  EXPECT_EQ(DurationNs::from_seconds_f(0.25e-9 * 2).ns(), 1);  // 0.5 rounds up
+}
+
+TEST(DurationNs, ArithmeticAndComparison) {
+  const DurationNs a = DurationNs::millis(3);
+  const DurationNs b = DurationNs::millis(2);
+  EXPECT_EQ((a + b).ns(), 5'000'000);
+  EXPECT_EQ((a - b).ns(), 1'000'000);
+  EXPECT_EQ((a * 4).ns(), 12'000'000);
+  EXPECT_EQ((a / 3).ns(), 1'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(-a, DurationNs::millis(-3));
+}
+
+TEST(DurationNs, ScaledRoundsToNearestNs) {
+  EXPECT_EQ(DurationNs::nanos(10).scaled(0.25).ns(), 3);  // 2.5 → 3
+  EXPECT_EQ(DurationNs::nanos(100).scaled(1.5).ns(), 150);
+}
+
+TEST(DurationNs, InfiniteIsSticky) {
+  EXPECT_TRUE(DurationNs::infinite().is_infinite());
+  EXPECT_FALSE(DurationNs::millis(1).is_infinite());
+  EXPECT_TRUE(DurationNs::zero().is_zero());
+}
+
+TEST(TimeNs, PointArithmetic) {
+  const TimeNs t = TimeNs::millis(100);
+  EXPECT_EQ((t + DurationNs::millis(20)).ns(), TimeNs::millis(120).ns());
+  EXPECT_EQ((t - DurationNs::millis(20)).ns(), TimeNs::millis(80).ns());
+  EXPECT_EQ((TimeNs::millis(150) - t).ns(), DurationNs::millis(50).ns());
+  EXPECT_LT(t, TimeNs::millis(101));
+}
+
+TEST(DataRate, TransferTimeMatchesPaperConstants) {
+  // The paper's setup: 12 Mbps, 1500 B frames → exactly 1 ms per packet.
+  const DataRate r = DataRate::mbps(12);
+  EXPECT_EQ(r.transfer_time(1500), DurationNs::millis(1));
+  EXPECT_EQ(r.transfer_time(750), DurationNs::micros(500));
+}
+
+TEST(DataRate, FromBytesPerInterval) {
+  EXPECT_EQ(DataRate::from_bytes_per(1500, DurationNs::millis(1)),
+            DataRate::mbps(12));
+}
+
+TEST(DataRate, ScaledAppliesGain) {
+  EXPECT_EQ(DataRate::mbps(12).scaled(1.25), DataRate::mbps(15));
+  EXPECT_EQ(DataRate::mbps(12).scaled(0.75), DataRate::mbps(9));
+}
+
+TEST(DataRate, MbpsConversion) {
+  EXPECT_DOUBLE_EQ(DataRate::kbps(1500).mbps_f(), 1.5);
+}
+
+TEST(TimeStrings, ToStringProducesReadableUnits) {
+  EXPECT_FALSE(DurationNs::millis(3).to_string().empty());
+  EXPECT_FALSE(TimeNs::seconds(2).to_string().empty());
+  EXPECT_FALSE(DataRate::mbps(12).to_string().empty());
+}
+
+}  // namespace
+}  // namespace ccfuzz

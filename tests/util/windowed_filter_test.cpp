@@ -1,0 +1,90 @@
+// Unit tests for the Kathleen Nichols windowed min/max filter (the BBR
+// bandwidth max-filter and min-RTT filter).
+#include "util/windowed_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace ccfuzz {
+namespace {
+
+TEST(WindowedMax, TracksRunningMax) {
+  WindowedMax<double, std::int64_t> f(10);
+  EXPECT_DOUBLE_EQ(f.update(5.0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(f.update(3.0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(f.update(7.0, 2), 7.0);
+  EXPECT_DOUBLE_EQ(f.get(), 7.0);
+}
+
+TEST(WindowedMax, BestSampleAgesOut) {
+  WindowedMax<double, std::int64_t> f(10);
+  f.update(100.0, 0);
+  // Keep feeding lower samples; after the window passes, 100 must expire.
+  for (std::int64_t t = 1; t <= 10; ++t) f.update(10.0, t);
+  EXPECT_DOUBLE_EQ(f.get(), 100.0);  // age == window: still valid
+  f.update(10.0, 11);                // age > window: expired
+  EXPECT_DOUBLE_EQ(f.get(), 10.0);
+}
+
+TEST(WindowedMax, ThisIsTheBbrStallFilterDynamic) {
+  // The paper's §4.1 collapse: 10 rounds of low samples after corrupted
+  // round-clocking age out the genuine 12 Mbps (1000 pps) estimate.
+  WindowedMax<double, std::int64_t> f(10);
+  std::int64_t round = 0;
+  for (; round < 5; ++round) f.update(1000.0, round);
+  EXPECT_DOUBLE_EQ(f.get(), 1000.0);
+  double est = f.get();
+  for (int i = 0; i < 11; ++i) est = f.update(10.0, ++round);
+  EXPECT_DOUBLE_EQ(est, 10.0);
+}
+
+TEST(WindowedMax, GracefulDegradationThroughSecondBest) {
+  WindowedFilter<int, std::int64_t, MaxFilterTag> f(100);
+  f.update(90, 0);
+  f.update(70, 30);  // second-best candidate, later in window
+  f.update(50, 60);
+  EXPECT_EQ(f.get(), 90);
+  // Push time past the best sample's expiry: estimate degrades to 70.
+  f.update(10, 101);
+  EXPECT_EQ(f.get(), 70);
+}
+
+TEST(WindowedMin, TracksRunningMin) {
+  WindowedMin<int, std::int64_t> f(10);
+  EXPECT_EQ(f.update(40, 0), 40);
+  EXPECT_EQ(f.update(42, 1), 40);
+  EXPECT_EQ(f.update(35, 2), 35);
+}
+
+TEST(WindowedMin, MinExpiresAndRecovers) {
+  WindowedMin<int, std::int64_t> f(10);
+  f.update(5, 0);
+  for (std::int64_t t = 1; t <= 11; ++t) f.update(50, t);
+  EXPECT_EQ(f.get(), 50);
+}
+
+TEST(WindowedFilter, ResetInstallsSingleEstimate) {
+  WindowedMax<double, std::int64_t> f(10);
+  f.update(3.0, 0);
+  f.reset(42.0, 5);
+  EXPECT_DOUBLE_EQ(f.get(), 42.0);
+  EXPECT_EQ(f.best_time(), 5);
+}
+
+TEST(WindowedFilter, WholePipelineExpiryResets) {
+  WindowedMax<double, std::int64_t> f(10);
+  f.update(100.0, 0);
+  // A sample far beyond the window resets the whole filter to it.
+  f.update(1.0, 1000);
+  EXPECT_DOUBLE_EQ(f.get(), 1.0);
+}
+
+TEST(WindowedFilter, EqualSamplesRefreshTimestamp) {
+  WindowedMax<double, std::int64_t> f(10);
+  f.update(10.0, 0);
+  f.update(10.0, 8);  // equal counts as better → refreshes the window
+  f.update(5.0, 12);
+  EXPECT_DOUBLE_EQ(f.get(), 10.0);
+}
+
+}  // namespace
+}  // namespace ccfuzz
