@@ -1,28 +1,25 @@
 // Figure 4d: CC-Fuzz GA progress — mean packets sent over the top-20
 // lowest-throughput traces per generation, default BBR vs the paper's
-// proposed fix (ProbeRTT on RTO).
+// proposed fix (ProbeRTT on RTO). Both cells run in one campaign with the
+// same GA seed (paired initial populations), so the series are directly
+// comparable and the evaluation batches interleave across cells.
 #include <cstdio>
 #include <iostream>
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "cca/registry.h"
-#include "fuzz/fuzzer.h"
+#include "campaign/campaign.h"
 #include "util/csv.h"
 
 using namespace ccfuzz;
 
-namespace {
+int main() {
+  bench::banner("Figure 4d",
+                "GA progress: packets sent, default BBR vs ProbeRTT-on-RTO");
 
-std::vector<fuzz::GenStats> run_ga(const char* cca_name, std::uint64_t seed) {
   scenario::ScenarioConfig scfg;
   scfg.duration = TimeNs::seconds(5);
   scfg.net.queue_capacity = 50;
-
-  trace::TrafficTraceModel tm;
-  tm.max_packets = 3000;
-  tm.initial_packets = 1500;
-  tm.duration = scfg.duration;
 
   fuzz::GaConfig gcfg;
   gcfg.population = static_cast<int>(bench::env_long("CCFUZZ_POP", 48));
@@ -32,25 +29,20 @@ std::vector<fuzz::GenStats> run_ga(const char* cca_name, std::uint64_t seed) {
   gcfg.crossover_fraction = 0.3;
   gcfg.migration_interval = 10;
   gcfg.migration_fraction = 0.1;
-  gcfg.seed = seed;
+  gcfg.seed = 42;
 
-  fuzz::TraceEvaluator ev(
-      scfg, cca::make_factory(cca_name),
-      std::make_shared<fuzz::LowSendRateScore>(),
-      fuzz::TraceScoreWeights{.per_packet = 1e-4, .per_drop = 1e-3});
-  fuzz::Fuzzer fuzzer(gcfg, std::make_shared<fuzz::TrafficModel>(tm), ev);
-  std::vector<fuzz::GenStats> out;
-  for (int g = 0; g < gcfg.max_generations; ++g) out.push_back(fuzzer.step());
-  return out;
-}
+  campaign::CampaignConfig cfg;
+  cfg.ccas({"bbr", "bbr-probertt-on-rto"})
+      .modes({scenario::FuzzMode::kTraffic})
+      .base_scenario(scfg)
+      .score(std::make_shared<fuzz::LowSendRateScore>(),
+             {.per_packet = 1e-4, .per_drop = 1e-3})
+      .ga(gcfg);
 
-}  // namespace
-
-int main() {
-  bench::banner("Figure 4d",
-                "GA progress: packets sent, default BBR vs ProbeRTT-on-RTO");
-  const auto def = run_ga("bbr", 42);
-  const auto fix = run_ga("bbr-probertt-on-rto", 42);
+  campaign::Campaign c(cfg);
+  const auto& report = c.run();
+  const auto& def = report.cells[0].history;
+  const auto& fix = report.cells[1].history;
 
   CsvWriter csv(std::cout,
                 {"generation", "bbr_top20_packets_sent",

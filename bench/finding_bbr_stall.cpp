@@ -5,6 +5,7 @@
 
 #include "analysis/timeline.h"
 #include "bench/bench_util.h"
+#include "campaign/panel.h"
 #include "cca/registry.h"
 #include "scenario/crafted.h"
 #include "util/csv.h"
@@ -28,16 +29,17 @@ int main() {
 
   CsvWriter csv(std::cout, {"cca", "goodput_mbps", "stalled", "rtos",
                             "spurious_retx", "premature_round_ends"});
-  for (const char* name : {"bbr", "bbr-probertt-on-rto", "bbr-linux-strict",
-                           "reno", "cubic"}) {
-    const auto run = scenario::run_scenario(cfg, cca::make_factory(name),
-                                            crafted.trace);
+  const auto panel = campaign::evaluate_panel(
+      cfg, {"bbr", "bbr-probertt-on-rto", "bbr-linux-strict", "reno", "cubic"},
+      crafted.trace);
+  for (const auto& row : panel) {
+    const auto& run = row.run;
     const auto d = analysis::stall_diagnostics(run.tcp_log);
-    csv.row(name, {run.goodput_mbps(),
-                   run.stalled(DurationNs::seconds(2)) ? 1.0 : 0.0,
-                   static_cast<double>(d.rtos),
-                   static_cast<double>(d.spurious_retx),
-                   static_cast<double>(d.probe_round_ends)});
+    csv.row(row.label, {run.goodput_mbps(),
+                        run.stalled(DurationNs::seconds(2)) ? 1.0 : 0.0,
+                        static_cast<double>(d.rtos),
+                        static_cast<double>(d.spurious_retx),
+                        static_cast<double>(d.probe_round_ends)});
   }
   std::printf("# shape check: bbr stalls (goodput < 3); reno survives the "
               "same trace.\n");

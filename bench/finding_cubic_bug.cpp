@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "campaign/panel.h"
 #include "cca/registry.h"
 #include "scenario/crafted.h"
 #include "util/csv.h"
@@ -26,12 +27,13 @@ int main() {
 
   CsvWriter csv(std::cout, {"cca", "goodput_mbps", "cca_drops",
                             "retransmissions", "rtos"});
-  for (const char* name : {"cubic-ns3bug", "cubic"}) {
-    const auto run =
-        scenario::run_scenario(cfg, cca::make_factory(name), crafted.trace);
-    csv.row(name, {run.goodput_mbps(), static_cast<double>(run.cca_drops),
-                   static_cast<double>(run.cca_retransmissions),
-                   static_cast<double>(run.rto_count)});
+  const auto panel =
+      campaign::evaluate_panel(cfg, {"cubic-ns3bug", "cubic"}, crafted.trace);
+  for (const auto& row : panel) {
+    const auto& run = row.run;
+    csv.row(row.label, {run.goodput_mbps(), static_cast<double>(run.cca_drops),
+                        static_cast<double>(run.cca_retransmissions),
+                        static_cast<double>(run.rto_count)});
   }
   std::printf("# shape check: cubic-ns3bug suffers more drops than the "
               "clamped (Linux-correct) cubic on the identical trace.\n");

@@ -4,7 +4,7 @@
 
 #include <memory>
 
-#include "cca/registry.h"
+#include "campaign/campaign.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/selection.h"
 
@@ -53,17 +53,16 @@ BENCHMARK(BM_RankSelection);
 
 void BM_FuzzerGeneration(benchmark::State& state) {
   // One full GA generation (24 members, 2 s simulations, parallel).
-  scenario::ScenarioConfig scfg;
-  scfg.duration = TimeNs::seconds(2);
-  fuzz::GaConfig gcfg;
-  gcfg.population = 24;
-  gcfg.islands = 3;
-  gcfg.seed = 11;
+  campaign::CellConfig cell;
+  cell.cca = "reno";
+  cell.scenario.duration = TimeNs::seconds(2);
+  cell.traffic_model = traffic_model();
+  cell.ga.population = 24;
+  cell.ga.islands = 3;
+  cell.ga.seed = 11;
   for (auto _ : state) {
-    fuzz::TraceEvaluator ev(scfg, cca::make_factory("reno"),
-                            std::make_shared<fuzz::LowUtilizationScore>());
-    fuzz::Fuzzer fuzzer(
-        gcfg, std::make_shared<fuzz::TrafficModel>(traffic_model()), ev);
+    fuzz::Fuzzer fuzzer(cell.ga, campaign::make_trace_model(cell),
+                        campaign::make_evaluator(cell));
     benchmark::DoNotOptimize(fuzzer.step().best_score);
   }
 }

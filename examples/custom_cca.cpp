@@ -9,8 +9,8 @@
 #include <cstdio>
 #include <memory>
 
-#include "cca/registry.h"
-#include "fuzz/fuzzer.h"
+#include "campaign/campaign.h"
+#include "scenario/runner.h"
 #include "tcp/congestion_control.h"
 
 using namespace ccfuzz;
@@ -66,40 +66,42 @@ class NaiveVegas final : public tcp::CongestionControl {
 }  // namespace
 
 int main() {
-  scenario::ScenarioConfig scfg;
-  scfg.duration = TimeNs::seconds(5);
+  // A campaign cell for a CCA outside the registry: set `factory` and keep
+  // `cca` as the display name.
+  campaign::CellConfig cell;
+  cell.cca = "naive-vegas";
+  cell.factory = [] { return std::make_unique<NaiveVegas>(); };
+  cell.scenario.mode = scenario::FuzzMode::kTraffic;
+  cell.scenario.duration = TimeNs::seconds(5);
+  cell.score = std::make_shared<fuzz::HighDelayScore>(10.0);
+  cell.trace_weights = {.per_packet = 1e-4};
+  cell.traffic_model.max_packets = 2000;
+  cell.traffic_model.initial_packets = -1;
+  cell.ga.population = 48;
+  cell.ga.islands = 4;
+  cell.ga.max_generations = 8;
+  cell.ga.seed = 3;
 
   // Baseline: how does it do on a clean link?
-  const tcp::CcaFactory factory = [] { return std::make_unique<NaiveVegas>(); };
-  const auto clean = scenario::run_scenario(scfg, factory, {});
+  const auto clean = scenario::run_scenario(cell.scenario, cell.factory, {});
   std::printf("naive-vegas clean-link goodput: %.2f Mbps\n",
               clean.goodput_mbps());
 
-  trace::TrafficTraceModel tm;
-  tm.max_packets = 2000;
-  tm.duration = scfg.duration;
-
-  fuzz::GaConfig gcfg;
-  gcfg.population = 48;
-  gcfg.islands = 4;
-  gcfg.max_generations = 8;
-  gcfg.seed = 3;
-
-  fuzz::TraceEvaluator evaluator(
-      scfg, factory, std::make_shared<fuzz::HighDelayScore>(10.0),
-      fuzz::TraceScoreWeights{.per_packet = 1e-4});
-  fuzz::Fuzzer fuzzer(gcfg, std::make_shared<fuzz::TrafficModel>(tm),
-                      evaluator);
-
   std::printf("fuzzing naive-vegas for persistent queueing delay...\n");
-  for (int g = 0; g < gcfg.max_generations; ++g) {
-    const auto gs = fuzzer.step();
-    std::printf("gen %2d  best p10-delay score=%7.4f s\n", gs.generation,
-                gs.best_score);
+  campaign::CampaignConfig cfg;
+  cfg.add_cell(cell);
+  campaign::Campaign c(cfg);
+  campaign::ConsoleObserver console;
+  c.add_observer(&console);
+  const auto& report = c.run();
+
+  const auto& result = report.cells.front();
+  if (!result.winners.empty()) {
+    const auto& worst = result.winners.front();
+    std::printf("\nworst found: p10 queue delay %.1f ms (vs ~0 on clean "
+                "link) with %lld cross packets\n",
+                worst.eval.p10_delay_s * 1e3,
+                static_cast<long long>(worst.eval.cross_sent));
   }
-  std::printf("\nworst found: p10 queue delay %.1f ms (vs ~0 on clean link) "
-              "with %lld cross packets\n",
-              fuzzer.best().eval.p10_delay_s * 1e3,
-              static_cast<long long>(fuzzer.best().eval.cross_sent));
   return 0;
 }

@@ -1,55 +1,52 @@
-// Link fuzzing (paper §3.2): evolve a bottleneck service curve (fixed
-// packet budget = fixed average bandwidth) that hurts the chosen CCA.
-// Demonstrates trace annealing, which smooths irrelevant link variation so
-// the adversarial structure stands out.
+// Link fuzzing (paper §3.2): a single-cell campaign evolving a bottleneck
+// service curve (fixed packet budget = fixed average bandwidth) that hurts
+// the chosen CCA. Demonstrates trace annealing, which smooths irrelevant
+// link variation so the adversarial structure stands out.
 //
 //   ./fuzz_link [cca]
 #include <cstdio>
 #include <memory>
 #include <string>
 
-#include "cca/registry.h"
-#include "fuzz/fuzzer.h"
+#include "campaign/campaign.h"
 
 using namespace ccfuzz;
 
 int main(int argc, char** argv) {
   const std::string cca_name = argc > 1 ? argv[1] : "reno";
 
-  scenario::ScenarioConfig scfg;
-  scfg.mode = scenario::FuzzMode::kLink;
-  scfg.duration = TimeNs::seconds(5);
-
-  trace::LinkTraceModel lm;
-  lm.total_packets = 5000;  // pins the average bandwidth at 12 Mbps
-  lm.duration = scfg.duration;
-  lm.dist.k_agg = DurationNs::millis(50);
-
-  fuzz::GaConfig gcfg;
-  gcfg.population = 48;
-  gcfg.islands = 4;
-  gcfg.max_generations = 8;
-  gcfg.anneal = true;  // §3.2's optional Gaussian smoothing
-  gcfg.anneal_cfg.sigma = 2.0;
-  gcfg.anneal_cfg.strength = 0.3;
-  gcfg.seed = 2;
-
-  fuzz::TraceEvaluator evaluator(scfg, cca::make_factory(cca_name),
-                                 std::make_shared<fuzz::LowUtilizationScore>());
-  fuzz::Fuzzer fuzzer(gcfg, std::make_shared<fuzz::LinkModel>(lm), evaluator);
+  campaign::CellConfig cell;
+  cell.cca = cca_name;
+  cell.scenario.mode = scenario::FuzzMode::kLink;
+  cell.scenario.duration = TimeNs::seconds(5);
+  // total_packets stays -1: the campaign derives the budget pinning the
+  // scenario's 12 Mbps average bandwidth (5000 packets over 5 s).
+  cell.link_model.dist.k_agg = DurationNs::millis(50);
+  cell.ga.population = 48;
+  cell.ga.islands = 4;
+  cell.ga.max_generations = 8;
+  cell.ga.anneal = true;  // §3.2's optional Gaussian smoothing
+  cell.ga.anneal_cfg.sigma = 2.0;
+  cell.ga.anneal_cfg.strength = 0.3;
+  cell.ga.seed = 2;
 
   std::printf("link-fuzzing %s: evolving a 12 Mbps-average service curve "
               "(no crossover in link mode)\n",
               cca_name.c_str());
-  for (int g = 0; g < gcfg.max_generations; ++g) {
-    const auto gs = fuzzer.step();
-    std::printf("gen %2d  best=%8.3f  mean=%8.3f  top20 goodput=%5.2f Mbps\n",
-                gs.generation, gs.best_score, gs.mean_score,
-                gs.topk_mean_goodput_mbps);
+
+  campaign::CampaignConfig cfg;
+  cfg.add_cell(cell);
+  campaign::Campaign c(cfg);
+  campaign::ConsoleObserver console;
+  c.add_observer(&console);
+  const auto& report = c.run();
+
+  const auto& result = report.cells.front();
+  if (!result.winners.empty()) {
+    std::printf("\nbest link trace drives %s to %.2f Mbps goodput "
+                "(offered average: 12 Mbps)\n",
+                cca_name.c_str(),
+                result.winners.front().eval.goodput_mbps);
   }
-  const auto& best = fuzzer.best();
-  std::printf("\nbest link trace drives %s to %.2f Mbps goodput "
-              "(offered average: 12 Mbps)\n",
-              cca_name.c_str(), best.eval.goodput_mbps);
   return 0;
 }

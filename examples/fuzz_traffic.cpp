@@ -1,26 +1,23 @@
-// Traffic fuzzing (paper §3.3): evolve a cross-traffic pattern that hurts
-// the chosen CCA, then save the best trace for replay.
+// Traffic fuzzing (paper §3.3): a single-cell campaign that evolves a
+// cross-traffic pattern hurting the chosen CCA, then writes the winner
+// traces and history for replay.
 //
-//   ./fuzz_traffic [cca] [objective] [output.trace]
+//   ./fuzz_traffic [cca] [objective] [output-dir]
 //
 // objective: throughput | delay | loss | sendrate
 #include <cstdio>
 #include <memory>
 #include <string>
 
-#include "cca/registry.h"
-#include "fuzz/fuzzer.h"
-#include "trace/trace_io.h"
+#include "campaign/campaign.h"
+#include "trace/hash.h"
 
 using namespace ccfuzz;
 
 int main(int argc, char** argv) {
   const std::string cca_name = argc > 1 ? argv[1] : "bbr";
   const std::string objective = argc > 2 ? argv[2] : "throughput";
-  const std::string out_path = argc > 3 ? argv[3] : "";
-
-  scenario::ScenarioConfig scfg;
-  scfg.duration = TimeNs::seconds(5);
+  const std::string out_dir = argc > 3 ? argv[3] : "";
 
   std::shared_ptr<fuzz::ScoreFunction> score;
   if (objective == "delay") {
@@ -33,45 +30,39 @@ int main(int argc, char** argv) {
     score = std::make_shared<fuzz::LowUtilizationScore>();
   }
 
-  trace::TrafficTraceModel tm;
-  tm.max_packets = 3000;
-  tm.initial_packets = 1500;
-  tm.duration = scfg.duration;
+  campaign::CellConfig cell;
+  cell.cca = cca_name;
+  cell.scenario.mode = scenario::FuzzMode::kTraffic;
+  cell.scenario.duration = TimeNs::seconds(5);
+  cell.score = score;
+  // Negative weight on injected/dropped packets → minimal attack vectors.
+  cell.trace_weights = {.per_packet = 1e-4, .per_drop = 1e-3};
+  cell.ga.population = 60;  // scaled-down defaults; paper uses 500/20/~40
+  cell.ga.islands = 4;
+  cell.ga.max_generations = 10;
+  cell.ga.seed = 1;
 
-  fuzz::GaConfig gcfg;  // scaled-down defaults; paper uses 500/20/~40
-  gcfg.population = 60;
-  gcfg.islands = 4;
-  gcfg.max_generations = 10;
-  gcfg.seed = 1;
+  campaign::CampaignConfig cfg;
+  cfg.add_cell(cell).output_dir(out_dir);
 
-  fuzz::TraceEvaluator evaluator(
-      scfg, cca::make_factory(cca_name), score,
-      fuzz::TraceScoreWeights{.per_packet = 1e-4, .per_drop = 1e-3});
-  fuzz::Fuzzer fuzzer(gcfg, std::make_shared<fuzz::TrafficModel>(tm),
-                      evaluator);
+  campaign::Campaign c(cfg);
+  campaign::ConsoleObserver console;
+  c.add_observer(&console);
+  const auto& report = c.run();
 
-  std::printf("fuzzing %s for %s (%d members, %d islands, %d generations)\n",
-              cca_name.c_str(), score->name(), gcfg.population, gcfg.islands,
-              gcfg.max_generations);
-  for (int g = 0; g < gcfg.max_generations; ++g) {
-    const auto gs = fuzzer.step();
-    std::printf(
-        "gen %2d  best=%9.3f  mean=%9.3f  top20 goodput=%5.2f Mbps  "
-        "stalled=%d\n",
-        gs.generation, gs.best_score, gs.mean_score,
-        gs.topk_mean_goodput_mbps, gs.stalled_count);
+  const auto& result = report.cells.front();
+  if (!result.winners.empty()) {
+    const auto& best = result.winners.front();
+    std::printf("\nbest trace %s: %zu cross packets → %s goodput %.2f Mbps, "
+                "%lld RTOs, p10 delay %.1f ms\n",
+                trace::hash_hex(best.trace_hash).c_str(), best.genome.size(),
+                cca_name.c_str(), best.eval.goodput_mbps,
+                static_cast<long long>(best.eval.rto_count),
+                best.eval.p10_delay_s * 1e3);
   }
-
-  const auto& best = fuzzer.best();
-  std::printf("\nbest trace: %zu cross packets → %s goodput %.2f Mbps, "
-              "%lld RTOs, p10 delay %.1f ms\n",
-              best.genome.size(), cca_name.c_str(), best.eval.goodput_mbps,
-              static_cast<long long>(best.eval.rto_count),
-              best.eval.p10_delay_s * 1e3);
-  if (!out_path.empty()) {
-    trace::save_trace(out_path, best.genome);
-    std::printf("saved to %s (replay with examples/replay_trace)\n",
-                out_path.c_str());
+  if (!out_dir.empty()) {
+    std::printf("saved winners under %s (replay with examples/replay_trace)\n",
+                out_dir.c_str());
   }
   return 0;
 }

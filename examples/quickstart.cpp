@@ -1,67 +1,69 @@
-// Quickstart: simulate one congestion control algorithm over the paper's
-// dumbbell and print a run summary.
+// Quickstart: a full fuzzing campaign in ~20 lines — three CCAs, both fuzz
+// modes (link service curves and cross-traffic schedules), one shared GA
+// budget, with per-cell winners and progress history written as CSV/JSON.
 //
-//   ./quickstart [cca] [cross_packets]
+//   ./quickstart [output-dir] [generations] [population]
 //
-// cca is any registry name (reno, cubic, cubic-ns3bug, bbr,
-// bbr-linux-strict, bbr-probertt-on-rto).
+// The default budget is demo-scale (seconds of wall clock); the paper's
+// scale is population 500, 20 islands, ~40 generations.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
-#include "cca/registry.h"
-#include "scenario/runner.h"
-#include "trace/dist_packets.h"
+#include "campaign/campaign.h"
 
 using namespace ccfuzz;
 
 int main(int argc, char** argv) {
-  const std::string cca_name = argc > 1 ? argv[1] : "bbr";
-  const std::int64_t cross = argc > 2 ? std::atoll(argv[2]) : 0;
-  if (!cca::is_known_cca(cca_name)) {
-    std::fprintf(stderr, "unknown cca '%s'; known:", cca_name.c_str());
-    for (const auto& n : cca::known_ccas()) std::fprintf(stderr, " %s", n.c_str());
-    std::fprintf(stderr, "\n");
+  const std::string out_dir = argc > 1 ? argv[1] : "campaign_out";
+  const int generations = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int population = argc > 3 ? std::atoi(argv[3]) : 24;
+  if (generations < 1 || population < 2) {
+    std::fprintf(stderr,
+                 "usage: quickstart [output-dir] [generations>=1] "
+                 "[population>=2]\n");
     return 1;
   }
 
-  // The paper's setup: 12 Mbps bottleneck, 20 ms propagation, drop-tail
+  // The paper's dumbbell: 12 Mbps bottleneck, 20 ms propagation, drop-tail
   // FIFO, SACK + delayed ACKs, min-RTO 1 s.
-  scenario::ScenarioConfig cfg;
-  cfg.duration = TimeNs::seconds(5);
+  scenario::ScenarioConfig dumbbell;
+  dumbbell.duration = TimeNs::seconds(3);
 
-  // Optional cross traffic: `cross` packets spread over the run with the
-  // paper's DistPackets generator (no rate constraints, like traffic mode).
-  std::vector<TimeNs> trace;
-  if (cross > 0) {
-    Rng rng(42);
-    trace::DistPacketsConfig dcfg;
-    dcfg.rate_constraints = false;
-    trace = trace::dist_packets(cross, TimeNs::zero(), cfg.duration, rng, dcfg);
+  fuzz::GaConfig ga;
+  ga.population = population;
+  ga.islands = 3;
+  ga.max_generations = generations;
+  ga.seed = 42;
+
+  campaign::CampaignConfig cfg;
+  cfg.ccas({"bbr", "cubic", "reno"})
+      .modes({scenario::FuzzMode::kTraffic, scenario::FuzzMode::kLink})
+      .base_scenario(dumbbell)
+      .score(std::make_shared<fuzz::LowUtilizationScore>(),
+             {.per_packet = 1e-4, .per_drop = 1e-3})
+      .ga(ga)
+      .winners(3)
+      .output_dir(out_dir);
+
+  campaign::Campaign c(cfg);
+  campaign::ConsoleObserver console;
+  c.add_observer(&console);
+  const auto& report = c.run();
+
+  std::printf("\n%-28s %12s %10s %8s %6s\n", "cell", "best score",
+              "goodput", "sims", "hits");
+  for (const auto& cell : report.cells) {
+    const double goodput =
+        cell.winners.empty() ? 0.0 : cell.winners.front().eval.goodput_mbps;
+    std::printf("%-28s %12.3f %7.2f Mb %8lld %6lld\n", cell.cell.name.c_str(),
+                cell.best_score(), goodput,
+                static_cast<long long>(cell.simulations),
+                static_cast<long long>(cell.cache_hits));
   }
-
-  const auto run =
-      scenario::run_scenario(cfg, cca::make_factory(cca_name), trace);
-
-  std::printf("%s over 12 Mbps / 20 ms dumbbell for %.0f s\n",
-              cca_name.c_str(), cfg.duration.to_seconds());
-  std::printf("  goodput:          %6.2f Mbps\n", run.goodput_mbps());
-  std::printf("  segments sent:    %6lld (%lld retransmissions)\n",
-              static_cast<long long>(run.cca_sent),
-              static_cast<long long>(run.cca_retransmissions));
-  std::printf("  drops at queue:   %6lld\n",
-              static_cast<long long>(run.cca_drops));
-  std::printf("  RTOs:             %6lld\n",
-              static_cast<long long>(run.rto_count));
-  if (cross > 0) {
-    std::printf("  cross traffic:    %6lld sent, %lld dropped\n",
-                static_cast<long long>(run.cross_sent),
-                static_cast<long long>(run.cross_drops));
-  }
-  const auto delays = run.cca_queue_delays_s();
-  double max_delay = 0;
-  for (double d : delays) max_delay = std::max(max_delay, d);
-  std::printf("  max queue delay:  %6.1f ms\n", max_delay * 1e3);
-  std::printf("  stalled at end:   %s\n",
-              run.stalled(DurationNs::seconds(1)) ? "YES" : "no");
+  std::printf(
+      "\nreport: %s/summary.{csv,json}; per-cell history.csv and winner "
+      "traces (replay with examples/replay_trace)\n",
+      out_dir.c_str());
   return 0;
 }

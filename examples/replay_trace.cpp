@@ -7,8 +7,7 @@
 #include <string>
 
 #include "analysis/timeline.h"
-#include "cca/registry.h"
-#include "scenario/runner.h"
+#include "campaign/panel.h"
 #include "trace/trace_io.h"
 
 using namespace ccfuzz;
@@ -27,8 +26,8 @@ int main(int argc, char** argv) {
   cfg.duration = t.duration;
   cfg.log_tcp_events = true;
 
-  const auto run =
-      scenario::run_scenario(cfg, cca::make_factory(cca_name), t.stamps);
+  const auto rows = campaign::evaluate_panel(cfg, {cca_name}, t.stamps);
+  const auto& run = rows.front().run;
   std::printf("%s vs %s trace (%zu stamps, %.1f s): goodput %.2f Mbps, "
               "%lld RTOs, stalled=%s\n",
               cca_name.c_str(),

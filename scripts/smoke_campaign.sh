@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Smoke test: build the library and run a 2-generation micro-campaign
+# (3 CCAs × 2 modes) end to end, checking the report lands on disk.
+#
+# Usage: scripts/smoke_campaign.sh [build-dir]
+#   CCFUZZ_SANITIZE=1  build with -Dccfuzz_sanitize=ON (ASan + UBSan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-smoke}"
+CMAKE_FLAGS=()
+if [[ "${CCFUZZ_SANITIZE:-0}" == "1" ]]; then
+  CMAKE_FLAGS+=("-Dccfuzz_sanitize=ON")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}" >/dev/null
+cmake --build "$BUILD_DIR" --target quickstart -j"$(nproc)"
+
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+"$BUILD_DIR/examples/quickstart" "$OUT/campaign" 2 12
+
+for f in summary.csv summary.json; do
+  if [[ ! -f "$OUT/campaign/$f" ]]; then
+    echo "smoke campaign FAILED: missing $f" >&2
+    exit 1
+  fi
+done
+# Every cell directory must have a history and at least one winner trace.
+for d in "$OUT"/campaign/*/; do
+  if [[ ! -f "$d/history.csv" || ! -f "$d/winner_0.trace" ]]; then
+    echo "smoke campaign FAILED: incomplete cell report in $d" >&2
+    exit 1
+  fi
+done
+echo "smoke campaign OK ($(ls -d "$OUT"/campaign/*/ | wc -l) cells)"

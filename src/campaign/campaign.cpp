@@ -1,0 +1,410 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
+#include "campaign/report.h"
+#include "cca/registry.h"
+#include "trace/hash.h"
+
+namespace ccfuzz::campaign {
+namespace {
+
+std::uint64_t fnv_str(std::uint64_t h, std::string_view s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= trace::kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_double(std::uint64_t h, double v) {
+  return trace::fnv1a_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t scenario_key(const scenario::ScenarioConfig& s) {
+  std::uint64_t h = trace::kFnvOffset;
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.mode));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.duration.ns()));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.flow_start.ns()));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.total_segments));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.min_rto.ns()));
+  h = trace::fnv1a_u64(h, s.delayed_ack ? 1 : 0);
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.ack_every));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.delack_timeout.ns()));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.initial_cwnd));
+  h = trace::fnv1a_u64(h,
+                       static_cast<std::uint64_t>(s.receive_window_segments));
+  const auto& n = s.net;
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.bottleneck_rate.bits_per_second()));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.bottleneck_delay.ns()));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.ack_path_delay.ns()));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.access_delay.ns()));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.queue_capacity));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.packet_bytes));
+  return h;
+}
+
+/// Cache-sharing identity of a cell's evaluation semantics. Cells agree iff
+/// the same trace is guaranteed the same Evaluation: same registry CCA,
+/// same scenario, the same ScoreFunction *object* (pointer identity — safe
+/// for shared axis entries, conservative for distinct-but-equal instances)
+/// and the same weights. Cells with an opaque custom factory never share.
+std::uint64_t eval_key(const CellConfig& cell, std::size_t cell_index) {
+  std::uint64_t h = trace::kFnvOffset;
+  if (cell.factory) {
+    h = trace::fnv1a_u64(h, 0x1 + cell_index);
+  } else {
+    h = fnv_str(h, cell.cca);
+  }
+  h = trace::fnv1a_u64(h, scenario_key(cell.scenario));
+  h = trace::fnv1a_u64(
+      h, static_cast<std::uint64_t>(
+             reinterpret_cast<std::uintptr_t>(cell.score.get())));
+  h = fnv_double(h, cell.trace_weights.per_packet);
+  h = fnv_double(h, cell.trace_weights.per_drop);
+  return h;
+}
+
+std::uint64_t mix_keys(std::uint64_t a, std::uint64_t b) {
+  return trace::fnv1a_u64(trace::fnv1a_u64(trace::kFnvOffset, a), b);
+}
+
+/// Fuzzer's own guards are debug-only asserts; a campaign is user-facing
+/// API, so reject configs that would corrupt the GA before anything runs.
+void validate_cell(const CellConfig& cell) {
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("campaign cell '" + cell.name + "': " + what);
+  };
+  if (cell.ga.population < 2) fail("ga.population must be >= 2");
+  if (cell.ga.islands < 1) fail("ga.islands must be >= 1");
+  if (cell.ga.islands > cell.ga.population) {
+    fail("ga.islands must not exceed ga.population");
+  }
+  if (cell.scenario.duration <= TimeNs::zero()) {
+    fail("scenario.duration must be positive");
+  }
+}
+
+}  // namespace
+
+// --- CampaignConfig ---------------------------------------------------------
+
+std::vector<CellConfig> CampaignConfig::cells() const {
+  std::vector<CellConfig> out;
+
+  std::vector<NamedScenario> scenarios = scenarios_;
+  if (scenarios.empty()) scenarios.push_back({"", base_scenario_});
+  std::vector<NamedScore> scores = scores_;
+  if (scores.empty()) {
+    // One shared default instance, so same-scenario cells share cache
+    // entries (the eval key uses score object identity).
+    scores.push_back({"", std::make_shared<fuzz::LowUtilizationScore>(), {}});
+  }
+
+  for (const auto& cca : ccas_) {
+    if (!cca::is_known_cca(cca)) {
+      cca::make_factory(cca);  // throws, listing the known names
+    }
+    for (const auto mode : modes_) {
+      for (const auto& sc : scenarios) {
+        for (const auto& score : scores) {
+          CellConfig cell;
+          cell.cca = cca;
+          cell.scenario = sc.config;
+          cell.scenario.mode = mode;
+          cell.score = score.score;
+          cell.trace_weights = score.weights;
+          cell.ga = ga_;
+          cell.link_model = link_model_;
+          cell.traffic_model = traffic_model_;
+          cell.winners = winners_;
+          cell.name = cca;
+          cell.name += '.';
+          cell.name += scenario::to_string(mode);
+          if (!sc.name.empty()) {
+            cell.name += '.';
+            cell.name += sc.name;
+          }
+          cell.name += '.';
+          cell.name += score.name.empty() ? score.score->name() : score.name;
+          out.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+
+  // One shared default score across explicit cells too: the eval-cache key
+  // uses score object identity, so per-cell instances would stop identical
+  // add_cell() cells (e.g. a seed sweep) from sharing cached evaluations.
+  std::shared_ptr<const fuzz::ScoreFunction> default_score;
+  for (CellConfig cell : explicit_cells_) {
+    if (!cell.factory && !cca::is_known_cca(cell.cca)) {
+      cca::make_factory(cell.cca);  // throws, listing the known names
+    }
+    if (!cell.score) {
+      if (!default_score) {
+        default_score = std::make_shared<fuzz::LowUtilizationScore>();
+      }
+      cell.score = default_score;
+    }
+    if (cell.name.empty()) {
+      cell.name = cell.cca;
+      cell.name += '.';
+      cell.name += scenario::to_string(cell.scenario.mode);
+      cell.name += '.';
+      cell.name += cell.score->name();
+    }
+    out.push_back(std::move(cell));
+  }
+
+  if (out.empty()) {
+    throw std::invalid_argument(
+        "campaign has no cells: set ccas() or add_cell()");
+  }
+
+  // Uniquify names deterministically ("x", "x.2", "x.3", ...). Collisions
+  // are detected on the *sanitized* form, since that is what keys the
+  // report's per-cell directories — two names that only differ in
+  // filesystem-unsafe characters must not share a directory.
+  std::unordered_set<std::string> used;
+  for (auto& cell : out) {
+    std::string candidate = cell.name;
+    for (int k = 2; !used.insert(sanitize_cell_name(candidate)).second; ++k) {
+      candidate = cell.name + '.' + std::to_string(k);
+    }
+    cell.name = std::move(candidate);
+  }
+  for (const auto& cell : out) validate_cell(cell);
+  return out;
+}
+
+// --- Cell wiring ------------------------------------------------------------
+
+fuzz::TraceEvaluator make_evaluator(const CellConfig& cell) {
+  tcp::CcaFactory factory =
+      cell.factory ? cell.factory : cca::make_factory(cell.cca);
+  std::shared_ptr<const fuzz::ScoreFunction> score =
+      cell.score ? cell.score : std::make_shared<fuzz::LowUtilizationScore>();
+  return fuzz::TraceEvaluator(cell.scenario, std::move(factory),
+                              std::move(score), cell.trace_weights);
+}
+
+std::shared_ptr<const fuzz::TraceModel> make_trace_model(
+    const CellConfig& cell) {
+  if (cell.scenario.mode == scenario::FuzzMode::kLink) {
+    trace::LinkTraceModel m = cell.link_model;
+    m.duration = cell.scenario.duration;
+    if (m.total_packets <= 0) {
+      // Packet budget pinning the scenario's average bandwidth (§3.2).
+      // Computed in double: the int64 product rate × duration_ns overflows
+      // for Gbps-scale rates over minutes-scale runs.
+      const auto& net = cell.scenario.net;
+      m.total_packets = static_cast<std::int64_t>(
+          static_cast<double>(net.bottleneck_rate.bits_per_second()) /
+          (static_cast<double>(net.packet_bytes) * 8.0) *
+          cell.scenario.duration.to_seconds());
+    }
+    return std::make_shared<fuzz::LinkModel>(m);
+  }
+  trace::TrafficTraceModel m = cell.traffic_model;
+  m.duration = cell.scenario.duration;
+  return std::make_shared<fuzz::TrafficModel>(m);
+}
+
+// --- ConsoleObserver --------------------------------------------------------
+
+std::FILE* ConsoleObserver::stream() const { return out_ ? out_ : stdout; }
+
+void ConsoleObserver::on_campaign_begin(const std::vector<CellConfig>& cells) {
+  std::fprintf(stream(), "campaign: %zu cell%s\n", cells.size(),
+               cells.size() == 1 ? "" : "s");
+  for (const auto& c : cells) {
+    std::fprintf(stream(),
+                 "  %-40s pop=%d islands=%d generations=%d duration=%.0fs\n",
+                 c.name.c_str(), c.ga.population, c.ga.islands,
+                 c.ga.max_generations, c.scenario.duration.to_seconds());
+  }
+}
+
+void ConsoleObserver::on_generation(const CellConfig& cell,
+                                    const fuzz::GenStats& gs) {
+  std::fprintf(stream(),
+               "[%s] gen %2d  best=%9.3f  mean=%9.3f  top20 goodput=%5.2f "
+               "Mbps  stalled=%d\n",
+               cell.name.c_str(), gs.generation, gs.best_score, gs.mean_score,
+               gs.topk_mean_goodput_mbps, gs.stalled_count);
+}
+
+void ConsoleObserver::on_cell_end(const CellResult& result) {
+  std::fprintf(stream(),
+               "[%s] done: best=%.3f  %zu winner%s  %lld sims, %lld cache "
+               "hits\n",
+               result.cell.name.c_str(), result.best_score(),
+               result.winners.size(), result.winners.size() == 1 ? "" : "s",
+               static_cast<long long>(result.simulations),
+               static_cast<long long>(result.cache_hits));
+}
+
+// --- Campaign ---------------------------------------------------------------
+
+struct Campaign::CellState {
+  CellConfig cfg;
+  std::uint64_t key;
+  fuzz::TraceEvaluator evaluator;
+  fuzz::Fuzzer fuzzer;
+  CellResult result;
+  double best_so_far = -1e300;
+  int since_improvement = 0;
+  /// Generations finished; the freshly-bred final population is being
+  /// evaluated so winners reflect it (mirrors the tail of Fuzzer::run()).
+  bool final_pass = false;
+  bool done = false;
+
+  CellState(CellConfig c, std::uint64_t k)
+      : cfg(c),
+        key(k),
+        evaluator(make_evaluator(cfg)),
+        fuzzer(cfg.ga, make_trace_model(cfg), evaluator) {
+    result.cell = cfg;
+    // Mirror Fuzzer::run() for a zero-generation budget: no generations,
+    // but the initial population is still evaluated for winners.
+    if (cfg.ga.max_generations <= 0) final_pass = true;
+  }
+};
+
+Campaign::~Campaign() = default;
+
+Campaign::Campaign(const CampaignConfig& cfg)
+    : cell_cfgs_(cfg.cells()),
+      output_dir_(cfg.output_dir()),
+      parallel_(cfg.parallel()) {
+  cells_.reserve(cell_cfgs_.size());
+  for (std::size_t i = 0; i < cell_cfgs_.size(); ++i) {
+    cells_.push_back(
+        std::make_unique<CellState>(cell_cfgs_[i], eval_key(cell_cfgs_[i], i)));
+  }
+}
+
+void Campaign::finish_cell(CellState& cell) {
+  // Rank the final population together with the best member *ever*
+  // observed: without elitism the best trace can be bred away before the
+  // last generation, and losing it from the report would be silent. best()
+  // predates the final-pass evaluation, so it must be re-ranked against the
+  // final population, not assumed to lead it.
+  auto top = cell.fuzzer.top_members(std::numeric_limits<std::size_t>::max());
+  if (cell.fuzzer.best().evaluated) {
+    top.push_back(cell.fuzzer.best());
+    std::stable_sort(top.begin(), top.end(),
+                     [](const fuzz::Member& a, const fuzz::Member& b) {
+                       return a.eval.score.total() > b.eval.score.total();
+                     });
+  }
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& m : top) {
+    if (cell.result.winners.size() >= cell.cfg.winners) break;
+    const std::uint64_t h = trace::hash(m.genome);
+    if (!seen.insert(h).second) continue;
+    cell.result.winners.push_back({m.genome, m.eval, h});
+  }
+  cell.done = true;
+  for (auto* o : observers_) o->on_cell_end(cell.result);
+}
+
+const CampaignReport& Campaign::run() {
+  if (ran_) return report_;
+  ran_ = true;
+  for (auto* o : observers_) o->on_campaign_begin(cell_cfgs_);
+
+  struct Job {
+    CellState* cell;
+    fuzz::Member* member;
+    std::uint64_t key;
+  };
+
+  while (true) {
+    // Gather every active cell's pending members into one flat batch.
+    // Repeats — a genome already in the cache, or the same genome reaching
+    // two equivalent cells in this batch — are filled by copy, not
+    // re-simulated.
+    std::vector<Job> jobs;
+    std::vector<Job> copies;
+    std::unordered_set<std::uint64_t> batch_keys;
+    bool any_active = false;
+    for (auto& cp : cells_) {
+      CellState& cell = *cp;
+      if (cell.done) continue;
+      any_active = true;
+      const auto pending = cell.fuzzer.pending_members();
+      for (fuzz::Member* m : pending) {
+        const std::uint64_t key = mix_keys(cell.key, trace::hash(m->genome));
+        if (const auto hit = cache_.find(key); hit != cache_.end()) {
+          m->eval = hit->second;
+          m->evaluated = true;
+          ++cell.result.cache_hits;
+        } else if (!batch_keys.insert(key).second) {
+          copies.push_back({&cell, m, key});
+          ++cell.result.cache_hits;
+        } else {
+          jobs.push_back({&cell, m, key});
+        }
+      }
+      cell.fuzzer.note_external_evaluations(
+          static_cast<std::int64_t>(pending.size()));
+    }
+    if (!any_active) break;
+
+    std::vector<fuzz::BatchItem> items(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      items[i] = {&jobs[i].cell->evaluator, &jobs[i].member->genome,
+                  &jobs[i].member->eval};
+    }
+    fuzz::evaluate_batch(items, parallel_);
+    for (const Job& j : jobs) {
+      j.member->evaluated = true;
+      cache_.emplace(j.key, j.member->eval);
+      ++j.cell->result.simulations;
+    }
+    for (const Job& c : copies) {
+      c.member->eval = cache_.at(c.key);
+      c.member->evaluated = true;
+    }
+
+    // Advance each active cell one generation (or finish it).
+    for (auto& cp : cells_) {
+      CellState& cell = *cp;
+      if (cell.done) continue;
+      if (cell.final_pass) {
+        finish_cell(cell);
+        continue;
+      }
+      const fuzz::GenStats gs = cell.fuzzer.advance_generation();
+      cell.result.history.push_back(gs);
+      for (auto* o : observers_) o->on_generation(cell.cfg, gs);
+      // Termination mirrors Fuzzer::run(): generation budget or patience.
+      bool stop = cell.fuzzer.generation() >= cell.cfg.ga.max_generations;
+      if (gs.best_score > cell.best_so_far + 1e-12) {
+        cell.best_so_far = gs.best_score;
+        cell.since_improvement = 0;
+      } else if (cell.cfg.ga.patience > 0 &&
+                 ++cell.since_improvement >= cell.cfg.ga.patience) {
+        stop = true;
+      }
+      if (stop) cell.final_pass = true;
+    }
+  }
+
+  report_.cells.reserve(cells_.size());
+  for (auto& cp : cells_) report_.cells.push_back(std::move(cp->result));
+  if (!output_dir_.empty()) write_report(report_, output_dir_);
+  for (auto* o : observers_) o->on_campaign_end(report_);
+  return report_;
+}
+
+}  // namespace ccfuzz::campaign

@@ -1,0 +1,278 @@
+// The campaign layer: one entry point for multi-scenario × multi-CCA fuzzing.
+//
+// The paper's workflow (§4) is a matrix — each CCA is fuzzed in each mode
+// under a scoring function — and this subsystem makes that matrix the
+// primary API. A CampaignConfig declares the axes (CCA names × FuzzMode ×
+// scenario variants × score functions) plus per-axis defaults; Campaign
+// expands them into cells, runs every cell's GA, and collects per-cell
+// winners and GenStats history into a CampaignReport (see report.h for
+// CSV/JSON serialization).
+//
+// Scheduling: instead of running cells one after another (each ending in a
+// low-parallelism tail as its last islands drain), the driver advances all
+// cells in lockstep and flattens every cell's pending evaluations into one
+// cross-cell batch on the shared thread pool, so cores stay saturated even
+// when islands are imbalanced. Repeat genomes — identical traces reaching
+// cells with identical evaluation semantics — are served from an evaluation
+// cache keyed by (cell evaluation key, trace::hash) instead of re-simulated.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fuzz/evaluator.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/score.h"
+#include "scenario/config.h"
+#include "trace/mutation.h"
+
+namespace ccfuzz::campaign {
+
+/// One cell of the campaign matrix: one CCA fuzzed in one mode under one
+/// scenario / score / GA configuration.
+struct CellConfig {
+  /// Unique within a campaign; auto-derived ("<cca>.<mode>.<score>") when
+  /// empty.
+  std::string name;
+  /// Registry name (cca::make_factory); display-only when `factory` is set.
+  std::string cca = "bbr";
+  /// Optional explicit factory for CCAs outside the registry (custom_cca
+  /// example). When empty, `cca` is resolved through the registry.
+  tcp::CcaFactory factory;
+  scenario::ScenarioConfig scenario{};
+  /// Defaults to LowUtilizationScore when null.
+  std::shared_ptr<const fuzz::ScoreFunction> score;
+  fuzz::TraceScoreWeights trace_weights{};
+  fuzz::GaConfig ga{};
+  /// Link-mode genome parameters. total_packets <= 0 derives the packet
+  /// budget from the scenario's bottleneck rate (pinning the average
+  /// bandwidth); duration always tracks the scenario.
+  trace::LinkTraceModel link_model{.total_packets = -1};
+  /// Traffic-mode genome parameters (duration tracks the scenario).
+  trace::TrafficTraceModel traffic_model{.max_packets = 3000,
+                                         .initial_packets = 1500};
+  /// Top members serialized per cell, deduped by trace hash.
+  std::size_t winners = 5;
+};
+
+/// Declarative builder for a campaign. Axis setters define a matrix that
+/// cells() expands (every CCA × mode × scenario variant × score); add_cell()
+/// appends explicit cells untouched by the matrix. Matrix cells share the
+/// base GaConfig — including its seed, so same-mode cells start from paired
+/// initial populations and CCAs can be compared on equal footing (the
+/// Fig 4d methodology).
+class CampaignConfig {
+ public:
+  CampaignConfig& ccas(std::vector<std::string> names) {
+    ccas_ = std::move(names);
+    return *this;
+  }
+  CampaignConfig& modes(std::vector<scenario::FuzzMode> modes) {
+    modes_ = std::move(modes);
+    return *this;
+  }
+  /// The scenario used when no named variants are added. Its `mode` is
+  /// overwritten by the mode axis.
+  CampaignConfig& base_scenario(scenario::ScenarioConfig s) {
+    base_scenario_ = s;
+    return *this;
+  }
+  /// Adds a named scenario variant axis entry (e.g. "shallow-queue").
+  CampaignConfig& add_scenario(std::string name, scenario::ScenarioConfig s) {
+    scenarios_.push_back({std::move(name), s});
+    return *this;
+  }
+  /// The score used when no named score variants are added.
+  CampaignConfig& score(std::shared_ptr<const fuzz::ScoreFunction> s,
+                        fuzz::TraceScoreWeights weights = {}) {
+    scores_.clear();
+    scores_.push_back({"", std::move(s), weights});
+    return *this;
+  }
+  /// Adds a named score axis entry; the name defaults to the score's own.
+  CampaignConfig& add_score(std::string name,
+                            std::shared_ptr<const fuzz::ScoreFunction> s,
+                            fuzz::TraceScoreWeights weights = {}) {
+    scores_.push_back({std::move(name), std::move(s), weights});
+    return *this;
+  }
+  CampaignConfig& ga(fuzz::GaConfig cfg) {
+    ga_ = cfg;
+    return *this;
+  }
+  CampaignConfig& link_model(trace::LinkTraceModel m) {
+    link_model_ = m;
+    return *this;
+  }
+  CampaignConfig& traffic_model(trace::TrafficTraceModel m) {
+    traffic_model_ = m;
+    return *this;
+  }
+  CampaignConfig& winners(std::size_t n) {
+    winners_ = n;
+    return *this;
+  }
+  /// Evaluate batches on the global thread pool (on by default).
+  CampaignConfig& parallel(bool on) {
+    parallel_ = on;
+    return *this;
+  }
+  /// Directory for the CSV/JSON report and winner traces; empty disables
+  /// report writing.
+  CampaignConfig& output_dir(std::string dir) {
+    output_dir_ = std::move(dir);
+    return *this;
+  }
+  /// Appends one explicit cell (validated, but not crossed with the axes).
+  CampaignConfig& add_cell(CellConfig cell) {
+    explicit_cells_.push_back(std::move(cell));
+    return *this;
+  }
+
+  /// Expands the matrix and appends explicit cells. Validates CCA names
+  /// (throws std::invalid_argument listing the known ones) and ensures cell
+  /// names are unique. Order is deterministic: cca-major, then mode, then
+  /// scenario variant, then score, then explicit cells.
+  std::vector<CellConfig> cells() const;
+
+  const std::string& output_dir() const { return output_dir_; }
+  bool parallel() const { return parallel_; }
+
+ private:
+  struct NamedScenario {
+    std::string name;
+    scenario::ScenarioConfig config;
+  };
+  struct NamedScore {
+    std::string name;
+    std::shared_ptr<const fuzz::ScoreFunction> score;
+    fuzz::TraceScoreWeights weights;
+  };
+
+  std::vector<std::string> ccas_;
+  std::vector<scenario::FuzzMode> modes_{scenario::FuzzMode::kTraffic};
+  scenario::ScenarioConfig base_scenario_{};
+  std::vector<NamedScenario> scenarios_;
+  std::vector<NamedScore> scores_;
+  fuzz::GaConfig ga_{};
+  trace::LinkTraceModel link_model_{.total_packets = -1};
+  trace::TrafficTraceModel traffic_model_{.max_packets = 3000,
+                                          .initial_packets = 1500};
+  std::size_t winners_ = 5;
+  bool parallel_ = true;
+  std::string output_dir_;
+  std::vector<CellConfig> explicit_cells_;
+};
+
+/// One deduplicated winner trace of a cell.
+struct Finding {
+  trace::Trace genome;
+  fuzz::Evaluation eval;
+  /// trace::hash of the genome — the finding's stable id across runs.
+  std::uint64_t trace_hash = 0;
+};
+
+/// Everything a finished cell produced.
+struct CellResult {
+  CellConfig cell;
+  std::vector<fuzz::GenStats> history;
+  /// Best first, deduped by trace hash; at most `cell.winners` entries.
+  std::vector<Finding> winners;
+  /// Simulations actually run for this cell vs evaluations served from the
+  /// campaign cache (simulations + cache_hits == evaluations consumed).
+  std::int64_t simulations = 0;
+  std::int64_t cache_hits = 0;
+
+  double best_score() const {
+    return winners.empty() ? 0.0 : winners.front().eval.score.total();
+  }
+};
+
+struct CampaignReport {
+  std::vector<CellResult> cells;
+};
+
+/// Progress hooks, replacing the ad-hoc printing the benches used to
+/// hand-roll. Callbacks run on the driver thread, between batches.
+class CampaignObserver {
+ public:
+  virtual ~CampaignObserver() = default;
+  virtual void on_campaign_begin(const std::vector<CellConfig>& cells) {
+    (void)cells;
+  }
+  virtual void on_generation(const CellConfig& cell,
+                             const fuzz::GenStats& gs) {
+    (void)cell;
+    (void)gs;
+  }
+  virtual void on_cell_end(const CellResult& result) { (void)result; }
+  virtual void on_campaign_end(const CampaignReport& report) { (void)report; }
+};
+
+/// Prints one line per generation and a summary per cell to a FILE stream
+/// (stdout by default) — the progress format the examples share.
+class ConsoleObserver final : public CampaignObserver {
+ public:
+  explicit ConsoleObserver(std::FILE* out = nullptr) : out_(out) {}
+
+  void on_campaign_begin(const std::vector<CellConfig>& cells) override;
+  void on_generation(const CellConfig& cell,
+                     const fuzz::GenStats& gs) override;
+  void on_cell_end(const CellResult& result) override;
+
+ private:
+  std::FILE* stream() const;
+  std::FILE* out_;
+};
+
+/// Builds the evaluator for one cell — the single place scenario wiring
+/// (factory, score, weights) happens. Micro benches that exercise the inner
+/// engine directly use this too.
+fuzz::TraceEvaluator make_evaluator(const CellConfig& cell);
+
+/// Builds the GA genome model for one cell, with the trace duration (and,
+/// in link mode, a defaulted packet budget) derived from the scenario.
+std::shared_ptr<const fuzz::TraceModel> make_trace_model(
+    const CellConfig& cell);
+
+/// The campaign driver. Construct from a config, optionally attach
+/// observers, then run() once.
+class Campaign {
+ public:
+  explicit Campaign(const CampaignConfig& cfg);
+  ~Campaign();  // out-of-line: CellState is incomplete here
+
+  /// `obs` is not owned and must outlive run().
+  void add_observer(CampaignObserver* obs) { observers_.push_back(obs); }
+
+  /// Runs every cell to completion (max_generations or patience), then
+  /// writes the report to output_dir (when set) and returns it. Idempotent:
+  /// later calls return the first run's report.
+  const CampaignReport& run();
+
+  const CampaignReport& report() const { return report_; }
+  const std::vector<CellConfig>& cell_configs() const { return cell_cfgs_; }
+
+ private:
+  struct CellState;
+
+  void finish_cell(CellState& cell);
+
+  std::vector<CellConfig> cell_cfgs_;
+  std::vector<std::unique_ptr<CellState>> cells_;
+  /// (cell evaluation key, trace hash) → Evaluation. Cells with identical
+  /// evaluation semantics (same CCA/scenario/score, e.g. a GA-seed sweep)
+  /// share entries.
+  std::unordered_map<std::uint64_t, fuzz::Evaluation> cache_;
+  std::vector<CampaignObserver*> observers_;
+  CampaignReport report_;
+  std::string output_dir_;
+  bool parallel_ = true;
+  bool ran_ = false;
+};
+
+}  // namespace ccfuzz::campaign

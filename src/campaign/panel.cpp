@@ -1,0 +1,40 @@
+#include "campaign/panel.h"
+
+#include "cca/registry.h"
+#include "util/thread_pool.h"
+
+namespace ccfuzz::campaign {
+
+std::vector<PanelRow> evaluate_panel(const scenario::ScenarioConfig& cfg,
+                                     std::vector<PanelJob> jobs,
+                                     bool parallel) {
+  // Resolve factories up front: unknown names throw before any simulation.
+  std::vector<tcp::CcaFactory> factories;
+  factories.reserve(jobs.size());
+  for (const PanelJob& j : jobs) factories.push_back(cca::make_factory(j.cca));
+
+  std::vector<PanelRow> rows(jobs.size());
+  const auto work = [&](std::size_t i) {
+    rows[i].label = jobs[i].label.empty() ? jobs[i].cca : jobs[i].label;
+    rows[i].cca = jobs[i].cca;
+    rows[i].run = scenario::run_scenario(cfg, factories[i], jobs[i].trace);
+  };
+  if (parallel && jobs.size() > 1) {
+    global_thread_pool().parallel_for(jobs.size(), work);
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) work(i);
+  }
+  return rows;
+}
+
+std::vector<PanelRow> evaluate_panel(const scenario::ScenarioConfig& cfg,
+                                     const std::vector<std::string>& ccas,
+                                     const std::vector<TimeNs>& trace,
+                                     bool parallel) {
+  std::vector<PanelJob> jobs;
+  jobs.reserve(ccas.size());
+  for (const std::string& cca : ccas) jobs.push_back({"", cca, trace});
+  return evaluate_panel(cfg, std::move(jobs), parallel);
+}
+
+}  // namespace ccfuzz::campaign

@@ -1,0 +1,46 @@
+// Cross-CCA comparison panels on fixed traces — the findings-bench
+// workflow (§4): the same adversarial trace replayed against a panel of
+// CCAs (or several labelled traces against one CCA), evaluated in parallel
+// through the shared pool. This replaces the per-bench run_scenario loops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/config.h"
+#include "scenario/runner.h"
+
+namespace ccfuzz::campaign {
+
+/// One panel entry: a labelled (CCA, trace) pair run on the shared scenario.
+struct PanelJob {
+  /// Row label in reports/CSV; defaults to the CCA name when empty.
+  std::string label;
+  /// Registry name (cca::make_factory).
+  std::string cca;
+  /// Link service curve or cross-traffic schedule, per the scenario's mode.
+  std::vector<TimeNs> trace;
+};
+
+struct PanelRow {
+  std::string label;
+  std::string cca;
+  /// The full run (panels are small; findings benches need diagnostics,
+  /// recorder access and timelines, not just the compact Evaluation).
+  scenario::RunResult run;
+};
+
+/// Runs every job over `cfg`; rows land in job order (deterministic under
+/// parallelism). CCA names resolve before anything runs, so an unknown name
+/// throws immediately with the known list.
+std::vector<PanelRow> evaluate_panel(const scenario::ScenarioConfig& cfg,
+                                     std::vector<PanelJob> jobs,
+                                     bool parallel = true);
+
+/// Convenience: one trace against many CCAs.
+std::vector<PanelRow> evaluate_panel(const scenario::ScenarioConfig& cfg,
+                                     const std::vector<std::string>& ccas,
+                                     const std::vector<TimeNs>& trace,
+                                     bool parallel = true);
+
+}  // namespace ccfuzz::campaign

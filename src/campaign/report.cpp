@@ -1,0 +1,167 @@
+#include "campaign/report.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/hash.h"
+#include "trace/trace_io.h"
+#include "util/csv.h"
+
+namespace ccfuzz::campaign {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* score_name(const CellConfig& cell) {
+  return cell.score ? cell.score->name() : "low-utilization";
+}
+
+/// RFC-4180 quoting for the hand-rolled summary columns: cell names are
+/// free-form user input and must not be able to shift the row.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_file(const std::filesystem::path& path, const std::string& body) {
+  std::ofstream os(path);
+  os << body;
+  if (!os) {
+    throw std::runtime_error("failed to write " + path.string());
+  }
+}
+
+}  // namespace
+
+std::string sanitize_cell_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string to_json(const CampaignReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const CellResult& r = report.cells[i];
+    const std::string dir = sanitize_cell_name(r.cell.name);
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(r.cell.name) << "\",\n";
+    os << "      \"cca\": \"" << json_escape(r.cell.cca) << "\",\n";
+    os << "      \"mode\": \"" << scenario::to_string(r.cell.scenario.mode)
+       << "\",\n";
+    os << "      \"score\": \"" << json_escape(score_name(r.cell)) << "\",\n";
+    os << "      \"generations\": " << r.history.size() << ",\n";
+    os << "      \"evaluations\": " << (r.simulations + r.cache_hits) << ",\n";
+    os << "      \"simulations\": " << r.simulations << ",\n";
+    os << "      \"cache_hits\": " << r.cache_hits << ",\n";
+    os << "      \"best_score\": " << format_double(r.best_score()) << ",\n";
+    os << "      \"winners\": [\n";
+    for (std::size_t w = 0; w < r.winners.size(); ++w) {
+      const Finding& f = r.winners[w];
+      os << "        {\"hash\": \"" << trace::hash_hex(f.trace_hash)
+         << "\", \"score\": " << format_double(f.eval.score.total())
+         << ", \"goodput_mbps\": " << format_double(f.eval.goodput_mbps)
+         << ", \"trace_packets\": " << f.genome.size()
+         << ", \"rtos\": " << f.eval.rto_count
+         << ", \"stalled\": " << (f.eval.stalled ? "true" : "false")
+         << ", \"trace_file\": \"" << json_escape(dir) << "/winner_" << w
+         << ".trace\"}" << (w + 1 < r.winners.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }" << (i + 1 < report.cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+void write_report(const CampaignReport& report, const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path root(dir);
+  fs::create_directories(root);
+
+  // summary.csv — one row per cell.
+  {
+    std::ostringstream os;
+    os << "cell,cca,mode,score,generations,evaluations,simulations,"
+          "cache_hits,best_score,best_goodput_mbps,winner_hash\n";
+    for (const CellResult& r : report.cells) {
+      os << csv_field(r.cell.name) << ',' << csv_field(r.cell.cca) << ','
+         << scenario::to_string(r.cell.scenario.mode) << ','
+         << csv_field(score_name(r.cell)) << ',' << r.history.size() << ','
+         << (r.simulations + r.cache_hits) << ',' << r.simulations << ','
+         << r.cache_hits << ',' << format_double(r.best_score()) << ','
+         << format_double(r.winners.empty()
+                              ? 0.0
+                              : r.winners.front().eval.goodput_mbps)
+         << ','
+         << (r.winners.empty() ? std::string("-")
+                               : trace::hash_hex(r.winners.front().trace_hash))
+         << '\n';
+    }
+    write_file(root / "summary.csv", os.str());
+  }
+
+  write_file(root / "summary.json", to_json(report));
+
+  for (const CellResult& r : report.cells) {
+    const fs::path cell_dir = root / sanitize_cell_name(r.cell.name);
+    fs::create_directories(cell_dir);
+    {
+      std::ofstream os(cell_dir / "history.csv");
+      CsvWriter csv(os, {"generation", "best_score", "mean_score",
+                         "top20_packets_sent", "top20_goodput_mbps",
+                         "stalled", "evaluations"});
+      for (const fuzz::GenStats& gs : r.history) {
+        csv.row({static_cast<double>(gs.generation), gs.best_score,
+                 gs.mean_score, gs.topk_mean_packets_sent,
+                 gs.topk_mean_goodput_mbps,
+                 static_cast<double>(gs.stalled_count),
+                 static_cast<double>(gs.evaluations)});
+      }
+      if (!os) {
+        throw std::runtime_error("failed to write " +
+                                 (cell_dir / "history.csv").string());
+      }
+    }
+    for (std::size_t w = 0; w < r.winners.size(); ++w) {
+      trace::save_trace(
+          (cell_dir / ("winner_" + std::to_string(w) + ".trace")).string(),
+          r.winners[w].genome);
+    }
+  }
+}
+
+}  // namespace ccfuzz::campaign

@@ -1,0 +1,29 @@
+// Campaign report serialization.
+//
+// A finished campaign is written as a directory tree any plotting or triage
+// tool can consume:
+//
+//   <dir>/summary.csv            one row per cell (score, sims, cache hits)
+//   <dir>/summary.json           the full machine-readable report
+//   <dir>/<cell>/history.csv     per-generation GenStats (Fig 4d series)
+//   <dir>/<cell>/winner_<k>.trace  deduped winner traces (trace_io format,
+//                                  replayable with examples/replay_trace)
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.h"
+
+namespace ccfuzz::campaign {
+
+/// Writes the full report tree under `dir` (created if missing). Throws
+/// std::runtime_error on I/O failure.
+void write_report(const CampaignReport& report, const std::string& dir);
+
+/// The summary.json payload (exposed for tests and embedding).
+std::string to_json(const CampaignReport& report);
+
+/// A cell name made filesystem-safe (anything outside [A-Za-z0-9._-] → '_').
+std::string sanitize_cell_name(const std::string& name);
+
+}  // namespace ccfuzz::campaign

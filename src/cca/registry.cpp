@@ -40,8 +40,13 @@ tcp::CcaFactory make_factory(std::string_view name) {
       return std::make_unique<Bbr>(cfg);
     };
   }
-  throw std::invalid_argument("unknown congestion control: " +
-                              std::string(name));
+  std::string msg = "unknown congestion control '" + std::string(name) +
+                    "'; known:";
+  for (const auto& n : known_ccas()) {
+    msg += ' ';
+    msg += n;
+  }
+  throw std::invalid_argument(msg);
 }
 
 bool is_known_cca(std::string_view name) {

@@ -1,6 +1,7 @@
 #include "fuzz/evaluator.h"
 
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace ccfuzz::fuzz {
 
@@ -24,6 +25,28 @@ Evaluation TraceEvaluator::evaluate(const trace::Trace& t) const {
   e.p10_delay_s = percentile(delays, 10.0);
   e.stalled = run.stalled(DurationNs::seconds(1));
   return e;
+}
+
+std::vector<Evaluation> TraceEvaluator::evaluate_batch(
+    const std::vector<trace::Trace>& ts, bool parallel) const {
+  std::vector<Evaluation> out(ts.size());
+  std::vector<BatchItem> items(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    items[i] = {this, &ts[i], &out[i]};
+  }
+  fuzz::evaluate_batch(items, parallel);
+  return out;
+}
+
+void evaluate_batch(const std::vector<BatchItem>& items, bool parallel) {
+  const auto work = [&](std::size_t i) {
+    *items[i].out = items[i].evaluator->evaluate(*items[i].trace);
+  };
+  if (parallel && items.size() > 1) {
+    global_thread_pool().parallel_for(items.size(), work);
+  } else {
+    for (std::size_t i = 0; i < items.size(); ++i) work(i);
+  }
 }
 
 }  // namespace ccfuzz::fuzz

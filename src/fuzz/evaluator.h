@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "fuzz/score.h"
 #include "scenario/config.h"
@@ -43,6 +44,12 @@ class TraceEvaluator {
   /// Runs the simulation for `t` and scores it.
   Evaluation evaluate(const trace::Trace& t) const;
 
+  /// Evaluates every trace; results land by index, so the output is
+  /// deterministic regardless of thread scheduling. When `parallel`, the
+  /// batch is spread over the global thread pool.
+  std::vector<Evaluation> evaluate_batch(const std::vector<trace::Trace>& ts,
+                                         bool parallel = true) const;
+
   /// Runs the simulation and returns the full result (figure generation).
   scenario::RunResult run_full(const trace::Trace& t) const;
 
@@ -55,5 +62,19 @@ class TraceEvaluator {
   std::shared_ptr<const ScoreFunction> score_;
   TraceScoreWeights trace_weights_;
 };
+
+/// One unit of a heterogeneous evaluation batch: a trace to run under a
+/// specific evaluator, with the result written through `out`.
+struct BatchItem {
+  const TraceEvaluator* evaluator = nullptr;
+  const trace::Trace* trace = nullptr;
+  Evaluation* out = nullptr;
+};
+
+/// Evaluates a mixed batch (items may reference different evaluators) with
+/// results landing by index. This is the campaign scheduler's entry point:
+/// all cells' pending members are flattened into one such batch, so cores
+/// stay saturated even when a single cell or island has a long tail.
+void evaluate_batch(const std::vector<BatchItem>& items, bool parallel = true);
 
 }  // namespace ccfuzz::fuzz

@@ -4,7 +4,6 @@
 #include <cassert>
 
 #include "fuzz/selection.h"
-#include "util/thread_pool.h"
 
 namespace ccfuzz::fuzz {
 namespace {
@@ -43,25 +42,27 @@ Fuzzer::Fuzzer(const GaConfig& cfg, std::shared_ptr<const TraceModel> model,
   }
 }
 
-void Fuzzer::evaluate_all() {
-  // Gather unevaluated members across all islands and evaluate them as one
-  // parallel batch. Results land by index → deterministic regardless of
-  // thread scheduling (§3.6).
+std::vector<Member*> Fuzzer::pending_members() {
   std::vector<Member*> todo;
   for (auto& isl : islands_) {
     for (auto& m : isl.members) {
       if (!m.evaluated) todo.push_back(&m);
     }
   }
-  const auto work = [&](std::size_t i) {
-    todo[i]->eval = evaluator_.evaluate(todo[i]->genome);
-    todo[i]->evaluated = true;
-  };
-  if (cfg_.parallel && todo.size() > 1) {
-    global_thread_pool().parallel_for(todo.size(), work);
-  } else {
-    for (std::size_t i = 0; i < todo.size(); ++i) work(i);
+  return todo;
+}
+
+void Fuzzer::evaluate_all() {
+  // Evaluate unevaluated members across all islands as one parallel batch.
+  // Results land by index → deterministic regardless of thread scheduling
+  // (§3.6).
+  const std::vector<Member*> todo = pending_members();
+  std::vector<BatchItem> items(todo.size());
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    items[i] = {&evaluator_, &todo[i]->genome, &todo[i]->eval};
   }
+  evaluate_batch(items, cfg_.parallel);
+  for (Member* m : todo) m->evaluated = true;
   total_evaluations_ += static_cast<std::int64_t>(todo.size());
 }
 
@@ -172,8 +173,7 @@ GenStats Fuzzer::collect_stats() {
   return gs;
 }
 
-GenStats Fuzzer::step() {
-  evaluate_all();
+GenStats Fuzzer::advance_generation() {
   const GenStats gs = collect_stats();
   history_.push_back(gs);
   ++generation_;
@@ -184,6 +184,11 @@ GenStats Fuzzer::step() {
   }
   for (auto& isl : islands_) breed_island(isl);
   return gs;
+}
+
+GenStats Fuzzer::step() {
+  evaluate_all();
+  return advance_generation();
 }
 
 const std::vector<GenStats>& Fuzzer::run() {

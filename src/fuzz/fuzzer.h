@@ -76,6 +76,26 @@ class Fuzzer {
   /// Returns that generation's stats.
   GenStats step();
 
+  // --- External-scheduler interface (campaign cell batching) ---------------
+  // A campaign runs many Fuzzers at once and wants one flat evaluation batch
+  // across all of them, so cores stay saturated when one cell or island has
+  // a long tail. Per generation it calls pending_members(), fills each
+  // member's `eval`/`evaluated` (from simulation or an evaluation cache),
+  // calls note_external_evaluations(), then advance_generation(). The
+  // resulting GenStats sequence is identical to driving step() directly.
+
+  /// Members awaiting evaluation, in deterministic (island, slot) order.
+  std::vector<Member*> pending_members();
+
+  /// Accounts evaluations performed outside step() so GenStats::evaluations
+  /// matches an in-process run (cache hits count: the uncached run would
+  /// have simulated them).
+  void note_external_evaluations(std::int64_t n) { total_evaluations_ += n; }
+
+  /// Completes a generation whose members were evaluated externally:
+  /// stats → maybe migrate → breed, the exact tail of step().
+  GenStats advance_generation();
+
   /// Runs until max_generations or early-stop; returns the full history.
   const std::vector<GenStats>& run();
 

@@ -20,6 +20,11 @@ enum class FuzzMode {
   kTraffic,
 };
 
+/// Display/report name of a mode ("link" / "traffic").
+constexpr const char* to_string(FuzzMode mode) {
+  return mode == FuzzMode::kLink ? "link" : "traffic";
+}
+
 /// Physical path parameters of the dumbbell.
 struct NetworkConfig {
   /// Bottleneck rate: the fixed rate in traffic mode, and the average rate

@@ -1,0 +1,25 @@
+#include "trace/hash.h"
+
+#include <cstdio>
+
+namespace ccfuzz::trace {
+
+std::uint64_t hash(const Trace& t) {
+  std::uint64_t h = kFnvOffset;
+  h ^= static_cast<std::uint64_t>(t.kind);
+  h *= kFnvPrime;
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(t.duration.ns()));
+  for (const TimeNs& s : t.stamps) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(s.ns()));
+  }
+  return h;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace ccfuzz::trace

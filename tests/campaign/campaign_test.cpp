@@ -1,0 +1,452 @@
+// Tests for the campaign layer: matrix expansion, the batched cross-cell
+// scheduler's equivalence with the plain Fuzzer, the evaluation cache,
+// observers, and report serialization.
+#include "campaign/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "campaign/panel.h"
+#include "campaign/report.h"
+#include "trace/hash.h"
+#include "trace/trace_io.h"
+
+namespace ccfuzz::campaign {
+namespace {
+
+fuzz::GaConfig tiny_ga() {
+  fuzz::GaConfig ga;
+  ga.population = 12;
+  ga.islands = 2;
+  ga.max_generations = 2;
+  ga.seed = 99;
+  return ga;
+}
+
+scenario::ScenarioConfig tiny_scenario() {
+  scenario::ScenarioConfig s;
+  s.duration = TimeNs::seconds(2);
+  s.net.queue_capacity = 25;
+  return s;
+}
+
+CellConfig tiny_cell(const char* cca = "reno") {
+  CellConfig cell;
+  cell.cca = cca;
+  cell.scenario = tiny_scenario();
+  cell.score = std::make_shared<fuzz::LowUtilizationScore>();
+  cell.trace_weights = {.per_packet = 1e-4};
+  cell.traffic_model.max_packets = 200;
+  cell.ga = tiny_ga();
+  return cell;
+}
+
+TEST(CampaignConfig, MatrixExpansionIsCcaMajorAndNamed) {
+  CampaignConfig cfg;
+  cfg.ccas({"bbr", "reno"})
+      .modes({scenario::FuzzMode::kTraffic, scenario::FuzzMode::kLink})
+      .base_scenario(tiny_scenario())
+      .ga(tiny_ga());
+  const auto cells = cfg.cells();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].name, "bbr.traffic.low-utilization");
+  EXPECT_EQ(cells[1].name, "bbr.link.low-utilization");
+  EXPECT_EQ(cells[2].name, "reno.traffic.low-utilization");
+  EXPECT_EQ(cells[3].name, "reno.link.low-utilization");
+  EXPECT_EQ(cells[1].scenario.mode, scenario::FuzzMode::kLink);
+  // Matrix cells share the base seed → paired initial populations.
+  EXPECT_EQ(cells[0].ga.seed, cells[2].ga.seed);
+}
+
+TEST(CampaignConfig, ScoreAndScenarioAxesMultiply) {
+  CampaignConfig cfg;
+  cfg.ccas({"reno"})
+      .modes({scenario::FuzzMode::kTraffic})
+      .add_scenario("deep", tiny_scenario())
+      .add_scenario("shallow", tiny_scenario())
+      .add_score("util", std::make_shared<fuzz::LowUtilizationScore>())
+      .add_score("delay", std::make_shared<fuzz::HighDelayScore>())
+      .ga(tiny_ga());
+  const auto cells = cfg.cells();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].name, "reno.traffic.deep.util");
+  EXPECT_EQ(cells[3].name, "reno.traffic.shallow.delay");
+}
+
+TEST(CampaignConfig, UnknownCcaThrowsListingKnownNames) {
+  CampaignConfig cfg;
+  cfg.ccas({"vegas"}).ga(tiny_ga());
+  try {
+    cfg.cells();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("vegas"), std::string::npos);
+    EXPECT_NE(msg.find("reno"), std::string::npos);
+    EXPECT_NE(msg.find("bbr-probertt-on-rto"), std::string::npos);
+  }
+}
+
+TEST(CampaignConfig, EmptyCampaignThrows) {
+  CampaignConfig cfg;
+  EXPECT_THROW(cfg.cells(), std::invalid_argument);
+}
+
+TEST(CampaignConfig, DegenerateGaConfigThrowsInsteadOfCorruptingTheGa) {
+  CellConfig cell = tiny_cell();
+  cell.ga.population = 0;  // Fuzzer's own guard is a debug-only assert
+  CampaignConfig cfg;
+  cfg.add_cell(cell);
+  EXPECT_THROW(cfg.cells(), std::invalid_argument);
+
+  CellConfig lopsided = tiny_cell();
+  lopsided.ga.population = 4;
+  lopsided.ga.islands = 8;
+  CampaignConfig cfg2;
+  cfg2.add_cell(lopsided);
+  EXPECT_THROW(cfg2.cells(), std::invalid_argument);
+}
+
+TEST(CampaignConfig, NamesCollidingAfterSanitizationAreUniquified) {
+  // "a/b" and "a_b" differ as display names but sanitize to the same
+  // report directory; the second must be suffixed, not overwrite.
+  CellConfig slash = tiny_cell();
+  slash.name = "a/b";
+  CellConfig underscore = tiny_cell();
+  underscore.name = "a_b";
+  CampaignConfig cfg;
+  cfg.add_cell(slash).add_cell(underscore);
+  const auto cells = cfg.cells();
+  EXPECT_NE(sanitize_cell_name(cells[0].name),
+            sanitize_cell_name(cells[1].name));
+}
+
+TEST(CampaignConfig, DuplicateCellNamesAreUniquified) {
+  CampaignConfig cfg;
+  cfg.add_cell(tiny_cell()).add_cell(tiny_cell());
+  const auto cells = cfg.cells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].name, "reno.traffic.low-utilization");
+  EXPECT_EQ(cells[1].name, "reno.traffic.low-utilization.2");
+}
+
+TEST(CellWiring, LinkBudgetDerivedFromScenarioBandwidth) {
+  CellConfig cell = tiny_cell();
+  cell.scenario.mode = scenario::FuzzMode::kLink;
+  const auto model = make_trace_model(cell);
+  Rng rng(1);
+  const auto t = model->generate(rng);
+  // 12 Mbps over 2 s at 1500 B/packet = 2000 service opportunities.
+  EXPECT_EQ(t.size(), 2000u);
+  EXPECT_EQ(t.duration, cell.scenario.duration);
+  EXPECT_FALSE(model->supports_crossover());
+}
+
+TEST(CellWiring, TrafficModelTracksScenarioDuration) {
+  CellConfig cell = tiny_cell();
+  const auto model = make_trace_model(cell);
+  Rng rng(1);
+  EXPECT_EQ(model->generate(rng).duration, cell.scenario.duration);
+  EXPECT_TRUE(model->supports_crossover());
+}
+
+// The scheduler contract: a campaign cell produces the exact GenStats
+// sequence (and final winner) that driving the Fuzzer directly would.
+TEST(Campaign, CellMatchesDirectFuzzerRun) {
+  const CellConfig cell = tiny_cell();
+
+  fuzz::Fuzzer direct(cell.ga, make_trace_model(cell), make_evaluator(cell));
+  const auto direct_history = direct.run();
+
+  CampaignConfig cfg;
+  cfg.add_cell(cell);
+  Campaign c(cfg);
+  const auto& report = c.run();
+  const auto& history = report.cells.front().history;
+
+  ASSERT_EQ(history.size(), direct_history.size());
+  for (std::size_t g = 0; g < history.size(); ++g) {
+    EXPECT_DOUBLE_EQ(history[g].best_score, direct_history[g].best_score);
+    EXPECT_DOUBLE_EQ(history[g].mean_score, direct_history[g].mean_score);
+    EXPECT_EQ(history[g].evaluations, direct_history[g].evaluations);
+    EXPECT_EQ(history[g].stalled_count, direct_history[g].stalled_count);
+  }
+  ASSERT_FALSE(report.cells.front().winners.empty());
+  EXPECT_EQ(report.cells.front().winners.front().trace_hash,
+            trace::hash(direct.top_members(1).front().genome));
+}
+
+TEST(Campaign, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    CampaignConfig cfg;
+    cfg.ccas({"reno", "cubic"})
+        .modes({scenario::FuzzMode::kTraffic})
+        .base_scenario(tiny_scenario())
+        .ga(tiny_ga());
+    Campaign c(cfg);
+    return c.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    ASSERT_EQ(a.cells[i].history.size(), b.cells[i].history.size());
+    for (std::size_t g = 0; g < a.cells[i].history.size(); ++g) {
+      EXPECT_DOUBLE_EQ(a.cells[i].history[g].best_score,
+                       b.cells[i].history[g].best_score);
+      EXPECT_DOUBLE_EQ(a.cells[i].history[g].mean_score,
+                       b.cells[i].history[g].mean_score);
+    }
+    ASSERT_EQ(a.cells[i].winners.size(), b.cells[i].winners.size());
+    for (std::size_t w = 0; w < a.cells[i].winners.size(); ++w) {
+      EXPECT_EQ(a.cells[i].winners[w].trace_hash,
+                b.cells[i].winners[w].trace_hash);
+    }
+  }
+}
+
+// Two cells with identical evaluation semantics (same CCA/scenario/score
+// object/weights) and the same GA seed produce identical genomes, so the
+// second cell must be served entirely from the cache.
+TEST(Campaign, EquivalentCellsShareTheEvaluationCache) {
+  const CellConfig cell = tiny_cell();
+  CampaignConfig cfg;
+  cfg.add_cell(cell).add_cell(cell);
+  Campaign c(cfg);
+  const auto& report = c.run();
+  ASSERT_EQ(report.cells.size(), 2u);
+  const auto& first = report.cells[0];
+  const auto& second = report.cells[1];
+  EXPECT_GT(first.simulations, 0);
+  EXPECT_EQ(second.simulations, 0) << "identical cell must be fully cached";
+  EXPECT_EQ(second.cache_hits, first.simulations + first.cache_hits);
+  // And the cached cell's results are bit-identical.
+  ASSERT_EQ(first.history.size(), second.history.size());
+  for (std::size_t g = 0; g < first.history.size(); ++g) {
+    EXPECT_DOUBLE_EQ(first.history[g].best_score,
+                     second.history[g].best_score);
+  }
+}
+
+TEST(Campaign, DifferentCcasDoNotShareTheCache) {
+  CampaignConfig cfg;
+  cfg.ccas({"reno", "cubic"})
+      .modes({scenario::FuzzMode::kTraffic})
+      .base_scenario(tiny_scenario())
+      .ga(tiny_ga());
+  Campaign c(cfg);
+  const auto& report = c.run();
+  // Paired populations: identical genomes flow to both cells, but the CCA
+  // differs, so each cell must simulate its own evaluations (the odd
+  // within-cell duplicate genome aside).
+  for (const auto& cell : report.cells) {
+    const auto evals = cell.simulations + cell.cache_hits;
+    EXPECT_GT(cell.simulations, 0);
+    EXPECT_GE(cell.simulations, (evals * 4) / 5)
+        << "cross-CCA cache sharing detected";
+  }
+}
+
+TEST(Campaign, WinnersAreDedupedAndSortedBestFirst) {
+  CellConfig cell = tiny_cell();
+  cell.winners = 8;
+  CampaignConfig cfg;
+  cfg.add_cell(cell);
+  Campaign c(cfg);
+  const auto& winners = c.run().cells.front().winners;
+  ASSERT_GE(winners.size(), 2u);
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < winners.size(); ++i) {
+    EXPECT_TRUE(seen.insert(winners[i].trace_hash).second);
+    if (i > 0) {
+      EXPECT_GE(winners[i - 1].eval.score.total(),
+                winners[i].eval.score.total());
+    }
+  }
+}
+
+TEST(Campaign, ZeroGenerationBudgetMirrorsFuzzerRun) {
+  // Fuzzer::run() with max_generations=0 runs no generations but still
+  // evaluates the initial population; the campaign must match.
+  CellConfig cell = tiny_cell();
+  cell.ga.max_generations = 0;
+  CampaignConfig cfg;
+  cfg.add_cell(cell);
+  Campaign c(cfg);
+  const auto& result = c.run().cells.front();
+  EXPECT_TRUE(result.history.empty());
+  ASSERT_FALSE(result.winners.empty()) << "initial population still ranked";
+  EXPECT_EQ(result.simulations + result.cache_hits, cell.ga.population);
+}
+
+TEST(Campaign, WinnersKeepBestEverWithoutElitism) {
+  // Without elites the best trace can be bred out of the final population;
+  // the report must still lead with the best member ever observed.
+  CellConfig cell = tiny_cell();
+  cell.ga.elites_per_island = 0;
+  cell.ga.max_generations = 4;
+  CampaignConfig cfg;
+  cfg.add_cell(cell);
+  Campaign c(cfg);
+  const auto& result = c.run().cells.front();
+  ASSERT_FALSE(result.winners.empty());
+  for (const auto& gs : result.history) {
+    EXPECT_GE(result.best_score(), gs.best_score)
+        << "a generation's best was lost from the winners";
+  }
+}
+
+TEST(Campaign, PatienceStopsCellEarly) {
+  CellConfig cell = tiny_cell();
+  cell.ga.max_generations = 50;
+  cell.ga.patience = 2;
+  CampaignConfig cfg;
+  cfg.add_cell(cell);
+  Campaign c(cfg);
+  EXPECT_LT(c.run().cells.front().history.size(), 50u);
+}
+
+class CountingObserver final : public CampaignObserver {
+ public:
+  void on_campaign_begin(const std::vector<CellConfig>& cells) override {
+    begin_cells = cells.size();
+  }
+  void on_generation(const CellConfig&, const fuzz::GenStats&) override {
+    ++generations;
+  }
+  void on_cell_end(const CellResult&) override { ++cells_ended; }
+  void on_campaign_end(const CampaignReport& r) override {
+    end_cells = r.cells.size();
+  }
+
+  std::size_t begin_cells = 0;
+  int generations = 0;
+  int cells_ended = 0;
+  std::size_t end_cells = 0;
+};
+
+TEST(Campaign, ObserverSeesEveryLifecycleEvent) {
+  CampaignConfig cfg;
+  cfg.add_cell(tiny_cell()).add_cell(tiny_cell("cubic"));
+  Campaign c(cfg);
+  CountingObserver obs;
+  c.add_observer(&obs);
+  c.run();
+  EXPECT_EQ(obs.begin_cells, 2u);
+  EXPECT_EQ(obs.generations, 2 * tiny_ga().max_generations);
+  EXPECT_EQ(obs.cells_ended, 2);
+  EXPECT_EQ(obs.end_cells, 2u);
+}
+
+TEST(Campaign, RunIsIdempotent) {
+  CampaignConfig cfg;
+  cfg.add_cell(tiny_cell());
+  Campaign c(cfg);
+  const auto& a = c.run();
+  const auto& b = c.run();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Report, JsonContainsEveryCellAndWinner) {
+  CampaignConfig cfg;
+  cfg.add_cell(tiny_cell());
+  Campaign c(cfg);
+  const std::string json = to_json(c.run());
+  EXPECT_NE(json.find("\"name\": \"reno.traffic.low-utilization\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"traffic\""), std::string::npos);
+  EXPECT_NE(json.find("\"winners\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"hash\": \""), std::string::npos);
+}
+
+TEST(Report, WritesSummaryHistoryAndReplayableWinners) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "ccfuzz_campaign_report_test";
+  fs::remove_all(dir);
+
+  CampaignConfig cfg;
+  cfg.add_cell(tiny_cell()).output_dir(dir.string());
+  Campaign c(cfg);
+  const auto& report = c.run();
+
+  EXPECT_TRUE(fs::exists(dir / "summary.csv"));
+  EXPECT_TRUE(fs::exists(dir / "summary.json"));
+  const fs::path cell_dir = dir / "reno.traffic.low-utilization";
+  EXPECT_TRUE(fs::exists(cell_dir / "history.csv"));
+  ASSERT_FALSE(report.cells.front().winners.empty());
+  const fs::path winner = cell_dir / "winner_0.trace";
+  ASSERT_TRUE(fs::exists(winner));
+  // Winner traces round-trip through trace_io, hash intact.
+  const auto loaded = trace::load_trace(winner.string());
+  EXPECT_EQ(trace::hash(loaded),
+            report.cells.front().winners.front().trace_hash);
+
+  fs::remove_all(dir);
+}
+
+TEST(Report, SummaryCsvQuotesFreeFormNames) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ccfuzz_csv_escape_test";
+  fs::remove_all(dir);
+
+  CellConfig cell = tiny_cell();
+  cell.name = "reno, shallow \"queue\"";
+  CampaignConfig cfg;
+  cfg.add_cell(cell).output_dir(dir.string());
+  Campaign c(cfg);
+  c.run();
+
+  std::ifstream is(dir / "summary.csv");
+  std::string header, row;
+  std::getline(is, header);
+  std::getline(is, row);
+  EXPECT_NE(row.find("\"reno, shallow \"\"queue\"\"\""), std::string::npos)
+      << row;
+  fs::remove_all(dir);
+}
+
+TEST(Report, SanitizesCellNamesForPaths) {
+  EXPECT_EQ(sanitize_cell_name("bbr.traffic/low utilization"),
+            "bbr.traffic_low_utilization");
+  EXPECT_EQ(sanitize_cell_name("a-b_c.9"), "a-b_c.9");
+}
+
+TEST(Panel, RowsLandInJobOrderWithLabels) {
+  auto cfg = tiny_scenario();
+  const auto rows =
+      evaluate_panel(cfg, {"reno", "cubic", "bbr"}, std::vector<TimeNs>{});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].label, "reno");
+  EXPECT_EQ(rows[1].label, "cubic");
+  EXPECT_EQ(rows[2].label, "bbr");
+  // A clean 12 Mbps link: every CCA should move real data.
+  for (const auto& row : rows) {
+    EXPECT_GT(row.run.goodput_mbps(), 1.0) << row.label;
+  }
+}
+
+TEST(Panel, ParallelAndSerialAgree) {
+  auto cfg = tiny_scenario();
+  const std::vector<TimeNs> trace{TimeNs::millis(500), TimeNs::millis(501)};
+  const auto par = evaluate_panel(cfg, {"reno", "bbr"}, trace, true);
+  const auto ser = evaluate_panel(cfg, {"reno", "bbr"}, trace, false);
+  ASSERT_EQ(par.size(), ser.size());
+  for (std::size_t i = 0; i < par.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par[i].run.goodput_mbps(), ser[i].run.goodput_mbps());
+    EXPECT_EQ(par[i].run.cca_sent, ser[i].run.cca_sent);
+  }
+}
+
+TEST(Panel, UnknownCcaThrowsBeforeRunning) {
+  auto cfg = tiny_scenario();
+  EXPECT_THROW(evaluate_panel(cfg, {"reno", "nope"}, std::vector<TimeNs>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccfuzz::campaign

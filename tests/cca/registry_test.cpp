@@ -41,5 +41,20 @@ TEST(Registry, UnknownNameThrows) {
   EXPECT_THROW(make_factory(""), std::invalid_argument);
 }
 
+TEST(Registry, UnknownNameErrorListsEveryKnownCca) {
+  try {
+    make_factory("vegas");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("vegas"), std::string::npos)
+        << "message should echo the bad name";
+    for (const auto& name : known_ccas()) {
+      EXPECT_NE(msg.find(name), std::string::npos)
+          << "message should list '" << name << "': " << msg;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ccfuzz::cca

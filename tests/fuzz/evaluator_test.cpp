@@ -5,6 +5,7 @@
 
 #include "cca/registry.h"
 #include "trace/mutation.h"
+#include "util/rng.h"
 
 namespace ccfuzz::fuzz {
 namespace {
@@ -77,6 +78,67 @@ TEST(TraceEvaluator, SummaryFieldsPopulated) {
   EXPECT_GT(e.cca_delivered, 0);
   EXPECT_EQ(e.cross_sent, 500);
   EXPECT_GE(e.p10_delay_s, 0.0);
+}
+
+std::vector<trace::Trace> batch_traces(int n) {
+  trace::TrafficTraceModel model;
+  model.max_packets = 300;
+  model.duration = TimeNs::seconds(3);
+  Rng rng(17);
+  std::vector<trace::Trace> ts;
+  for (int i = 0; i < n; ++i) ts.push_back(model.generate(rng));
+  return ts;
+}
+
+TEST(TraceEvaluator, BatchMatchesElementwiseEvaluate) {
+  auto ev = make_evaluator();
+  const auto ts = batch_traces(6);
+  const auto batch = ev.evaluate_batch(ts);
+  ASSERT_EQ(batch.size(), ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const Evaluation single = ev.evaluate(ts[i]);
+    EXPECT_DOUBLE_EQ(batch[i].score.total(), single.score.total());
+    EXPECT_EQ(batch[i].cca_sent, single.cca_sent);
+    EXPECT_EQ(batch[i].rto_count, single.rto_count);
+  }
+}
+
+TEST(TraceEvaluator, BatchDeterministicAcrossCallsAndParallelism) {
+  auto ev = make_evaluator();
+  const auto ts = batch_traces(8);
+  const auto a = ev.evaluate_batch(ts, /*parallel=*/true);
+  const auto b = ev.evaluate_batch(ts, /*parallel=*/true);
+  const auto serial = ev.evaluate_batch(ts, /*parallel=*/false);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].score.total(), b[i].score.total());
+    EXPECT_DOUBLE_EQ(a[i].score.total(), serial[i].score.total());
+    EXPECT_EQ(a[i].cca_sent, serial[i].cca_sent);
+  }
+}
+
+TEST(EvaluateBatch, MixedEvaluatorsLandByIndex) {
+  auto reno = make_evaluator("reno");
+  auto bbr = make_evaluator("bbr");
+  const auto ts = batch_traces(4);
+  std::vector<Evaluation> out(2 * ts.size());
+  std::vector<BatchItem> items;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    items.push_back({&reno, &ts[i], &out[2 * i]});
+    items.push_back({&bbr, &ts[i], &out[2 * i + 1]});
+  }
+  evaluate_batch(items);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[2 * i].score.total(),
+                     reno.evaluate(ts[i]).score.total());
+    EXPECT_DOUBLE_EQ(out[2 * i + 1].score.total(),
+                     bbr.evaluate(ts[i]).score.total());
+  }
+}
+
+TEST(EvaluateBatch, EmptyBatchIsANoop) {
+  evaluate_batch({});
+  auto ev = make_evaluator();
+  EXPECT_TRUE(ev.evaluate_batch({}).empty());
 }
 
 }  // namespace

@@ -179,5 +179,52 @@ TEST(Fuzzer, TopMembersSortedBestFirst) {
   }
 }
 
+TEST(Fuzzer, TopMembersMergeAcrossIslands) {
+  // 24 members over 3 islands of 8: a global top-10 can only exist if the
+  // ranking crosses island boundaries, and it must equal the best-first
+  // sort of the whole evaluated population.
+  Fuzzer f(small_config(), small_traffic_model(), small_evaluator());
+  f.run();  // the trailing evaluate pass leaves the whole population ranked
+  const auto all = f.top_members(1000);
+  const auto top = f.top_members(10);
+  ASSERT_EQ(top.size(), 10u);
+  ASSERT_GT(all.size(), top.size()) << "more than one island must contribute";
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_DOUBLE_EQ(top[i].eval.score.total(), all[i].eval.score.total());
+  }
+  // No island-local ordering artifact: every returned member ranks at least
+  // as high as every excluded one.
+  for (std::size_t i = top.size(); i < all.size(); ++i) {
+    EXPECT_LE(all[i].eval.score.total(), top.back().eval.score.total());
+  }
+  EXPECT_DOUBLE_EQ(top.front().eval.score.total(),
+                   f.best().eval.score.total());
+}
+
+TEST(Fuzzer, StagedSteppingMatchesStep) {
+  // The campaign scheduler's contract: pending_members → external fill →
+  // advance_generation replays step() exactly.
+  auto direct = Fuzzer(small_config(), small_traffic_model(),
+                       small_evaluator());
+  auto staged = Fuzzer(small_config(), small_traffic_model(),
+                       small_evaluator());
+  const TraceEvaluator ev = small_evaluator();
+  for (int g = 0; g < 3; ++g) {
+    const GenStats want = direct.step();
+    const auto pending = staged.pending_members();
+    for (Member* m : pending) {
+      m->eval = ev.evaluate(m->genome);
+      m->evaluated = true;
+    }
+    staged.note_external_evaluations(
+        static_cast<std::int64_t>(pending.size()));
+    const GenStats got = staged.advance_generation();
+    EXPECT_DOUBLE_EQ(got.best_score, want.best_score);
+    EXPECT_DOUBLE_EQ(got.mean_score, want.mean_score);
+    EXPECT_EQ(got.evaluations, want.evaluations);
+    EXPECT_EQ(got.generation, want.generation);
+  }
+}
+
 }  // namespace
 }  // namespace ccfuzz::fuzz

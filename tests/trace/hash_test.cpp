@@ -1,0 +1,85 @@
+// Unit tests for trace::hash — the campaign cache/dedup fingerprint.
+#include "trace/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "trace/mutation.h"
+#include "util/rng.h"
+
+namespace ccfuzz::trace {
+namespace {
+
+Trace make_trace(std::initializer_list<std::int64_t> stamp_ns,
+                 TraceKind kind = TraceKind::kTraffic) {
+  Trace t;
+  t.kind = kind;
+  t.duration = TimeNs::seconds(5);
+  for (auto ns : stamp_ns) t.stamps.push_back(TimeNs(ns));
+  return t;
+}
+
+TEST(TraceHash, StableAcrossCallsAndCopies) {
+  const Trace t = make_trace({1, 2, 3'000'000'000});
+  const Trace copy = t;
+  EXPECT_EQ(hash(t), hash(t));
+  EXPECT_EQ(hash(t), hash(copy));
+}
+
+TEST(TraceHash, StableAcrossRuns) {
+  // The digest is persisted in reports, so it must never change between
+  // builds or platforms. This pins the FNV-1a byte order.
+  EXPECT_EQ(hash(make_trace({})), 0x76c76972b7263c3cULL);
+  EXPECT_EQ(hash(make_trace({1, 2, 3})), 0x47a1268c1bede73cULL);
+}
+
+TEST(TraceHash, SensitiveToEveryField) {
+  const Trace base = make_trace({1, 2, 3});
+  Trace kind = base;
+  kind.kind = TraceKind::kLink;
+  EXPECT_NE(hash(base), hash(kind));
+
+  Trace duration = base;
+  duration.duration = TimeNs::seconds(6);
+  EXPECT_NE(hash(base), hash(duration));
+
+  Trace stamp = base;
+  stamp.stamps[1] = TimeNs(5);
+  EXPECT_NE(hash(base), hash(stamp));
+
+  Trace extra = base;
+  extra.stamps.push_back(TimeNs(7));
+  EXPECT_NE(hash(base), hash(extra));
+}
+
+TEST(TraceHash, PermutationAndZeroPaddingDiffer) {
+  // Order matters (a trace is a sorted sequence, but the hash must not
+  // silently equate unsorted variants) and so does a trailing zero stamp.
+  EXPECT_NE(hash(make_trace({1, 2})), hash(make_trace({2, 1})));
+  EXPECT_NE(hash(make_trace({1, 2})), hash(make_trace({1, 2, 0})));
+  EXPECT_NE(hash(make_trace({0})), hash(make_trace({})));
+}
+
+TEST(TraceHash, CollisionSanityOverGeneratedTraces) {
+  // 2000 GA-generated traces → 2000 distinct digests. Not a proof, but a
+  // regression tripwire for hash-quality mistakes.
+  TrafficTraceModel model;
+  model.max_packets = 200;
+  model.duration = TimeNs::seconds(2);
+  Rng rng(7);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(seen.insert(hash(model.generate(rng))).second)
+        << "collision at trace " << i;
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(TraceHash, HexFormatting) {
+  EXPECT_EQ(hash_hex(0), "0000000000000000");
+  EXPECT_EQ(hash_hex(0xDEADBEEF12345678ULL), "deadbeef12345678");
+}
+
+}  // namespace
+}  // namespace ccfuzz::trace
