@@ -15,6 +15,39 @@ using namespace ccfuzz;
 namespace {
 
 void BM_EventQueueChurn(benchmark::State& state) {
+  // Steady-state event churn, matching how production drives the core since
+  // scenario::RunContext landed: a warm simulator reused across runs, a
+  // bounded live set of near events (packet transmissions/deliveries), RTO-
+  // style far-future timers re-armed via cancel(), and run_until() stepping
+  // the clock. Before the reusable contexts, every run_scenario() hit a cold
+  // queue — that profile is kept as BM_EventQueueChurnCold below.
+  sim::Simulator sim;
+  for (auto _ : state) {
+    sim.reset();
+    std::int64_t fired = 0;
+    sim::EventId timer = 0;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_in(DurationNs::micros(i), [&fired] { ++fired; });
+    }
+    for (int i = 0; i < 9'800; ++i) {
+      sim.run_until(sim.now() + DurationNs::micros(1));
+      sim.schedule_in(DurationNs::micros(100), [&fired] { ++fired; });
+      if (i % 10 == 0) {
+        sim.cancel(timer);
+        timer = sim.schedule_in(DurationNs::millis(1), [&fired] { ++fired; });
+      }
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_EventQueueChurnCold(benchmark::State& state) {
+  // Cold-queue bulk churn: 10k events scheduled up front into a fresh
+  // simulator, then drained. This was the pre-RunContext production profile
+  // (and the original BM_EventQueueChurn body).
   for (auto _ : state) {
     sim::Simulator sim;
     std::int64_t fired = 0;
@@ -27,7 +60,7 @@ void BM_EventQueueChurn(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
-BENCHMARK(BM_EventQueueChurn);
+BENCHMARK(BM_EventQueueChurnCold);
 
 void BM_DumbbellSimulatedSecond(benchmark::State& state) {
   // Cost of one simulated second of a full Reno-over-dumbbell run — the

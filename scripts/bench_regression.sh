@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Benchmark regression tracking: build Release, run the micro benches with
+# JSON output, and write BENCH_sim.json at the repo root so the performance
+# trajectory is recorded across PRs.
+#
+# Usage: scripts/bench_regression.sh [build-dir]
+#   BENCH_MIN_TIME=0.5   per-benchmark min measurement time in seconds
+#   BENCH_SMOKE=1        quick pass (tiny min time, no file update) — used by
+#                        the smoke script to check the benches still run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-bench}"
+MIN_TIME="${BENCH_MIN_TIME:-0.5}"
+SMOKE="${BENCH_SMOKE:-0}"
+if [[ "$SMOKE" == "1" ]]; then
+  MIN_TIME="0.01"
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target micro_sim micro_ga -j"$(nproc)" >/dev/null
+
+# Exit 3 is the documented "benchmark library unavailable" code; every other
+# non-zero exit is a real failure callers must not swallow.
+if ! [[ -x "$BUILD_DIR/bench/micro_sim" ]]; then
+  echo "bench_regression: micro benches not built (google-benchmark missing)" >&2
+  exit 3
+fi
+
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+"$BUILD_DIR/bench/micro_sim" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$OUT/sim.json" 2>/dev/null
+"$BUILD_DIR/bench/micro_ga" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_filter='BM_TrafficMutation|BM_TrafficCrossover|BM_RankSelection' \
+  --benchmark_format=json >"$OUT/ga.json" 2>/dev/null
+
+if [[ "$SMOKE" == "1" ]]; then
+  # Smoke mode just proves the harness runs end to end.
+  python3 - "$OUT/sim.json" "$OUT/ga.json" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    data = json.load(open(path))
+    assert data["benchmarks"], f"no benchmarks in {path}"
+print("bench smoke OK "
+      f"({sum(len(json.load(open(p))['benchmarks']) for p in sys.argv[1:])} benchmarks)")
+EOF
+  exit 0
+fi
+
+python3 - "$OUT/sim.json" "$OUT/ga.json" BENCH_sim.json <<'EOF'
+import json, sys
+sim, ga, dest = sys.argv[1], sys.argv[2], sys.argv[3]
+merged = {"context": json.load(open(sim))["context"], "benchmarks": []}
+for path in (sim, ga):
+    merged["benchmarks"].extend(json.load(open(path))["benchmarks"])
+json.dump(merged, open(dest, "w"), indent=1)
+print(f"wrote {dest} ({len(merged['benchmarks'])} benchmarks)")
+for b in merged["benchmarks"]:
+    rate = f"  {b['items_per_second']:.4g} items/s" if "items_per_second" in b else ""
+    print(f"  {b['name']}: {b['real_time']:.0f} {b['time_unit']}{rate}")
+EOF

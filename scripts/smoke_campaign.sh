@@ -34,3 +34,15 @@ for d in "$OUT"/campaign/*/; do
   fi
 done
 echo "smoke campaign OK ($(ls -d "$OUT"/campaign/*/ | wc -l) cells)"
+
+# Cheap benchmark-harness smoke: prove the micro benches still build and run
+# (full regression numbers come from scripts/bench_regression.sh). Exit 3
+# means google-benchmark is unavailable — the only failure we tolerate.
+bench_status=0
+BENCH_SMOKE=1 scripts/bench_regression.sh "$BUILD_DIR-bench" || bench_status=$?
+if [[ $bench_status -eq 3 ]]; then
+  echo "bench smoke SKIPPED (google-benchmark unavailable)"
+elif [[ $bench_status -ne 0 ]]; then
+  echo "bench smoke FAILED (exit $bench_status)" >&2
+  exit 1
+fi

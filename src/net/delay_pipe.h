@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/simulator.h"
 #include "util/time.h"
 
@@ -13,18 +14,29 @@ namespace ccfuzz::net {
 
 /// Delivers every packet exactly `delay` after send(); preserves ordering
 /// (FIFO tie-break in the event queue keeps equal-time packets ordered).
+///
+/// In-flight packets park in a PacketPool and the delivery event captures
+/// only the pool index, so send() never heap-allocates in steady state. Pass
+/// a shared pool to reuse its warm slab across components/runs; by default
+/// the pipe owns a private one.
 class DelayPipe {
  public:
   DelayPipe(sim::Simulator& sim, DurationNs delay,
-            std::function<void(Packet&&)> deliver)
-      : sim_(sim), delay_(delay), deliver_(std::move(deliver)) {}
+            std::function<void(Packet&&)> deliver, PacketPool* pool = nullptr)
+      : sim_(sim), delay_(delay), deliver_(std::move(deliver)),
+        pool_(pool != nullptr ? pool : &own_pool_) {}
+
+  // pool_ may point at own_pool_; a compiler-generated copy would dangle.
+  DelayPipe(const DelayPipe&) = delete;
+  DelayPipe& operator=(const DelayPipe&) = delete;
 
   /// Sends a packet into the pipe at the current simulation time.
   void send(Packet&& p) {
     ++in_flight_;
-    sim_.schedule_in(delay_, [this, pkt = std::move(p)]() mutable {
+    const PacketPool::Index idx = pool_->put(std::move(p));
+    sim_.schedule_in(delay_, [this, idx] {
       --in_flight_;
-      deliver_(std::move(pkt));
+      deliver_(pool_->take(idx));
     });
   }
 
@@ -35,6 +47,8 @@ class DelayPipe {
   sim::Simulator& sim_;
   DurationNs delay_;
   std::function<void(Packet&&)> deliver_;
+  PacketPool own_pool_;
+  PacketPool* pool_;
   std::int64_t in_flight_ = 0;
 };
 

@@ -8,16 +8,19 @@ void BottleneckLink::complete_transmission(Packet&& p, TimeNs egress) {
   ++served_;
   if (egress_) egress_(p, egress);
   if (deliver_) {
-    // Move the packet into the delayed delivery event.
+    // Park the packet in the pool; the delivery event carries only the index.
+    const PacketPool::Index idx = pool_->put(std::move(p));
     sim_.schedule_at(egress + prop_delay_,
-                     [this, pkt = std::move(p)]() mutable { deliver_(std::move(pkt)); });
+                     [this, idx] { deliver_(pool_->take(idx)); });
   }
 }
 
 TraceDrivenLink::TraceDrivenLink(sim::Simulator& sim, DropTailQueue& queue,
                                  DurationNs prop_delay,
-                                 std::vector<TimeNs> service_times)
-    : BottleneckLink(sim, queue, prop_delay), times_(std::move(service_times)) {
+                                 std::vector<TimeNs> service_times,
+                                 PacketPool* pool)
+    : BottleneckLink(sim, queue, prop_delay, pool),
+      times_(std::move(service_times)) {
 #ifndef NDEBUG
   for (std::size_t i = 1; i < times_.size(); ++i) {
     assert(times_[i - 1] <= times_[i] && "service trace must be sorted");
@@ -45,8 +48,9 @@ void TraceDrivenLink::on_opportunity() {
 }
 
 FixedRateLink::FixedRateLink(sim::Simulator& sim, DropTailQueue& queue,
-                             DurationNs prop_delay, DataRate rate)
-    : BottleneckLink(sim, queue, prop_delay), rate_(rate) {
+                             DurationNs prop_delay, DataRate rate,
+                             PacketPool* pool)
+    : BottleneckLink(sim, queue, prop_delay, pool), rate_(rate) {
   queue_.set_nonempty_notifier([this] { maybe_begin_service(); });
 }
 
@@ -57,9 +61,8 @@ void FixedRateLink::maybe_begin_service() {
   auto p = queue_.dequeue();
   busy_ = true;
   const DurationNs tx = rate_.transfer_time(p->size_bytes);
-  sim_.schedule_in(tx, [this, pkt = std::move(*p)]() mutable {
-    on_transmit_done(std::move(pkt));
-  });
+  const PacketPool::Index idx = pool().put(std::move(*p));
+  sim_.schedule_in(tx, [this, idx] { on_transmit_done(pool().take(idx)); });
 }
 
 void FixedRateLink::on_transmit_done(Packet&& p) {

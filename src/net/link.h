@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/queue.h"
 #include "sim/simulator.h"
 #include "util/time.h"
@@ -32,6 +33,9 @@ using EgressFn = std::function<void(const Packet&, TimeNs)>;
 class BottleneckLink {
  public:
   virtual ~BottleneckLink() = default;
+  // pool_ may point at own_pool_; a compiler-generated copy would dangle.
+  BottleneckLink(const BottleneckLink&) = delete;
+  BottleneckLink& operator=(const BottleneckLink&) = delete;
 
   /// Schedules initial service activity. Call once before running.
   virtual void start() = 0;
@@ -45,18 +49,26 @@ class BottleneckLink {
   std::int64_t packets_served() const { return served_; }
 
  protected:
-  BottleneckLink(sim::Simulator& sim, DropTailQueue& queue, DurationNs prop_delay)
-      : sim_(sim), queue_(queue), prop_delay_(prop_delay) {}
+  /// Packets in flight on the link park in `pool` (shared warm slab across
+  /// runs via scenario::RunContext); a private pool is used when null.
+  BottleneckLink(sim::Simulator& sim, DropTailQueue& queue,
+                 DurationNs prop_delay, PacketPool* pool)
+      : sim_(sim), queue_(queue), prop_delay_(prop_delay),
+        pool_(pool != nullptr ? pool : &own_pool_) {}
 
   /// Transmits one packet (already dequeued) at time `egress`: notifies the
   /// egress observer and schedules sink delivery after propagation.
   void complete_transmission(Packet&& p, TimeNs egress);
+
+  PacketPool& pool() { return *pool_; }
 
   sim::Simulator& sim_;
   DropTailQueue& queue_;
   DurationNs prop_delay_;
   DeliveryFn deliver_;
   EgressFn egress_;
+  PacketPool own_pool_;
+  PacketPool* pool_;
   std::int64_t served_ = 0;
 };
 
@@ -66,7 +78,8 @@ class TraceDrivenLink final : public BottleneckLink {
   /// `service_times` must be sorted ascending. Opportunities before start()
   /// is called are honoured as long as they are >= the current sim time.
   TraceDrivenLink(sim::Simulator& sim, DropTailQueue& queue,
-                  DurationNs prop_delay, std::vector<TimeNs> service_times);
+                  DurationNs prop_delay, std::vector<TimeNs> service_times,
+                  PacketPool* pool = nullptr);
 
   void start() override;
 
@@ -85,7 +98,8 @@ class TraceDrivenLink final : public BottleneckLink {
 class FixedRateLink final : public BottleneckLink {
  public:
   FixedRateLink(sim::Simulator& sim, DropTailQueue& queue,
-                DurationNs prop_delay, DataRate rate);
+                DurationNs prop_delay, DataRate rate,
+                PacketPool* pool = nullptr);
 
   void start() override;
 

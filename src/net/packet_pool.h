@@ -1,0 +1,79 @@
+// Free-list slab for in-flight packets.
+//
+// Links and delay pipes used to capture a ~136-byte Packet by value inside
+// every delivery lambda, blowing past any inline-callback budget and forcing
+// a heap allocation per scheduled packet event. Instead, in-flight packets
+// park in this pool and events capture a 4-byte index; once the slab reaches
+// its high-water mark, put()/take() never allocate.
+//
+// Pool state never affects simulation behavior — indices only route storage,
+// ordering is owned by the event queue — so sharing one warm pool across
+// runs (scenario::RunContext) preserves bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace ccfuzz::net {
+
+/// Fixed-slot packet parking lot with an index free list.
+class PacketPool {
+ public:
+  using Index = std::uint32_t;
+
+  /// Parks a packet; returns its slot index (stable until take()).
+  Index put(Packet&& p) {
+    Index i;
+    if (!free_.empty()) {
+      i = free_.back();
+      free_.pop_back();
+      slab_[i] = std::move(p);
+    } else {
+      i = static_cast<Index>(slab_.size());
+      slab_.push_back(std::move(p));
+      // Keep take() allocation-free: the free list can never need more
+      // entries than the slab has slots.
+      if (free_.capacity() < slab_.capacity()) free_.reserve(slab_.capacity());
+    }
+    ++in_use_;
+    return i;
+  }
+
+  /// Removes and returns the packet at `i`, freeing the slot.
+  Packet take(Index i) {
+    Packet p = std::move(slab_[i]);
+    free_.push_back(i);
+    --in_use_;
+    return p;
+  }
+
+  std::size_t in_use() const { return in_use_; }
+  /// High-water slot count (includes free slots).
+  std::size_t capacity() const { return slab_.size(); }
+
+  /// Pre-grows the slab so the first run doesn't pay incremental growth.
+  void reserve(std::size_t n) {
+    slab_.reserve(n);
+    free_.reserve(n);
+  }
+
+  /// Frees every slot (packets abandoned mid-flight when a run is cut off at
+  /// its deadline) while keeping slab capacity for the next run.
+  void clear() {
+    free_.resize(slab_.size());
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      free_[i] = static_cast<Index>(free_.size() - 1 - i);
+    }
+    in_use_ = 0;
+  }
+
+ private:
+  std::vector<Packet> slab_;
+  std::vector<Index> free_;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace ccfuzz::net

@@ -4,9 +4,9 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "net/packet.h"
 #include "util/time.h"
@@ -30,40 +30,46 @@ struct QueueStats {
   }
 };
 
-/// Drop-tail FIFO with a fixed capacity in packets.
+/// Drop-tail FIFO with a fixed capacity in packets. Backed by a fixed ring
+/// buffer sized at construction, so enqueue/dequeue never allocate (a
+/// std::deque backing allocated a fresh chunk every few packets).
 class DropTailQueue {
  public:
   /// `capacity` is the maximum number of queued packets (> 0).
-  explicit DropTailQueue(std::size_t capacity) : capacity_(capacity) {}
+  explicit DropTailQueue(std::size_t capacity)
+      : capacity_(capacity), ring_(capacity) {}
 
   /// Attempts to enqueue; returns false (and counts a drop) when full.
   /// Fires the non-empty notifier on an empty→non-empty transition.
   bool try_enqueue(Packet p, TimeNs now) {
-    if (q_.size() >= capacity_) {
+    if (count_ >= capacity_) {
       ++stats_.dropped[static_cast<std::size_t>(p.flow)];
       if (on_drop_) on_drop_(p, now);
       return false;
     }
     p.enqueued_at = now;
     ++stats_.enqueued[static_cast<std::size_t>(p.flow)];
-    const bool was_empty = q_.empty();
-    q_.push_back(std::move(p));
+    const bool was_empty = count_ == 0;
+    ring_[tail_] = std::move(p);
+    if (++tail_ == capacity_) tail_ = 0;
+    ++count_;
     if (was_empty && on_nonempty_) on_nonempty_();
     return true;
   }
 
   /// Removes and returns the head packet, or nullopt when empty.
   std::optional<Packet> dequeue() {
-    if (q_.empty()) return std::nullopt;
-    Packet p = std::move(q_.front());
-    q_.pop_front();
+    if (count_ == 0) return std::nullopt;
+    Packet p = std::move(ring_[head_]);
+    if (++head_ == capacity_) head_ = 0;
+    --count_;
     ++stats_.dequeued[static_cast<std::size_t>(p.flow)];
     return p;
   }
 
-  std::size_t size() const { return q_.size(); }
+  std::size_t size() const { return count_; }
   std::size_t capacity() const { return capacity_; }
-  bool empty() const { return q_.empty(); }
+  bool empty() const { return count_ == 0; }
   const QueueStats& stats() const { return stats_; }
 
   /// Called on every empty→non-empty transition (used by rate-based links to
@@ -76,7 +82,10 @@ class DropTailQueue {
 
  private:
   std::size_t capacity_;
-  std::deque<Packet> q_;
+  std::vector<Packet> ring_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
   QueueStats stats_;
   std::function<void()> on_nonempty_;
   std::function<void(const Packet&, TimeNs)> on_drop_;

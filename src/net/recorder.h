@@ -5,6 +5,7 @@
 // consume them too.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -30,16 +31,21 @@ struct DelaySample {
 };
 
 /// Accumulates bottleneck events during a run. Plain data; attach via the
-/// queue/link callbacks (see scenario::Dumbbell).
+/// queue/link callbacks (see scenario::Dumbbell). Per-flow counters are
+/// maintained incrementally so count queries are O(1); the event vectors
+/// stay around for plotting and scoring.
 class BottleneckRecorder {
  public:
   void record_ingress(const Packet& p, TimeNs now) {
+    ++ingress_n_[flow_index(p.flow)];
     ingress_.push_back({now, p.flow, p.size_bytes});
   }
   void record_drop(const Packet& p, TimeNs now) {
+    ++drop_n_[flow_index(p.flow)];
     drops_.push_back({now, p.flow, p.size_bytes});
   }
   void record_egress(const Packet& p, TimeNs now) {
+    ++egress_n_[flow_index(p.flow)];
     egress_.push_back({now, p.flow, p.size_bytes});
     delays_.push_back({now, p.flow, now - p.enqueued_at});
   }
@@ -49,18 +55,49 @@ class BottleneckRecorder {
   const std::vector<PacketEvent>& drops() const { return drops_; }
   const std::vector<DelaySample>& delays() const { return delays_; }
 
-  /// Egress count for one flow.
+  /// Per-flow event counts, O(1).
+  std::int64_t ingress_count(FlowId flow) const {
+    return ingress_n_[flow_index(flow)];
+  }
   std::int64_t egress_count(FlowId flow) const {
-    std::int64_t n = 0;
-    for (const auto& e : egress_) n += (e.flow == flow) ? 1 : 0;
-    return n;
+    return egress_n_[flow_index(flow)];
+  }
+  std::int64_t drop_count(FlowId flow) const {
+    return drop_n_[flow_index(flow)];
+  }
+
+  /// Discards all records but keeps vector capacity (RunContext reuse).
+  void clear() {
+    ingress_.clear();
+    egress_.clear();
+    drops_.clear();
+    delays_.clear();
+    ingress_n_.fill(0);
+    egress_n_.fill(0);
+    drop_n_.fill(0);
+  }
+
+  /// Pre-sizes the vectors for roughly `expected_packets` bottleneck
+  /// traversals so first-run growth doesn't skew measurements.
+  void reserve(std::size_t expected_packets) {
+    ingress_.reserve(expected_packets);
+    egress_.reserve(expected_packets);
+    delays_.reserve(expected_packets);
+    drops_.reserve(expected_packets / 8 + 16);
   }
 
  private:
+  static std::size_t flow_index(FlowId f) {
+    return static_cast<std::size_t>(f);
+  }
+
   std::vector<PacketEvent> ingress_;
   std::vector<PacketEvent> egress_;
   std::vector<PacketEvent> drops_;
   std::vector<DelaySample> delays_;
+  std::array<std::int64_t, kFlowCount> ingress_n_{};
+  std::array<std::int64_t, kFlowCount> egress_n_{};
+  std::array<std::int64_t, kFlowCount> drop_n_{};
 };
 
 }  // namespace ccfuzz::net

@@ -1,36 +1,52 @@
 #include "scenario/dumbbell.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace ccfuzz::scenario {
 
 Dumbbell::Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
                    std::unique_ptr<tcp::CongestionControl> cca,
-                   std::vector<TimeNs> trace_times)
-    : sim_(sim), cfg_(cfg) {
+                   std::vector<TimeNs> trace_times,
+                   net::PacketPool* pool, net::BottleneckRecorder* recorder)
+    : sim_(sim), cfg_(cfg),
+      pool_(pool != nullptr ? pool : &own_pool_),
+      recorder_(recorder != nullptr ? recorder : &own_recorder_) {
+  // Expected bottleneck traversals: one per trace stamp plus ~one CCA packet
+  // per serialization slot over the run. Sizes the recorder (and, for a cold
+  // pool, the in-flight slab) so the first run grows nothing mid-simulation.
+  const std::size_t expected_packets =
+      trace_times.size() +
+      static_cast<std::size_t>(
+          std::max<std::int64_t>(cfg_.duration.ns() / 1'000'000, 0));
+  recorder_->reserve(expected_packets);
+  pool_->reserve(cfg_.net.queue_capacity + 64);
+
   queue_ = std::make_unique<net::DropTailQueue>(cfg_.net.queue_capacity);
   queue_->set_drop_notifier([this](const net::Packet& p, TimeNs now) {
-    recorder_.record_drop(p, now);
+    recorder_->record_drop(p, now);
   });
 
   // Bottleneck link: fuzzed service curve (link mode) or fixed rate.
   if (cfg_.mode == FuzzMode::kLink) {
     link_ = std::make_unique<net::TraceDrivenLink>(
-        sim_, *queue_, cfg_.net.bottleneck_delay, std::move(trace_times));
+        sim_, *queue_, cfg_.net.bottleneck_delay, std::move(trace_times),
+        pool_);
   } else {
     link_ = std::make_unique<net::FixedRateLink>(
-        sim_, *queue_, cfg_.net.bottleneck_delay, cfg_.net.bottleneck_rate);
+        sim_, *queue_, cfg_.net.bottleneck_delay, cfg_.net.bottleneck_rate,
+        pool_);
     cross_ = std::make_unique<net::CrossTrafficInjector>(
         sim_, *queue_, std::move(trace_times), cfg_.net.packet_bytes);
   }
   link_->set_egress_observer([this](const net::Packet& p, TimeNs now) {
-    recorder_.record_egress(p, now);
+    recorder_->record_egress(p, now);
   });
 
   // ACK return path: receiver → sender, uncongested.
   ack_pipe_ = std::make_unique<net::DelayPipe>(
       sim_, cfg_.net.ack_path_delay,
-      [this](net::Packet&& p) { sender_->on_ack_packet(p); });
+      [this](net::Packet&& p) { sender_->on_ack_packet(p); }, pool_);
 
   tcp::TcpReceiver::Config rcfg;
   rcfg.delayed_ack = cfg_.delayed_ack;
@@ -48,10 +64,12 @@ Dumbbell::Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
 
   // Access link: sender → gateway queue, with ingress recording.
   access_pipe_ = std::make_unique<net::DelayPipe>(
-      sim_, cfg_.net.access_delay, [this](net::Packet&& p) {
-        recorder_.record_ingress(p, sim_.now());
+      sim_, cfg_.net.access_delay,
+      [this](net::Packet&& p) {
+        recorder_->record_ingress(p, sim_.now());
         queue_->try_enqueue(std::move(p), sim_.now());
-      });
+      },
+      pool_);
 
   tcp::TcpSender::Config scfg;
   scfg.total_segments = cfg_.total_segments;
@@ -68,7 +86,7 @@ Dumbbell::Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
   // the gateway) but is still recorded as bottleneck ingress.
   if (cross_) {
     cross_->set_inject_observer([this](const net::Packet& p, TimeNs now) {
-      recorder_.record_ingress(p, now);
+      recorder_->record_ingress(p, now);
     });
   }
 }

@@ -17,6 +17,7 @@
 #include "net/cross_traffic.h"
 #include "net/delay_pipe.h"
 #include "net/link.h"
+#include "net/packet_pool.h"
 #include "net/queue.h"
 #include "net/recorder.h"
 #include "sim/simulator.h"
@@ -33,9 +34,15 @@ class Dumbbell {
  public:
   /// `trace_times` is the link service curve (link mode) or the cross-traffic
   /// injection schedule (traffic mode); must be sorted ascending.
+  ///
+  /// `pool` / `recorder` let a reusable harness (scenario::RunContext) supply
+  /// warm buffers that outlive the Dumbbell; when null the Dumbbell owns
+  /// private ones.
   Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
            std::unique_ptr<tcp::CongestionControl> cca,
-           std::vector<TimeNs> trace_times);
+           std::vector<TimeNs> trace_times,
+           net::PacketPool* pool = nullptr,
+           net::BottleneckRecorder* recorder = nullptr);
 
   Dumbbell(const Dumbbell&) = delete;
   Dumbbell& operator=(const Dumbbell&) = delete;
@@ -50,7 +57,7 @@ class Dumbbell {
   const tcp::TcpReceiver& receiver() const { return *receiver_; }
   net::DropTailQueue& queue() { return *queue_; }
   const net::DropTailQueue& queue() const { return *queue_; }
-  const net::BottleneckRecorder& recorder() const { return recorder_; }
+  const net::BottleneckRecorder& recorder() const { return *recorder_; }
   const net::CrossTrafficInjector* cross_traffic() const {
     return cross_.get();
   }
@@ -61,7 +68,10 @@ class Dumbbell {
   sim::Simulator& sim_;
   ScenarioConfig cfg_;
 
-  net::BottleneckRecorder recorder_;
+  net::PacketPool own_pool_;
+  net::BottleneckRecorder own_recorder_;
+  net::PacketPool* pool_;
+  net::BottleneckRecorder* recorder_;
   std::unique_ptr<net::DropTailQueue> queue_;
   std::unique_ptr<net::BottleneckLink> link_;
   std::unique_ptr<net::DelayPipe> access_pipe_;  // sender → gateway

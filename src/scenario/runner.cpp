@@ -57,12 +57,18 @@ bool RunResult::stalled(DurationNs tail) const {
   return true;
 }
 
-RunResult run_scenario(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
-                       std::vector<TimeNs> trace_times) {
-  sim::Simulator sim;
-  Dumbbell db(sim, cfg, cca(), std::move(trace_times));
+RunResult RunContext::run(const ScenarioConfig& cfg,
+                          const tcp::CcaFactory& cca,
+                          std::vector<TimeNs> trace_times) {
+  // Reset every piece of reused state; capacities (slab, pool, vectors)
+  // survive, contents don't.
+  sim_.reset();
+  pool_.clear();
+  recorder_.clear();
+
+  Dumbbell db(sim_, cfg, cca(), std::move(trace_times), &pool_, &recorder_);
   db.start();
-  sim.run_until(cfg.duration);
+  sim_.run_until(cfg.duration);
 
   RunResult r;
   r.config = cfg;
@@ -86,6 +92,14 @@ RunResult run_scenario(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
   r.recorder = db.recorder();
   r.tcp_log = db.sender().log();
   return r;
+}
+
+RunResult run_scenario(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
+                       std::vector<TimeNs> trace_times) {
+  // One warm context per thread: GA batches fan out over the shared pool,
+  // and every worker reuses its own slab/pool/recorder capacity.
+  thread_local RunContext ctx;
+  return ctx.run(cfg, cca, std::move(trace_times));
 }
 
 }  // namespace ccfuzz::scenario

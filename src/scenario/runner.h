@@ -1,18 +1,25 @@
 // One-call simulation harness: run a CCA over a link/traffic trace and
 // collect everything the scoring functions (§3.4) and figures consume.
 //
-// run_scenario() is a pure function of (config, cca factory, trace): it
-// builds a fresh Simulator and Dumbbell, runs to the configured duration and
-// extracts a RunResult. That purity is what makes the GA's parallel
-// evaluation deterministic (paper §3.6).
+// run_scenario() is a pure function of (config, cca factory, trace): the
+// result depends on nothing but its arguments, which is what makes the GA's
+// parallel evaluation deterministic (paper §3.6). Under the hood each thread
+// reuses one RunContext, so back-to-back evaluations run on warm buffers —
+// the event-slot slab, packet pool and recorder vectors reach their
+// high-water mark on the first run and the hot path never allocates after
+// that. Warm state is invisible in the results: the golden determinism test
+// pins bit-identical RunResults across repeats and against pre-refactor
+// fingerprints.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "net/packet_pool.h"
 #include "net/queue.h"
 #include "net/recorder.h"
 #include "scenario/config.h"
+#include "sim/simulator.h"
 #include "tcp/congestion_control.h"
 #include "tcp/event_log.h"
 #include "util/time.h"
@@ -65,8 +72,31 @@ struct RunResult {
   bool stalled(DurationNs tail) const;
 };
 
+/// Reusable simulation harness: owns the simulator (event-slot slab), the
+/// in-flight packet pool and the bottleneck recorder, and recycles their
+/// capacity across runs. One RunContext per thread (run_scenario keeps a
+/// thread-local one; fuzz::evaluate_batch therefore reuses one per worker)
+/// turns the GA's unit of work from allocator-bound to simulation-bound.
+class RunContext {
+ public:
+  RunContext() = default;
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// Runs one simulation on warm buffers. Results are bit-identical to a
+  /// cold run: every piece of reused state is reset up front.
+  RunResult run(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
+                std::vector<TimeNs> trace_times);
+
+ private:
+  sim::Simulator sim_;
+  net::PacketPool pool_;
+  net::BottleneckRecorder recorder_;
+};
+
 /// Runs one simulation. `trace_times` is the link service curve (link mode)
-/// or cross-traffic schedule (traffic mode), sorted ascending.
+/// or cross-traffic schedule (traffic mode), sorted ascending. Reuses a
+/// thread-local RunContext.
 RunResult run_scenario(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
                        std::vector<TimeNs> trace_times);
 

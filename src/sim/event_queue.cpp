@@ -5,41 +5,125 @@
 
 namespace ccfuzz::sim {
 
-EventId EventQueue::schedule(TimeNs at, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  return id;
+EventId EventQueue::schedule_impl(TimeNs at, EventCallback fn) {
+  std::uint32_t slot;
+  if (free_head_ != kNil) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  const std::uint32_t seq = next_seq_++;
+  s.fn = std::move(fn);
+  ++s.generation;
+  s.seq = seq;
+  s.live = true;
+  heap_push(HeapHandle{at.ns(), seq, slot});
+  ++live_;
+  // slot+1 keeps 0 out of the valid-id range.
+  return (static_cast<EventId>(slot + 1) << 32) | s.generation;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
-  cancelled_.insert(id);
+  if (id == 0) return;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id >> 32) - 1;
+  const std::uint32_t generation = static_cast<std::uint32_t>(id);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  // Already fired, already cancelled, recycled, or from before a reset().
+  if (!s.live || s.generation != generation) return;
+  s.fn.reset();
+  s.live = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+  // The heap handle stays behind; stale() skips it when it surfaces.
+}
+
+void EventQueue::heap_push(HeapHandle h) {
+  std::size_t i = heap_.size();
+  heap_.push_back(h);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(h, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = h;
+}
+
+void EventQueue::heap_pop_top() {
+  const HeapHandle last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
 }
 
 void EventQueue::prune() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-  }
+  while (!heap_.empty() && stale(heap_[0])) heap_pop_top();
+  if (!heap_.empty()) __builtin_prefetch(&slots_[heap_[0].slot]);
 }
 
 TimeNs EventQueue::next_time() {
   prune();
-  return heap_.empty() ? TimeNs::infinite() : heap_.front().at;
+  return heap_.empty() ? TimeNs::infinite() : TimeNs(heap_[0].at_ns);
+}
+
+bool EventQueue::run_next_due(TimeNs deadline, TimeNs& clock) {
+  prune();
+  if (heap_.empty()) return false;
+  const HeapHandle top = heap_[0];
+  if (TimeNs(top.at_ns) > deadline) return false;
+  heap_pop_top();
+  Slot& s = slots_[top.slot];
+  // Move the callback out before freeing the slot: the callback may schedule
+  // new events, which can reuse this slot or grow the slab.
+  EventCallback fn = std::move(s.fn);
+  s.live = false;
+  s.next_free = free_head_;
+  free_head_ = top.slot;
+  --live_;
+  clock = TimeNs(top.at_ns);
+  fn();
+  return true;
 }
 
 TimeNs EventQueue::run_next() {
-  prune();
-  assert(!heap_.empty() && "run_next on empty queue");
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  e.fn();
-  return e.at;
+  assert(!empty() && "run_next on empty queue");
+  TimeNs at = TimeNs::zero();
+  run_next_due(TimeNs::infinite(), at);
+  return at;
+}
+
+void EventQueue::reset() {
+  for (Slot& s : slots_) {
+    s.fn.reset();
+    s.live = false;
+  }
+  free_head_ = kNil;
+  for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size()); i-- > 0;) {
+    slots_[i].next_free = free_head_;
+    free_head_ = i;
+  }
+  heap_.clear();
+  live_ = 0;
+  next_seq_ = 0;
 }
 
 }  // namespace ccfuzz::sim

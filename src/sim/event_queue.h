@@ -4,13 +4,36 @@
 // (FIFO tie-break via a monotone sequence number). This makes every
 // simulation bit-reproducible, which the GA depends on for convergence
 // (paper §3.6).
+//
+// Design — slab + generation tags + 4-ary index heap (zero steady-state
+// allocations):
+//
+//   * Callbacks live in a slab of fixed-size slots holding an
+//     InlineCallback<kEventCallbackCapacity> (32-byte inline budget,
+//     compile-time asserted — capture pool indices, not payloads). A
+//     free list recycles slots, so after the high-water mark is reached
+//     schedule()/cancel()/run_next() never touch the allocator.
+//   * The heap orders 16-byte {time, seq, slot} handles, not closures, so
+//     sift operations move two words. It is 4-ary: ~half the depth of a
+//     binary heap with a branch-predictable four-child scan.
+//   * An EventId encodes (slot, generation). Each slot counts its
+//     occupancies in a generation counter that never resets, so cancel()
+//     is an O(1) generation compare — no cancelled-id set — and cancelling
+//     a fired, cancelled or pre-reset() id is a guaranteed no-op even after
+//     the slot has been recycled (a single slot would need 2^32 occupancies
+//     for an id to alias).
+//   * Heap handles carry a separate 32-bit FIFO sequence number; the slot
+//     remembers its current occupant's seq, so a handle whose seq no longer
+//     matches is stale and gets skipped when it surfaces. seq restarts on
+//     reset() (the heap is empty then), bounding the tie-break at 2^32
+//     schedules per run — orders of magnitude above any simulation
+//     (scenario::RunContext resets per run).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "util/time.h"
 
 namespace ccfuzz::sim {
@@ -18,22 +41,33 @@ namespace ccfuzz::sim {
 /// Opaque handle used to cancel a scheduled event. 0 is never a valid id.
 using EventId = std::uint64_t;
 
-/// Min-heap of (time, seq) → callback with O(log n) push/pop and lazy
-/// cancellation (cancelled entries are skipped when they surface).
+/// Inline-storage budget for event callbacks. 32 bytes keeps one event slot
+/// to exactly one cache line and fits every closure in the simulator (the
+/// largest are [this, pool-index] pairs) plus typical test lambdas;
+/// oversized captures fail to compile — route payloads through a pool and
+/// capture the index instead.
+inline constexpr std::size_t kEventCallbackCapacity = 32;
+using EventCallback = InlineCallback<kEventCallbackCapacity>;
+
+/// Min-heap of (time, seq) → callback with O(log n) push/pop, O(1)
+/// generation-based cancellation, and no steady-state allocations.
 class EventQueue {
  public:
   /// Schedules `fn` at absolute time `at`; returns a cancellation handle.
-  EventId schedule(TimeNs at, std::function<void()> fn);
+  template <typename F>
+  EventId schedule(TimeNs at, F&& fn) {
+    return schedule_impl(at, EventCallback(std::forward<F>(fn)));
+  }
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
-  /// no-op.
+  /// Cancels a pending event in O(1). Cancelling an already-fired or unknown
+  /// id is a no-op.
   void cancel(EventId id);
 
   /// True if no live events remain.
-  bool empty() { prune(); return heap_.empty(); }
+  bool empty() const { return live_ == 0; }
 
   /// Number of live (non-cancelled, not-yet-fired) events.
-  std::size_t size() const { return heap_.size() - cancelled_.size(); }
+  std::size_t size() const { return live_; }
 
   /// Timestamp of the earliest live event; TimeNs::infinite() if none.
   TimeNs next_time();
@@ -42,27 +76,57 @@ class EventQueue {
   /// Requires !empty().
   TimeNs run_next();
 
+  /// If the earliest live event fires at or before `deadline`, stores its
+  /// timestamp in `clock` (before the callback runs, so callbacks observe
+  /// the advanced clock), runs it and returns true; otherwise leaves `clock`
+  /// untouched and returns false. One prune per event — this is the
+  /// simulation driver's hot loop.
+  bool run_next_due(TimeNs deadline, TimeNs& clock);
+
+  /// Discards all pending events but keeps slab/heap capacity, so a reused
+  /// queue (scenario::RunContext) schedules without allocating.
+  void reset();
+
  private:
-  struct Entry {
-    TimeNs at;
-    std::uint64_t seq = 0;
-    EventId id = 0;
-    std::function<void()> fn;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Slot {
+    EventCallback fn;
+    std::uint32_t generation = 0;  ///< occupancy count; never resets
+    std::uint32_t seq = 0;         ///< FIFO seq of the current occupant
+    std::uint32_t next_free = kNil;
+    bool live = false;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  static_assert(sizeof(Slot) <= 64, "one event slot should fit a cache line");
+  struct HeapHandle {  // 16 bytes; what sift operations actually move
+    std::int64_t at_ns;
+    std::uint32_t seq;
+    std::uint32_t slot;
   };
 
-  /// Discards cancelled entries sitting at the heap top.
+  // if/else (not ?:) so the compiler keeps the highly-predictable time
+  // comparison a branch; a cmov dependency chain here measurably slows the
+  // sift loops.
+  static bool earlier(const HeapHandle& a, const HeapHandle& b) {
+    if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+    return a.seq < b.seq;
+  }
+  bool stale(const HeapHandle& h) const {
+    const Slot& s = slots_[h.slot];
+    return !s.live || s.seq != h.seq;
+  }
+
+  EventId schedule_impl(TimeNs at, EventCallback fn);
+  void heap_push(HeapHandle h);
+  void heap_pop_top();
+  /// Discards stale handles sitting at the heap top.
   void prune();
 
-  std::vector<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<HeapHandle> heap_;  // 4-ary min-heap; may hold stale handles
+  std::uint32_t free_head_ = kNil;
+  std::uint32_t next_seq_ = 0;
+  std::size_t live_ = 0;
 };
 
 }  // namespace ccfuzz::sim

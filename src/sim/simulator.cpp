@@ -4,13 +4,7 @@ namespace ccfuzz::sim {
 
 std::uint64_t Simulator::run_until(TimeNs deadline) {
   std::uint64_t n = 0;
-  for (;;) {
-    const TimeNs t = queue_.next_time();
-    if (t.is_infinite() || t > deadline) break;
-    now_ = t;
-    queue_.run_next();
-    ++n;
-  }
+  while (queue_.run_next_due(deadline, now_)) ++n;
   if (!deadline.is_infinite() && now_ < deadline) now_ = deadline;
   executed_ += n;
   return n;

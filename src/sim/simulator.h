@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "util/time.h"
@@ -21,16 +22,19 @@ class Simulator {
   /// Current virtual time.
   TimeNs now() const { return now_; }
 
-  /// Schedules `fn` after a relative delay (>= 0).
-  EventId schedule_in(DurationNs delay, std::function<void()> fn) {
-    return queue_.schedule(now_ + delay, std::move(fn));
+  /// Schedules `fn` after a relative delay (>= 0). The closure is stored
+  /// inline (see EventCallback) — scheduling never allocates.
+  template <typename F>
+  EventId schedule_in(DurationNs delay, F&& fn) {
+    return queue_.schedule(now_ + delay, std::forward<F>(fn));
   }
 
   /// Schedules `fn` at an absolute time. Times in the past fire "now" but
   /// never move the clock backwards.
-  EventId schedule_at(TimeNs at, std::function<void()> fn) {
+  template <typename F>
+  EventId schedule_at(TimeNs at, F&& fn) {
     if (at < now_) at = now_;
-    return queue_.schedule(at, std::move(fn));
+    return queue_.schedule(at, std::forward<F>(fn));
   }
 
   /// Cancels a pending event (no-op if already fired).
@@ -46,6 +50,15 @@ class Simulator {
 
   /// Total events executed so far.
   std::uint64_t events_executed() const { return executed_; }
+
+  /// Returns the simulator to its initial state (clock at zero, no pending
+  /// events) while keeping the event queue's slab/heap capacity, so a reused
+  /// simulator (scenario::RunContext) runs without allocator traffic.
+  void reset() {
+    queue_.reset();
+    now_ = TimeNs::zero();
+    executed_ = 0;
+  }
 
  private:
   EventQueue queue_;

@@ -26,10 +26,14 @@ Trace split_and_redistribute(const Trace& t, Rng& rng,
     // Regenerate the left side, keep the right.
     const std::int64_t n = count_for_side(left_count, right_count);
     out.stamps = dist_packets(n, TimeNs::zero(), split, rng, dist);
+    out.stamps.reserve(out.stamps.size() +
+                       static_cast<std::size_t>(right_count));
     out.stamps.insert(out.stamps.end(), split_it, t.stamps.end());
   } else {
     // Keep the left side, regenerate the right.
     const std::int64_t n = count_for_side(right_count, left_count);
+    out.stamps.reserve(static_cast<std::size_t>(left_count) +
+                       static_cast<std::size_t>(std::max<std::int64_t>(n, 0)));
     out.stamps.assign(t.stamps.begin(), split_it);
     const auto right = dist_packets(n, split, t.duration, rng, dist);
     out.stamps.insert(out.stamps.end(), right.begin(), right.end());
@@ -89,6 +93,8 @@ Trace TrafficTraceModel::crossover(const Trace& a, const Trace& b,
   Trace out;
   out.kind = TraceKind::kTraffic;
   out.duration = a.duration;
+  // Final size is k from `left` plus (right.size() - k) from `right`.
+  out.stamps.reserve(right.stamps.size());
   out.stamps.assign(left.stamps.begin(), left.stamps.begin() + k);
   out.stamps.insert(out.stamps.end(), right.stamps.begin() + k,
                     right.stamps.end());

@@ -1,0 +1,71 @@
+// Unit tests for the in-flight packet pool (slot recycling, payload
+// integrity, clear-for-reuse semantics).
+#include "net/packet_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace ccfuzz::net {
+namespace {
+
+Packet make_packet(std::uint64_t id) {
+  Packet p;
+  p.id = id;
+  p.tcp.seq = static_cast<std::int64_t>(id) * 10;
+  return p;
+}
+
+TEST(PacketPool, RoundTripsPayloadUnchanged) {
+  PacketPool pool;
+  Packet p = make_packet(7);
+  p.flow = FlowId::kAck;
+  p.tcp.sacks[0] = {3, 5};
+  p.tcp.n_sacks = 1;
+  const auto idx = pool.put(std::move(p));
+  const Packet out = pool.take(idx);
+  EXPECT_EQ(out.id, 7u);
+  EXPECT_EQ(out.flow, FlowId::kAck);
+  EXPECT_EQ(out.tcp.sacks[0], (SackBlock{3, 5}));
+}
+
+TEST(PacketPool, RecyclesSlotsInsteadOfGrowing) {
+  PacketPool pool;
+  for (std::uint64_t round = 0; round < 100; ++round) {
+    const auto a = pool.put(make_packet(round));
+    const auto b = pool.put(make_packet(round + 1000));
+    EXPECT_EQ(pool.take(a).id, round);
+    EXPECT_EQ(pool.take(b).id, round + 1000);
+  }
+  EXPECT_EQ(pool.capacity(), 2u);  // high-water mark, not total traffic
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(PacketPool, TracksConcurrentOccupancy) {
+  PacketPool pool;
+  const auto a = pool.put(make_packet(1));
+  const auto b = pool.put(make_packet(2));
+  const auto c = pool.put(make_packet(3));
+  EXPECT_EQ(pool.in_use(), 3u);
+  EXPECT_EQ(pool.take(b).id, 2u);
+  EXPECT_EQ(pool.in_use(), 2u);
+  const auto d = pool.put(make_packet(4));  // reuses b's slot
+  EXPECT_EQ(pool.capacity(), 3u);
+  EXPECT_EQ(pool.take(a).id, 1u);
+  EXPECT_EQ(pool.take(c).id, 3u);
+  EXPECT_EQ(pool.take(d).id, 4u);
+}
+
+TEST(PacketPool, ClearFreesEverySlotButKeepsCapacity) {
+  PacketPool pool;
+  for (std::uint64_t i = 0; i < 10; ++i) pool.put(make_packet(i));
+  EXPECT_EQ(pool.in_use(), 10u);
+  pool.clear();
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.capacity(), 10u);
+  // Every slot is reusable after clear.
+  for (std::uint64_t i = 0; i < 10; ++i) pool.put(make_packet(i + 50));
+  EXPECT_EQ(pool.capacity(), 10u);
+  EXPECT_EQ(pool.in_use(), 10u);
+}
+
+}  // namespace
+}  // namespace ccfuzz::net

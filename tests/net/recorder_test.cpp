@@ -48,6 +48,39 @@ TEST(BottleneckRecorder, EgressCountFiltersByFlow) {
   EXPECT_EQ(r.egress_count(FlowId::kAck), 0);
 }
 
+TEST(BottleneckRecorder, PerFlowCountersTrackDropsAndIngress) {
+  BottleneckRecorder r;
+  r.record_ingress(make_packet(FlowId::kCcaData), TimeNs::millis(1));
+  r.record_ingress(make_packet(FlowId::kCrossTraffic), TimeNs::millis(1));
+  r.record_drop(make_packet(FlowId::kCrossTraffic), TimeNs::millis(2));
+  r.record_drop(make_packet(FlowId::kCrossTraffic), TimeNs::millis(3));
+  r.record_drop(make_packet(FlowId::kCcaData), TimeNs::millis(4));
+  EXPECT_EQ(r.ingress_count(FlowId::kCcaData), 1);
+  EXPECT_EQ(r.ingress_count(FlowId::kCrossTraffic), 1);
+  EXPECT_EQ(r.drop_count(FlowId::kCrossTraffic), 2);
+  EXPECT_EQ(r.drop_count(FlowId::kCcaData), 1);
+  EXPECT_EQ(r.drop_count(FlowId::kAck), 0);
+}
+
+TEST(BottleneckRecorder, ClearResetsRecordsAndCounters) {
+  BottleneckRecorder r;
+  r.reserve(64);
+  r.record_ingress(make_packet(FlowId::kCcaData), TimeNs::millis(1));
+  r.record_egress(make_packet(FlowId::kCcaData), TimeNs::millis(2));
+  r.record_drop(make_packet(FlowId::kCcaData), TimeNs::millis(3));
+  r.clear();
+  EXPECT_TRUE(r.ingress().empty());
+  EXPECT_TRUE(r.egress().empty());
+  EXPECT_TRUE(r.drops().empty());
+  EXPECT_TRUE(r.delays().empty());
+  EXPECT_EQ(r.ingress_count(FlowId::kCcaData), 0);
+  EXPECT_EQ(r.egress_count(FlowId::kCcaData), 0);
+  EXPECT_EQ(r.drop_count(FlowId::kCcaData), 0);
+  // Still fully usable after clear.
+  r.record_egress(make_packet(FlowId::kAck), TimeNs::millis(4));
+  EXPECT_EQ(r.egress_count(FlowId::kAck), 1);
+}
+
 TEST(BottleneckRecorder, EmptyByDefault) {
   BottleneckRecorder r;
   EXPECT_TRUE(r.ingress().empty());

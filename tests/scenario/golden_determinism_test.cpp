@@ -1,0 +1,151 @@
+// Golden equivalence tests for the determinism contract (paper §3.6).
+//
+// Every registered CCA runs on fixed scenarios + traces and must produce
+// (a) bit-identical RunResults across repeated runs — including runs sharing
+// one warm RunContext — and (b) the exact event counts and FNV fingerprints
+// recorded from the event core as it existed BEFORE the zero-allocation
+// rewrite (slab/generation EventQueue, PacketPool, RunContext). Any change
+// to event ordering, packet bookkeeping or clock behavior trips these.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "cca/registry.h"
+#include "scenario/runner.h"
+#include "trace/dist_packets.h"
+#include "util/rng.h"
+
+namespace ccfuzz::scenario {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::int64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint64_t>(v >> (i * 8)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Order-sensitive digest of everything observable from a run: outcome
+/// counters plus the full per-packet bottleneck record streams.
+std::uint64_t fingerprint(const RunResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv1a(h, r.cca_segments_delivered);
+  h = fnv1a(h, r.cca_egress_packets);
+  h = fnv1a(h, r.cca_sent);
+  h = fnv1a(h, r.cca_retransmissions);
+  h = fnv1a(h, r.cca_drops);
+  h = fnv1a(h, r.rto_count);
+  h = fnv1a(h, r.fast_recovery_count);
+  h = fnv1a(h, r.spurious_retx_count);
+  h = fnv1a(h, r.final_rto_backoff);
+  h = fnv1a(h, r.cross_sent);
+  h = fnv1a(h, r.cross_drops);
+  h = fnv1a(h, r.queue_stats.total_enqueued());
+  h = fnv1a(h, r.queue_stats.total_dropped());
+  for (const auto& e : r.recorder.ingress()) {
+    h = fnv1a(h, e.time.ns());
+    h = fnv1a(h, static_cast<std::int64_t>(e.flow));
+  }
+  for (const auto& e : r.recorder.egress()) {
+    h = fnv1a(h, e.time.ns());
+    h = fnv1a(h, static_cast<std::int64_t>(e.flow));
+  }
+  for (const auto& e : r.recorder.drops()) {
+    h = fnv1a(h, e.time.ns());
+    h = fnv1a(h, static_cast<std::int64_t>(e.flow));
+  }
+  for (const auto& d : r.recorder.delays()) {
+    h = fnv1a(h, d.queue_delay.ns());
+  }
+  return h;
+}
+
+struct GoldenCase {
+  const char* cca;
+  FuzzMode mode;
+  std::int64_t delivered;
+  std::int64_t sent;
+  std::int64_t retx;
+  std::int64_t drops;
+  std::int64_t rto;
+  std::uint64_t hash;
+};
+
+// Recorded from the pre-refactor event core (std::function heap,
+// unordered_set cancellation, per-run allocation) at 2 s durations with the
+// traces built below. The rewrite must reproduce these bit for bit.
+constexpr GoldenCase kGolden[] = {
+    {"reno", FuzzMode::kLink, 1118, 1209, 38, 40, 0, 0x1b7938079fd48a03ULL},
+    {"reno", FuzzMode::kTraffic, 363, 418, 44, 44, 1, 0xb84d8247a1235b40ULL},
+    {"cubic", FuzzMode::kLink, 273, 408, 60, 72, 1, 0x3c0e9eb738290ae8ULL},
+    {"cubic", FuzzMode::kTraffic, 180, 261, 55, 59, 1, 0xaadaf794bbdbb6beULL},
+    {"bbr", FuzzMode::kLink, 377, 510, 62, 64, 0, 0x38af1559ec08e174ULL},
+    {"bbr", FuzzMode::kTraffic, 416, 513, 71, 71, 1, 0x3bf5414bac262fc5ULL},
+};
+
+ScenarioConfig golden_config(FuzzMode mode) {
+  ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(2);
+  cfg.mode = mode;
+  return cfg;
+}
+
+std::vector<TimeNs> golden_trace(FuzzMode mode, TimeNs duration) {
+  Rng rng(mode == FuzzMode::kLink ? 42 : 7);
+  return trace::dist_packets(mode == FuzzMode::kLink ? 2000 : 1500,
+                             TimeNs::zero(), duration, rng);
+}
+
+TEST(GoldenDeterminism, MatchesPreRefactorFingerprints) {
+  for (const auto& g : kGolden) {
+    SCOPED_TRACE(std::string(g.cca) + "/" + to_string(g.mode));
+    const ScenarioConfig cfg = golden_config(g.mode);
+    const auto run =
+        run_scenario(cfg, cca::make_factory(g.cca),
+                     golden_trace(g.mode, cfg.duration));
+    EXPECT_EQ(run.cca_segments_delivered, g.delivered);
+    EXPECT_EQ(run.cca_sent, g.sent);
+    EXPECT_EQ(run.cca_retransmissions, g.retx);
+    EXPECT_EQ(run.cca_drops, g.drops);
+    EXPECT_EQ(run.rto_count, g.rto);
+    EXPECT_EQ(fingerprint(run), g.hash);
+  }
+}
+
+TEST(GoldenDeterminism, RepeatedRunsAreBitIdentical) {
+  for (const auto& g : kGolden) {
+    SCOPED_TRACE(std::string(g.cca) + "/" + to_string(g.mode));
+    const ScenarioConfig cfg = golden_config(g.mode);
+    const auto factory = cca::make_factory(g.cca);
+    const auto first =
+        run_scenario(cfg, factory, golden_trace(g.mode, cfg.duration));
+    const auto second =
+        run_scenario(cfg, factory, golden_trace(g.mode, cfg.duration));
+    EXPECT_EQ(fingerprint(first), fingerprint(second));
+    EXPECT_EQ(first.recorder.egress().size(), second.recorder.egress().size());
+  }
+}
+
+TEST(GoldenDeterminism, WarmRunContextMatchesColdContext) {
+  // One context run back-to-back (warm slab/pool/recorder) must equal a
+  // freshly constructed context's result exactly.
+  const ScenarioConfig cfg = golden_config(FuzzMode::kTraffic);
+  const auto factory = cca::make_factory("bbr");
+
+  RunContext warm;
+  std::uint64_t warm_hash = 0;
+  for (int i = 0; i < 3; ++i) {
+    warm_hash =
+        fingerprint(warm.run(cfg, factory,
+                             golden_trace(FuzzMode::kTraffic, cfg.duration)));
+  }
+
+  RunContext cold;
+  const auto cold_run =
+      cold.run(cfg, factory, golden_trace(FuzzMode::kTraffic, cfg.duration));
+  EXPECT_EQ(warm_hash, fingerprint(cold_run));
+}
+
+}  // namespace
+}  // namespace ccfuzz::scenario

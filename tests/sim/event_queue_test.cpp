@@ -93,6 +93,115 @@ TEST(EventQueue, SizeExcludesCancelled) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, SizeUnaffectedByCancellingFiredId) {
+  // Regression: cancel() accepts ids of already-fired events; the old
+  // heap-size-minus-cancelled-set accounting let size() wrap to huge values.
+  EventQueue q;
+  const EventId a = q.schedule(TimeNs::millis(1), [] {});
+  q.run_next();  // `a` fires
+  EXPECT_EQ(q.size(), 0u);
+  q.cancel(a);  // must be a no-op
+  EXPECT_EQ(q.size(), 0u);
+  q.schedule(TimeNs::millis(2), [] {});
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, CancelTwiceIsNoOp) {
+  EventQueue q;
+  const EventId a = q.schedule(TimeNs::millis(1), [] {});
+  q.schedule(TimeNs::millis(2), [] {});
+  q.cancel(a);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, StaleIdDoesNotCancelRecycledSlot) {
+  // After an event fires, its slot is recycled for later events; the old id
+  // must not cancel the new occupant (generation tag mismatch).
+  EventQueue q;
+  const EventId a = q.schedule(TimeNs::millis(1), [] {});
+  q.run_next();
+  bool fired = false;
+  q.schedule(TimeNs::millis(2), [&] { fired = true; });
+  q.cancel(a);  // stale id, possibly aliasing the recycled slot
+  while (!q.empty()) q.run_next();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, RunNextDueRespectsDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(TimeNs::millis(5), [&] { ++fired; });
+  q.schedule(TimeNs::millis(10), [&] { ++fired; });
+  TimeNs clock = TimeNs::zero();
+  EXPECT_TRUE(q.run_next_due(TimeNs::millis(7), clock));
+  EXPECT_EQ(clock, TimeNs::millis(5));
+  EXPECT_FALSE(q.run_next_due(TimeNs::millis(7), clock));
+  EXPECT_EQ(clock, TimeNs::millis(5));  // untouched on refusal
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ResetDiscardsPendingEvents) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule(TimeNs::millis(1), [&] { fired = true; });
+  q.schedule(TimeNs::millis(2), [&] { fired = true; });
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.next_time().is_infinite());
+  EXPECT_FALSE(fired);
+  // The queue is fully usable after reset, with FIFO order intact.
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    q.schedule(TimeNs::millis(3), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, IdHeldAcrossResetCannotCancelNewEvent) {
+  // Regression: slot indices and FIFO seqs restart after reset(), so an id
+  // kept across reset() could alias the first event of the next run; the
+  // per-slot generation counter (which survives reset) must reject it.
+  EventQueue q;
+  const EventId a = q.schedule(TimeNs::millis(1), [] {});
+  q.run_next();
+  q.reset();
+  bool fired = false;
+  q.schedule(TimeNs::millis(1), [&] { fired = true; });
+  q.cancel(a);  // pre-reset id: guaranteed no-op
+  while (!q.empty()) q.run_next();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CancelDuringDrainKeepsOrder) {
+  // Cancelling deep-in-heap events interleaved with pops must not disturb
+  // the firing order of live events.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(
+        q.schedule(TimeNs::millis(i), [&order, i] { order.push_back(i); }));
+  }
+  // Cancel every third event up front and every seventh mid-drain.
+  for (int i = 0; i < 100; i += 3) q.cancel(ids[static_cast<std::size_t>(i)]);
+  int popped = 0;
+  while (!q.empty()) {
+    q.run_next();
+    if (++popped % 5 == 0) {
+      const int victim = popped * 7 % 100;
+      q.cancel(ids[static_cast<std::size_t>(victim)]);
+    }
+  }
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    ASSERT_LT(order[i - 1], order[i]);
+  }
+}
+
 TEST(EventQueue, StressManyEventsStayOrdered) {
   EventQueue q;
   std::vector<std::int64_t> times;

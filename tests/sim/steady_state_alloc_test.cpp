@@ -1,0 +1,107 @@
+// Proves the simulation hot path is allocation-free in steady state: once
+// the event slab, heap and packet pool have reached their high-water marks,
+// schedule/cancel/run and pooled packet movement never touch the allocator.
+//
+// The global operator new/delete replacements below count every allocation
+// in this test binary; gtest runs each TEST in its own process under ctest,
+// so the counter is only observed by this file's tests.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "net/delay_pipe.h"
+#include "net/packet_pool.h"
+#include "sim/simulator.h"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++g_allocations;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_allocations;
+  return std::malloc(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace ccfuzz::sim {
+namespace {
+
+/// One round of dumbbell-shaped churn: near events, a re-armed far timer,
+/// and interleaved clock stepping.
+void churn(Simulator& sim) {
+  std::int64_t fired = 0;
+  EventId timer = 0;
+  for (int i = 0; i < 64; ++i) {
+    sim.schedule_in(DurationNs::micros(i), [&fired] { ++fired; });
+  }
+  for (int i = 0; i < 2'000; ++i) {
+    sim.run_until(sim.now() + DurationNs::micros(1));
+    sim.schedule_in(DurationNs::micros(64), [&fired] { ++fired; });
+    if (i % 8 == 0) {
+      sim.cancel(timer);
+      timer = sim.schedule_in(DurationNs::millis(1), [&fired] { ++fired; });
+    }
+  }
+  sim.run_all();
+  ASSERT_GT(fired, 0);
+}
+
+TEST(SteadyStateAllocation, EventQueueScheduleNeverAllocatesWhenWarm) {
+  Simulator sim;
+  churn(sim);  // reach the slab/heap high-water mark
+  sim.reset();
+
+  const std::size_t before = g_allocations.load();
+  churn(sim);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "warm schedule/cancel/run_until must not allocate";
+}
+
+TEST(SteadyStateAllocation, PacketPoolAndDelayPipeReuseSlots) {
+  Simulator sim;
+  net::PacketPool pool;
+  std::int64_t delivered = 0;
+  net::DelayPipe pipe(sim, DurationNs::millis(1),
+                      [&delivered](net::Packet&&) { ++delivered; }, &pool);
+
+  auto round = [&] {
+    for (int i = 0; i < 200; ++i) {
+      net::Packet p;
+      p.id = static_cast<std::uint64_t>(i);
+      pipe.send(std::move(p));
+      sim.run_until(sim.now() + DurationNs::micros(100));
+    }
+    sim.run_all();
+  };
+  round();  // warm pool + slab
+  sim.reset();
+  pool.clear();
+
+  const std::size_t before = g_allocations.load();
+  round();
+  EXPECT_EQ(g_allocations.load(), before)
+      << "pooled packet flight must not allocate when warm";
+  EXPECT_EQ(delivered, 400);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace ccfuzz::sim
