@@ -42,8 +42,8 @@ int main() {
   };
 
   csv.row(panel[0].label, {panel[0].run.goodput_mbps(), 0.0,
-                           static_cast<double>(panel[0].run.rto_count),
-                           static_cast<double>(panel[0].run.final_rto_backoff),
+                           static_cast<double>(panel[0].run.rto_count()),
+                           static_cast<double>(panel[0].run.final_rto_backoff()),
                            0.0});
 
   const auto crafted = scenario::crafted::craft_retransmission_killer(
@@ -51,15 +51,15 @@ int main() {
   const auto& k = crafted.final_run;
   csv.row("adaptive-killer",
           {k.goodput_mbps(), attack_mbps(k),
-           static_cast<double>(k.rto_count),
-           static_cast<double>(k.final_rto_backoff),
+           static_cast<double>(k.rto_count()),
+           static_cast<double>(k.final_rto_backoff()),
            k.stalled(DurationNs::seconds(1)) ? 1.0 : 0.0});
 
   for (std::size_t i = 1; i < panel.size(); ++i) {
     const auto& run = panel[i].run;
     csv.row(panel[i].label, {run.goodput_mbps(), attack_mbps(run),
-                             static_cast<double>(run.rto_count),
-                             static_cast<double>(run.final_rto_backoff),
+                             static_cast<double>(run.rto_count()),
+                             static_cast<double>(run.final_rto_backoff()),
                              run.stalled(DurationNs::seconds(1)) ? 1.0 : 0.0});
   }
   std::printf("# shape check: the adaptive killer locks Reno into RTO "

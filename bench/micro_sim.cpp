@@ -70,7 +70,7 @@ void BM_DumbbellSimulatedSecond(benchmark::State& state) {
   const auto factory = cca::make_factory("reno");
   for (auto _ : state) {
     const auto run = scenario::run_scenario(cfg, factory, {});
-    benchmark::DoNotOptimize(run.cca_segments_delivered);
+    benchmark::DoNotOptimize(run.cca_segments_delivered());
   }
 }
 BENCHMARK(BM_DumbbellSimulatedSecond);
@@ -81,7 +81,7 @@ void BM_DumbbellBbrSimulatedSecond(benchmark::State& state) {
   const auto factory = cca::make_factory("bbr");
   for (auto _ : state) {
     const auto run = scenario::run_scenario(cfg, factory, {});
-    benchmark::DoNotOptimize(run.cca_segments_delivered);
+    benchmark::DoNotOptimize(run.cca_segments_delivered());
   }
 }
 BENCHMARK(BM_DumbbellBbrSimulatedSecond);

@@ -14,7 +14,8 @@ if [[ "${CCFUZZ_SANITIZE:-0}" == "1" ]]; then
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}" >/dev/null
-cmake --build "$BUILD_DIR" --target quickstart -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target quickstart --target fuzz_fairness \
+  -j"$(nproc)"
 
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
@@ -34,6 +35,24 @@ for d in "$OUT"/campaign/*/; do
   fi
 done
 echo "smoke campaign OK ($(ls -d "$OUT"/campaign/*/ | wc -l) cells)"
+
+# Multi-flow fairness smoke: a 2-flow reno-vs-bbr late-starter campaign must
+# run end to end and report per-flow goodputs (a ';'-joined pair) plus the
+# JSONL progress stream.
+"$BUILD_DIR/examples/fuzz_fairness" "$OUT/fairness" 2 12
+if ! grep -q "best_flow_goodputs_mbps" "$OUT/fairness/summary.csv"; then
+  echo "fairness smoke FAILED: per-flow goodput column missing" >&2
+  exit 1
+fi
+if ! tail -n +2 "$OUT/fairness/summary.csv" | grep -q ";"; then
+  echo "fairness smoke FAILED: expected two ';'-joined flow goodputs" >&2
+  exit 1
+fi
+if ! grep -q '"event":"campaign_end"' "$OUT/fairness/progress.jsonl"; then
+  echo "fairness smoke FAILED: progress.jsonl incomplete" >&2
+  exit 1
+fi
+echo "fairness smoke OK"
 
 # Cheap benchmark-harness smoke: prove the micro benches still build and run
 # (full regression numbers come from scripts/bench_regression.sh). Exit 3

@@ -42,10 +42,36 @@ RateSeries rate_series(const scenario::RunResult& run, Stream stream,
                           static_cast<double>(run.config.net.packet_bytes) * 8.0);
 }
 
+RateSeries flow_rate_series(const scenario::RunResult& run, Stream stream,
+                            std::size_t flow_index, DurationNs window) {
+  const auto idx = static_cast<net::FlowIndex>(flow_index);
+  std::vector<double> times;
+  for (const auto& e : pick_stream(run, stream)) {
+    if (e.flow == net::FlowId::kCcaData && e.flow_index == idx) {
+      times.push_back(e.time.to_seconds());
+    }
+  }
+  return rates_from_times(times, run.config.duration.to_seconds(),
+                          window.to_seconds(),
+                          static_cast<double>(run.config.net.packet_bytes) * 8.0);
+}
+
 DelaySeries delay_series(const scenario::RunResult& run, net::FlowId flow) {
   DelaySeries out;
   for (const auto& d : run.recorder.delays()) {
     if (d.flow != flow) continue;
+    out.time_s.push_back(d.time.to_seconds());
+    out.delay_ms.push_back(d.queue_delay.to_millis());
+  }
+  return out;
+}
+
+DelaySeries flow_delay_series(const scenario::RunResult& run,
+                              std::size_t flow_index) {
+  const auto idx = static_cast<net::FlowIndex>(flow_index);
+  DelaySeries out;
+  for (const auto& d : run.recorder.delays()) {
+    if (d.flow != net::FlowId::kCcaData || d.flow_index != idx) continue;
     out.time_s.push_back(d.time.to_seconds());
     out.delay_ms.push_back(d.queue_delay.to_millis());
   }

@@ -34,8 +34,18 @@ RateSeries rate_series(const scenario::RunResult& run, Stream stream,
                        net::FlowId flow,
                        DurationNs window = DurationNs::millis(100));
 
+/// Windowed rate of one *competing CCA flow*'s packets (by flow index) in
+/// `stream` — the per-flow view fairness figures plot side by side.
+RateSeries flow_rate_series(const scenario::RunResult& run, Stream stream,
+                            std::size_t flow_index,
+                            DurationNs window = DurationNs::millis(100));
+
 /// Queueing delay of every `flow` packet that crossed the bottleneck.
 DelaySeries delay_series(const scenario::RunResult& run, net::FlowId flow);
+
+/// Queueing delay of one competing CCA flow's packets (by flow index).
+DelaySeries flow_delay_series(const scenario::RunResult& run,
+                              std::size_t flow_index);
 
 /// Link service rate implied by the *link trace* (link mode) or the fixed
 /// bottleneck rate (traffic mode), windowed like rate_series.

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 #include <unordered_set>
@@ -12,6 +13,7 @@
 #include "campaign/report.h"
 #include "cca/registry.h"
 #include "trace/hash.h"
+#include "util/csv.h"
 
 namespace ccfuzz::campaign {
 namespace {
@@ -28,9 +30,29 @@ std::uint64_t fnv_double(std::uint64_t h, double v) {
   return trace::fnv1a_u64(h, std::bit_cast<std::uint64_t>(v));
 }
 
+/// True when any flow carries an opaque factory — such scenarios have no
+/// stable identity, so their cells must not share cached evaluations.
+bool has_custom_flow_factory(const scenario::ScenarioConfig& s) {
+  for (const auto& f : s.flows) {
+    if (f.factory) return true;
+  }
+  return false;
+}
+
 std::uint64_t scenario_key(const scenario::ScenarioConfig& s) {
   std::uint64_t h = trace::kFnvOffset;
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.mode));
+  // The flow set is part of the evaluation identity: presets with the same
+  // transport knobs but different topologies must not share cache entries.
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.flows.size()));
+  for (const auto& f : s.flows) {
+    h = fnv_str(h, f.cca);
+    h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(f.start.ns()));
+    h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(f.stop.ns()));
+    h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(f.access_delay.ns()));
+    h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(f.ack_path_delay.ns()));
+    h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(f.total_segments));
+  }
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.duration.ns()));
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.flow_start.ns()));
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.total_segments));
@@ -58,7 +80,7 @@ std::uint64_t scenario_key(const scenario::ScenarioConfig& s) {
 /// and the same weights. Cells with an opaque custom factory never share.
 std::uint64_t eval_key(const CellConfig& cell, std::size_t cell_index) {
   std::uint64_t h = trace::kFnvOffset;
-  if (cell.factory) {
+  if (cell.factory || has_custom_flow_factory(cell.scenario)) {
     h = trace::fnv1a_u64(h, 0x1 + cell_index);
   } else {
     h = fnv_str(h, cell.cca);
@@ -90,6 +112,17 @@ void validate_cell(const CellConfig& cell) {
   if (cell.scenario.duration <= TimeNs::zero()) {
     fail("scenario.duration must be positive");
   }
+  for (const auto& flow : cell.scenario.flows) {
+    if (!flow.factory && !flow.cca.empty() && !cca::is_known_cca(flow.cca)) {
+      cca::make_factory(flow.cca);  // throws, listing the known names
+    }
+    if (flow.start < TimeNs::zero() || flow.start >= cell.scenario.duration) {
+      fail("flow start must lie inside [0, scenario.duration)");
+    }
+    if (flow.stop <= flow.start) {
+      fail("flow stop must be after its start");
+    }
+  }
 }
 
 }  // namespace
@@ -99,7 +132,14 @@ void validate_cell(const CellConfig& cell) {
 std::vector<CellConfig> CampaignConfig::cells() const {
   std::vector<CellConfig> out;
 
+  // The scenario axis: explicit variants, then presets expanded over the
+  // base scenario (apply_preset throws on unknown names before anything
+  // runs). With neither, the base scenario alone.
   std::vector<NamedScenario> scenarios = scenarios_;
+  for (const NamedPreset& p : presets_) {
+    scenarios.push_back(
+        {p.name, scenario::apply_preset(p.name, base_scenario_, p.options)});
+  }
   if (scenarios.empty()) scenarios.push_back({"", base_scenario_});
   std::vector<NamedScore> scores = scores_;
   if (scores.empty()) {
@@ -250,6 +290,77 @@ void ConsoleObserver::on_cell_end(const CellResult& result) {
                result.winners.size(), result.winners.size() == 1 ? "" : "s",
                static_cast<long long>(result.simulations),
                static_cast<long long>(result.cache_hits));
+}
+
+// --- JsonlObserver ----------------------------------------------------------
+
+JsonlObserver::JsonlObserver(const std::string& path)
+    : file_(path, std::ios::trunc), out_(&file_) {
+  if (!file_) {
+    throw std::runtime_error("JsonlObserver: cannot open " + path);
+  }
+}
+
+JsonlObserver::JsonlObserver(std::ostream& out) : out_(&out) {}
+
+void JsonlObserver::emit_line(const std::string& json) {
+  *out_ << json << '\n';
+  out_->flush();  // dashboards tail the file mid-campaign
+}
+
+void JsonlObserver::on_campaign_begin(const std::vector<CellConfig>& cells) {
+  std::ostringstream os;
+  os << "{\"event\":\"campaign_begin\",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellConfig& c = cells[i];
+    os << (i ? "," : "") << "{\"name\":\"" << json_escape(c.name)
+       << "\",\"cca\":\"" << json_escape(c.cca) << "\",\"mode\":\""
+       << scenario::to_string(c.scenario.mode)
+       << "\",\"flows\":" << c.scenario.flow_count()
+       << ",\"population\":" << c.ga.population
+       << ",\"max_generations\":" << c.ga.max_generations << "}";
+  }
+  os << "]}";
+  emit_line(os.str());
+}
+
+void JsonlObserver::on_generation(const CellConfig& cell,
+                                  const fuzz::GenStats& gs) {
+  std::ostringstream os;
+  os << "{\"event\":\"generation\",\"cell\":\"" << json_escape(cell.name)
+     << "\",\"generation\":" << gs.generation
+     << ",\"best_score\":" << format_double(gs.best_score)
+     << ",\"mean_score\":" << format_double(gs.mean_score)
+     << ",\"topk_goodput_mbps\":" << format_double(gs.topk_mean_goodput_mbps)
+     << ",\"stalled\":" << gs.stalled_count
+     << ",\"evaluations\":" << gs.evaluations << "}";
+  emit_line(os.str());
+}
+
+void JsonlObserver::on_cell_end(const CellResult& result) {
+  std::ostringstream os;
+  os << "{\"event\":\"cell_end\",\"cell\":\"" << json_escape(result.cell.name)
+     << "\",\"best_score\":" << format_double(result.best_score())
+     << ",\"winners\":" << result.winners.size()
+     << ",\"simulations\":" << result.simulations
+     << ",\"cache_hits\":" << result.cache_hits;
+  if (!result.winners.empty() &&
+      result.winners.front().eval.flow_goodput_mbps.size() > 1) {
+    os << ",\"best_flow_goodputs_mbps\":[";
+    const auto& g = result.winners.front().eval.flow_goodput_mbps;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      os << (i ? "," : "") << format_double(g[i]);
+    }
+    os << "]";
+  }
+  os << "}";
+  emit_line(os.str());
+}
+
+void JsonlObserver::on_campaign_end(const CampaignReport& report) {
+  std::ostringstream os;
+  os << "{\"event\":\"campaign_end\",\"cells\":" << report.cells.size() << "}";
+  emit_line(os.str());
 }
 
 // --- Campaign ---------------------------------------------------------------

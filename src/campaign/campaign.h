@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -28,6 +29,7 @@
 #include "fuzz/fuzzer.h"
 #include "fuzz/score.h"
 #include "scenario/config.h"
+#include "scenario/presets.h"
 #include "trace/mutation.h"
 
 namespace ccfuzz::campaign {
@@ -84,6 +86,20 @@ class CampaignConfig {
   /// Adds a named scenario variant axis entry (e.g. "shallow-queue").
   CampaignConfig& add_scenario(std::string name, scenario::ScenarioConfig s) {
     scenarios_.push_back({std::move(name), s});
+    return *this;
+  }
+  /// Adds a multi-flow preset ("incast", "late_starter", "rtt_unfair",
+  /// "inter_protocol") to the scenario axis. The preset is applied to the
+  /// base scenario at expansion time, so base_scenario() may be set before
+  /// or after. Unknown names throw from cells().
+  CampaignConfig& add_preset(std::string name,
+                             scenario::PresetOptions opt = {}) {
+    presets_.push_back({std::move(name), std::move(opt)});
+    return *this;
+  }
+  /// Convenience: one add_preset per name, all with default options.
+  CampaignConfig& presets(std::vector<std::string> names) {
+    for (auto& n : names) add_preset(std::move(n));
     return *this;
   }
   /// The score used when no named score variants are added.
@@ -147,6 +163,10 @@ class CampaignConfig {
     std::string name;
     scenario::ScenarioConfig config;
   };
+  struct NamedPreset {
+    std::string name;
+    scenario::PresetOptions options;
+  };
   struct NamedScore {
     std::string name;
     std::shared_ptr<const fuzz::ScoreFunction> score;
@@ -157,6 +177,7 @@ class CampaignConfig {
   std::vector<scenario::FuzzMode> modes_{scenario::FuzzMode::kTraffic};
   scenario::ScenarioConfig base_scenario_{};
   std::vector<NamedScenario> scenarios_;
+  std::vector<NamedPreset> presets_;
   std::vector<NamedScore> scores_;
   fuzz::GaConfig ga_{};
   trace::LinkTraceModel link_model_{.total_packets = -1};
@@ -227,6 +248,31 @@ class ConsoleObserver final : public CampaignObserver {
  private:
   std::FILE* stream() const;
   std::FILE* out_;
+};
+
+/// Streams campaign progress as JSON Lines — one self-describing object per
+/// event (`campaign_begin`, `generation`, `cell_end`, `campaign_end`) — the
+/// machine-readable sibling of ConsoleObserver for dashboards tailing a
+/// file while a long campaign runs. Each line is flushed as it is written.
+class JsonlObserver final : public CampaignObserver {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error when the file
+  /// cannot be opened.
+  explicit JsonlObserver(const std::string& path);
+  /// Writes to an already-open stream (tests, in-process consumers).
+  explicit JsonlObserver(std::ostream& out);
+
+  void on_campaign_begin(const std::vector<CellConfig>& cells) override;
+  void on_generation(const CellConfig& cell,
+                     const fuzz::GenStats& gs) override;
+  void on_cell_end(const CellResult& result) override;
+  void on_campaign_end(const CampaignReport& report) override;
+
+ private:
+  void emit_line(const std::string& json);
+
+  std::ofstream file_;
+  std::ostream* out_;
 };
 
 /// Builds the evaluator for one cell — the single place scenario wiring

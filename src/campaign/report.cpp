@@ -10,7 +10,6 @@
 #include "util/csv.h"
 
 namespace ccfuzz::campaign {
-namespace {
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -34,8 +33,31 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+namespace {
+
 const char* score_name(const CellConfig& cell) {
   return cell.score ? cell.score->name() : "low-utilization";
+}
+
+/// Per-flow goodputs joined by `sep` — the one place their formatting lives.
+std::string join_flow_goodputs(const fuzz::Evaluation& e, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < e.flow_goodput_mbps.size(); ++i) {
+    if (i) out += sep;
+    out += format_double(e.flow_goodput_mbps[i]);
+  }
+  return out;
+}
+
+/// Per-flow goodputs as a compact JSON array ("[1.2,3.4]").
+std::string flow_goodputs_json(const fuzz::Evaluation& e) {
+  return '[' + join_flow_goodputs(e, ',') + ']';
+}
+
+/// Per-flow goodputs as a ';'-joined CSV cell ("1.2;3.4"); "-" when absent.
+std::string flow_goodputs_csv(const fuzz::Evaluation& e) {
+  if (e.flow_goodput_mbps.empty()) return "-";
+  return join_flow_goodputs(e, ';');
 }
 
 /// RFC-4180 quoting for the hand-rolled summary columns: cell names are
@@ -83,6 +105,7 @@ std::string to_json(const CampaignReport& report) {
     os << "      \"mode\": \"" << scenario::to_string(r.cell.scenario.mode)
        << "\",\n";
     os << "      \"score\": \"" << json_escape(score_name(r.cell)) << "\",\n";
+    os << "      \"flows\": " << r.cell.scenario.flow_count() << ",\n";
     os << "      \"generations\": " << r.history.size() << ",\n";
     os << "      \"evaluations\": " << (r.simulations + r.cache_hits) << ",\n";
     os << "      \"simulations\": " << r.simulations << ",\n";
@@ -94,6 +117,8 @@ std::string to_json(const CampaignReport& report) {
       os << "        {\"hash\": \"" << trace::hash_hex(f.trace_hash)
          << "\", \"score\": " << format_double(f.eval.score.total())
          << ", \"goodput_mbps\": " << format_double(f.eval.goodput_mbps)
+         << ", \"flow_goodputs_mbps\": " << flow_goodputs_json(f.eval)
+         << ", \"jain_fairness\": " << format_double(f.eval.jain_fairness)
          << ", \"trace_packets\": " << f.genome.size()
          << ", \"rtos\": " << f.eval.rto_count
          << ", \"stalled\": " << (f.eval.stalled ? "true" : "false")
@@ -115,17 +140,26 @@ void write_report(const CampaignReport& report, const std::string& dir) {
   // summary.csv — one row per cell.
   {
     std::ostringstream os;
-    os << "cell,cca,mode,score,generations,evaluations,simulations,"
-          "cache_hits,best_score,best_goodput_mbps,winner_hash\n";
+    os << "cell,cca,mode,score,flows,generations,evaluations,simulations,"
+          "cache_hits,best_score,best_goodput_mbps,best_flow_goodputs_mbps,"
+          "best_jain_fairness,winner_hash\n";
     for (const CellResult& r : report.cells) {
       os << csv_field(r.cell.name) << ',' << csv_field(r.cell.cca) << ','
          << scenario::to_string(r.cell.scenario.mode) << ','
-         << csv_field(score_name(r.cell)) << ',' << r.history.size() << ','
+         << csv_field(score_name(r.cell)) << ','
+         << r.cell.scenario.flow_count() << ',' << r.history.size() << ','
          << (r.simulations + r.cache_hits) << ',' << r.simulations << ','
          << r.cache_hits << ',' << format_double(r.best_score()) << ','
          << format_double(r.winners.empty()
                               ? 0.0
                               : r.winners.front().eval.goodput_mbps)
+         << ','
+         << (r.winners.empty() ? std::string("-")
+                               : flow_goodputs_csv(r.winners.front().eval))
+         << ','
+         << format_double(r.winners.empty()
+                              ? 1.0
+                              : r.winners.front().eval.jain_fairness)
          << ','
          << (r.winners.empty() ? std::string("-")
                                : trace::hash_hex(r.winners.front().trace_hash))

@@ -26,4 +26,8 @@ std::string to_json(const CampaignReport& report);
 /// A cell name made filesystem-safe (anything outside [A-Za-z0-9._-] → '_').
 std::string sanitize_cell_name(const std::string& name);
 
+/// JSON string-escapes `s` (quotes, backslashes, control characters). Shared
+/// by the report writer and JsonlObserver.
+std::string json_escape(const std::string& s);
+
 }  // namespace ccfuzz::campaign

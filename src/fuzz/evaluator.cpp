@@ -15,15 +15,20 @@ Evaluation TraceEvaluator::evaluate(const trace::Trace& t) const {
   e.score.performance = score_->performance_score(run);
   e.score.trace = trace_weights_.trace_score(run);
   e.goodput_mbps = run.goodput_mbps();
-  e.cca_sent = run.cca_sent;
-  e.cca_delivered = run.cca_segments_delivered;
-  e.cca_drops = run.cca_drops;
+  e.cca_sent = run.cca_sent();
+  e.cca_delivered = run.cca_segments_delivered();
+  e.cca_drops = run.cca_drops();
   e.cross_sent = run.cross_sent;
   e.cross_drops = run.cross_drops;
-  e.rto_count = run.rto_count;
+  e.rto_count = run.rto_count();
   const auto delays = run.cca_queue_delays_s();
   e.p10_delay_s = percentile(delays, 10.0);
   e.stalled = run.stalled(DurationNs::seconds(1));
+  e.flow_goodput_mbps.reserve(run.flow_count());
+  for (std::size_t i = 0; i < run.flow_count(); ++i) {
+    e.flow_goodput_mbps.push_back(run.goodput_mbps(i));
+  }
+  e.jain_fairness = run.jain_fairness();
   return e;
 }
 

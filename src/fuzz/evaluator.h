@@ -16,6 +16,8 @@ namespace ccfuzz::fuzz {
 
 /// Compact result of evaluating one trace (the full RunResult with its
 /// packet records is discarded after scoring to keep populations small).
+/// The scalar counters summarize the primary flow; multi-flow scenarios
+/// additionally carry per-flow goodputs for fairness reporting.
 struct Evaluation {
   Score score;
   double goodput_mbps = 0.0;
@@ -27,6 +29,10 @@ struct Evaluation {
   std::int64_t rto_count = 0;
   double p10_delay_s = 0.0;
   bool stalled = false;
+  /// Per-flow goodputs in flow-index order (one entry per scenario flow).
+  std::vector<double> flow_goodput_mbps;
+  /// Jain's fairness index over the flows (1.0 for single-flow runs).
+  double jain_fairness = 1.0;
 };
 
 /// Pure-function evaluator: thread-safe as long as the CCA factory and

@@ -22,9 +22,9 @@ double HighDelayScore::performance_score(
 }
 
 double HighLossScore::performance_score(const scenario::RunResult& run) const {
-  const DurationNs active = run.config.duration - run.config.flow_start;
+  const DurationNs active = run.primary().active();
   if (active <= DurationNs::zero()) return 0.0;
-  return static_cast<double>(run.cca_drops) / active.to_seconds();
+  return static_cast<double>(run.cca_drops()) / active.to_seconds();
 }
 
 double LowGoodputScore::performance_score(
@@ -34,9 +34,30 @@ double LowGoodputScore::performance_score(
 
 double LowSendRateScore::performance_score(
     const scenario::RunResult& run) const {
-  const DurationNs active = run.config.duration - run.config.flow_start;
+  const DurationNs active = run.primary().active();
   if (active <= DurationNs::zero()) return 0.0;
-  return -static_cast<double>(run.cca_sent) / active.to_seconds();
+  return -static_cast<double>(run.cca_sent()) / active.to_seconds();
+}
+
+double JainFairnessScore::performance_score(
+    const scenario::RunResult& run) const {
+  if (run.flow_count() < 2) return 0.0;
+  return 1.0 - run.jain_fairness();
+}
+
+double ThroughputRatioScore::performance_score(
+    const scenario::RunResult& run) const {
+  if (victim_ >= run.flow_count() || attacker_ >= run.flow_count()) {
+    // The designated pair does not exist in this scenario (e.g. a
+    // single-flow cell): neutral, like JainFairnessScore — not a constant
+    // "victim fully starved" that would blind the GA.
+    return 0.0;
+  }
+  const double victim = run.goodput_mbps(victim_);
+  const double attacker = run.goodput_mbps(attacker_);
+  const double pair = victim + attacker;
+  if (pair <= 0.0) return 0.5;  // both idle: neutral
+  return attacker / pair;
 }
 
 }  // namespace ccfuzz::fuzz

@@ -86,6 +86,36 @@ class LowSendRateScore final : public ScoreFunction {
   const char* name() const override { return "low-send-rate"; }
 };
 
+/// Fairness-mode objective (§6 future work): 1 − Jain's fairness index over
+/// the flows' goodputs. 0 = perfectly fair sharing, approaching 1 − 1/n as
+/// one flow monopolizes the bottleneck; the GA maximizes unfairness. 0 for
+/// single-flow scenarios (nothing to be unfair about).
+class JainFairnessScore final : public ScoreFunction {
+ public:
+  double performance_score(const scenario::RunResult& run) const override;
+  const char* name() const override { return "jain-unfairness"; }
+};
+
+/// Fairness-mode objective over a designated victim/attacker flow pair: the
+/// attacker's share of the pair's combined goodput, in [0, 1]. 0.5 = fair
+/// split, → 1 as the victim is starved; 0.5 (neutral) when both flows are
+/// idle, 0 when the scenario has no such pair (e.g. single-flow cells).
+/// Defaults fit the presets: flow 1 (the late starter / long-RTT /
+/// competitor flow) is the victim of flow 0, the algorithm under test.
+class ThroughputRatioScore final : public ScoreFunction {
+ public:
+  explicit ThroughputRatioScore(std::size_t victim_flow = 1,
+                                std::size_t attacker_flow = 0)
+      : victim_(victim_flow), attacker_(attacker_flow) {}
+
+  double performance_score(const scenario::RunResult& run) const override;
+  const char* name() const override { return "throughput-ratio"; }
+
+ private:
+  std::size_t victim_;
+  std::size_t attacker_;
+};
+
 /// Trace-score weights (traffic mode): negative weight on total injected
 /// packets and on injected packets that were dropped, steering the GA
 /// toward minimal adversarial vectors (§3.3–3.4).

@@ -21,12 +21,15 @@ namespace ccfuzz::net {
 /// Schedules injection of one packet per trace timestamp into a queue.
 class CrossTrafficInjector {
  public:
-  /// `times` must be sorted ascending. Packets use `packet_bytes` frames.
+  /// `times` must be sorted ascending. Packets use `packet_bytes` frames and
+  /// carry `flow_index` (the scenario assigns the aggregate the index after
+  /// the last CCA flow) so recorder per-flow counters see a real flow id.
   CrossTrafficInjector(sim::Simulator& sim, DropTailQueue& queue,
                        std::vector<TimeNs> times,
-                       std::int32_t packet_bytes = kDefaultPacketBytes)
+                       std::int32_t packet_bytes = kDefaultPacketBytes,
+                       FlowIndex flow_index = 1)
       : sim_(sim), queue_(queue), times_(std::move(times)),
-        packet_bytes_(packet_bytes) {}
+        packet_bytes_(packet_bytes), flow_index_(flow_index) {}
 
   /// Schedules all injections. Call once before running the simulation.
   void start() {
@@ -50,6 +53,7 @@ class CrossTrafficInjector {
     Packet p;
     p.id = 0x8000000000000000ULL + static_cast<std::uint64_t>(sent_);
     p.flow = FlowId::kCrossTraffic;
+    p.flow_index = flow_index_;
     p.size_bytes = packet_bytes_;
     p.created_at = sim_.now();
     ++sent_;
@@ -61,6 +65,7 @@ class CrossTrafficInjector {
   DropTailQueue& queue_;
   std::vector<TimeNs> times_;
   std::int32_t packet_bytes_;
+  FlowIndex flow_index_;
   std::function<void(const Packet&, TimeNs)> on_inject_;
   std::int64_t sent_ = 0;
   std::int64_t dropped_ = 0;

@@ -14,15 +14,22 @@
 
 namespace ccfuzz::net {
 
-/// Identifies which source a packet belongs to on the shared bottleneck.
+/// Identifies which *kind* of source a packet belongs to on the shared
+/// bottleneck. Multi-flow scenarios additionally carry a per-flow index
+/// (Packet::flow_index) distinguishing the competing CCA flows.
 enum class FlowId : std::uint8_t {
-  kCcaData = 0,      ///< data segments of the CCA under test
+  kCcaData = 0,      ///< data segments of a CCA flow under test
   kCrossTraffic = 1, ///< fuzzer-injected cross traffic
   kAck = 2,          ///< reverse-path acknowledgements
 };
 
-/// Number of distinct FlowId values (for per-flow stat arrays).
+/// Number of distinct FlowId values (for per-kind stat arrays).
 inline constexpr std::size_t kFlowCount = 3;
+
+/// Index type for real flows sharing the bottleneck. CCA flows are numbered
+/// 0..N-1 in ScenarioConfig::flows order; the cross-traffic aggregate is
+/// assigned index N by the scenario wiring.
+using FlowIndex = std::uint16_t;
 
 /// Half-open SACK block [start, end) in segment sequence numbers.
 struct SackBlock {
@@ -49,6 +56,7 @@ struct TcpHeader {
 struct Packet {
   std::uint64_t id = 0;          ///< unique per simulation
   FlowId flow = FlowId::kCcaData;
+  FlowIndex flow_index = 0;      ///< which real flow (see FlowIndex)
   std::int32_t size_bytes = 1500;
   TimeNs created_at;             ///< when the source emitted it
   TimeNs enqueued_at;            ///< arrival time at the bottleneck queue

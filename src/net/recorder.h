@@ -2,7 +2,8 @@
 //
 // Everything the paper plots (ingress/egress rates, queuing delay, drops —
 // Figures 4a/4b/4e) derives from these records; scoring functions (§3.4)
-// consume them too.
+// consume them too. Records carry both the packet kind (FlowId) and the real
+// flow index, so multi-flow scenarios can be analysed per competing flow.
 #pragma once
 
 #include <array>
@@ -19,6 +20,7 @@ namespace ccfuzz::net {
 struct PacketEvent {
   TimeNs time;
   FlowId flow;
+  FlowIndex flow_index;
   std::int32_t size_bytes;
 };
 
@@ -27,27 +29,32 @@ struct PacketEvent {
 struct DelaySample {
   TimeNs time;    ///< egress instant
   FlowId flow;
+  FlowIndex flow_index;
   DurationNs queue_delay;
 };
 
 /// Accumulates bottleneck events during a run. Plain data; attach via the
-/// queue/link callbacks (see scenario::Dumbbell). Per-flow counters are
-/// maintained incrementally so count queries are O(1); the event vectors
-/// stay around for plotting and scoring.
+/// queue/link callbacks (see scenario::Dumbbell). Counters are maintained
+/// incrementally so count queries are O(1), both per packet kind (FlowId)
+/// and per real flow index (set_flow_count sizes that table); the event
+/// vectors stay around for plotting and scoring.
 class BottleneckRecorder {
  public:
   void record_ingress(const Packet& p, TimeNs now) {
-    ++ingress_n_[flow_index(p.flow)];
-    ingress_.push_back({now, p.flow, p.size_bytes});
+    ++ingress_n_[kind_index(p.flow)];
+    bump(flow_ingress_n_, p.flow_index);
+    ingress_.push_back({now, p.flow, p.flow_index, p.size_bytes});
   }
   void record_drop(const Packet& p, TimeNs now) {
-    ++drop_n_[flow_index(p.flow)];
-    drops_.push_back({now, p.flow, p.size_bytes});
+    ++drop_n_[kind_index(p.flow)];
+    bump(flow_drop_n_, p.flow_index);
+    drops_.push_back({now, p.flow, p.flow_index, p.size_bytes});
   }
   void record_egress(const Packet& p, TimeNs now) {
-    ++egress_n_[flow_index(p.flow)];
-    egress_.push_back({now, p.flow, p.size_bytes});
-    delays_.push_back({now, p.flow, now - p.enqueued_at});
+    ++egress_n_[kind_index(p.flow)];
+    bump(flow_egress_n_, p.flow_index);
+    egress_.push_back({now, p.flow, p.flow_index, p.size_bytes});
+    delays_.push_back({now, p.flow, p.flow_index, now - p.enqueued_at});
   }
 
   const std::vector<PacketEvent>& ingress() const { return ingress_; }
@@ -55,15 +62,36 @@ class BottleneckRecorder {
   const std::vector<PacketEvent>& drops() const { return drops_; }
   const std::vector<DelaySample>& delays() const { return delays_; }
 
-  /// Per-flow event counts, O(1).
+  /// Per-kind event counts, O(1).
   std::int64_t ingress_count(FlowId flow) const {
-    return ingress_n_[flow_index(flow)];
+    return ingress_n_[kind_index(flow)];
   }
   std::int64_t egress_count(FlowId flow) const {
-    return egress_n_[flow_index(flow)];
+    return egress_n_[kind_index(flow)];
   }
   std::int64_t drop_count(FlowId flow) const {
-    return drop_n_[flow_index(flow)];
+    return drop_n_[kind_index(flow)];
+  }
+
+  /// Sizes the per-real-flow counter table (CCA flows 0..n-1 plus any
+  /// cross-traffic index). Indices beyond the table are counted only in the
+  /// per-kind totals.
+  void set_flow_count(std::size_t n) {
+    flow_ingress_n_.assign(n, 0);
+    flow_egress_n_.assign(n, 0);
+    flow_drop_n_.assign(n, 0);
+  }
+  std::size_t flow_count() const { return flow_egress_n_.size(); }
+
+  /// Per-real-flow event counts, O(1); 0 for indices outside the table.
+  std::int64_t flow_ingress_count(FlowIndex f) const {
+    return f < flow_ingress_n_.size() ? flow_ingress_n_[f] : 0;
+  }
+  std::int64_t flow_egress_count(FlowIndex f) const {
+    return f < flow_egress_n_.size() ? flow_egress_n_[f] : 0;
+  }
+  std::int64_t flow_drop_count(FlowIndex f) const {
+    return f < flow_drop_n_.size() ? flow_drop_n_[f] : 0;
   }
 
   /// Discards all records but keeps vector capacity (RunContext reuse).
@@ -75,6 +103,9 @@ class BottleneckRecorder {
     ingress_n_.fill(0);
     egress_n_.fill(0);
     drop_n_.fill(0);
+    flow_ingress_n_.clear();
+    flow_egress_n_.clear();
+    flow_drop_n_.clear();
   }
 
   /// Pre-sizes the vectors for roughly `expected_packets` bottleneck
@@ -87,8 +118,11 @@ class BottleneckRecorder {
   }
 
  private:
-  static std::size_t flow_index(FlowId f) {
+  static std::size_t kind_index(FlowId f) {
     return static_cast<std::size_t>(f);
+  }
+  static void bump(std::vector<std::int64_t>& v, FlowIndex f) {
+    if (f < v.size()) ++v[f];
   }
 
   std::vector<PacketEvent> ingress_;
@@ -98,6 +132,9 @@ class BottleneckRecorder {
   std::array<std::int64_t, kFlowCount> ingress_n_{};
   std::array<std::int64_t, kFlowCount> egress_n_{};
   std::array<std::int64_t, kFlowCount> drop_n_{};
+  std::vector<std::int64_t> flow_ingress_n_;
+  std::vector<std::int64_t> flow_egress_n_;
+  std::vector<std::int64_t> flow_drop_n_;
 };
 
 }  // namespace ccfuzz::net

@@ -7,7 +7,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
+#include <vector>
 
+#include "tcp/congestion_control.h"
 #include "util/time.h"
 
 namespace ccfuzz::scenario {
@@ -52,7 +55,31 @@ struct NetworkConfig {
   }
 };
 
-/// One experiment: a CCA flow over the dumbbell with a link or traffic trace.
+/// One competing CCA flow over the shared bottleneck. A scenario declares a
+/// set of these (ScenarioConfig::flows); per-flow path delays give RTT
+/// heterogeneity and staggered start/stop times give late-starter and
+/// convergence scenarios (paper §6, "future work": fairness fuzzing).
+struct FlowSpec {
+  /// Registry name of this flow's CCA (cca::make_factory). Empty means "the
+  /// scenario's primary CCA" — the factory handed to run_scenario, i.e. the
+  /// algorithm under test.
+  std::string cca;
+  /// Explicit factory overriding `cca` (flows outside the registry).
+  tcp::CcaFactory factory;
+  /// When the flow starts transmitting.
+  TimeNs start = TimeNs::zero();
+  /// When the flow halts; infinite = runs to the end of the scenario.
+  TimeNs stop = TimeNs::infinite();
+  /// Source → gateway access delay; negative = inherit NetworkConfig.
+  DurationNs access_delay = DurationNs(-1);
+  /// Reverse (ACK) path delay; negative = inherit NetworkConfig.
+  DurationNs ack_path_delay = DurationNs(-1);
+  /// Application data volume in segments (default: unbounded source).
+  std::int64_t total_segments = std::numeric_limits<std::int64_t>::max();
+};
+
+/// One experiment: one or more CCA flows over the dumbbell with a link or
+/// traffic trace.
 struct ScenarioConfig {
   FuzzMode mode = FuzzMode::kTraffic;
   NetworkConfig net{};
@@ -60,9 +87,16 @@ struct ScenarioConfig {
   /// Simulated run length; traces live in [0, duration).
   TimeNs duration = TimeNs::seconds(5);
   /// When the CCA flow starts (cross traffic may precede it, Fig 4e).
+  /// Single-flow shorthand: consulted only when `flows` is empty.
   TimeNs flow_start = TimeNs::zero();
   /// Application data volume in segments (default: unbounded source).
+  /// Single-flow shorthand: consulted only when `flows` is empty.
   std::int64_t total_segments = std::numeric_limits<std::int64_t>::max();
+
+  /// The competing flows sharing the bottleneck, in flow-index order. Empty
+  /// declares the classic single-flow dumbbell built from the shorthand
+  /// fields above (flow_start / total_segments, primary CCA).
+  std::vector<FlowSpec> flows;
 
   // --- Transport knobs (paper §4 defaults) ---
   DurationNs min_rto = DurationNs::seconds(1);
@@ -77,6 +111,21 @@ struct ScenarioConfig {
   /// always kept; the detailed log costs allocations, so fuzzing leaves it
   /// off.
   bool log_tcp_events = false;
+
+  /// Number of CCA flows this scenario simulates (>= 1; the empty `flows`
+  /// shorthand is one flow).
+  std::size_t flow_count() const { return flows.empty() ? 1 : flows.size(); }
+
+  /// The flow set with the single-flow shorthand resolved: when `flows` is
+  /// empty, returns the one legacy flow built from flow_start /
+  /// total_segments.
+  std::vector<FlowSpec> effective_flows() const {
+    if (!flows.empty()) return flows;
+    FlowSpec legacy;
+    legacy.start = flow_start;
+    legacy.total_segments = total_segments;
+    return {legacy};
+  }
 };
 
 }  // namespace ccfuzz::scenario

@@ -1,26 +1,34 @@
 #include "scenario/dumbbell.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
+
+#include "cca/registry.h"
 
 namespace ccfuzz::scenario {
 
 Dumbbell::Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
-                   std::unique_ptr<tcp::CongestionControl> cca,
+                   const tcp::CcaFactory& primary,
                    std::vector<TimeNs> trace_times,
                    net::PacketPool* pool, net::BottleneckRecorder* recorder)
     : sim_(sim), cfg_(cfg),
       pool_(pool != nullptr ? pool : &own_pool_),
       recorder_(recorder != nullptr ? recorder : &own_recorder_) {
+  const std::vector<FlowSpec> specs = cfg_.effective_flows();
+
   // Expected bottleneck traversals: one per trace stamp plus ~one CCA packet
-  // per serialization slot over the run. Sizes the recorder (and, for a cold
-  // pool, the in-flight slab) so the first run grows nothing mid-simulation.
+  // per serialization slot over the run (the flows share the bottleneck, so
+  // their combined egress is bounded by its service rate). Sizes the
+  // recorder (and, for a cold pool, the in-flight slab) so the first run
+  // grows nothing mid-simulation.
   const std::size_t expected_packets =
       trace_times.size() +
       static_cast<std::size_t>(
           std::max<std::int64_t>(cfg_.duration.ns() / 1'000'000, 0));
   recorder_->reserve(expected_packets);
-  pool_->reserve(cfg_.net.queue_capacity + 64);
+  recorder_->set_flow_count(specs.size() + 1);  // CCA flows + cross traffic
+  pool_->reserve(cfg_.net.queue_capacity + 64 * specs.size());
 
   queue_ = std::make_unique<net::DropTailQueue>(cfg_.net.queue_capacity);
   queue_->set_drop_notifier([this](const net::Packet& p, TimeNs now) {
@@ -37,52 +45,85 @@ Dumbbell::Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
         sim_, *queue_, cfg_.net.bottleneck_delay, cfg_.net.bottleneck_rate,
         pool_);
     cross_ = std::make_unique<net::CrossTrafficInjector>(
-        sim_, *queue_, std::move(trace_times), cfg_.net.packet_bytes);
+        sim_, *queue_, std::move(trace_times), cfg_.net.packet_bytes,
+        static_cast<net::FlowIndex>(specs.size()));
   }
   link_->set_egress_observer([this](const net::Packet& p, TimeNs now) {
     recorder_->record_egress(p, now);
   });
 
-  // ACK return path: receiver → sender, uncongested.
-  ack_pipe_ = std::make_unique<net::DelayPipe>(
-      sim_, cfg_.net.ack_path_delay,
-      [this](net::Packet&& p) { sender_->on_ack_packet(p); }, pool_);
-
-  tcp::TcpReceiver::Config rcfg;
-  rcfg.delayed_ack = cfg_.delayed_ack;
-  rcfg.ack_every = cfg_.ack_every;
-  rcfg.delack_timeout = cfg_.delack_timeout;
-  rcfg.rwnd_segments = cfg_.receive_window_segments;
-  receiver_ = std::make_unique<tcp::TcpReceiver>(
-      sim_, rcfg, [this](net::Packet&& p) { ack_pipe_->send(std::move(p)); });
-
-  // Sink side of the bottleneck: CCA data reaches the receiver; cross
-  // traffic terminates (its job was done in the queue).
+  // Sink side of the bottleneck: each CCA flow's data reaches its own
+  // receiver; cross traffic terminates (its job was done in the queue).
   link_->set_delivery([this](net::Packet&& p) {
-    if (p.flow == net::FlowId::kCcaData) receiver_->on_data_packet(p);
+    if (p.flow == net::FlowId::kCcaData && p.flow_index < flows_.size()) {
+      flows_[p.flow_index].receiver->on_data_packet(p);
+    }
   });
 
-  // Access link: sender → gateway queue, with ingress recording.
-  access_pipe_ = std::make_unique<net::DelayPipe>(
-      sim_, cfg_.net.access_delay,
-      [this](net::Packet&& p) {
-        recorder_->record_ingress(p, sim_.now());
-        queue_->try_enqueue(std::move(p), sim_.now());
-      },
-      pool_);
+  // One private path per flow: access link in, ACK path back.
+  flows_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Flow f;
+    f.spec = specs[i];
+    if (f.spec.access_delay < DurationNs::zero()) {
+      f.spec.access_delay = cfg_.net.access_delay;
+    }
+    if (f.spec.ack_path_delay < DurationNs::zero()) {
+      f.spec.ack_path_delay = cfg_.net.ack_path_delay;
+    }
+    if (f.spec.stop > cfg_.duration) f.spec.stop = cfg_.duration;
+    // A degenerate interval (stop <= start) means the flow never runs; clamp
+    // so active() is empty and start() skips it, rather than letting a stop
+    // event fire before start and the flow transmit as "idle".
+    if (f.spec.stop < f.spec.start) f.spec.stop = f.spec.start;
 
-  tcp::TcpSender::Config scfg;
-  scfg.total_segments = cfg_.total_segments;
-  scfg.mss_bytes = cfg_.net.packet_bytes;
-  scfg.initial_cwnd = cfg_.initial_cwnd;
-  scfg.initial_rwnd_segments = cfg_.receive_window_segments;
-  scfg.rtt.min_rto = cfg_.min_rto;
-  scfg.log_events = cfg_.log_tcp_events;
-  sender_ = std::make_unique<tcp::TcpSender>(
-      sim_, scfg, std::move(cca),
-      [this](net::Packet&& p) { access_pipe_->send(std::move(p)); });
+    // ACK return path: receiver → sender, uncongested.
+    f.ack = std::make_unique<net::DelayPipe>(
+        sim_, f.spec.ack_path_delay,
+        [this, i](net::Packet&& p) { flows_[i].sender->on_ack_packet(p); },
+        pool_);
 
-  // Cross traffic bypasses the access pipe (it models aggregate arrivals at
+    tcp::TcpReceiver::Config rcfg;
+    rcfg.delayed_ack = cfg_.delayed_ack;
+    rcfg.ack_every = cfg_.ack_every;
+    rcfg.delack_timeout = cfg_.delack_timeout;
+    rcfg.rwnd_segments = cfg_.receive_window_segments;
+    rcfg.flow_index = static_cast<net::FlowIndex>(i);
+    f.receiver = std::make_unique<tcp::TcpReceiver>(
+        sim_, rcfg,
+        [this, i](net::Packet&& p) { flows_[i].ack->send(std::move(p)); });
+
+    // Access link: sender → gateway queue, with ingress recording.
+    f.access = std::make_unique<net::DelayPipe>(
+        sim_, f.spec.access_delay,
+        [this](net::Packet&& p) {
+          recorder_->record_ingress(p, sim_.now());
+          queue_->try_enqueue(std::move(p), sim_.now());
+        },
+        pool_);
+
+    tcp::TcpSender::Config scfg;
+    scfg.total_segments = f.spec.total_segments;
+    scfg.mss_bytes = cfg_.net.packet_bytes;
+    scfg.initial_cwnd = cfg_.initial_cwnd;
+    scfg.initial_rwnd_segments = cfg_.receive_window_segments;
+    scfg.rtt.min_rto = cfg_.min_rto;
+    scfg.log_events = cfg_.log_tcp_events;
+    scfg.flow_index = static_cast<net::FlowIndex>(i);
+    scfg.stop = f.spec.stop < cfg_.duration ? f.spec.stop : TimeNs::infinite();
+    const tcp::CcaFactory& factory =
+        f.spec.factory ? f.spec.factory
+                       : (f.spec.cca.empty()
+                              ? primary
+                              : cca::make_factory(f.spec.cca));
+    f.sender = std::make_unique<tcp::TcpSender>(
+        sim_, scfg, factory(),
+        [this, i](net::Packet&& p) { flows_[i].access->send(std::move(p)); });
+
+    flows_.push_back(std::move(f));
+  }
+
+  // Cross traffic bypasses the access pipes (it models aggregate arrivals at
   // the gateway) but is still recorded as bottleneck ingress.
   if (cross_) {
     cross_->set_inject_observer([this](const net::Packet& p, TimeNs now) {
@@ -91,10 +132,35 @@ Dumbbell::Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
   }
 }
 
+Dumbbell::Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
+                   std::unique_ptr<tcp::CongestionControl> cca,
+                   std::vector<TimeNs> trace_times,
+                   net::PacketPool* pool, net::BottleneckRecorder* recorder)
+    : Dumbbell(sim, cfg,
+               // std::function requires a copyable callable, so the single
+               // instance rides in a shared box and is surrendered on the
+               // first (and only) invocation. A second invocation means the
+               // scenario declares more than one primary-CCA flow, which
+               // this convenience constructor cannot satisfy.
+               [box = std::make_shared<std::unique_ptr<tcp::CongestionControl>>(
+                    std::move(cca))]() {
+                 if (!*box) {
+                   throw std::invalid_argument(
+                       "the single-instance Dumbbell constructor supports "
+                       "exactly one flow; use the CcaFactory constructor for "
+                       "multi-flow scenarios");
+                 }
+                 return std::move(*box);
+               },
+               std::move(trace_times), pool, recorder) {}
+
 void Dumbbell::start() {
   link_->start();
   if (cross_) cross_->start();
-  sender_->start(cfg_.flow_start);
+  for (Flow& f : flows_) {
+    if (f.spec.stop <= f.spec.start) continue;  // degenerate: never runs
+    f.sender->start(f.spec.start);
+  }
 }
 
 }  // namespace ccfuzz::scenario

@@ -1,14 +1,18 @@
-// The paper's dumbbell topology (§3.1), assembled from net/ and tcp/ parts:
+// The paper's dumbbell topology (§3.1), assembled from net/ and tcp/ parts,
+// generalized to a declarative set of competing CCA flows (§6 future work):
 //
-//   CCA sender ──access──▶ ┌─────────┐             ┌──────┐
-//                          │ gateway │──bottleneck─▶ sink │──▶ receiver
-//   cross traffic ────────▶│  FIFO   │   (20 ms)   └──────┘      │
-//                          └─────────┘                           │
-//   sender ◀──────────────── ACK path (20 ms) ───────────────────┘
+//   flow 0 sender ──access₀──▶ ┌─────────┐             ┌──────┐
+//   flow 1 sender ──access₁──▶ │ gateway │──bottleneck─▶ sink │─▶ receiverᵢ
+//   cross traffic ────────────▶│  FIFO   │   (20 ms)   └──────┘      │
+//                              └─────────┘                           │
+//   senderᵢ ◀──────────────── ACK pathᵢ ─────────────────────────────┘
 //
-// In link mode the bottleneck is a TraceDrivenLink fed by the fuzzed service
-// curve; in traffic mode it is a FixedRateLink and the fuzzed trace drives
-// the CrossTrafficInjector.
+// Every flow owns its access link, ACK path, sender and receiver; all flows
+// share the gateway queue and bottleneck link. Per-flow access/ACK delays
+// give RTT heterogeneity; per-flow start/stop times give late-starter and
+// convergence scenarios. In link mode the bottleneck is a TraceDrivenLink
+// fed by the fuzzed service curve; in traffic mode it is a FixedRateLink and
+// the fuzzed trace drives the CrossTrafficInjector.
 #pragma once
 
 #include <memory>
@@ -35,9 +39,20 @@ class Dumbbell {
   /// `trace_times` is the link service curve (link mode) or the cross-traffic
   /// injection schedule (traffic mode); must be sorted ascending.
   ///
+  /// `primary` builds the CCA instance for every flow whose FlowSpec names
+  /// no algorithm of its own (and for the legacy single-flow shorthand);
+  /// named flows resolve through cca::make_factory.
+  ///
   /// `pool` / `recorder` let a reusable harness (scenario::RunContext) supply
   /// warm buffers that outlive the Dumbbell; when null the Dumbbell owns
   /// private ones.
+  Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
+           const tcp::CcaFactory& primary, std::vector<TimeNs> trace_times,
+           net::PacketPool* pool = nullptr,
+           net::BottleneckRecorder* recorder = nullptr);
+
+  /// Single-flow convenience: wraps one ready-made CCA instance. Only valid
+  /// for scenarios with one flow.
   Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
            std::unique_ptr<tcp::CongestionControl> cca,
            std::vector<TimeNs> trace_times,
@@ -47,14 +62,21 @@ class Dumbbell {
   Dumbbell(const Dumbbell&) = delete;
   Dumbbell& operator=(const Dumbbell&) = delete;
 
-  /// Schedules flow start, link service and cross-traffic injections.
+  /// Schedules flow starts/stops, link service and cross-traffic injections.
   void start();
 
   // ---- Component access (tests & analysis) ----
-  tcp::TcpSender& sender() { return *sender_; }
-  const tcp::TcpSender& sender() const { return *sender_; }
-  tcp::TcpReceiver& receiver() { return *receiver_; }
-  const tcp::TcpReceiver& receiver() const { return *receiver_; }
+  std::size_t flow_count() const { return flows_.size(); }
+  /// The resolved spec of flow `i` (delays filled in, stop clamped).
+  const FlowSpec& flow_spec(std::size_t i) const { return flows_[i].spec; }
+  tcp::TcpSender& sender(std::size_t i = 0) { return *flows_[i].sender; }
+  const tcp::TcpSender& sender(std::size_t i = 0) const {
+    return *flows_[i].sender;
+  }
+  tcp::TcpReceiver& receiver(std::size_t i = 0) { return *flows_[i].receiver; }
+  const tcp::TcpReceiver& receiver(std::size_t i = 0) const {
+    return *flows_[i].receiver;
+  }
   net::DropTailQueue& queue() { return *queue_; }
   const net::DropTailQueue& queue() const { return *queue_; }
   const net::BottleneckRecorder& recorder() const { return *recorder_; }
@@ -63,8 +85,21 @@ class Dumbbell {
   }
   const net::BottleneckLink& link() const { return *link_; }
   const ScenarioConfig& config() const { return cfg_; }
+  /// Flow index carried by cross-traffic packets (one past the CCA flows).
+  net::FlowIndex cross_flow_index() const {
+    return static_cast<net::FlowIndex>(flows_.size());
+  }
 
  private:
+  /// One competing flow's private path: access link in, ACK path back.
+  struct Flow {
+    FlowSpec spec;  // resolved: delays inherited, stop clamped to duration
+    std::unique_ptr<net::DelayPipe> access;  // sender → gateway
+    std::unique_ptr<net::DelayPipe> ack;     // receiver → sender
+    std::unique_ptr<tcp::TcpReceiver> receiver;
+    std::unique_ptr<tcp::TcpSender> sender;
+  };
+
   sim::Simulator& sim_;
   ScenarioConfig cfg_;
 
@@ -74,11 +109,8 @@ class Dumbbell {
   net::BottleneckRecorder* recorder_;
   std::unique_ptr<net::DropTailQueue> queue_;
   std::unique_ptr<net::BottleneckLink> link_;
-  std::unique_ptr<net::DelayPipe> access_pipe_;  // sender → gateway
-  std::unique_ptr<net::DelayPipe> ack_pipe_;     // receiver → sender
   std::unique_ptr<net::CrossTrafficInjector> cross_;  // traffic mode only
-  std::unique_ptr<tcp::TcpReceiver> receiver_;
-  std::unique_ptr<tcp::TcpSender> sender_;
+  std::vector<Flow> flows_;
 };
 
 }  // namespace ccfuzz::scenario

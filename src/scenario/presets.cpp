@@ -1,0 +1,87 @@
+#include "scenario/presets.h"
+
+#include <stdexcept>
+
+namespace ccfuzz::scenario {
+
+const std::vector<std::string>& known_presets() {
+  static const std::vector<std::string> kNames = {
+      "incast", "late_starter", "rtt_unfair", "inter_protocol"};
+  return kNames;
+}
+
+bool is_known_preset(std::string_view name) {
+  for (const std::string& p : known_presets()) {
+    if (p == name) return true;
+  }
+  return false;
+}
+
+ScenarioConfig apply_preset(std::string_view name, const ScenarioConfig& base,
+                            const PresetOptions& opt) {
+  ScenarioConfig cfg = base;
+  cfg.flows.clear();
+
+  if (name == "incast") {
+    if (opt.incast_flows < 2) {
+      throw std::invalid_argument("preset 'incast': incast_flows must be >= 2");
+    }
+    // N synchronized flows of the CCA under test, all starting together —
+    // the many-senders convergence shape.
+    cfg.flows.assign(static_cast<std::size_t>(opt.incast_flows), FlowSpec{});
+    return cfg;
+  }
+
+  if (name == "late_starter") {
+    if (opt.late_start_fraction <= 0.0 || opt.late_start_fraction >= 1.0) {
+      throw std::invalid_argument(
+          "preset 'late_starter': late_start_fraction must be in (0, 1)");
+    }
+    // An established flow vs a newcomer: does the incumbent yield?
+    FlowSpec incumbent;
+    FlowSpec late;
+    late.cca = opt.competitor;
+    late.start =
+        TimeNs(0) + DurationNs(cfg.duration.ns()).scaled(opt.late_start_fraction);
+    cfg.flows = {incumbent, late};
+    return cfg;
+  }
+
+  if (name == "rtt_unfair") {
+    if (opt.rtt_multiplier <= 0.0) {
+      throw std::invalid_argument(
+          "preset 'rtt_unfair': rtt_multiplier must be positive");
+    }
+    // Same start, heterogeneous path delays: the long-RTT flow is the
+    // classic victim of RTT-unfair algorithms.
+    FlowSpec short_rtt;
+    FlowSpec long_rtt;
+    long_rtt.cca = opt.competitor;
+    long_rtt.access_delay = cfg.net.access_delay.scaled(opt.rtt_multiplier);
+    long_rtt.ack_path_delay =
+        cfg.net.ack_path_delay.scaled(opt.rtt_multiplier);
+    cfg.flows = {short_rtt, long_rtt};
+    return cfg;
+  }
+
+  if (name == "inter_protocol") {
+    // The CCA under test vs a fixed competitor (reno-vs-bbr by default from
+    // the reno cell's point of view).
+    FlowSpec under_test;
+    FlowSpec competitor;
+    competitor.cca = opt.competitor.empty() ? "bbr" : opt.competitor;
+    cfg.flows = {under_test, competitor};
+    return cfg;
+  }
+
+  std::string msg = "unknown scenario preset '";
+  msg += name;
+  msg += "'; known presets:";
+  for (const std::string& p : known_presets()) {
+    msg += ' ';
+    msg += p;
+  }
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace ccfuzz::scenario

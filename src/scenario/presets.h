@@ -1,0 +1,49 @@
+// Named multi-flow scenario presets — the flow topologies the fairness
+// literature (CCLab, the congestion-control benchmarking suite in PAPERS.md)
+// evaluates, packaged as one-call transforms over a base ScenarioConfig so a
+// campaign can sweep CCAs × modes × flow topologies × scores.
+//
+//   incast          N synchronized same-CCA flows converging on the gateway
+//   late_starter    an established flow vs one that joins mid-run
+//   rtt_unfair      two flows with heterogeneous path RTTs
+//   inter_protocol  the CCA under test vs a fixed competitor (reno-vs-bbr)
+//
+// In every preset flow 0 runs the scenario's primary CCA (the algorithm
+// under test); the presets only shape the competition around it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/config.h"
+
+namespace ccfuzz::scenario {
+
+/// Knobs shared by the presets; the defaults reproduce the shapes used in
+/// the paper's future-work discussion.
+struct PresetOptions {
+  /// incast: number of synchronized flows.
+  int incast_flows = 4;
+  /// late_starter: the second flow joins at this fraction of the duration.
+  double late_start_fraction = 1.0 / 3.0;
+  /// rtt_unfair: the second flow's access/ACK delays are scaled by this.
+  double rtt_multiplier = 4.0;
+  /// Registry CCA of the competing flow (late_starter / rtt_unfair /
+  /// inter_protocol). Empty = same algorithm as the flow under test, except
+  /// inter_protocol which then defaults to "bbr".
+  std::string competitor;
+};
+
+/// Names accepted by apply_preset, in deterministic order.
+const std::vector<std::string>& known_presets();
+
+bool is_known_preset(std::string_view name);
+
+/// Returns `base` with its flow set replaced by the preset's topology.
+/// Throws std::invalid_argument for unknown names (listing the known ones)
+/// or out-of-range options.
+ScenarioConfig apply_preset(std::string_view name, const ScenarioConfig& base,
+                            const PresetOptions& opt = {});
+
+}  // namespace ccfuzz::scenario

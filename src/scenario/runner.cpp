@@ -9,52 +9,88 @@
 
 namespace ccfuzz::scenario {
 
-double RunResult::goodput_mbps() const {
-  const DurationNs active = config.duration - config.flow_start;
-  if (active <= DurationNs::zero()) return 0.0;
-  const double bits = static_cast<double>(cca_segments_delivered) *
-                      static_cast<double>(config.net.packet_bytes) * 8.0;
-  return bits / active.to_seconds() * 1e-6;
+double FlowResult::goodput_mbps() const {
+  const DurationNs span = active();
+  if (span <= DurationNs::zero()) return 0.0;
+  const double bits = static_cast<double>(segments_delivered) *
+                      static_cast<double>(packet_bytes) * 8.0;
+  return bits / span.to_seconds() * 1e-6;
 }
 
-std::vector<double> RunResult::windowed_throughput_mbps(
-    DurationNs window) const {
+const FlowResult& RunResult::flow(std::size_t i) const {
+  static const FlowResult kEmpty;
+  return i < flows.size() ? flows[i] : kEmpty;
+}
+
+FlowResult& RunResult::ensure_primary() {
+  if (flows.empty()) {
+    FlowResult f;
+    f.start = config.flow_start;
+    f.stop = config.duration;
+    f.packet_bytes = config.net.packet_bytes;
+    flows.push_back(std::move(f));
+  }
+  return flows.front();
+}
+
+std::vector<double> RunResult::windowed_throughput_mbps(DurationNs window,
+                                                        std::size_t i) const {
+  const auto idx = static_cast<net::FlowIndex>(i);
   std::vector<double> egress_times;
   egress_times.reserve(recorder.egress().size());
   for (const auto& e : recorder.egress()) {
-    if (e.flow == net::FlowId::kCcaData) {
+    if (e.flow == net::FlowId::kCcaData && e.flow_index == idx) {
       egress_times.push_back(e.time.to_seconds());
     }
   }
-  const auto rates = windowed_rate(egress_times, config.flow_start.to_seconds(),
-                                   config.duration.to_seconds(),
-                                   window.to_seconds());
+  const auto rates =
+      windowed_rate(egress_times, flow(i).start.to_seconds(),
+                    config.duration.to_seconds(), window.to_seconds());
   std::vector<double> mbps(rates.size());
   const double bits = static_cast<double>(config.net.packet_bytes) * 8.0;
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    mbps[i] = rates[i] * bits * 1e-6;
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    mbps[k] = rates[k] * bits * 1e-6;
   }
   return mbps;
 }
 
-std::vector<double> RunResult::cca_queue_delays_s() const {
+std::vector<double> RunResult::queue_delays_s(std::size_t i) const {
+  const auto idx = static_cast<net::FlowIndex>(i);
   std::vector<double> out;
   out.reserve(recorder.delays().size());
   for (const auto& d : recorder.delays()) {
-    if (d.flow == net::FlowId::kCcaData) {
+    if (d.flow == net::FlowId::kCcaData && d.flow_index == idx) {
       out.push_back(d.queue_delay.to_seconds());
     }
   }
   return out;
 }
 
-bool RunResult::stalled(DurationNs tail) const {
-  if (cca_sent == 0) return false;  // never started: not "stuck", just idle
-  const TimeNs cutoff = config.duration - tail;
+bool RunResult::stalled(DurationNs tail, std::size_t i) const {
+  const FlowResult& f = flow(i);
+  if (f.sent == 0) return false;  // never started: not "stuck", just idle
+  const auto idx = static_cast<net::FlowIndex>(i);
+  const TimeNs cutoff = f.stop - tail;
   for (const auto& e : recorder.egress()) {
-    if (e.flow == net::FlowId::kCcaData && e.time >= cutoff) return false;
+    if (e.flow == net::FlowId::kCcaData && e.flow_index == idx &&
+        e.time >= cutoff) {
+      return false;
+    }
   }
   return true;
+}
+
+double RunResult::jain_fairness() const {
+  if (flows.size() < 2) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const FlowResult& f : flows) {
+    const double g = f.goodput_mbps();
+    sum += g;
+    sum_sq += g * g;
+  }
+  if (sum_sq <= 0.0) return 1.0;  // all idle: nothing to be unfair about
+  return sum * sum / (static_cast<double>(flows.size()) * sum_sq);
 }
 
 RunResult RunContext::run(const ScenarioConfig& cfg,
@@ -66,31 +102,40 @@ RunResult RunContext::run(const ScenarioConfig& cfg,
   pool_.clear();
   recorder_.clear();
 
-  Dumbbell db(sim_, cfg, cca(), std::move(trace_times), &pool_, &recorder_);
+  Dumbbell db(sim_, cfg, cca, std::move(trace_times), &pool_, &recorder_);
   db.start();
   sim_.run_until(cfg.duration);
 
   RunResult r;
   r.config = cfg;
-  r.cca_segments_delivered = db.receiver().segments_received();
-  r.cca_egress_packets = db.recorder().egress_count(net::FlowId::kCcaData);
-  r.cca_sent = db.sender().total_sent();
-  r.cca_retransmissions = db.sender().total_retransmissions();
-  r.rto_count = db.sender().rto_count();
-  r.fast_recovery_count = db.sender().fast_retransmit_entries();
-  r.spurious_retx_count = db.sender().spurious_retx_count();
-  r.final_rto_backoff = db.sender().rto_backoff();
+  r.flows.reserve(db.flow_count());
+  for (std::size_t i = 0; i < db.flow_count(); ++i) {
+    const auto idx = static_cast<net::FlowIndex>(i);
+    FlowResult f;
+    f.cca = db.flow_spec(i).cca;
+    f.start = db.flow_spec(i).start;
+    f.stop = db.flow_spec(i).stop;
+    f.packet_bytes = cfg.net.packet_bytes;
+    f.segments_delivered = db.receiver(i).segments_received();
+    f.egress_packets = db.recorder().flow_egress_count(idx);
+    f.sent = db.sender(i).total_sent();
+    f.retransmissions = db.sender(i).total_retransmissions();
+    f.drops = db.recorder().flow_drop_count(idx);
+    f.rto_count = db.sender(i).rto_count();
+    f.fast_recovery_count = db.sender(i).fast_retransmit_entries();
+    f.spurious_retx_count = db.sender(i).spurious_retx_count();
+    f.final_rto_backoff = db.sender(i).rto_backoff();
+    f.final_bw_estimate_pps = db.sender(i).cca().bw_estimate_pps();
+    f.final_min_rtt_estimate = db.sender(i).cca().min_rtt_estimate();
+    f.tcp_log = db.sender(i).log();
+    r.flows.push_back(std::move(f));
+  }
   r.queue_stats = db.queue().stats();
-  r.cca_drops = r.queue_stats.dropped[static_cast<std::size_t>(
-      net::FlowId::kCcaData)];
   if (const auto* ct = db.cross_traffic()) {
     r.cross_sent = ct->packets_sent();
     r.cross_drops = ct->packets_dropped();
   }
-  r.final_bw_estimate_pps = db.sender().cca().bw_estimate_pps();
-  r.final_min_rtt_estimate = db.sender().cca().min_rtt_estimate();
   r.recorder = db.recorder();
-  r.tcp_log = db.sender().log();
   return r;
 }
 

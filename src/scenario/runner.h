@@ -1,5 +1,6 @@
-// One-call simulation harness: run a CCA over a link/traffic trace and
-// collect everything the scoring functions (§3.4) and figures consume.
+// One-call simulation harness: run one or more CCA flows over a link/traffic
+// trace and collect everything the scoring functions (§3.4) and figures
+// consume.
 //
 // run_scenario() is a pure function of (config, cca factory, trace): the
 // result depends on nothing but its arguments, which is what makes the GA's
@@ -13,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "net/packet_pool.h"
@@ -26,20 +28,54 @@
 
 namespace ccfuzz::scenario {
 
-/// Everything observable from one simulation run.
-struct RunResult {
-  ScenarioConfig config;
+/// Everything observable from one CCA flow's run: transport counters, final
+/// CCA model state, and the active interval the per-flow rates are computed
+/// over. Series that need the bottleneck records (windowed throughput, queue
+/// delays) live on RunResult, which owns the recorder.
+struct FlowResult {
+  /// Registry name of the flow's CCA; empty for the scenario's primary CCA
+  /// or a custom factory.
+  std::string cca;
+  /// Active interval [start, stop): start time and (clamped) stop time.
+  TimeNs start = TimeNs::zero();
+  TimeNs stop = TimeNs::zero();
+  std::int32_t packet_bytes = 1500;
 
-  // --- CCA flow outcome ---
-  std::int64_t cca_segments_delivered = 0;  ///< in-order at the receiver
-  std::int64_t cca_egress_packets = 0;      ///< through the bottleneck
-  std::int64_t cca_sent = 0;                ///< transmissions incl. retx
-  std::int64_t cca_retransmissions = 0;
-  std::int64_t cca_drops = 0;               ///< CCA packets lost at the queue
+  std::int64_t segments_delivered = 0;  ///< in-order at the receiver
+  std::int64_t egress_packets = 0;      ///< through the bottleneck
+  std::int64_t sent = 0;                ///< transmissions incl. retx
+  std::int64_t retransmissions = 0;
+  std::int64_t drops = 0;               ///< this flow's losses at the queue
   std::int64_t rto_count = 0;
   std::int64_t fast_recovery_count = 0;
   std::int64_t spurious_retx_count = 0;
   int final_rto_backoff = 0;
+
+  // --- Final CCA model state (BBR introspection; 0/-1 for others) ---
+  double final_bw_estimate_pps = 0.0;
+  DurationNs final_min_rtt_estimate = DurationNs(-1);
+
+  // --- Detailed TCP event log (when ScenarioConfig::log_tcp_events) ---
+  tcp::TcpEventLog tcp_log;
+
+  /// Active sending interval (stop − start).
+  DurationNs active() const { return stop - start; }
+
+  /// Average goodput over [start, stop) in Mbps, from in-order delivered
+  /// segments.
+  double goodput_mbps() const;
+};
+
+/// Everything observable from one simulation run. Per-flow counters live in
+/// `flows` (index order matches ScenarioConfig::flows); the single-flow
+/// `cca_*` accessors are a migration shim reading the primary flow (0).
+struct RunResult {
+  ScenarioConfig config;
+
+  /// One entry per CCA flow, in flow-index order; never empty after
+  /// run_scenario (manually built results may leave it empty — accessors
+  /// then read a neutral all-zero flow).
+  std::vector<FlowResult> flows;
 
   // --- Cross traffic outcome (traffic mode) ---
   std::int64_t cross_sent = 0;
@@ -49,34 +85,72 @@ struct RunResult {
   net::QueueStats queue_stats;
   net::BottleneckRecorder recorder;
 
-  // --- Final CCA model state (BBR introspection; 0/-1 for others) ---
-  double final_bw_estimate_pps = 0.0;
-  DurationNs final_min_rtt_estimate = DurationNs(-1);
+  std::size_t flow_count() const { return flows.size(); }
 
-  // --- Detailed TCP event log (when ScenarioConfig::log_tcp_events) ---
-  tcp::TcpEventLog tcp_log;
+  /// Flow `i`, or a neutral all-zero FlowResult when out of range.
+  const FlowResult& flow(std::size_t i) const;
+  /// The primary flow — the algorithm under test.
+  const FlowResult& primary() const { return flow(0); }
 
-  /// Average CCA goodput over [flow_start, duration) in Mbps, from in-order
-  /// delivered segments.
-  double goodput_mbps() const;
+  /// Average goodput of flow `i` over its active interval, in Mbps.
+  double goodput_mbps(std::size_t i = 0) const { return flow(i).goodput_mbps(); }
 
-  /// CCA egress throughput per window (Mbps) over [flow_start, duration).
-  std::vector<double> windowed_throughput_mbps(DurationNs window) const;
+  /// Flow `i`'s egress throughput per window (Mbps) over [start, duration).
+  std::vector<double> windowed_throughput_mbps(DurationNs window,
+                                               std::size_t i = 0) const;
 
-  /// Queueing-delay samples (seconds) experienced by CCA packets, in egress
-  /// order.
-  std::vector<double> cca_queue_delays_s() const;
+  /// Queueing-delay samples (seconds) experienced by flow `i`'s packets, in
+  /// egress order.
+  std::vector<double> queue_delays_s(std::size_t i) const;
+  /// Migration shim: primary flow's queueing delays.
+  std::vector<double> cca_queue_delays_s() const { return queue_delays_s(0); }
 
-  /// True when the CCA made no bottleneck progress over the trailing
-  /// `tail` of the run despite having started — the paper's "stuck" signal.
-  bool stalled(DurationNs tail) const;
+  /// True when flow `i` made no bottleneck progress over the trailing `tail`
+  /// of its active interval despite having started — the paper's "stuck"
+  /// signal.
+  bool stalled(DurationNs tail, std::size_t i = 0) const;
+
+  /// Jain's fairness index over the flows' goodputs: 1 = perfectly fair,
+  /// 1/n = one flow has everything. 1 for single-flow or all-idle runs.
+  double jain_fairness() const;
+
+  // --- Single-flow migration shims (primary flow) ---
+  std::int64_t cca_segments_delivered() const {
+    return primary().segments_delivered;
+  }
+  std::int64_t cca_egress_packets() const { return primary().egress_packets; }
+  std::int64_t cca_sent() const { return primary().sent; }
+  std::int64_t cca_retransmissions() const {
+    return primary().retransmissions;
+  }
+  std::int64_t cca_drops() const { return primary().drops; }
+  std::int64_t rto_count() const { return primary().rto_count; }
+  std::int64_t fast_recovery_count() const {
+    return primary().fast_recovery_count;
+  }
+  std::int64_t spurious_retx_count() const {
+    return primary().spurious_retx_count;
+  }
+  int final_rto_backoff() const { return primary().final_rto_backoff; }
+  double final_bw_estimate_pps() const {
+    return primary().final_bw_estimate_pps;
+  }
+  DurationNs final_min_rtt_estimate() const {
+    return primary().final_min_rtt_estimate;
+  }
+  const tcp::TcpEventLog& tcp_log() const { return primary().tcp_log; }
+
+  /// The primary flow, created on demand — for tests that assemble a
+  /// RunResult by hand.
+  FlowResult& ensure_primary();
 };
 
 /// Reusable simulation harness: owns the simulator (event-slot slab), the
 /// in-flight packet pool and the bottleneck recorder, and recycles their
-/// capacity across runs. One RunContext per thread (run_scenario keeps a
-/// thread-local one; fuzz::evaluate_batch therefore reuses one per worker)
-/// turns the GA's unit of work from allocator-bound to simulation-bound.
+/// capacity across runs — including across runs with different flow counts.
+/// One RunContext per thread (run_scenario keeps a thread-local one;
+/// fuzz::evaluate_batch therefore reuses one per worker) turns the GA's unit
+/// of work from allocator-bound to simulation-bound.
 class RunContext {
  public:
   RunContext() = default;
@@ -95,8 +169,9 @@ class RunContext {
 };
 
 /// Runs one simulation. `trace_times` is the link service curve (link mode)
-/// or cross-traffic schedule (traffic mode), sorted ascending. Reuses a
-/// thread-local RunContext.
+/// or cross-traffic schedule (traffic mode), sorted ascending. `cca` builds
+/// the primary CCA — the instance used by every flow that names no
+/// algorithm of its own. Reuses a thread-local RunContext.
 RunResult run_scenario(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
                        std::vector<TimeNs> trace_times);
 

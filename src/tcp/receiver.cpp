@@ -124,8 +124,10 @@ void TcpReceiver::send_ack_now(std::int64_t acked_tx_id) {
   delack_timer_.cancel();
   pending_ack_segments_ = 0;
   net::Packet ack;
-  ack.id = 0xA000000000000000ULL + next_ack_id_++;
+  ack.id = 0xA000000000000000ULL +
+           (static_cast<std::uint64_t>(cfg_.flow_index) << 48) + next_ack_id_++;
   ack.flow = net::FlowId::kAck;
+  ack.flow_index = cfg_.flow_index;
   ack.size_bytes = cfg_.ack_bytes;
   ack.created_at = sim_.now();
   ack.tcp.ack = rcv_nxt_;

@@ -40,6 +40,9 @@ class TcpReceiver {
     /// (paper §4.1/§4.3) eventually closes the advertised window and
     /// silences the sender until the hole is repaired.
     std::int64_t rwnd_segments = 87;
+    /// Which competing flow this receiver terminates (multi-flow scenarios);
+    /// tags emitted ACKs. Flow 0 keeps the single-flow id layout.
+    net::FlowIndex flow_index = 0;
   };
 
   TcpReceiver(sim::Simulator& sim, const Config& cfg,

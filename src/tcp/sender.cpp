@@ -29,6 +29,15 @@ void TcpSender::start(TimeNs at) {
     started_ = true;
     try_send();
   });
+  if (!cfg_.stop.is_infinite()) {
+    sim_.schedule_at(cfg_.stop, [this] { stop(); });
+  }
+}
+
+void TcpSender::stop() {
+  started_ = false;
+  rto_timer_.cancel();
+  pacing_timer_.cancel();
 }
 
 void TcpSender::refresh_state() {
@@ -53,7 +62,7 @@ bool TcpSender::has_retransmit_work() const {
 SeqNr TcpSender::next_retransmit_seq() const {
   // Lowest lost segment without an outstanding retransmission.
   for (SeqNr s = snd_una_; s < snd_nxt_; ++s) {
-    const Segment& sg = segs_[static_cast<std::size_t>(s - snd_una_)];
+    const Segment& sg = seg(s);
     if (sg.lost && !sg.retrans_out && !sg.sacked && !sg.delivered_flag) return s;
   }
   return -1;
@@ -74,7 +83,7 @@ void TcpSender::send_segment(SeqNr s, bool is_retx) {
   const bool was_idle = (snd_nxt_ == snd_una_);  // Linux: !tp->packets_out
   if (!is_retx) {
     assert(s == snd_nxt_);
-    segs_.emplace_back();
+    segs_.append(snd_una_, s);
     ++snd_nxt_;
     st_.packets_out = snd_nxt_ - snd_una_;
   }
@@ -106,8 +115,12 @@ void TcpSender::send_segment(SeqNr s, bool is_retx) {
   }
 
   net::Packet p;
-  p.id = static_cast<std::uint64_t>(sg.last_tx_id) + 1;
+  // Transmission ids are per flow; the flow index in the top bits keeps ids
+  // simulation-unique (flow 0 keeps the single-flow id layout).
+  p.id = (static_cast<std::uint64_t>(cfg_.flow_index) << 48) |
+         (static_cast<std::uint64_t>(sg.last_tx_id) + 1);
   p.flow = net::FlowId::kCcaData;
+  p.flow_index = cfg_.flow_index;
   p.size_bytes = cfg_.mss_bytes;
   p.created_at = now;
   p.tcp.seq = s;
@@ -161,7 +174,7 @@ void TcpSender::pacing_fire() {
 }
 
 void TcpSender::arm_rto(bool force) {
-  if (snd_nxt_ == snd_una_) {
+  if (snd_nxt_ == snd_una_ || !started_) {
     rto_timer_.cancel();
     return;
   }
@@ -336,8 +349,9 @@ void TcpSender::on_ack_packet(const net::Packet& ack) {
       if (sg.tx_count == 1) rtt_sample = now - sg.last_sent;  // Karn
       ++newly_acked;
     }
+    // Ring storage is keyed by absolute seq: advancing the left edge is pure
+    // index arithmetic, the retired slots are recycled on wrap-around.
     const std::int64_t advance = std::min(ack_seq, snd_nxt_) - snd_una_;
-    segs_.erase(segs_.begin(), segs_.begin() + advance);
     snd_una_ += advance;
     st_.packets_out = snd_nxt_ - snd_una_;
     backoff_ = 0;  // Karn: fresh data acknowledged resets backoff

@@ -16,10 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <vector>
 
 #include "net/packet.h"
 #include "sim/simulator.h"
@@ -50,6 +50,13 @@ class TcpSender {
     RttEstimator::Config rtt{};
     /// Record detailed events (timeline figures); counters are always kept.
     bool log_events = false;
+    /// Which competing flow this sender is (multi-flow scenarios). Tags every
+    /// emitted packet and namespaces transmission ids; flow 0 is bit-
+    /// compatible with the single-flow layout.
+    net::FlowIndex flow_index = 0;
+    /// Absolute stop time: the sender ceases transmitting (and cancels its
+    /// timers) at this instant. Infinite = run for the whole simulation.
+    TimeNs stop = TimeNs::infinite();
   };
 
   /// `send_data` injects a data packet toward the bottleneck queue.
@@ -57,8 +64,14 @@ class TcpSender {
             std::unique_ptr<CongestionControl> cca,
             std::function<void(net::Packet&&)> send_data);
 
-  /// Schedules connection start (first transmission) at time `at`.
+  /// Schedules connection start (first transmission) at time `at`, and the
+  /// stop event when Config::stop is finite.
   void start(TimeNs at);
+
+  /// Halts the flow: cancels timers and stops all further transmissions.
+  /// Arriving ACKs are still processed for bookkeeping. Scheduled
+  /// automatically at Config::stop.
+  void stop();
 
   /// Handles an arriving ACK (cumulative + SACK blocks).
   void on_ack_packet(const net::Packet& ack);
@@ -110,7 +123,49 @@ class TcpSender {
     bool is_retrans = false;
   };
 
-  Segment& seg(SeqNr s) { return segs_[static_cast<std::size_t>(s - snd_una_)]; }
+  /// Segment storage keyed by absolute sequence number: a power-of-two slab
+  /// where seq `s` lives in slot `s & mask`. Valid while the live window
+  /// [snd_una, snd_nxt) fits the capacity, which append() guarantees by
+  /// re-homing the window into a doubled slab when needed. Cumulative-ack
+  /// advance is pure index arithmetic — unlike the std::deque predecessor,
+  /// steady-state sending never touches the allocator (growth stops at the
+  /// flow's in-flight high-water mark).
+  class SegmentRing {
+   public:
+    Segment& at(SeqNr s) {
+      return slots_[static_cast<std::size_t>(s) & mask_];
+    }
+    const Segment& at(SeqNr s) const {
+      return slots_[static_cast<std::size_t>(s) & mask_];
+    }
+    /// Value-initializes the slot for `s` (the window's right edge); `lo` is
+    /// the live left edge, consulted only when the slab must grow.
+    Segment& append(SeqNr lo, SeqNr s) {
+      if (static_cast<std::size_t>(s - lo) >= slots_.size()) grow(lo, s);
+      Segment& sg = at(s);
+      sg = Segment{};
+      return sg;
+    }
+
+   private:
+    void grow(SeqNr lo, SeqNr hi) {
+      std::size_t want = slots_.empty() ? 128 : slots_.size() * 2;
+      const std::size_t need = static_cast<std::size_t>(hi - lo) + 1;
+      while (want < need) want *= 2;
+      std::vector<Segment> next(want);
+      for (SeqNr s = lo; s < hi; ++s) {
+        next[static_cast<std::size_t>(s) & (want - 1)] = at(s);
+      }
+      slots_ = std::move(next);
+      mask_ = slots_.size() - 1;
+    }
+
+    std::vector<Segment> slots_;
+    std::size_t mask_ = 0;
+  };
+
+  Segment& seg(SeqNr s) { return segs_.at(s); }
+  const Segment& seg(SeqNr s) const { return segs_.at(s); }
   bool has_seg(SeqNr s) const { return s >= snd_una_ && s < snd_nxt_; }
 
   void refresh_state();
@@ -144,7 +199,7 @@ class TcpSender {
   sim::Timer pacing_timer_;
 
   SenderState st_{};
-  std::deque<Segment> segs_;  // segments [snd_una_, snd_nxt_)
+  SegmentRing segs_;          // segments [snd_una_, snd_nxt_), keyed by seq
   SeqNr snd_una_ = 0;
   SeqNr snd_nxt_ = 0;
   SeqNr wnd_right_ = 0;       // flow-control right edge (snd_una + rwnd)

@@ -7,6 +7,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -438,7 +439,7 @@ TEST(Panel, ParallelAndSerialAgree) {
   ASSERT_EQ(par.size(), ser.size());
   for (std::size_t i = 0; i < par.size(); ++i) {
     EXPECT_DOUBLE_EQ(par[i].run.goodput_mbps(), ser[i].run.goodput_mbps());
-    EXPECT_EQ(par[i].run.cca_sent, ser[i].run.cca_sent);
+    EXPECT_EQ(par[i].run.cca_sent(), ser[i].run.cca_sent());
   }
 }
 
@@ -446,6 +447,166 @@ TEST(Panel, UnknownCcaThrowsBeforeRunning) {
   auto cfg = tiny_scenario();
   EXPECT_THROW(evaluate_panel(cfg, {"reno", "nope"}, std::vector<TimeNs>{}),
                std::invalid_argument);
+}
+
+// --- Scenario-preset axis ----------------------------------------------------
+
+TEST(CampaignConfig, PresetAxisExpandsOverTheBaseScenario) {
+  CampaignConfig cfg;
+  cfg.ccas({"reno"})
+      .base_scenario(tiny_scenario())
+      .presets({"incast", "late_starter"})
+      .ga(tiny_ga());
+  const auto cells = cfg.cells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].name, "reno.traffic.incast.low-utilization");
+  EXPECT_EQ(cells[0].scenario.flow_count(), 4u);
+  EXPECT_EQ(cells[1].name, "reno.traffic.late_starter.low-utilization");
+  ASSERT_EQ(cells[1].scenario.flows.size(), 2u);
+  // Preset applied over the base: the tiny scenario's knobs survive.
+  EXPECT_EQ(cells[1].scenario.net.queue_capacity, 25u);
+  EXPECT_EQ(cells[1].scenario.flows[1].start,
+            TimeNs::zero() +
+                DurationNs(tiny_scenario().duration.ns()).scaled(1.0 / 3.0));
+}
+
+TEST(CampaignConfig, UnknownPresetThrowsFromCells) {
+  CampaignConfig cfg;
+  cfg.ccas({"reno"}).add_preset("bogus").ga(tiny_ga());
+  EXPECT_THROW(cfg.cells(), std::invalid_argument);
+}
+
+TEST(CampaignConfig, UnknownFlowCcaThrowsFromCells) {
+  CellConfig cell = tiny_cell();
+  cell.scenario.flows.resize(2);
+  cell.scenario.flows[1].cca = "vegas";
+  CampaignConfig cfg;
+  cfg.add_cell(cell);
+  EXPECT_THROW(cfg.cells(), std::invalid_argument);
+}
+
+TEST(Campaign, PresetCellsDoNotShareCacheWithSingleFlowCells) {
+  // Same CCA/score/GA seed, one cell single-flow and one incast: their
+  // evaluation semantics differ, so every evaluation must be simulated.
+  CellConfig plain = tiny_cell();
+  CellConfig incast = tiny_cell();
+  incast.scenario =
+      scenario::apply_preset("incast", tiny_scenario());
+  incast.name = "reno.incast";
+  plain.score = incast.score;  // shared score object: keys differ by scenario
+  CampaignConfig cfg;
+  cfg.add_cell(plain).add_cell(incast);
+  Campaign c(cfg);
+  const auto& report = c.run();
+  // Identical GA seeds breed identical genomes in both cells; if the cells
+  // shared an evaluation key, every incast evaluation would be served from
+  // the plain cell's batch entries and simulate nothing. (A handful of
+  // intra-cell duplicate genomes may still hit the cache.)
+  EXPECT_GT(report.cells[1].simulations, report.cells[1].cache_hits * 5);
+  EXPECT_GT(report.cells[0].simulations, 0);
+}
+
+// --- Fairness campaign end-to-end --------------------------------------------
+
+TEST(Campaign, FairnessCampaignReportsPerFlowGoodputs) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ccfuzz_fairness_test";
+  fs::remove_all(dir);
+
+  scenario::PresetOptions opt;
+  opt.competitor = "bbr";
+  CampaignConfig cfg;
+  cfg.ccas({"reno"})
+      .base_scenario(tiny_scenario())
+      .add_preset("late_starter", opt)
+      .score(std::make_shared<fuzz::JainFairnessScore>())
+      .ga(tiny_ga())
+      .traffic_model({.max_packets = 200, .initial_packets = 100})
+      .output_dir(dir.string());
+  Campaign c(cfg);
+  const auto& report = c.run();
+
+  ASSERT_EQ(report.cells.size(), 1u);
+  const CellResult& cell = report.cells.front();
+  EXPECT_EQ(cell.cell.scenario.flow_count(), 2u);
+  ASSERT_FALSE(cell.winners.empty());
+  const fuzz::Evaluation& best = cell.winners.front().eval;
+  ASSERT_EQ(best.flow_goodput_mbps.size(), 2u);
+  EXPECT_GE(best.jain_fairness, 0.0);
+  EXPECT_LE(best.jain_fairness, 1.0);
+  // The Jain score is exactly what the evaluation's fairness implies.
+  EXPECT_NEAR(best.score.performance, 1.0 - best.jain_fairness, 1e-12);
+
+  // Per-flow goodputs surface in the report tree.
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find("\"flow_goodputs_mbps\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"jain_fairness\": "), std::string::npos);
+  EXPECT_NE(json.find("\"flows\": 2"), std::string::npos);
+  std::ifstream csv(dir / "summary.csv");
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_NE(header.find("best_flow_goodputs_mbps"), std::string::npos);
+  EXPECT_NE(header.find("flows"), std::string::npos);
+  std::string row;
+  std::getline(csv, row);
+  EXPECT_NE(row.find(';'), std::string::npos) << row;  // two joined goodputs
+
+  fs::remove_all(dir);
+}
+
+// --- JsonlObserver -----------------------------------------------------------
+
+TEST(JsonlObserver, StreamsOneEventPerLine) {
+  std::ostringstream out;
+  CampaignConfig cfg;
+  cfg.add_cell(tiny_cell());
+  Campaign c(cfg);
+  JsonlObserver obs(out);
+  c.add_observer(&obs);
+  c.run();
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int begin = 0, generation = 0, cell_end = 0, campaign_end = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    begin += line.find("\"event\":\"campaign_begin\"") != std::string::npos;
+    generation += line.find("\"event\":\"generation\"") != std::string::npos;
+    cell_end += line.find("\"event\":\"cell_end\"") != std::string::npos;
+    campaign_end +=
+        line.find("\"event\":\"campaign_end\"") != std::string::npos;
+  }
+  EXPECT_EQ(begin, 1);
+  EXPECT_EQ(generation, tiny_ga().max_generations);
+  EXPECT_EQ(cell_end, 1);
+  EXPECT_EQ(campaign_end, 1);
+}
+
+TEST(JsonlObserver, WritesAndTruncatesFile) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "ccfuzz_progress.jsonl";
+  {
+    std::ofstream pre(path);
+    pre << "stale\n";
+  }
+  {
+    CampaignConfig cfg;
+    cfg.add_cell(tiny_cell());
+    Campaign c(cfg);
+    JsonlObserver obs(path.string());
+    c.add_observer(&obs);
+    c.run();
+  }
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("campaign_begin"), std::string::npos);
+  fs::remove(path);
+
+  EXPECT_THROW(JsonlObserver("/nonexistent-dir/progress.jsonl"),
+               std::runtime_error);
 }
 
 }  // namespace

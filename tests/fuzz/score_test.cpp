@@ -82,9 +82,73 @@ TEST(HighDelayScore, NoEgressIsNeutral) {
 TEST(HighLossScore, CountsCcaDropsPerSecond) {
   scenario::RunResult r;
   r.config = base_config();
-  r.cca_drops = 30;
+  r.ensure_primary().drops = 30;
   HighLossScore score;
   EXPECT_DOUBLE_EQ(score.performance_score(r), 10.0);  // 30 drops / 3 s
+}
+
+// Hand-builds an n-flow RunResult whose flows delivered the given segment
+// counts over the full run.
+scenario::RunResult fairness_run(std::initializer_list<std::int64_t> delivered) {
+  scenario::RunResult r;
+  r.config = base_config();
+  for (const std::int64_t d : delivered) {
+    scenario::FlowResult f;
+    f.start = TimeNs::zero();
+    f.stop = r.config.duration;
+    f.packet_bytes = r.config.net.packet_bytes;
+    f.segments_delivered = d;
+    r.flows.push_back(std::move(f));
+  }
+  return r;
+}
+
+TEST(JainFairnessScore, EqualSharesScoreZero) {
+  JainFairnessScore score;
+  EXPECT_NEAR(score.performance_score(fairness_run({500, 500})), 0.0, 1e-12);
+  EXPECT_NEAR(score.performance_score(fairness_run({300, 300, 300})), 0.0,
+              1e-12);
+}
+
+TEST(JainFairnessScore, MonopolyApproachesOneMinusOneOverN) {
+  JainFairnessScore score;
+  EXPECT_NEAR(score.performance_score(fairness_run({1000, 0})), 0.5, 1e-12);
+  EXPECT_NEAR(score.performance_score(fairness_run({1000, 0, 0, 0})), 0.75,
+              1e-12);
+}
+
+TEST(JainFairnessScore, SingleFlowAndAllIdleAreNeutral) {
+  JainFairnessScore score;
+  EXPECT_DOUBLE_EQ(score.performance_score(fairness_run({1000})), 0.0);
+  EXPECT_DOUBLE_EQ(score.performance_score(fairness_run({0, 0})), 0.0);
+}
+
+TEST(JainFairnessScore, RanksStarvedPairAboveFairPair) {
+  // End-to-end: a late-starting bbr flow beside reno shares worse than two
+  // symmetric reno flows.
+  JainFairnessScore score;
+  EXPECT_GT(score.performance_score(fairness_run({900, 100})),
+            score.performance_score(fairness_run({480, 520})));
+}
+
+TEST(ThroughputRatioScore, AttackerShareOfPair) {
+  ThroughputRatioScore score(/*victim_flow=*/1, /*attacker_flow=*/0);
+  EXPECT_NEAR(score.performance_score(fairness_run({750, 250})), 0.75, 1e-12);
+  EXPECT_NEAR(score.performance_score(fairness_run({500, 500})), 0.5, 1e-12);
+  EXPECT_NEAR(score.performance_score(fairness_run({0, 400})), 0.0, 1e-12);
+}
+
+TEST(ThroughputRatioScore, BothIdleIsNeutral) {
+  ThroughputRatioScore score;
+  EXPECT_DOUBLE_EQ(score.performance_score(fairness_run({0, 0})), 0.5);
+}
+
+TEST(ThroughputRatioScore, MissingPairFlowIsNeutralNotStarved) {
+  // A single-flow run has no victim at index 1: the score must be 0, not a
+  // constant "victim fully starved" 1.0 that would blind the GA.
+  ThroughputRatioScore score;
+  EXPECT_DOUBLE_EQ(score.performance_score(fairness_run({800})), 0.0);
+  EXPECT_DOUBLE_EQ(score.performance_score(scenario::RunResult{}), 0.0);
 }
 
 TEST(LowGoodputScore, NegatesGoodput) {

@@ -81,6 +81,40 @@ TEST(BottleneckRecorder, ClearResetsRecordsAndCounters) {
   EXPECT_EQ(r.egress_count(FlowId::kAck), 1);
 }
 
+TEST(BottleneckRecorder, RealFlowIndexCountersAreO1AndBounded) {
+  BottleneckRecorder r;
+  r.set_flow_count(3);  // two CCA flows + the cross-traffic aggregate
+  auto tagged = [](FlowId flow, FlowIndex idx) {
+    Packet p;
+    p.flow = flow;
+    p.flow_index = idx;
+    return p;
+  };
+  r.record_egress(tagged(FlowId::kCcaData, 0), TimeNs::millis(1));
+  r.record_egress(tagged(FlowId::kCcaData, 0), TimeNs::millis(2));
+  r.record_egress(tagged(FlowId::kCcaData, 1), TimeNs::millis(3));
+  r.record_drop(tagged(FlowId::kCcaData, 1), TimeNs::millis(4));
+  r.record_ingress(tagged(FlowId::kCrossTraffic, 2), TimeNs::millis(5));
+  EXPECT_EQ(r.flow_count(), 3u);
+  EXPECT_EQ(r.flow_egress_count(0), 2);
+  EXPECT_EQ(r.flow_egress_count(1), 1);
+  EXPECT_EQ(r.flow_drop_count(1), 1);
+  EXPECT_EQ(r.flow_ingress_count(2), 1);
+  // Indices outside the table read 0 and never write out of bounds.
+  EXPECT_EQ(r.flow_egress_count(7), 0);
+  r.record_egress(tagged(FlowId::kCcaData, 7), TimeNs::millis(6));
+  EXPECT_EQ(r.flow_egress_count(7), 0);
+  EXPECT_EQ(r.egress_count(FlowId::kCcaData), 4);  // kind total still counts
+  // Events carry the flow index for per-flow series extraction.
+  EXPECT_EQ(r.egress()[0].flow_index, 0);
+  EXPECT_EQ(r.egress()[2].flow_index, 1);
+  EXPECT_EQ(r.delays()[2].flow_index, 1);
+  // clear() drops the table (the next run sizes it afresh).
+  r.clear();
+  EXPECT_EQ(r.flow_count(), 0u);
+  EXPECT_EQ(r.flow_egress_count(0), 0);
+}
+
 TEST(BottleneckRecorder, EmptyByDefault) {
   BottleneckRecorder r;
   EXPECT_TRUE(r.ingress().empty());

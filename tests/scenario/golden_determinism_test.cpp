@@ -30,15 +30,15 @@ std::uint64_t fnv1a(std::uint64_t h, std::int64_t v) {
 /// counters plus the full per-packet bottleneck record streams.
 std::uint64_t fingerprint(const RunResult& r) {
   std::uint64_t h = 1469598103934665603ULL;
-  h = fnv1a(h, r.cca_segments_delivered);
-  h = fnv1a(h, r.cca_egress_packets);
-  h = fnv1a(h, r.cca_sent);
-  h = fnv1a(h, r.cca_retransmissions);
-  h = fnv1a(h, r.cca_drops);
-  h = fnv1a(h, r.rto_count);
-  h = fnv1a(h, r.fast_recovery_count);
-  h = fnv1a(h, r.spurious_retx_count);
-  h = fnv1a(h, r.final_rto_backoff);
+  h = fnv1a(h, r.cca_segments_delivered());
+  h = fnv1a(h, r.cca_egress_packets());
+  h = fnv1a(h, r.cca_sent());
+  h = fnv1a(h, r.cca_retransmissions());
+  h = fnv1a(h, r.cca_drops());
+  h = fnv1a(h, r.rto_count());
+  h = fnv1a(h, r.fast_recovery_count());
+  h = fnv1a(h, r.spurious_retx_count());
+  h = fnv1a(h, r.final_rto_backoff());
   h = fnv1a(h, r.cross_sent);
   h = fnv1a(h, r.cross_drops);
   h = fnv1a(h, r.queue_stats.total_enqueued());
@@ -104,11 +104,11 @@ TEST(GoldenDeterminism, MatchesPreRefactorFingerprints) {
     const auto run =
         run_scenario(cfg, cca::make_factory(g.cca),
                      golden_trace(g.mode, cfg.duration));
-    EXPECT_EQ(run.cca_segments_delivered, g.delivered);
-    EXPECT_EQ(run.cca_sent, g.sent);
-    EXPECT_EQ(run.cca_retransmissions, g.retx);
-    EXPECT_EQ(run.cca_drops, g.drops);
-    EXPECT_EQ(run.rto_count, g.rto);
+    EXPECT_EQ(run.cca_segments_delivered(), g.delivered);
+    EXPECT_EQ(run.cca_sent(), g.sent);
+    EXPECT_EQ(run.cca_retransmissions(), g.retx);
+    EXPECT_EQ(run.cca_drops(), g.drops);
+    EXPECT_EQ(run.rto_count(), g.rto);
     EXPECT_EQ(fingerprint(run), g.hash);
   }
 }

@@ -17,7 +17,7 @@ ScenarioConfig base_config() {
 TEST(Runner, RenoCleanLinkResult) {
   const auto r = run_scenario(base_config(), cca::make_factory("reno"), {});
   EXPECT_GT(r.goodput_mbps(), 9.0);
-  EXPECT_GT(r.cca_segments_delivered, 2000);
+  EXPECT_GT(r.cca_segments_delivered(), 2000);
   EXPECT_EQ(r.cross_sent, 0);
   EXPECT_FALSE(r.stalled(DurationNs::millis(500)));
 }
@@ -25,9 +25,9 @@ TEST(Runner, RenoCleanLinkResult) {
 TEST(Runner, DeterministicAcrossCalls) {
   const auto a = run_scenario(base_config(), cca::make_factory("cubic"), {});
   const auto b = run_scenario(base_config(), cca::make_factory("cubic"), {});
-  EXPECT_EQ(a.cca_segments_delivered, b.cca_segments_delivered);
-  EXPECT_EQ(a.cca_sent, b.cca_sent);
-  EXPECT_EQ(a.rto_count, b.rto_count);
+  EXPECT_EQ(a.cca_segments_delivered(), b.cca_segments_delivered());
+  EXPECT_EQ(a.cca_sent(), b.cca_sent());
+  EXPECT_EQ(a.rto_count(), b.rto_count());
   EXPECT_EQ(a.recorder.egress().size(), b.recorder.egress().size());
 }
 
@@ -55,7 +55,7 @@ TEST(Runner, CrossTrafficCountsReported) {
 TEST(Runner, QueueDelaysPopulated) {
   const auto r = run_scenario(base_config(), cca::make_factory("reno"), {});
   const auto delays = r.cca_queue_delays_s();
-  EXPECT_EQ(delays.size(), static_cast<std::size_t>(r.cca_egress_packets));
+  EXPECT_EQ(delays.size(), static_cast<std::size_t>(r.cca_egress_packets()));
   for (double d : delays) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 0.06);  // 50-packet queue ≈ 50 ms max
@@ -86,8 +86,8 @@ TEST(Runner, TotalSegmentsLimitsTransfer) {
   ScenarioConfig cfg = base_config();
   cfg.total_segments = 100;
   const auto r = run_scenario(cfg, cca::make_factory("reno"), {});
-  EXPECT_EQ(r.cca_segments_delivered, 100);
-  EXPECT_LE(r.cca_sent, 120);  // a few retransmissions at most
+  EXPECT_EQ(r.cca_segments_delivered(), 100);
+  EXPECT_LE(r.cca_sent(), 120);  // a few retransmissions at most
 }
 
 TEST(Runner, BbrRunsCleanLink) {
@@ -95,8 +95,8 @@ TEST(Runner, BbrRunsCleanLink) {
   EXPECT_GT(r.goodput_mbps(), 9.0) << "BBR must fill a clean 12 Mbps pipe";
   EXPECT_FALSE(r.stalled(DurationNs::millis(500)));
   // Model introspection: bandwidth estimate near 1000 pps.
-  EXPECT_GT(r.final_bw_estimate_pps, 800.0);
-  EXPECT_LT(r.final_bw_estimate_pps, 1400.0);
+  EXPECT_GT(r.final_bw_estimate_pps(), 800.0);
+  EXPECT_LT(r.final_bw_estimate_pps(), 1400.0);
 }
 
 TEST(Runner, BbrKeepsQueueShorterThanCubic) {

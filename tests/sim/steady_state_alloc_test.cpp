@@ -7,13 +7,19 @@
 // so the counter is only observed by this file's tests.
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 
 #include <gtest/gtest.h>
 
+#include "cca/fixed_window.h"
+#include "cca/registry.h"
 #include "net/delay_pipe.h"
 #include "net/packet_pool.h"
+#include "scenario/dumbbell.h"
 #include "sim/simulator.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
 
 namespace {
 std::atomic<std::size_t> g_allocations{0};
@@ -101,6 +107,87 @@ TEST(SteadyStateAllocation, PacketPoolAndDelayPipeReuseSlots) {
       << "pooled packet flight must not allocate when warm";
   EXPECT_EQ(delivered, 400);
   EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(SteadyStateAllocation, SenderSegmentRingNeverAllocatesWhenWarm) {
+  // A sender wired straight to a receiver through pool-backed pipes: once
+  // the seq-keyed segment ring has grown to the flow's in-flight high-water
+  // mark (and the event slab/pool are warm), continued ack-clocked sending
+  // must not touch the allocator — the deque predecessor allocated a chunk
+  // every few segments forever.
+  Simulator sim;
+  net::PacketPool pool;
+  tcp::TcpReceiver* receiver_ptr = nullptr;
+  tcp::TcpSender* sender_ptr = nullptr;
+
+  net::DelayPipe data_pipe(
+      sim, DurationNs::millis(10),
+      [&receiver_ptr](net::Packet&& p) { receiver_ptr->on_data_packet(p); },
+      &pool);
+  net::DelayPipe ack_pipe(
+      sim, DurationNs::millis(10),
+      [&sender_ptr](net::Packet&& p) { sender_ptr->on_ack_packet(p); },
+      &pool);
+
+  tcp::TcpReceiver receiver(
+      sim, tcp::TcpReceiver::Config{},
+      [&ack_pipe](net::Packet&& a) { ack_pipe.send(std::move(a)); });
+  tcp::TcpSender sender(
+      sim, tcp::TcpSender::Config{}, std::make_unique<cca::FixedWindow>(40),
+      [&data_pipe](net::Packet&& p) { data_pipe.send(std::move(p)); });
+  receiver_ptr = &receiver;
+  sender_ptr = &sender;
+
+  sender.start(TimeNs::zero());
+  sim.run_until(TimeNs::seconds(2));  // ring/slab/pool high-water mark
+
+  const std::size_t before = g_allocations.load();
+  const std::int64_t sent_before = sender.total_sent();
+  sim.run_until(TimeNs::seconds(4));
+  EXPECT_EQ(g_allocations.load(), before)
+      << "warm ack-clocked sending must not allocate";
+  EXPECT_GT(sender.total_sent(), sent_before + 1000);
+  EXPECT_EQ(sender.total_retransmissions(), 0);
+}
+
+TEST(SteadyStateAllocation, FourFlowScenarioSteadyStateIsAllocationFree) {
+  // A 4-flow dumbbell on warm RunContext-style buffers: after one full run
+  // (slab/pool/recorder high-water marks) and the new run's slow-start
+  // transient (fresh senders grow their segment rings once), the multi-flow
+  // simulation loop proper allocates nothing.
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(3);
+  cfg.net.queue_capacity = 500;  // 4 × rwnd (87) fits: lossless steady state
+  cfg.flows.resize(4);
+  const auto factory = cca::make_factory("reno");
+
+  Simulator sim;
+  net::PacketPool pool;
+  net::BottleneckRecorder recorder;
+
+  auto run_once = [&](TimeNs measure_from) {
+    sim.reset();
+    pool.clear();
+    recorder.clear();
+    scenario::Dumbbell db(sim, cfg, factory, {}, &pool, &recorder);
+    db.start();
+    sim.run_until(measure_from);
+    const std::size_t before = g_allocations.load();
+    sim.run_until(cfg.duration);
+    const std::size_t after = g_allocations.load();
+    std::int64_t delivered = 0;
+    for (std::size_t i = 0; i < db.flow_count(); ++i) {
+      delivered += db.receiver(i).segments_received();
+    }
+    EXPECT_GT(delivered, 1000);
+    EXPECT_EQ(db.queue().stats().total_dropped(), 0);
+    return after - before;
+  };
+
+  run_once(cfg.duration);  // warm everything: slab, pool, recorder vectors
+  const std::size_t steady = run_once(TimeNs::seconds(1));
+  EXPECT_EQ(steady, 0u)
+      << "4-flow steady state (post slow-start) must not allocate";
 }
 
 }  // namespace
