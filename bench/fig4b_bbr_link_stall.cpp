@@ -55,6 +55,7 @@ int main() {
     }
   }
 
+  cfg.record_mode = scenario::RecordMode::kFullEvents;  // figure reads events
   auto run = scenario::run_scenario(cfg, cca::make_factory("bbr"), curve);
 
   const DurationNs w = DurationNs::millis(100);

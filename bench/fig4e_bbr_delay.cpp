@@ -21,6 +21,7 @@ int main() {
   cfg.duration = TimeNs::seconds(5);
   cfg.flow_start = TimeNs::millis(200);
   cfg.net.queue_capacity = 50;
+  cfg.record_mode = scenario::RecordMode::kFullEvents;  // figure reads events
 
   const auto trace = scenario::crafted::standing_queue_trace(
       cfg.flow_start, cfg.net.queue_capacity, DurationNs::millis(2), 1,

@@ -51,6 +51,40 @@ void BM_RankSelection(benchmark::State& state) {
 }
 BENCHMARK(BM_RankSelection);
 
+void BM_EvaluateBatch(benchmark::State& state) {
+  // The number the GA actually pays per member: mutate a genome, run the
+  // 2 s simulation on the warm thread context, score it and summarize —
+  // serial, so the per-evaluation cost is visible (the campaign scheduler
+  // fans the same work out over the pool). Steady state allocates nothing
+  // (tests/sim/steady_state_alloc_test.cpp pins that).
+  constexpr std::size_t kBatch = 8;
+  const auto model = traffic_model();
+  campaign::CellConfig cell;
+  cell.cca = "reno";
+  cell.scenario.duration = TimeNs::seconds(2);
+  const fuzz::TraceEvaluator evaluator = campaign::make_evaluator(cell);
+
+  Rng rng(13);
+  std::vector<trace::Trace> traces;
+  traces.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) traces.push_back(model.generate(rng));
+  std::vector<fuzz::Evaluation> out(kBatch);
+  std::vector<fuzz::BatchItem> items(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    items[i] = {&evaluator, &traces[i], &out[i]};
+  }
+
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      traces[i] = model.mutate(traces[i], rng);
+    }
+    fuzz::evaluate_batch(items, /*parallel=*/false);
+    benchmark::DoNotOptimize(out.front().score.performance);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EvaluateBatch)->Unit(benchmark::kMillisecond);
+
 void BM_FuzzerGeneration(benchmark::State& state) {
   // One full GA generation (24 members, 2 s simulations, parallel).
   campaign::CellConfig cell;

@@ -86,6 +86,35 @@ void BM_DumbbellBbrSimulatedSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_DumbbellBbrSimulatedSecond);
 
+void BM_Dumbbell4FlowSimulatedSecond(benchmark::State& state) {
+  // The fairness-mode unit of work: four competing Reno flows sharing the
+  // bottleneck for one simulated second, metrics-only like the GA runs it.
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(1);
+  cfg.flows.resize(4);
+  const auto factory = cca::make_factory("reno");
+  for (auto _ : state) {
+    const auto run = scenario::run_scenario(cfg, factory, {});
+    benchmark::DoNotOptimize(run.cca_segments_delivered());
+  }
+}
+BENCHMARK(BM_Dumbbell4FlowSimulatedSecond);
+
+void BM_DumbbellFullEventsSimulatedSecond(benchmark::State& state) {
+  // The figure/replay configuration: identical run with the raw per-packet
+  // event vectors recorded and copied into the result. The delta against
+  // BM_DumbbellSimulatedSecond is what metrics-only fuzzing saves per run.
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(1);
+  cfg.record_mode = scenario::RecordMode::kFullEvents;
+  const auto factory = cca::make_factory("reno");
+  for (auto _ : state) {
+    const auto run = scenario::run_scenario(cfg, factory, {});
+    benchmark::DoNotOptimize(run.cca_segments_delivered());
+  }
+}
+BENCHMARK(BM_DumbbellFullEventsSimulatedSecond);
+
 void BM_DistPackets5000(benchmark::State& state) {
   Rng rng(1);
   for (auto _ : state) {

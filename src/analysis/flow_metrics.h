@@ -2,7 +2,11 @@
 //
 // Fig 4a/4b plot ingress/egress/traffic rates (Mbps) against time; Fig 4e
 // plots per-packet queueing delay against time. Everything derives from the
-// BottleneckRecorder carried in a RunResult.
+// BottleneckRecorder carried in a RunResult — run the scenario with
+// ScenarioConfig::record_mode = RecordMode::kFullEvents (or
+// TraceEvaluator::run_full / campaign::evaluate_panel, which force it); the
+// metrics-only fuzzing default keeps no per-packet events and every series
+// here comes back empty/zero.
 #pragma once
 
 #include <vector>

@@ -1,0 +1,79 @@
+#include "analysis/streaming_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccfuzz::analysis {
+
+double DelayDigest::percentile_s(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_s();
+  if (p >= 100.0) return max_s();
+  // Same rank position the exact (sorted-sample) percentile interpolates at;
+  // here it is located within a bucket and interpolated linearly across it.
+  const double pos = p / 100.0 * static_cast<double>(count_ - 1);
+  std::int64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::int32_t n = buckets_[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (pos < static_cast<double>(cum + n)) {
+      const double frac =
+          (pos - static_cast<double>(cum)) / static_cast<double>(n);
+      const double est =
+          (static_cast<double>(b) + frac) * static_cast<double>(kBucketNs) *
+          1e-9;
+      return std::clamp(est, min_s(), max_s());
+    }
+    cum += n;
+  }
+  return max_s();
+}
+
+void StreamingMetrics::begin_run(std::size_t flows, DurationNs window,
+                                 TimeNs duration) {
+  if (flows_.size() < flows) flows_.resize(flows);
+  active_ = flows;
+  window_ = window;
+  duration_s_ = duration.to_seconds();
+}
+
+void StreamingMetrics::set_flow_interval(std::size_t i, TimeNs start) {
+  FlowSeries& f = flows_[i];
+  f.start_s = start.to_seconds();
+  f.end_s = duration_s_;
+  f.window_s = window_.to_seconds();
+  f.egress_packets = 0;
+  f.last_egress = TimeNs(-1);
+  f.delay.clear();
+  const double span = f.end_s - f.start_s;
+  const std::size_t n =
+      (span > 0.0 && f.window_s > 0.0)
+          ? static_cast<std::size_t>(std::ceil(span / f.window_s))
+          : 0;
+  f.bins.assign(n, 0);
+}
+
+const FlowSeries& StreamingMetrics::flow(std::size_t i) const {
+  static const FlowSeries kNeutral;
+  return i < active_ ? flows_[i] : kNeutral;
+}
+
+void StreamingMetrics::windowed_throughput_mbps_into(
+    std::size_t i, std::int32_t packet_bytes, std::vector<double>& out) const {
+  out.clear();
+  if (i >= active_) return;
+  const FlowSeries& f = flows_[i];
+  out.reserve(f.bins.size());
+  const double bits = static_cast<double>(packet_bytes) * 8.0;
+  for (std::size_t w = 0; w < f.bins.size(); ++w) {
+    // Identical arithmetic (and operation order) to the legacy path:
+    // windowed_rate normalized each bin by its true width — the last window
+    // may be partial — and the caller scaled rate * bits * 1e-6.
+    const double lo = f.start_s + static_cast<double>(w) * f.window_s;
+    const double width = std::min(f.window_s, f.end_s - lo);
+    const double rate = static_cast<double>(f.bins[w]) / width;
+    out.push_back(rate * bits * 1e-6);
+  }
+}
+
+}  // namespace ccfuzz::analysis

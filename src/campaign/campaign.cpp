@@ -63,6 +63,10 @@ std::uint64_t scenario_key(const scenario::ScenarioConfig& s) {
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.initial_cwnd));
   h = trace::fnv1a_u64(h,
                        static_cast<std::uint64_t>(s.receive_window_segments));
+  // Scores read the streaming windowed bins, so the bin width is part of a
+  // cell's evaluation identity. record_mode deliberately is not: modes are
+  // score-identical by construction.
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.metrics_window.ns()));
   const auto& n = s.net;
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.bottleneck_rate.bits_per_second()));
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.bottleneck_delay.ns()));
@@ -332,7 +336,14 @@ void JsonlObserver::on_generation(const CellConfig& cell,
      << ",\"best_score\":" << format_double(gs.best_score)
      << ",\"mean_score\":" << format_double(gs.mean_score)
      << ",\"topk_goodput_mbps\":" << format_double(gs.topk_mean_goodput_mbps)
-     << ",\"stalled\":" << gs.stalled_count
+     << ",\"topk_jain_fairness\":"
+     << format_double(gs.topk_mean_jain_fairness)
+     << ",\"topk_flow_goodputs_mbps\":[";
+  for (std::size_t f = 0; f < gs.topk_mean_flow_goodput_mbps.size(); ++f) {
+    os << (f ? "," : "")
+       << format_double(gs.topk_mean_flow_goodput_mbps[f]);
+  }
+  os << "],\"stalled\":" << gs.stalled_count
      << ",\"evaluations\":" << gs.evaluations << "}";
   emit_line(os.str());
 }

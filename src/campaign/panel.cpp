@@ -13,11 +13,16 @@ std::vector<PanelRow> evaluate_panel(const scenario::ScenarioConfig& cfg,
   factories.reserve(jobs.size());
   for (const PanelJob& j : jobs) factories.push_back(cca::make_factory(j.cca));
 
+  // Panels exist for diagnostics: rows promise recorder access and
+  // timelines, so the raw per-packet events are always kept.
+  scenario::ScenarioConfig run_cfg = cfg;
+  run_cfg.record_mode = scenario::RecordMode::kFullEvents;
+
   std::vector<PanelRow> rows(jobs.size());
   const auto work = [&](std::size_t i) {
     rows[i].label = jobs[i].label.empty() ? jobs[i].cca : jobs[i].label;
     rows[i].cca = jobs[i].cca;
-    rows[i].run = scenario::run_scenario(cfg, factories[i], jobs[i].trace);
+    rows[i].run = scenario::run_scenario(run_cfg, factories[i], jobs[i].trace);
   };
   if (parallel && jobs.size() > 1) {
     global_thread_pool().parallel_for(jobs.size(), work);

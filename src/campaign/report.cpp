@@ -174,16 +174,26 @@ void write_report(const CampaignReport& report, const std::string& dir) {
     const fs::path cell_dir = root / sanitize_cell_name(r.cell.name);
     fs::create_directories(cell_dir);
     {
+      // Hand-rolled (not CsvWriter): the per-flow goodput column is a
+      // ';'-joined list, like best_flow_goodputs_mbps in summary.csv.
       std::ofstream os(cell_dir / "history.csv");
-      CsvWriter csv(os, {"generation", "best_score", "mean_score",
-                         "top20_packets_sent", "top20_goodput_mbps",
-                         "stalled", "evaluations"});
+      os << "generation,best_score,mean_score,top20_packets_sent,"
+            "top20_goodput_mbps,top20_jain_fairness,"
+            "top20_flow_goodputs_mbps,stalled,evaluations\n";
       for (const fuzz::GenStats& gs : r.history) {
-        csv.row({static_cast<double>(gs.generation), gs.best_score,
-                 gs.mean_score, gs.topk_mean_packets_sent,
-                 gs.topk_mean_goodput_mbps,
-                 static_cast<double>(gs.stalled_count),
-                 static_cast<double>(gs.evaluations)});
+        std::string flow_goodputs;
+        for (std::size_t f = 0; f < gs.topk_mean_flow_goodput_mbps.size();
+             ++f) {
+          if (f) flow_goodputs += ';';
+          flow_goodputs += format_double(gs.topk_mean_flow_goodput_mbps[f]);
+        }
+        os << gs.generation << ',' << format_double(gs.best_score) << ','
+           << format_double(gs.mean_score) << ','
+           << format_double(gs.topk_mean_packets_sent) << ','
+           << format_double(gs.topk_mean_goodput_mbps) << ','
+           << format_double(gs.topk_mean_jain_fairness) << ','
+           << (flow_goodputs.empty() ? "-" : flow_goodputs) << ','
+           << gs.stalled_count << ',' << gs.evaluations << '\n';
       }
       if (!os) {
         throw std::runtime_error("failed to write " +

@@ -27,6 +27,7 @@
 
 #include "tcp/congestion_control.h"
 #include "tcp/event_log.h"
+#include "util/recycle.h"
 #include "util/rng.h"
 #include "util/time.h"
 #include "util/windowed_filter.h"
@@ -35,7 +36,8 @@ namespace ccfuzz::cca {
 
 /// BBR v1. Deterministic: the PROBE_BW entry phase randomization draws from
 /// a seeded generator (paper §3.6 requires repeatable CCA randomness).
-class Bbr final : public tcp::CongestionControl {
+class Bbr final : public tcp::CongestionControl,
+                  public util::Recycled<Bbr> {
  public:
   /// Which delivery-rate samples drive round accounting and the bw filter.
   enum class SamplePolicy {

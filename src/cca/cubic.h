@@ -16,12 +16,14 @@
 #include <cstdint>
 
 #include "tcp/congestion_control.h"
+#include "util/recycle.h"
 #include "util/time.h"
 
 namespace ccfuzz::cca {
 
 /// CUBIC congestion control with a toggleable ns-3 slow-start bug.
-class Cubic final : public tcp::CongestionControl {
+class Cubic final : public tcp::CongestionControl,
+                    public util::Recycled<Cubic> {
  public:
   struct Config {
     std::int64_t initial_cwnd = 10;

@@ -8,11 +8,13 @@
 #include <cstdint>
 
 #include "tcp/congestion_control.h"
+#include "util/recycle.h"
 
 namespace ccfuzz::cca {
 
 /// Constant-cwnd congestion control (testing aid / minimal example).
-class FixedWindow final : public tcp::CongestionControl {
+class FixedWindow final : public tcp::CongestionControl,
+                          public util::Recycled<FixedWindow> {
  public:
   explicit FixedWindow(std::int64_t cwnd, DataRate pacing = DataRate::zero())
       : cwnd_(cwnd), pacing_(pacing) {}

@@ -9,12 +9,14 @@
 #include <cstdint>
 
 #include "tcp/congestion_control.h"
+#include "util/recycle.h"
 
 namespace ccfuzz::cca {
 
 /// NewReno: slow start, AIMD congestion avoidance, multiplicative decrease
 /// on fast retransmit, cwnd=1 on RTO.
-class Reno final : public tcp::CongestionControl {
+class Reno final : public tcp::CongestionControl,
+                   public util::Recycled<Reno> {
  public:
   struct Config {
     std::int64_t initial_cwnd = 10;

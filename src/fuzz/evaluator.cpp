@@ -1,17 +1,27 @@
 #include "fuzz/evaluator.h"
 
-#include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace ccfuzz::fuzz {
 
 scenario::RunResult TraceEvaluator::run_full(const trace::Trace& t) const {
-  return scenario::run_scenario(scenario_, cca_, t.stamps);
+  scenario::ScenarioConfig cfg = scenario_;
+  cfg.record_mode = scenario::RecordMode::kFullEvents;
+  return scenario::run_scenario(cfg, cca_, t.stamps);
 }
 
 Evaluation TraceEvaluator::evaluate(const trace::Trace& t) const {
-  const scenario::RunResult run = run_full(t);
   Evaluation e;
+  evaluate_into(t, e);
+  return e;
+}
+
+void TraceEvaluator::evaluate_into(const trace::Trace& t,
+                                   Evaluation& e) const {
+  // Run on this thread's warm context and summarize straight from the
+  // context-owned result — no RunResult copy, no per-packet scans.
+  const scenario::RunResult& run =
+      scenario::thread_run_context().run(scenario_, cca_, t.stamps);
   e.score.performance = score_->performance_score(run);
   e.score.trace = trace_weights_.trace_score(run);
   e.goodput_mbps = run.goodput_mbps();
@@ -21,15 +31,14 @@ Evaluation TraceEvaluator::evaluate(const trace::Trace& t) const {
   e.cross_sent = run.cross_sent;
   e.cross_drops = run.cross_drops;
   e.rto_count = run.rto_count();
-  const auto delays = run.cca_queue_delays_s();
-  e.p10_delay_s = percentile(delays, 10.0);
+  e.p10_delay_s = run.queue_delay_percentile_s(10.0);
   e.stalled = run.stalled(DurationNs::seconds(1));
+  e.flow_goodput_mbps.clear();
   e.flow_goodput_mbps.reserve(run.flow_count());
   for (std::size_t i = 0; i < run.flow_count(); ++i) {
     e.flow_goodput_mbps.push_back(run.goodput_mbps(i));
   }
   e.jain_fairness = run.jain_fairness();
-  return e;
 }
 
 std::vector<Evaluation> TraceEvaluator::evaluate_batch(
@@ -45,7 +54,7 @@ std::vector<Evaluation> TraceEvaluator::evaluate_batch(
 
 void evaluate_batch(const std::vector<BatchItem>& items, bool parallel) {
   const auto work = [&](std::size_t i) {
-    *items[i].out = items[i].evaluator->evaluate(*items[i].trace);
+    items[i].evaluator->evaluate_into(*items[i].trace, *items[i].out);
   };
   if (parallel && items.size() > 1) {
     global_thread_pool().parallel_for(items.size(), work);

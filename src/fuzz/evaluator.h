@@ -14,8 +14,8 @@
 
 namespace ccfuzz::fuzz {
 
-/// Compact result of evaluating one trace (the full RunResult with its
-/// packet records is discarded after scoring to keep populations small).
+/// Compact result of evaluating one trace (the context-owned RunResult is
+/// summarized in place after scoring to keep populations small).
 /// The scalar counters summarize the primary flow; multi-flow scenarios
 /// additionally carry per-flow goodputs for fairness reporting.
 struct Evaluation {
@@ -39,16 +39,26 @@ struct Evaluation {
 /// score function are stateless (all built-ins are).
 class TraceEvaluator {
  public:
+  /// Throws std::logic_error when the score cannot work on this scenario
+  /// (ScoreFunction::validate) — at construction, on the caller's thread,
+  /// rather than per evaluation inside a pool worker.
   TraceEvaluator(scenario::ScenarioConfig scenario, tcp::CcaFactory cca,
                  std::shared_ptr<const ScoreFunction> score,
                  TraceScoreWeights trace_weights = {})
       : scenario_(std::move(scenario)),
         cca_(std::move(cca)),
         score_(std::move(score)),
-        trace_weights_(trace_weights) {}
+        trace_weights_(trace_weights) {
+    score_->validate(scenario_);
+  }
 
   /// Runs the simulation for `t` and scores it.
   Evaluation evaluate(const trace::Trace& t) const;
+
+  /// Like evaluate(), but reuses `out`'s storage (per-flow vectors) — with a
+  /// warm thread RunContext and a metrics-only scenario this performs zero
+  /// heap allocations, which is what makes GA throughput simulation-bound.
+  void evaluate_into(const trace::Trace& t, Evaluation& out) const;
 
   /// Evaluates every trace; results land by index, so the output is
   /// deterministic regardless of thread scheduling. When `parallel`, the
@@ -56,7 +66,9 @@ class TraceEvaluator {
   std::vector<Evaluation> evaluate_batch(const std::vector<trace::Trace>& ts,
                                          bool parallel = true) const;
 
-  /// Runs the simulation and returns the full result (figure generation).
+  /// Runs the simulation and returns the full result for figure generation,
+  /// with raw per-packet events recorded regardless of the scenario's
+  /// record_mode (scores derive from the streaming summaries either way).
   scenario::RunResult run_full(const trace::Trace& t) const;
 
   const scenario::ScenarioConfig& scenario() const { return scenario_; }

@@ -158,13 +158,27 @@ GenStats Fuzzer::collect_stats() {
   gs.mean_score = sum / static_cast<double>(all.size());
 
   const std::size_t k = std::min<std::size_t>(kTopK, all.size());
-  double sent = 0.0, goodput = 0.0;
+  double sent = 0.0, goodput = 0.0, jain = 0.0;
+  std::size_t n_flows = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    n_flows = std::max(n_flows, all[i]->eval.flow_goodput_mbps.size());
+  }
+  gs.topk_mean_flow_goodput_mbps.assign(n_flows, 0.0);
   for (std::size_t i = 0; i < k; ++i) {
     sent += static_cast<double>(all[i]->eval.cca_sent);
     goodput += all[i]->eval.goodput_mbps;
+    jain += all[i]->eval.jain_fairness;
+    const auto& per_flow = all[i]->eval.flow_goodput_mbps;
+    for (std::size_t f = 0; f < per_flow.size(); ++f) {
+      gs.topk_mean_flow_goodput_mbps[f] += per_flow[f];
+    }
   }
   gs.topk_mean_packets_sent = sent / static_cast<double>(k);
   gs.topk_mean_goodput_mbps = goodput / static_cast<double>(k);
+  gs.topk_mean_jain_fairness = jain / static_cast<double>(k);
+  for (double& g : gs.topk_mean_flow_goodput_mbps) {
+    g /= static_cast<double>(k);
+  }
   gs.evaluations = total_evaluations_;
 
   if (!best_ever_.evaluated || better(*all.front(), best_ever_)) {

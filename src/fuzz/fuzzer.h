@@ -59,6 +59,12 @@ struct GenStats {
   /// y-axis ("avg of the top 20 traces with the lowest throughput").
   double topk_mean_packets_sent = 0.0;
   double topk_mean_goodput_mbps = 0.0;
+  /// Mean Jain's fairness index over the top-k fittest traces (1.0 in
+  /// single-flow cells) — the fairness-mode convergence series.
+  double topk_mean_jain_fairness = 1.0;
+  /// Mean per-flow goodput over the top-k fittest traces, in flow-index
+  /// order; empty when evaluations carry no per-flow series.
+  std::vector<double> topk_mean_flow_goodput_mbps;
   /// Members whose run ended in a stall (no progress in the last second).
   int stalled_count = 0;
   std::int64_t evaluations = 0;

@@ -1,24 +1,52 @@
 #include "fuzz/score.h"
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "util/stats.h"
 
 namespace ccfuzz::fuzz {
 
+void LowUtilizationScore::validate(
+    const scenario::ScenarioConfig& scenario) const {
+  // A custom window only exists post-hoc in the raw events; in a
+  // metrics-only run it would silently read as zero throughput for every
+  // trace and degenerate the GA. Caught here, at evaluator construction.
+  if (scenario.record_mode != scenario::RecordMode::kFullEvents &&
+      window_ != scenario.metrics_window) {
+    throw std::logic_error(
+        "LowUtilizationScore window (" + std::to_string(window_.to_seconds()) +
+        " s) does not match the scenario's metrics_window (" +
+        std::to_string(scenario.metrics_window.to_seconds()) +
+        " s) and metrics-only runs keep no raw events; align the two or use "
+        "RecordMode::kFullEvents");
+  }
+}
+
 double LowUtilizationScore::performance_score(
     const scenario::RunResult& run) const {
-  const auto windows = run.windowed_throughput_mbps(window_);
-  return -mean_of_lowest_fraction(windows, fraction_);
+  // Same misconfiguration guard for direct (non-evaluator) callers. Runs
+  // whose recorder actually holds events — full-events mode or hand-built
+  // results — can serve any window post hoc.
+  if (window_ != run.config.metrics_window && !run.has_events() &&
+      run.recorder.egress().empty()) {
+    validate(run.config);
+  }
+  // Scoring runs on the GA's zero-allocation path: the windowed series is
+  // materialized into per-thread scratch (warm after the first evaluation)
+  // and the lowest-fraction mean is computed in place.
+  thread_local std::vector<double> scratch;
+  run.windowed_throughput_mbps_into(window_, 0, scratch);
+  if (scratch.empty()) return 0.0;
+  return -mean_of_lowest_fraction_inplace(scratch, fraction_);
 }
 
 double HighDelayScore::performance_score(
     const scenario::RunResult& run) const {
-  const auto delays = run.cca_queue_delays_s();
-  if (delays.empty()) {
-    // No CCA packet ever crossed the bottleneck: treat as the worst-case
-    // delay signal is absent; neutral score.
-    return 0.0;
-  }
-  return percentile(delays, pct_);
+  // Streaming delay digest: identical in metrics-only and full-events runs.
+  // An empty digest (no CCA packet ever crossed the bottleneck) is neutral.
+  return run.queue_delay_percentile_s(pct_, 0);
 }
 
 double HighLossScore::performance_score(const scenario::RunResult& run) const {

@@ -28,12 +28,25 @@ class ScoreFunction {
   /// Higher return = worse CCA behaviour = fitter adversarial trace.
   virtual double performance_score(const scenario::RunResult& run) const = 0;
   virtual const char* name() const = 0;
+  /// Throws std::logic_error when the score cannot work on runs of this
+  /// scenario (e.g. a windowed score whose window the metrics-only mode
+  /// cannot serve). TraceEvaluator calls it at construction, so
+  /// misconfiguration surfaces on the driver thread instead of as an
+  /// exception escaping a thread-pool worker.
+  virtual void validate(const scenario::ScenarioConfig& scenario) const {
+    (void)scenario;
+  }
 };
 
 /// §3.4: windowed throughput, averaged over the lowest `fraction` of
 /// windows, negated (low utilization ⇒ high score). Using the lowest-20%
 /// windows instead of overall throughput avoids favouring traces that only
 /// hurt the flow early, improving trace diversity.
+///
+/// Reads the streaming windowed bins when `window` matches the scenario's
+/// metrics_window (both default to 500 ms) — keep the two in sync when
+/// customizing either, or the metrics-only fuzzing mode sees zero
+/// throughput (RunResult::windowed_throughput_mbps).
 class LowUtilizationScore final : public ScoreFunction {
  public:
   explicit LowUtilizationScore(DurationNs window = DurationNs::millis(500),
@@ -42,6 +55,7 @@ class LowUtilizationScore final : public ScoreFunction {
 
   double performance_score(const scenario::RunResult& run) const override;
   const char* name() const override { return "low-utilization"; }
+  void validate(const scenario::ScenarioConfig& scenario) const override;
 
  private:
   DurationNs window_;
@@ -50,6 +64,9 @@ class LowUtilizationScore final : public ScoreFunction {
 
 /// §4.3 (Fig 4e): the p-th percentile of CCA queueing delay. A high low
 /// percentile means the queue never drains — a persistent standing queue.
+/// Estimated from the streaming delay digest (1 ms histogram buckets,
+/// exact extremes), so it needs no per-packet records and is identical in
+/// metrics-only and full-events runs.
 class HighDelayScore final : public ScoreFunction {
  public:
   explicit HighDelayScore(double pct = 10.0) : pct_(pct) {}

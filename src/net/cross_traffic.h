@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "net/packet.h"
@@ -36,6 +37,18 @@ class CrossTrafficInjector {
     for (const TimeNs t : times_) {
       sim_.schedule_at(t, [this] { inject_one(); });
     }
+  }
+
+  /// Rearms the injector for a fresh run with a new schedule, reusing the
+  /// schedule storage's capacity. Previously scheduled injections must be
+  /// gone (Simulator::reset first); the observer callback is kept.
+  void reset(std::span<const TimeNs> times, std::int32_t packet_bytes,
+             FlowIndex flow_index) {
+    times_.assign(times.begin(), times.end());
+    packet_bytes_ = packet_bytes;
+    flow_index_ = flow_index;
+    sent_ = 0;
+    dropped_ = 0;
   }
 
   std::int64_t packets_sent() const { return sent_; }

@@ -40,6 +40,14 @@ class DelayPipe {
     });
   }
 
+  /// Reinitializes the pipe for a fresh run (possibly with a new delay). Any
+  /// scheduled deliveries must already be gone (Simulator::reset); the
+  /// delivery callback is kept.
+  void reset(DurationNs delay) {
+    delay_ = delay;
+    in_flight_ = 0;
+  }
+
   DurationNs delay() const { return delay_; }
   std::int64_t in_flight() const { return in_flight_; }
 

@@ -28,6 +28,19 @@ TraceDrivenLink::TraceDrivenLink(sim::Simulator& sim, DropTailQueue& queue,
 #endif
 }
 
+void TraceDrivenLink::reset(DurationNs prop_delay,
+                            std::span<const TimeNs> service_times) {
+  reset_base(prop_delay);
+  times_.assign(service_times.begin(), service_times.end());
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    assert(times_[i - 1] <= times_[i] && "service trace must be sorted");
+  }
+#endif
+  next_ = 0;
+  wasted_ = 0;
+}
+
 void TraceDrivenLink::start() {
   if (next_ < times_.size()) {
     sim_.schedule_at(times_[next_], [this] { on_opportunity(); });
@@ -51,6 +64,13 @@ FixedRateLink::FixedRateLink(sim::Simulator& sim, DropTailQueue& queue,
                              DurationNs prop_delay, DataRate rate,
                              PacketPool* pool)
     : BottleneckLink(sim, queue, prop_delay, pool), rate_(rate) {
+  queue_.set_nonempty_notifier([this] { maybe_begin_service(); });
+}
+
+void FixedRateLink::reset(DurationNs prop_delay, DataRate rate) {
+  reset_base(prop_delay);
+  rate_ = rate;
+  busy_ = false;
   queue_.set_nonempty_notifier([this] { maybe_begin_service(); });
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -62,6 +63,14 @@ class BottleneckLink {
 
   PacketPool& pool() { return *pool_; }
 
+  /// Shared part of the per-run reset: zeroed counters, new delay. The
+  /// observer/delivery callbacks are kept (they outlive runs in a reusable
+  /// harness).
+  void reset_base(DurationNs prop_delay) {
+    prop_delay_ = prop_delay;
+    served_ = 0;
+  }
+
   sim::Simulator& sim_;
   DropTailQueue& queue_;
   DurationNs prop_delay_;
@@ -83,6 +92,11 @@ class TraceDrivenLink final : public BottleneckLink {
 
   void start() override;
 
+  /// Rearms the link for a fresh run with a new service trace, reusing the
+  /// trace storage's capacity. No opportunity may still be scheduled
+  /// (Simulator::reset first).
+  void reset(DurationNs prop_delay, std::span<const TimeNs> service_times);
+
   /// Number of service opportunities that found an empty queue.
   std::int64_t wasted_opportunities() const { return wasted_; }
 
@@ -102,6 +116,11 @@ class FixedRateLink final : public BottleneckLink {
                 PacketPool* pool = nullptr);
 
   void start() override;
+
+  /// Rearms the link for a fresh run (possibly with a new rate) and
+  /// re-registers its queue non-empty notifier — a reusable harness may have
+  /// pointed the queue at a different link in between.
+  void reset(DurationNs prop_delay, DataRate rate);
 
  private:
   void maybe_begin_service();

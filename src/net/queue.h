@@ -67,6 +67,19 @@ class DropTailQueue {
     return p;
   }
 
+  /// Returns the queue to empty with fresh stats (and a new capacity),
+  /// reusing the ring storage when the capacity is unchanged. Notifier
+  /// callbacks are kept — reusable harnesses (scenario::Dumbbell) rebind
+  /// them explicitly when the wiring changes.
+  void reset(std::size_t capacity) {
+    if (capacity != capacity_) {
+      capacity_ = capacity;
+      ring_.resize(capacity);
+    }
+    head_ = tail_ = count_ = 0;
+    stats_ = QueueStats{};
+  }
+
   std::size_t size() const { return count_; }
   std::size_t capacity() const { return capacity_; }
   bool empty() const { return count_ == 0; }

@@ -43,19 +43,32 @@ class BottleneckRecorder {
   void record_ingress(const Packet& p, TimeNs now) {
     ++ingress_n_[kind_index(p.flow)];
     bump(flow_ingress_n_, p.flow_index);
-    ingress_.push_back({now, p.flow, p.flow_index, p.size_bytes});
+    if (record_events_) {
+      ingress_.push_back({now, p.flow, p.flow_index, p.size_bytes});
+    }
   }
   void record_drop(const Packet& p, TimeNs now) {
     ++drop_n_[kind_index(p.flow)];
     bump(flow_drop_n_, p.flow_index);
-    drops_.push_back({now, p.flow, p.flow_index, p.size_bytes});
+    if (record_events_) {
+      drops_.push_back({now, p.flow, p.flow_index, p.size_bytes});
+    }
   }
   void record_egress(const Packet& p, TimeNs now) {
     ++egress_n_[kind_index(p.flow)];
     bump(flow_egress_n_, p.flow_index);
-    egress_.push_back({now, p.flow, p.flow_index, p.size_bytes});
-    delays_.push_back({now, p.flow, p.flow_index, now - p.enqueued_at});
+    if (record_events_) {
+      egress_.push_back({now, p.flow, p.flow_index, p.size_bytes});
+      delays_.push_back({now, p.flow, p.flow_index, now - p.enqueued_at});
+    }
   }
+
+  /// When disabled, record_* maintain only the O(1) counters and the event
+  /// vectors stay empty — the ScenarioConfig::RecordMode::kMetricsOnly
+  /// fuzzing configuration (streaming summaries live in
+  /// analysis::StreamingMetrics). Enabled by default for standalone use.
+  void set_record_events(bool on) { record_events_ = on; }
+  bool record_events() const { return record_events_; }
 
   const std::vector<PacketEvent>& ingress() const { return ingress_; }
   const std::vector<PacketEvent>& egress() const { return egress_; }
@@ -125,6 +138,7 @@ class BottleneckRecorder {
     if (f < v.size()) ++v[f];
   }
 
+  bool record_events_ = true;
   std::vector<PacketEvent> ingress_;
   std::vector<PacketEvent> egress_;
   std::vector<PacketEvent> drops_;

@@ -28,6 +28,24 @@ constexpr const char* to_string(FuzzMode mode) {
   return mode == FuzzMode::kLink ? "link" : "traffic";
 }
 
+/// What the run records at the bottleneck (see analysis::StreamingMetrics).
+enum class RecordMode {
+  /// Streaming per-flow summaries only — windowed egress bins, delay
+  /// digests, last-progress stamps. Everything scoring needs, O(windows)
+  /// per run. The fuzzing default.
+  kMetricsOnly,
+  /// Additionally keep the raw per-packet event vectors in
+  /// net::BottleneckRecorder (figures, timelines, replay diagnostics).
+  /// Scores are bit-identical in both modes: they read the streaming
+  /// summaries, which are always maintained.
+  kFullEvents,
+};
+
+/// Display/report name of a record mode ("metrics" / "events").
+constexpr const char* to_string(RecordMode mode) {
+  return mode == RecordMode::kMetricsOnly ? "metrics" : "events";
+}
+
 /// Physical path parameters of the dumbbell.
 struct NetworkConfig {
   /// Bottleneck rate: the fixed rate in traffic mode, and the average rate
@@ -112,20 +130,20 @@ struct ScenarioConfig {
   /// off.
   bool log_tcp_events = false;
 
-  /// Number of CCA flows this scenario simulates (>= 1; the empty `flows`
-  /// shorthand is one flow).
-  std::size_t flow_count() const { return flows.empty() ? 1 : flows.size(); }
+  /// What the bottleneck observation path records (see RecordMode). Fuzzing
+  /// keeps the default; figure/timeline/replay consumers that read raw
+  /// events (analysis::rate_series etc.) must opt into kFullEvents.
+  RecordMode record_mode = RecordMode::kMetricsOnly;
 
-  /// The flow set with the single-flow shorthand resolved: when `flows` is
-  /// empty, returns the one legacy flow built from flow_start /
-  /// total_segments.
-  std::vector<FlowSpec> effective_flows() const {
-    if (!flows.empty()) return flows;
-    FlowSpec legacy;
-    legacy.start = flow_start;
-    legacy.total_segments = total_segments;
-    return {legacy};
-  }
+  /// Bin width of the streaming windowed-throughput series. Scores that
+  /// consume windowed throughput (LowUtilizationScore) read these bins when
+  /// their window matches; keep the two in sync for metrics-only runs.
+  DurationNs metrics_window = DurationNs::millis(500);
+
+  /// Number of CCA flows this scenario simulates (>= 1; the empty `flows`
+  /// shorthand is one flow). The shorthand itself is resolved
+  /// allocation-free by Dumbbell::resolve_spec.
+  std::size_t flow_count() const { return flows.empty() ? 1 : flows.size(); }
 };
 
 }  // namespace ccfuzz::scenario

@@ -53,6 +53,8 @@ CraftResult craft_retransmission_killer(const ScenarioConfig& cfg,
   ScenarioConfig run_cfg = cfg;
   run_cfg.mode = FuzzMode::kTraffic;
   run_cfg.log_tcp_events = true;  // the crafter reads transmission times
+  // Crafted findings feed figures and diagnostics that read raw events.
+  run_cfg.record_mode = RecordMode::kFullEvents;
 
   CraftResult result;
   add_burst(result.trace, kcfg.first_burst, kcfg.burst_packets);

@@ -8,134 +8,28 @@
 
 namespace ccfuzz::scenario {
 
+Dumbbell::Dumbbell(sim::Simulator& sim, net::PacketPool* pool,
+                   net::BottleneckRecorder* recorder,
+                   analysis::StreamingMetrics* metrics)
+    : sim_(sim),
+      pool_(pool != nullptr ? pool : &own_pool_),
+      recorder_(recorder != nullptr ? recorder : &own_recorder_),
+      metrics_(metrics != nullptr ? metrics : &own_metrics_) {}
+
 Dumbbell::Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
                    const tcp::CcaFactory& primary,
-                   std::vector<TimeNs> trace_times,
-                   net::PacketPool* pool, net::BottleneckRecorder* recorder)
-    : sim_(sim), cfg_(cfg),
-      pool_(pool != nullptr ? pool : &own_pool_),
-      recorder_(recorder != nullptr ? recorder : &own_recorder_) {
-  const std::vector<FlowSpec> specs = cfg_.effective_flows();
-
-  // Expected bottleneck traversals: one per trace stamp plus ~one CCA packet
-  // per serialization slot over the run (the flows share the bottleneck, so
-  // their combined egress is bounded by its service rate). Sizes the
-  // recorder (and, for a cold pool, the in-flight slab) so the first run
-  // grows nothing mid-simulation.
-  const std::size_t expected_packets =
-      trace_times.size() +
-      static_cast<std::size_t>(
-          std::max<std::int64_t>(cfg_.duration.ns() / 1'000'000, 0));
-  recorder_->reserve(expected_packets);
-  recorder_->set_flow_count(specs.size() + 1);  // CCA flows + cross traffic
-  pool_->reserve(cfg_.net.queue_capacity + 64 * specs.size());
-
-  queue_ = std::make_unique<net::DropTailQueue>(cfg_.net.queue_capacity);
-  queue_->set_drop_notifier([this](const net::Packet& p, TimeNs now) {
-    recorder_->record_drop(p, now);
-  });
-
-  // Bottleneck link: fuzzed service curve (link mode) or fixed rate.
-  if (cfg_.mode == FuzzMode::kLink) {
-    link_ = std::make_unique<net::TraceDrivenLink>(
-        sim_, *queue_, cfg_.net.bottleneck_delay, std::move(trace_times),
-        pool_);
-  } else {
-    link_ = std::make_unique<net::FixedRateLink>(
-        sim_, *queue_, cfg_.net.bottleneck_delay, cfg_.net.bottleneck_rate,
-        pool_);
-    cross_ = std::make_unique<net::CrossTrafficInjector>(
-        sim_, *queue_, std::move(trace_times), cfg_.net.packet_bytes,
-        static_cast<net::FlowIndex>(specs.size()));
-  }
-  link_->set_egress_observer([this](const net::Packet& p, TimeNs now) {
-    recorder_->record_egress(p, now);
-  });
-
-  // Sink side of the bottleneck: each CCA flow's data reaches its own
-  // receiver; cross traffic terminates (its job was done in the queue).
-  link_->set_delivery([this](net::Packet&& p) {
-    if (p.flow == net::FlowId::kCcaData && p.flow_index < flows_.size()) {
-      flows_[p.flow_index].receiver->on_data_packet(p);
-    }
-  });
-
-  // One private path per flow: access link in, ACK path back.
-  flows_.reserve(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    Flow f;
-    f.spec = specs[i];
-    if (f.spec.access_delay < DurationNs::zero()) {
-      f.spec.access_delay = cfg_.net.access_delay;
-    }
-    if (f.spec.ack_path_delay < DurationNs::zero()) {
-      f.spec.ack_path_delay = cfg_.net.ack_path_delay;
-    }
-    if (f.spec.stop > cfg_.duration) f.spec.stop = cfg_.duration;
-    // A degenerate interval (stop <= start) means the flow never runs; clamp
-    // so active() is empty and start() skips it, rather than letting a stop
-    // event fire before start and the flow transmit as "idle".
-    if (f.spec.stop < f.spec.start) f.spec.stop = f.spec.start;
-
-    // ACK return path: receiver → sender, uncongested.
-    f.ack = std::make_unique<net::DelayPipe>(
-        sim_, f.spec.ack_path_delay,
-        [this, i](net::Packet&& p) { flows_[i].sender->on_ack_packet(p); },
-        pool_);
-
-    tcp::TcpReceiver::Config rcfg;
-    rcfg.delayed_ack = cfg_.delayed_ack;
-    rcfg.ack_every = cfg_.ack_every;
-    rcfg.delack_timeout = cfg_.delack_timeout;
-    rcfg.rwnd_segments = cfg_.receive_window_segments;
-    rcfg.flow_index = static_cast<net::FlowIndex>(i);
-    f.receiver = std::make_unique<tcp::TcpReceiver>(
-        sim_, rcfg,
-        [this, i](net::Packet&& p) { flows_[i].ack->send(std::move(p)); });
-
-    // Access link: sender → gateway queue, with ingress recording.
-    f.access = std::make_unique<net::DelayPipe>(
-        sim_, f.spec.access_delay,
-        [this](net::Packet&& p) {
-          recorder_->record_ingress(p, sim_.now());
-          queue_->try_enqueue(std::move(p), sim_.now());
-        },
-        pool_);
-
-    tcp::TcpSender::Config scfg;
-    scfg.total_segments = f.spec.total_segments;
-    scfg.mss_bytes = cfg_.net.packet_bytes;
-    scfg.initial_cwnd = cfg_.initial_cwnd;
-    scfg.initial_rwnd_segments = cfg_.receive_window_segments;
-    scfg.rtt.min_rto = cfg_.min_rto;
-    scfg.log_events = cfg_.log_tcp_events;
-    scfg.flow_index = static_cast<net::FlowIndex>(i);
-    scfg.stop = f.spec.stop < cfg_.duration ? f.spec.stop : TimeNs::infinite();
-    const tcp::CcaFactory& factory =
-        f.spec.factory ? f.spec.factory
-                       : (f.spec.cca.empty()
-                              ? primary
-                              : cca::make_factory(f.spec.cca));
-    f.sender = std::make_unique<tcp::TcpSender>(
-        sim_, scfg, factory(),
-        [this, i](net::Packet&& p) { flows_[i].access->send(std::move(p)); });
-
-    flows_.push_back(std::move(f));
-  }
-
-  // Cross traffic bypasses the access pipes (it models aggregate arrivals at
-  // the gateway) but is still recorded as bottleneck ingress.
-  if (cross_) {
-    cross_->set_inject_observer([this](const net::Packet& p, TimeNs now) {
-      recorder_->record_ingress(p, now);
-    });
-  }
+                   std::vector<TimeNs> trace_times, net::PacketPool* pool,
+                   net::BottleneckRecorder* recorder,
+                   analysis::StreamingMetrics* metrics)
+    : Dumbbell(sim, pool, recorder, metrics) {
+  setup(cfg, primary, trace_times);
 }
 
 Dumbbell::Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
                    std::unique_ptr<tcp::CongestionControl> cca,
-                   std::vector<TimeNs> trace_times,
-                   net::PacketPool* pool, net::BottleneckRecorder* recorder)
+                   std::vector<TimeNs> trace_times, net::PacketPool* pool,
+                   net::BottleneckRecorder* recorder,
+                   analysis::StreamingMetrics* metrics)
     : Dumbbell(sim, cfg,
                // std::function requires a copyable callable, so the single
                // instance rides in a shared box and is surrendered on the
@@ -152,12 +46,191 @@ Dumbbell::Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
                  }
                  return std::move(*box);
                },
-               std::move(trace_times), pool, recorder) {}
+               std::move(trace_times), pool, recorder, metrics) {}
+
+void Dumbbell::resolve_spec(std::size_t i, FlowSpec& out) const {
+  if (cfg_.flows.empty()) {
+    // Legacy single-flow shorthand.
+    out = FlowSpec{};
+    out.start = cfg_.flow_start;
+    out.total_segments = cfg_.total_segments;
+  } else {
+    out = cfg_.flows[i];
+  }
+  if (out.access_delay < DurationNs::zero()) {
+    out.access_delay = cfg_.net.access_delay;
+  }
+  if (out.ack_path_delay < DurationNs::zero()) {
+    out.ack_path_delay = cfg_.net.ack_path_delay;
+  }
+  if (out.stop > cfg_.duration) out.stop = cfg_.duration;
+  // A degenerate interval (stop <= start) means the flow never runs; clamp
+  // so active() is empty and start() skips it, rather than letting a stop
+  // event fire before start and the flow transmit as "idle".
+  if (out.stop < out.start) out.stop = out.start;
+}
+
+void Dumbbell::setup(const ScenarioConfig& cfg, const tcp::CcaFactory& primary,
+                     std::span<const TimeNs> trace_times) {
+  cfg_ = cfg;
+  flow_count_ = cfg_.flows.empty() ? 1 : cfg_.flows.size();
+
+  const bool events = cfg_.record_mode == RecordMode::kFullEvents;
+  recorder_->set_record_events(events);
+  if (events) {
+    // Expected bottleneck traversals: one per trace stamp plus ~one CCA
+    // packet per serialization slot over the run (the flows share the
+    // bottleneck, so their combined egress is bounded by its service rate).
+    // Sizes the event vectors so the first recording run grows nothing
+    // mid-simulation; metrics-only runs keep the vectors empty.
+    const std::size_t expected_packets =
+        trace_times.size() +
+        static_cast<std::size_t>(
+            std::max<std::int64_t>(cfg_.duration.ns() / 1'000'000, 0));
+    recorder_->reserve(expected_packets);
+  }
+  recorder_->set_flow_count(flow_count_ + 1);  // CCA flows + cross traffic
+  pool_->reserve(cfg_.net.queue_capacity + 64 * flow_count_);
+  metrics_->begin_run(flow_count_, cfg_.metrics_window, cfg_.duration);
+
+  // Gateway queue. The drop notifier is installed once and survives resets.
+  if (!queue_) {
+    queue_ = std::make_unique<net::DropTailQueue>(cfg_.net.queue_capacity);
+    queue_->set_drop_notifier([this](const net::Packet& p, TimeNs now) {
+      recorder_->record_drop(p, now);
+    });
+  } else {
+    queue_->reset(cfg_.net.queue_capacity);
+  }
+
+  const auto install_link_callbacks = [this](net::BottleneckLink& lnk) {
+    lnk.set_egress_observer([this](const net::Packet& p, TimeNs now) {
+      recorder_->record_egress(p, now);
+      metrics_->on_egress(p, now, now - p.enqueued_at);
+    });
+    // Sink side of the bottleneck: each CCA flow's data reaches its own
+    // receiver; cross traffic terminates (its job was done in the queue).
+    lnk.set_delivery([this](net::Packet&& p) {
+      if (p.flow == net::FlowId::kCcaData && p.flow_index < flow_count_) {
+        flows_[p.flow_index].receiver->on_data_packet(p);
+      }
+    });
+  };
+
+  // Bottleneck link: fuzzed service curve (link mode) or fixed rate. Both
+  // variants stay warm once built; only this run's is wired to the queue.
+  active_cross_ = nullptr;
+  if (cfg_.mode == FuzzMode::kLink) {
+    // A fixed-rate link from a previous traffic-mode run may still own the
+    // queue's non-empty notifier; a trace-driven link polls instead.
+    queue_->set_nonempty_notifier(nullptr);
+    if (!trace_link_) {
+      trace_link_ = std::make_unique<net::TraceDrivenLink>(
+          sim_, *queue_, cfg_.net.bottleneck_delay,
+          std::vector<TimeNs>(trace_times.begin(), trace_times.end()), pool_);
+      install_link_callbacks(*trace_link_);
+    } else {
+      trace_link_->reset(cfg_.net.bottleneck_delay, trace_times);
+    }
+    link_ = trace_link_.get();
+  } else {
+    if (!fixed_link_) {
+      fixed_link_ = std::make_unique<net::FixedRateLink>(
+          sim_, *queue_, cfg_.net.bottleneck_delay, cfg_.net.bottleneck_rate,
+          pool_);
+      install_link_callbacks(*fixed_link_);
+    } else {
+      // reset() also re-registers the queue non-empty notifier.
+      fixed_link_->reset(cfg_.net.bottleneck_delay, cfg_.net.bottleneck_rate);
+    }
+    link_ = fixed_link_.get();
+
+    if (!cross_) {
+      cross_ = std::make_unique<net::CrossTrafficInjector>(
+          sim_, *queue_,
+          std::vector<TimeNs>(trace_times.begin(), trace_times.end()),
+          cfg_.net.packet_bytes, static_cast<net::FlowIndex>(flow_count_));
+      // Cross traffic bypasses the access pipes (it models aggregate
+      // arrivals at the gateway) but is still recorded as bottleneck
+      // ingress.
+      cross_->set_inject_observer([this](const net::Packet& p, TimeNs now) {
+        recorder_->record_ingress(p, now);
+      });
+    } else {
+      cross_->reset(trace_times, cfg_.net.packet_bytes,
+                    static_cast<net::FlowIndex>(flow_count_));
+    }
+    active_cross_ = cross_.get();
+  }
+
+  // One private path per flow: access link in, ACK path back. Slots persist
+  // across setups (warm segment rings, reorder buffers, event slabs); a
+  // fresh shape only appends.
+  if (flows_.capacity() < flow_count_) flows_.reserve(flow_count_);
+  for (std::size_t i = 0; i < flow_count_; ++i) {
+    if (i >= flows_.size()) flows_.emplace_back();
+    Flow& f = flows_[i];
+    resolve_spec(i, f.spec);
+
+    tcp::TcpReceiver::Config rcfg;
+    rcfg.delayed_ack = cfg_.delayed_ack;
+    rcfg.ack_every = cfg_.ack_every;
+    rcfg.delack_timeout = cfg_.delack_timeout;
+    rcfg.rwnd_segments = cfg_.receive_window_segments;
+    rcfg.flow_index = static_cast<net::FlowIndex>(i);
+
+    tcp::TcpSender::Config scfg;
+    scfg.total_segments = f.spec.total_segments;
+    scfg.mss_bytes = cfg_.net.packet_bytes;
+    scfg.initial_cwnd = cfg_.initial_cwnd;
+    scfg.initial_rwnd_segments = cfg_.receive_window_segments;
+    scfg.rtt.min_rto = cfg_.min_rto;
+    scfg.log_events = cfg_.log_tcp_events;
+    scfg.flow_index = static_cast<net::FlowIndex>(i);
+    scfg.stop = f.spec.stop < cfg_.duration ? f.spec.stop : TimeNs::infinite();
+
+    auto cca_instance = f.spec.factory
+                            ? f.spec.factory()
+                            : (f.spec.cca.empty()
+                                   ? primary()
+                                   : cca::make_factory(f.spec.cca)());
+
+    if (!f.sender) {
+      // ACK return path: receiver → sender, uncongested.
+      f.ack = std::make_unique<net::DelayPipe>(
+          sim_, f.spec.ack_path_delay,
+          [this, i](net::Packet&& p) { flows_[i].sender->on_ack_packet(p); },
+          pool_);
+      f.receiver = std::make_unique<tcp::TcpReceiver>(
+          sim_, rcfg,
+          [this, i](net::Packet&& p) { flows_[i].ack->send(std::move(p)); });
+      // Access link: sender → gateway queue, with ingress recording.
+      f.access = std::make_unique<net::DelayPipe>(
+          sim_, f.spec.access_delay,
+          [this](net::Packet&& p) {
+            recorder_->record_ingress(p, sim_.now());
+            queue_->try_enqueue(std::move(p), sim_.now());
+          },
+          pool_);
+      f.sender = std::make_unique<tcp::TcpSender>(
+          sim_, scfg, std::move(cca_instance),
+          [this, i](net::Packet&& p) { flows_[i].access->send(std::move(p)); });
+    } else {
+      f.ack->reset(f.spec.ack_path_delay);
+      f.receiver->reset(rcfg);
+      f.access->reset(f.spec.access_delay);
+      f.sender->reset(scfg, std::move(cca_instance));
+    }
+
+    metrics_->set_flow_interval(i, f.spec.start);
+  }
+}
 
 void Dumbbell::start() {
   link_->start();
-  if (cross_) cross_->start();
-  for (Flow& f : flows_) {
+  if (active_cross_ != nullptr) active_cross_->start();
+  for (std::size_t i = 0; i < flow_count_; ++i) {
+    Flow& f = flows_[i];
     if (f.spec.stop <= f.spec.start) continue;  // degenerate: never runs
     f.sender->start(f.spec.start);
   }

@@ -13,11 +13,21 @@
 // convergence scenarios. In link mode the bottleneck is a TraceDrivenLink
 // fed by the fuzzed service curve; in traffic mode it is a FixedRateLink and
 // the fuzzed trace drives the CrossTrafficInjector.
+//
+// The Dumbbell is a *reusable harness*: construct the shell once (one per
+// scenario::RunContext) and call setup() per run. Components — queue, links,
+// pipes, senders, receivers — are created on first use and thereafter reset
+// in place, so a steady-state GA evaluation rebuilds the whole topology
+// without a single heap allocation (CCA instances recycle through
+// util::Recycled). Results are bit-identical to a freshly built dumbbell:
+// every component's reset() restores exactly its post-construction state.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "analysis/streaming_metrics.h"
 #include "net/cross_traffic.h"
 #include "net/delay_pipe.h"
 #include "net/link.h"
@@ -32,24 +42,30 @@
 
 namespace ccfuzz::scenario {
 
-/// Owns every component of one simulation run and wires their callbacks.
-/// Build it, call start(), then Simulator::run_until(duration).
+/// Owns every component of a simulation run and wires their callbacks.
+/// Either construct the empty shell and call setup() per run (reusable
+/// harness), or use a one-shot convenience constructor; then start() and
+/// Simulator::run_until(duration).
 class Dumbbell {
  public:
-  /// `trace_times` is the link service curve (link mode) or the cross-traffic
-  /// injection schedule (traffic mode); must be sorted ascending.
+  /// Reusable-harness shell: binds warm storage, builds nothing yet.
+  /// `pool` / `recorder` / `metrics` may be null (private ones are used).
+  Dumbbell(sim::Simulator& sim, net::PacketPool* pool = nullptr,
+           net::BottleneckRecorder* recorder = nullptr,
+           analysis::StreamingMetrics* metrics = nullptr);
+
+  /// One-shot convenience: shell + setup(). `trace_times` is the link
+  /// service curve (link mode) or the cross-traffic injection schedule
+  /// (traffic mode); must be sorted ascending.
   ///
   /// `primary` builds the CCA instance for every flow whose FlowSpec names
   /// no algorithm of its own (and for the legacy single-flow shorthand);
   /// named flows resolve through cca::make_factory.
-  ///
-  /// `pool` / `recorder` let a reusable harness (scenario::RunContext) supply
-  /// warm buffers that outlive the Dumbbell; when null the Dumbbell owns
-  /// private ones.
   Dumbbell(sim::Simulator& sim, const ScenarioConfig& cfg,
            const tcp::CcaFactory& primary, std::vector<TimeNs> trace_times,
            net::PacketPool* pool = nullptr,
-           net::BottleneckRecorder* recorder = nullptr);
+           net::BottleneckRecorder* recorder = nullptr,
+           analysis::StreamingMetrics* metrics = nullptr);
 
   /// Single-flow convenience: wraps one ready-made CCA instance. Only valid
   /// for scenarios with one flow.
@@ -57,16 +73,25 @@ class Dumbbell {
            std::unique_ptr<tcp::CongestionControl> cca,
            std::vector<TimeNs> trace_times,
            net::PacketPool* pool = nullptr,
-           net::BottleneckRecorder* recorder = nullptr);
+           net::BottleneckRecorder* recorder = nullptr,
+           analysis::StreamingMetrics* metrics = nullptr);
 
   Dumbbell(const Dumbbell&) = delete;
   Dumbbell& operator=(const Dumbbell&) = delete;
+
+  /// (Re)builds the topology for one run. The simulator must be freshly
+  /// reset and the pool/recorder/metrics cleared by the caller
+  /// (scenario::RunContext does all of this). Components from a previous
+  /// setup are reset in place; only shape growth (more flows than ever
+  /// before, a first use of a link type) allocates.
+  void setup(const ScenarioConfig& cfg, const tcp::CcaFactory& primary,
+             std::span<const TimeNs> trace_times);
 
   /// Schedules flow starts/stops, link service and cross-traffic injections.
   void start();
 
   // ---- Component access (tests & analysis) ----
-  std::size_t flow_count() const { return flows_.size(); }
+  std::size_t flow_count() const { return flow_count_; }
   /// The resolved spec of flow `i` (delays filled in, stop clamped).
   const FlowSpec& flow_spec(std::size_t i) const { return flows_[i].spec; }
   tcp::TcpSender& sender(std::size_t i = 0) { return *flows_[i].sender; }
@@ -80,18 +105,20 @@ class Dumbbell {
   net::DropTailQueue& queue() { return *queue_; }
   const net::DropTailQueue& queue() const { return *queue_; }
   const net::BottleneckRecorder& recorder() const { return *recorder_; }
+  const analysis::StreamingMetrics& metrics() const { return *metrics_; }
   const net::CrossTrafficInjector* cross_traffic() const {
-    return cross_.get();
+    return active_cross_;
   }
   const net::BottleneckLink& link() const { return *link_; }
   const ScenarioConfig& config() const { return cfg_; }
   /// Flow index carried by cross-traffic packets (one past the CCA flows).
   net::FlowIndex cross_flow_index() const {
-    return static_cast<net::FlowIndex>(flows_.size());
+    return static_cast<net::FlowIndex>(flow_count_);
   }
 
  private:
   /// One competing flow's private path: access link in, ACK path back.
+  /// Slots persist across setups; only the first flow_count_ are active.
   struct Flow {
     FlowSpec spec;  // resolved: delays inherited, stop clamped to duration
     std::unique_ptr<net::DelayPipe> access;  // sender → gateway
@@ -100,17 +127,28 @@ class Dumbbell {
     std::unique_ptr<tcp::TcpSender> sender;
   };
 
+  /// Resolves FlowSpec `i` of cfg_ (inherit delays, clamp stop) into `out`.
+  void resolve_spec(std::size_t i, FlowSpec& out) const;
+
   sim::Simulator& sim_;
   ScenarioConfig cfg_;
 
   net::PacketPool own_pool_;
   net::BottleneckRecorder own_recorder_;
+  analysis::StreamingMetrics own_metrics_;
   net::PacketPool* pool_;
   net::BottleneckRecorder* recorder_;
+  analysis::StreamingMetrics* metrics_;
+
   std::unique_ptr<net::DropTailQueue> queue_;
-  std::unique_ptr<net::BottleneckLink> link_;
-  std::unique_ptr<net::CrossTrafficInjector> cross_;  // traffic mode only
+  // Both link types stay warm once built; link_ points at this run's.
+  std::unique_ptr<net::TraceDrivenLink> trace_link_;
+  std::unique_ptr<net::FixedRateLink> fixed_link_;
+  net::BottleneckLink* link_ = nullptr;
+  std::unique_ptr<net::CrossTrafficInjector> cross_;
+  net::CrossTrafficInjector* active_cross_ = nullptr;  // traffic mode only
   std::vector<Flow> flows_;
+  std::size_t flow_count_ = 0;
 };
 
 }  // namespace ccfuzz::scenario

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "scenario/dumbbell.h"
-#include "sim/simulator.h"
 #include "util/stats.h"
 
 namespace ccfuzz::scenario {
@@ -33,8 +31,17 @@ FlowResult& RunResult::ensure_primary() {
   return flows.front();
 }
 
-std::vector<double> RunResult::windowed_throughput_mbps(DurationNs window,
-                                                        std::size_t i) const {
+void RunResult::windowed_throughput_mbps_into(DurationNs window,
+                                              std::size_t i,
+                                              std::vector<double>& out) const {
+  // The streaming bins hold exactly this series for the configured window —
+  // any record mode, no per-packet scan.
+  if (window == config.metrics_window && i < metrics.flow_count()) {
+    metrics.windowed_throughput_mbps_into(i, config.net.packet_bytes, out);
+    return;
+  }
+  // Other windows re-bin the raw egress events (kFullEvents, or hand-built
+  // recorders); without events this reads as zero throughput.
   const auto idx = static_cast<net::FlowIndex>(i);
   std::vector<double> egress_times;
   egress_times.reserve(recorder.egress().size());
@@ -46,12 +53,29 @@ std::vector<double> RunResult::windowed_throughput_mbps(DurationNs window,
   const auto rates =
       windowed_rate(egress_times, flow(i).start.to_seconds(),
                     config.duration.to_seconds(), window.to_seconds());
-  std::vector<double> mbps(rates.size());
+  out.clear();
+  out.reserve(rates.size());
   const double bits = static_cast<double>(config.net.packet_bytes) * 8.0;
   for (std::size_t k = 0; k < rates.size(); ++k) {
-    mbps[k] = rates[k] * bits * 1e-6;
+    out.push_back(rates[k] * bits * 1e-6);
   }
-  return mbps;
+}
+
+std::vector<double> RunResult::windowed_throughput_mbps(DurationNs window,
+                                                        std::size_t i) const {
+  std::vector<double> out;
+  windowed_throughput_mbps_into(window, i, out);
+  return out;
+}
+
+double RunResult::queue_delay_percentile_s(double pct, std::size_t i) const {
+  if (i < metrics.flow_count()) {
+    return metrics.flow(i).delay.percentile_s(pct);
+  }
+  // Hand-built results: exact percentile over whatever delays were recorded.
+  const auto delays = queue_delays_s(i);
+  if (delays.empty()) return 0.0;
+  return percentile(delays, pct);
 }
 
 std::vector<double> RunResult::queue_delays_s(std::size_t i) const {
@@ -69,8 +93,13 @@ std::vector<double> RunResult::queue_delays_s(std::size_t i) const {
 bool RunResult::stalled(DurationNs tail, std::size_t i) const {
   const FlowResult& f = flow(i);
   if (f.sent == 0) return false;  // never started: not "stuck", just idle
-  const auto idx = static_cast<net::FlowIndex>(i);
   const TimeNs cutoff = f.stop - tail;
+  if (i < metrics.flow_count()) {
+    const analysis::FlowSeries& s = metrics.flow(i);
+    return !(s.last_egress >= TimeNs::zero() && s.last_egress >= cutoff);
+  }
+  // Hand-built results: scan whatever events exist.
+  const auto idx = static_cast<net::FlowIndex>(i);
   for (const auto& e : recorder.egress()) {
     if (e.flow == net::FlowId::kCcaData && e.flow_index == idx &&
         e.time >= cutoff) {
@@ -93,58 +122,66 @@ double RunResult::jain_fairness() const {
   return sum * sum / (static_cast<double>(flows.size()) * sum_sq);
 }
 
-RunResult RunContext::run(const ScenarioConfig& cfg,
-                          const tcp::CcaFactory& cca,
-                          std::vector<TimeNs> trace_times) {
-  // Reset every piece of reused state; capacities (slab, pool, vectors)
-  // survive, contents don't.
+const RunResult& RunContext::run(const ScenarioConfig& cfg,
+                                 const tcp::CcaFactory& cca,
+                                 std::span<const TimeNs> trace_times) {
+  // Reset every piece of reused state; capacities (slab, pool, component
+  // buffers, metric bins) survive, contents don't.
   sim_.reset();
   pool_.clear();
-  recorder_.clear();
+  result_.recorder.clear();
 
-  Dumbbell db(sim_, cfg, cca, std::move(trace_times), &pool_, &recorder_);
-  db.start();
+  // setup() clears/rebinds the metrics and rebuilds the components in place.
+  db_.setup(cfg, cca, trace_times);
+  db_.start();
   sim_.run_until(cfg.duration);
 
-  RunResult r;
-  r.config = cfg;
-  r.flows.reserve(db.flow_count());
-  for (std::size_t i = 0; i < db.flow_count(); ++i) {
+  // The recorder and metrics were written in place (they live inside
+  // result_); only counters remain to collect. All assignments below reuse
+  // existing capacity, so the handoff allocates nothing when warm.
+  result_.config = cfg;
+  result_.flows.resize(db_.flow_count());
+  for (std::size_t i = 0; i < db_.flow_count(); ++i) {
     const auto idx = static_cast<net::FlowIndex>(i);
-    FlowResult f;
-    f.cca = db.flow_spec(i).cca;
-    f.start = db.flow_spec(i).start;
-    f.stop = db.flow_spec(i).stop;
+    FlowResult& f = result_.flows[i];
+    f.cca = db_.flow_spec(i).cca;
+    f.start = db_.flow_spec(i).start;
+    f.stop = db_.flow_spec(i).stop;
     f.packet_bytes = cfg.net.packet_bytes;
-    f.segments_delivered = db.receiver(i).segments_received();
-    f.egress_packets = db.recorder().flow_egress_count(idx);
-    f.sent = db.sender(i).total_sent();
-    f.retransmissions = db.sender(i).total_retransmissions();
-    f.drops = db.recorder().flow_drop_count(idx);
-    f.rto_count = db.sender(i).rto_count();
-    f.fast_recovery_count = db.sender(i).fast_retransmit_entries();
-    f.spurious_retx_count = db.sender(i).spurious_retx_count();
-    f.final_rto_backoff = db.sender(i).rto_backoff();
-    f.final_bw_estimate_pps = db.sender(i).cca().bw_estimate_pps();
-    f.final_min_rtt_estimate = db.sender(i).cca().min_rtt_estimate();
-    f.tcp_log = db.sender(i).log();
-    r.flows.push_back(std::move(f));
+    f.segments_delivered = db_.receiver(i).segments_received();
+    f.egress_packets = db_.recorder().flow_egress_count(idx);
+    f.sent = db_.sender(i).total_sent();
+    f.retransmissions = db_.sender(i).total_retransmissions();
+    f.drops = db_.recorder().flow_drop_count(idx);
+    f.rto_count = db_.sender(i).rto_count();
+    f.fast_recovery_count = db_.sender(i).fast_retransmit_entries();
+    f.spurious_retx_count = db_.sender(i).spurious_retx_count();
+    f.final_rto_backoff = db_.sender(i).rto_backoff();
+    f.final_bw_estimate_pps = db_.sender(i).cca().bw_estimate_pps();
+    f.final_min_rtt_estimate = db_.sender(i).cca().min_rtt_estimate();
+    f.tcp_log = db_.sender(i).log();
   }
-  r.queue_stats = db.queue().stats();
-  if (const auto* ct = db.cross_traffic()) {
-    r.cross_sent = ct->packets_sent();
-    r.cross_drops = ct->packets_dropped();
+  result_.queue_stats = db_.queue().stats();
+  if (const auto* ct = db_.cross_traffic()) {
+    result_.cross_sent = ct->packets_sent();
+    result_.cross_drops = ct->packets_dropped();
+  } else {
+    result_.cross_sent = 0;
+    result_.cross_drops = 0;
   }
-  r.recorder = db.recorder();
-  return r;
+  return result_;
+}
+
+RunContext& thread_run_context() {
+  // One warm context per thread: GA batches fan out over the shared pool,
+  // and every worker reuses its own slab/pool/component capacity.
+  thread_local RunContext ctx;
+  return ctx;
 }
 
 RunResult run_scenario(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
                        std::vector<TimeNs> trace_times) {
-  // One warm context per thread: GA batches fan out over the shared pool,
-  // and every worker reuses its own slab/pool/recorder capacity.
-  thread_local RunContext ctx;
-  return ctx.run(cfg, cca, std::move(trace_times));
+  return thread_run_context().run(cfg, cca, trace_times);
 }
 
 }  // namespace ccfuzz::scenario

@@ -6,21 +6,33 @@
 // result depends on nothing but its arguments, which is what makes the GA's
 // parallel evaluation deterministic (paper §3.6). Under the hood each thread
 // reuses one RunContext, so back-to-back evaluations run on warm buffers —
-// the event-slot slab, packet pool and recorder vectors reach their
-// high-water mark on the first run and the hot path never allocates after
-// that. Warm state is invisible in the results: the golden determinism test
-// pins bit-identical RunResults across repeats and against pre-refactor
-// fingerprints.
+// the event-slot slab, packet pool, dumbbell components (queue, links,
+// pipes, senders, receivers) and metric bins reach their high-water mark on
+// the first run, after which a steady-state evaluation performs zero heap
+// allocations end to end, result handoff included (the warm RunResult lives
+// inside the context; RunContext::run returns a reference). Warm state is
+// invisible in the results: the golden determinism test pins bit-identical
+// RunResults across repeats and against pre-refactor fingerprints.
+//
+// Observation modes (ScenarioConfig::record_mode): fuzzing runs keep only
+// the streaming per-flow summaries (analysis::StreamingMetrics) — windowed
+// egress bins, delay digests, last-progress stamps — which is everything
+// scoring reads. Figure/timeline/replay consumers opt into
+// RecordMode::kFullEvents to additionally keep the raw per-packet
+// BottleneckRecorder streams. Scores are bit-identical across modes.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "analysis/streaming_metrics.h"
 #include "net/packet_pool.h"
 #include "net/queue.h"
 #include "net/recorder.h"
 #include "scenario/config.h"
+#include "scenario/dumbbell.h"
 #include "sim/simulator.h"
 #include "tcp/congestion_control.h"
 #include "tcp/event_log.h"
@@ -30,8 +42,8 @@ namespace ccfuzz::scenario {
 
 /// Everything observable from one CCA flow's run: transport counters, final
 /// CCA model state, and the active interval the per-flow rates are computed
-/// over. Series that need the bottleneck records (windowed throughput, queue
-/// delays) live on RunResult, which owns the recorder.
+/// over. Series live on RunResult, which owns the streaming summaries (and,
+/// in full-events mode, the recorder).
 struct FlowResult {
   /// Registry name of the flow's CCA; empty for the scenario's primary CCA
   /// or a custom factory.
@@ -83,9 +95,19 @@ struct RunResult {
 
   // --- Bottleneck observations ---
   net::QueueStats queue_stats;
+  /// Streaming per-flow summaries (always populated by run_scenario).
+  analysis::StreamingMetrics metrics;
+  /// Raw per-packet event streams — populated only in
+  /// RecordMode::kFullEvents (empty otherwise).
   net::BottleneckRecorder recorder;
 
   std::size_t flow_count() const { return flows.size(); }
+
+  /// True when the run kept raw per-packet events (figures/timeline APIs in
+  /// analysis/flow_metrics need them).
+  bool has_events() const {
+    return config.record_mode == RecordMode::kFullEvents;
+  }
 
   /// Flow `i`, or a neutral all-zero FlowResult when out of range.
   const FlowResult& flow(std::size_t i) const;
@@ -96,18 +118,31 @@ struct RunResult {
   double goodput_mbps(std::size_t i = 0) const { return flow(i).goodput_mbps(); }
 
   /// Flow `i`'s egress throughput per window (Mbps) over [start, duration).
+  /// Served from the streaming bins when `window` matches
+  /// config.metrics_window (always available, any record mode); other
+  /// windows are recomputed from raw events and therefore read as zero
+  /// throughput in metrics-only runs.
   std::vector<double> windowed_throughput_mbps(DurationNs window,
                                                std::size_t i = 0) const;
+  /// Same, reusing caller storage (allocation-free when warm).
+  void windowed_throughput_mbps_into(DurationNs window, std::size_t i,
+                                     std::vector<double>& out) const;
+
+  /// Histogram-estimated percentile of flow `i`'s queueing delay in seconds
+  /// (exact at the extremes). From the streaming delay digest; identical in
+  /// both record modes. 0 when the flow saw no egress.
+  double queue_delay_percentile_s(double pct, std::size_t i = 0) const;
 
   /// Queueing-delay samples (seconds) experienced by flow `i`'s packets, in
-  /// egress order.
+  /// egress order. Needs kFullEvents (empty in metrics-only runs) — use
+  /// queue_delay_percentile_s for scoring.
   std::vector<double> queue_delays_s(std::size_t i) const;
   /// Migration shim: primary flow's queueing delays.
   std::vector<double> cca_queue_delays_s() const { return queue_delays_s(0); }
 
   /// True when flow `i` made no bottleneck progress over the trailing `tail`
   /// of its active interval despite having started — the paper's "stuck"
-  /// signal.
+  /// signal. From the streaming last-progress stamp (any record mode).
   bool stalled(DurationNs tail, std::size_t i = 0) const;
 
   /// Jain's fairness index over the flows' goodputs: 1 = perfectly fair,
@@ -146,27 +181,38 @@ struct RunResult {
 };
 
 /// Reusable simulation harness: owns the simulator (event-slot slab), the
-/// in-flight packet pool and the bottleneck recorder, and recycles their
-/// capacity across runs — including across runs with different flow counts.
-/// One RunContext per thread (run_scenario keeps a thread-local one;
-/// fuzz::evaluate_batch therefore reuses one per worker) turns the GA's unit
-/// of work from allocator-bound to simulation-bound.
+/// in-flight packet pool, the reusable Dumbbell (queue, links, pipes,
+/// senders, receivers) and the warm RunResult the recorder/metrics write
+/// into, recycling all of it across runs — including across runs with
+/// different flow counts or modes. One RunContext per thread
+/// (run_scenario keeps a thread-local one; fuzz::evaluate_batch therefore
+/// reuses one per worker) turns the GA's unit of work from allocator-bound
+/// to simulation-bound: a steady-state metrics-only evaluation performs no
+/// heap allocations at all.
 class RunContext {
  public:
-  RunContext() = default;
+  RunContext() : db_(sim_, &pool_, &result_.recorder, &result_.metrics) {}
   RunContext(const RunContext&) = delete;
   RunContext& operator=(const RunContext&) = delete;
 
-  /// Runs one simulation on warm buffers. Results are bit-identical to a
-  /// cold run: every piece of reused state is reset up front.
-  RunResult run(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
-                std::vector<TimeNs> trace_times);
+  /// Runs one simulation on warm buffers and returns the context-owned
+  /// result. Results are bit-identical to a cold run: every piece of reused
+  /// state is reset up front. The reference stays valid (and stable) until
+  /// the next run() on this context.
+  const RunResult& run(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
+                       std::span<const TimeNs> trace_times);
 
  private:
   sim::Simulator sim_;
   net::PacketPool pool_;
-  net::BottleneckRecorder recorder_;
+  RunResult result_;
+  Dumbbell db_;
 };
+
+/// This thread's warm RunContext — the one run_scenario uses. Hot callers
+/// (fuzz::TraceEvaluator) run through it directly to skip the RunResult
+/// copy that the by-value run_scenario hands out.
+RunContext& thread_run_context();
 
 /// Runs one simulation. `trace_times` is the link service curve (link mode)
 /// or cross-traffic schedule (traffic mode), sorted ascending. `cca` builds

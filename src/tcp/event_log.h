@@ -57,6 +57,13 @@ class TcpEventLog {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  /// Empties the log for a fresh run, keeping the event vector's capacity.
+  void reset(bool enabled) {
+    enabled_ = enabled;
+    events_.clear();
+    for (auto& c : counts_) c = 0;
+  }
+
   void emit(TimeNs t, TcpEventType type, SeqNr seq = -1, double value = 0.0) {
     if (!enabled_) {
       counts_[static_cast<std::size_t>(type)]++;

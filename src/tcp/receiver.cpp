@@ -1,6 +1,5 @@
 #include "tcp/receiver.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace ccfuzz::tcp {
@@ -10,7 +9,55 @@ TcpReceiver::TcpReceiver(sim::Simulator& sim, const Config& cfg,
     : sim_(sim),
       cfg_(cfg),
       send_ack_(std::move(send_ack)),
-      delack_timer_(sim, [this] { on_delack_timer(); }) {}
+      delack_timer_(sim, [this] { on_delack_timer(); }) {
+  reserve_buffers();
+}
+
+void TcpReceiver::reset(const Config& cfg) {
+  cfg_ = cfg;
+  // A pre-reset timer id: cancelling is a guaranteed no-op.
+  delack_timer_.cancel();
+  rcv_nxt_ = 0;
+  ooo_.clear();
+  recent_blocks_.clear();
+  pending_ack_segments_ = 0;
+  segments_received_ = 0;
+  duplicates_ = 0;
+  acks_sent_ = 0;
+  next_ack_id_ = 0;
+  reserve_buffers();
+}
+
+void TcpReceiver::reserve_buffers() {
+  // Out-of-order occupancy cannot exceed the advertised buffer, and distinct
+  // ranges need a gap between them, so rwnd/2 + 1 is the hard bound; reserve
+  // a little over it so warm loss recovery never allocates.
+  const auto bound =
+      static_cast<std::size_t>(std::max<std::int64_t>(cfg_.rwnd_segments, 0)) /
+          2 +
+      2;
+  ooo_.reserve(bound);
+  recent_blocks_.reserve(bound);
+}
+
+std::size_t TcpReceiver::first_range_past(SeqNr seq) const {
+  // Smallest index whose range starts after `seq` (map::upper_bound).
+  std::size_t lo = 0;
+  std::size_t hi = ooo_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (ooo_[mid].start <= seq) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void TcpReceiver::forget_recent(SeqNr start) {
+  std::erase(recent_blocks_, start);
+}
 
 void TcpReceiver::on_data_packet(const net::Packet& p) {
   const SeqNr seq = p.tcp.seq;
@@ -48,14 +95,9 @@ void TcpReceiver::on_data_packet(const net::Packet& p) {
   }
 
   // Out of order: duplicate delivery of a buffered seq also lands here.
-  const bool already_buffered = [&] {
-    auto it = ooo_.upper_bound(seq);
-    if (it != ooo_.begin()) {
-      --it;
-      if (seq >= it->first && seq < it->second) return true;
-    }
-    return false;
-  }();
+  const std::size_t past = first_range_past(seq);
+  const bool already_buffered =
+      past > 0 && seq >= ooo_[past - 1].start && seq < ooo_[past - 1].end;
   if (already_buffered) {
     ++duplicates_;
   } else {
@@ -66,14 +108,18 @@ void TcpReceiver::on_data_packet(const net::Packet& p) {
 }
 
 void TcpReceiver::absorb_in_order() {
-  for (auto it = ooo_.begin(); it != ooo_.end() && it->first <= rcv_nxt_;) {
-    if (it->second > rcv_nxt_) {
-      segments_received_ += it->second - rcv_nxt_;
-      rcv_nxt_ = it->second;
+  // Ranges are sorted: everything absorbable sits at the front.
+  std::size_t n = 0;
+  while (n < ooo_.size() && ooo_[n].start <= rcv_nxt_) {
+    if (ooo_[n].end > rcv_nxt_) {
+      segments_received_ += ooo_[n].end - rcv_nxt_;
+      rcv_nxt_ = ooo_[n].end;
     }
-    const SeqNr start = it->first;
-    it = ooo_.erase(it);
-    std::erase(recent_blocks_, start);
+    forget_recent(ooo_[n].start);
+    ++n;
+  }
+  if (n > 0) {
+    ooo_.erase(ooo_.begin(), ooo_.begin() + static_cast<std::ptrdiff_t>(n));
   }
 }
 
@@ -81,42 +127,40 @@ void TcpReceiver::add_out_of_order(SeqNr seq) {
   // Insert [seq, seq+1), merging with neighbours.
   SeqNr start = seq;
   SeqNr end = seq + 1;
-  auto it = ooo_.upper_bound(seq);
+  std::size_t pos = first_range_past(seq);
   // Merge with predecessor block ending at seq.
-  if (it != ooo_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second == seq) {
-      start = prev->first;
-      std::erase(recent_blocks_, prev->first);
-      ooo_.erase(prev);
-    }
+  if (pos > 0 && ooo_[pos - 1].end == seq) {
+    start = ooo_[pos - 1].start;
+    forget_recent(ooo_[pos - 1].start);
+    ooo_.erase(ooo_.begin() + static_cast<std::ptrdiff_t>(pos - 1));
+    --pos;
   }
   // Merge with successor block starting at seq+1.
-  it = ooo_.find(end);
-  if (it != ooo_.end()) {
-    end = it->second;
-    std::erase(recent_blocks_, it->first);
-    ooo_.erase(it);
+  if (pos < ooo_.size() && ooo_[pos].start == end) {
+    end = ooo_[pos].end;
+    forget_recent(ooo_[pos].start);
+    ooo_.erase(ooo_.begin() + static_cast<std::ptrdiff_t>(pos));
   }
-  ooo_[start] = end;
+  ooo_.insert(ooo_.begin() + static_cast<std::ptrdiff_t>(pos),
+              OooRange{start, end});
   // Most recently changed block goes first (RFC 2018 §4).
-  std::erase(recent_blocks_, start);
-  recent_blocks_.push_front(start);
+  forget_recent(start);
+  recent_blocks_.insert(recent_blocks_.begin(), start);
 }
 
 void TcpReceiver::fill_sacks(net::TcpHeader& h) const {
   h.n_sacks = 0;
   for (const SeqNr start : recent_blocks_) {
     if (h.n_sacks >= cfg_.max_sack_blocks) break;
-    auto it = ooo_.find(start);
-    if (it == ooo_.end()) continue;
-    h.sacks[h.n_sacks++] = net::SackBlock{it->first, it->second};
+    const std::size_t past = first_range_past(start);
+    if (past == 0 || ooo_[past - 1].start != start) continue;
+    h.sacks[h.n_sacks++] = net::SackBlock{start, ooo_[past - 1].end};
   }
 }
 
 std::int64_t TcpReceiver::buffered_out_of_order() const {
   std::int64_t n = 0;
-  for (const auto& [start, end] : ooo_) n += end - start;
+  for (const OooRange& r : ooo_) n += r.end - r.start;
   return n;
 }
 

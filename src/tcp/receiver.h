@@ -10,9 +10,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "net/packet.h"
 #include "sim/simulator.h"
@@ -48,6 +47,11 @@ class TcpReceiver {
   TcpReceiver(sim::Simulator& sim, const Config& cfg,
               std::function<void(net::Packet&&)> send_ack);
 
+  /// Reinitializes the receiver for a fresh run, keeping buffer capacity
+  /// (out-of-order ranges, SACK recency list). The simulator must have been
+  /// reset; the ACK callback is kept.
+  void reset(const Config& cfg);
+
   /// Handles an arriving data segment (possibly out of order or duplicate).
   void on_data_packet(const net::Packet& p);
 
@@ -71,6 +75,12 @@ class TcpReceiver {
   std::int64_t acks_sent() const { return acks_sent_; }
 
  private:
+  /// One buffered out-of-order range [start, end).
+  struct OooRange {
+    SeqNr start;
+    SeqNr end;
+  };
+
   void send_ack_now(std::int64_t acked_tx_id);
   void on_delack_timer();
   /// Registers [seq, seq+1) out of order and refreshes the SACK block list.
@@ -79,6 +89,13 @@ class TcpReceiver {
   void absorb_in_order();
   /// Most-recent-first SACK blocks for the ACK header.
   void fill_sacks(net::TcpHeader& h) const;
+  /// Index of the range containing or first past `seq`, like map::lower/
+  /// upper_bound over starts.
+  std::size_t first_range_past(SeqNr seq) const;
+  /// Pre-sizes the flat buffers to the receive window (their hard bound), so
+  /// loss episodes never touch the allocator on a warm receiver.
+  void reserve_buffers();
+  void forget_recent(SeqNr start);
 
   sim::Simulator& sim_;
   Config cfg_;
@@ -86,10 +103,14 @@ class TcpReceiver {
   sim::Timer delack_timer_;
 
   SeqNr rcv_nxt_ = 0;
-  // Out-of-order ranges [start, end), keyed by start; non-overlapping.
-  std::map<SeqNr, SeqNr> ooo_;
-  // SACK block starts, most recently updated first.
-  std::deque<SeqNr> recent_blocks_;
+  // Out-of-order ranges, sorted by start, non-overlapping and non-adjacent.
+  // Flat storage: occupancy is bounded by the receive window (at most
+  // ~rwnd/2 ranges), so inserts are small memmoves — the std::map
+  // predecessor allocated a node per loss-induced hole, which was the last
+  // allocation source in the steady-state fuzzing path.
+  std::vector<OooRange> ooo_;
+  // SACK block starts, most recently updated first (bounded like ooo_).
+  std::vector<SeqNr> recent_blocks_;
   int pending_ack_segments_ = 0;  // in-order segments not yet ACKed
   std::int64_t segments_received_ = 0;
   std::int64_t duplicates_ = 0;

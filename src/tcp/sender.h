@@ -64,6 +64,13 @@ class TcpSender {
             std::unique_ptr<CongestionControl> cca,
             std::function<void(net::Packet&&)> send_data);
 
+  /// Reinitializes the sender for a fresh run — every observable field is
+  /// exactly as after construction with (cfg, cca), but the segment ring
+  /// keeps its slab, so warm reuse (scenario::RunContext) replays slow start
+  /// without allocator traffic. The simulator must have been reset (no
+  /// pending timers of this sender survive); the send callback is kept.
+  void reset(const Config& cfg, std::unique_ptr<CongestionControl> cca);
+
   /// Schedules connection start (first transmission) at time `at`, and the
   /// stop event when Config::stop is finite.
   void start(TimeNs at);
@@ -146,6 +153,11 @@ class TcpSender {
       sg = Segment{};
       return sg;
     }
+
+    /// Nothing to wipe between runs: slots are value-initialized by append()
+    /// before first use and the live window restarts at [0, 0). Kept as an
+    /// explicit hook so reset() documents the slab reuse.
+    void recycle() {}
 
    private:
     void grow(SeqNr lo, SeqNr hi) {

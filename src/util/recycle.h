@@ -1,0 +1,119 @@
+// Per-type free-list recycling for small heap objects churned once per
+// simulation run (CCA instances: every run_scenario builds a fresh
+// CongestionControl per flow through a CcaFactory).
+//
+// A final class T that inherits Recycled<T> gets class-scope operator
+// new/delete backed by a thread-local intrusive free list: deleting a T
+// parks its block, the next new of the same type pops it. After the first
+// run on a thread the alternating new/delete of CCA instances stops touching
+// the global allocator entirely — the last piece of the zero-allocation GA
+// evaluation path (see tests/sim/steady_state_alloc_test.cpp).
+//
+// T must be `final`: the unsized operator delete (the overload virtual
+// deleting destructors actually call) assumes every block it receives is
+// exactly sizeof(T). Blocks are interchangeable with global-new blocks of
+// that size, so the first allocations simply seed the list. Lists are
+// thread-local: a block freed on another thread joins that thread's cache.
+// All cached blocks are returned to the global allocator at thread exit.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+
+// Under AddressSanitizer the cache would hand out recycled-but-live blocks,
+// masking use-after-free on CCA instances; sanitized builds bypass it so
+// every new/delete stays visible to the tool.
+#if defined(__SANITIZE_ADDRESS__)
+#define CCFUZZ_RECYCLE_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CCFUZZ_RECYCLE_DISABLED 1
+#endif
+#endif
+#ifndef CCFUZZ_RECYCLE_DISABLED
+#define CCFUZZ_RECYCLE_DISABLED 0
+#endif
+
+namespace ccfuzz::util {
+
+/// False in sanitized builds, where recycling is bypassed. The
+/// zero-allocation tests consult this: without the cache, each run's CCA
+/// construction legitimately reaches the global allocator.
+inline constexpr bool kRecycleEnabled = !CCFUZZ_RECYCLE_DISABLED;
+
+/// CRTP mixin: `class Foo final : public Base, public util::Recycled<Foo>`.
+template <class T>
+class Recycled {
+ public:
+  static void* operator new(std::size_t n) {
+    static_assert(std::is_final_v<T>,
+                  "Recycled<T> requires a final class: the unsized delete "
+                  "assumes blocks are exactly sizeof(T)");
+    static_assert(sizeof(T) >= sizeof(void*),
+                  "recycled objects must fit a free-list link");
+    if (!CCFUZZ_RECYCLE_DISABLED && n == sizeof(T)) {
+      Cache& c = cache();
+      if (c.live && c.head != nullptr) {
+        Node* node = c.head;
+        c.head = node->next;
+        return node;
+      }
+    }
+    return ::operator new(n);
+  }
+
+  static void operator delete(void* p) noexcept { release(p, sizeof(T)); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    release(p, n);
+  }
+
+ private:
+  struct Node {
+    Node* next;
+  };
+  // The cache itself is trivially destructible, so it can be read safely by
+  // other thread_local destructors that run after the reaper (a
+  // thread_local scenario::RunContext, for instance, still holds live CCA
+  // instances and is torn down in reverse construction order — often after
+  // the cache's first touch). The reaper drains the list at thread exit and
+  // marks the cache dead; late frees then go straight to the global
+  // allocator instead of leaking into a drained list.
+  struct Cache {
+    Node* head = nullptr;
+    bool live = true;
+  };
+  struct Reaper {
+    Cache* cache;
+    ~Reaper() {
+      cache->live = false;
+      while (cache->head != nullptr) {
+        Node* n = cache->head;
+        cache->head = n->next;
+        ::operator delete(n);
+      }
+    }
+  };
+  static Cache& cache() {
+    thread_local Cache c;
+    thread_local Reaper reaper{&c};
+    return c;
+  }
+  static void release(void* p, std::size_t n) noexcept {
+    if (p == nullptr) return;
+    if (CCFUZZ_RECYCLE_DISABLED) {
+      ::operator delete(p);
+      return;
+    }
+    Cache& c = cache();
+    if (n == sizeof(T) && c.live) {
+      Node* node = static_cast<Node*>(p);
+      node->next = c.head;
+      c.head = node;
+      return;
+    }
+    ::operator delete(p);
+  }
+};
+
+}  // namespace ccfuzz::util

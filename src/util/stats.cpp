@@ -33,16 +33,21 @@ double percentile(std::span<const double> xs, double p) {
   return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
 }
 
+double mean_of_lowest_fraction_inplace(std::span<double> xs, double fraction) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  std::size_t k = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(xs.size())));
+  k = std::clamp<std::size_t>(k, 1, xs.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < k; ++i) s += xs[i];
+  return s / static_cast<double>(k);
+}
+
 double mean_of_lowest_fraction(std::span<const double> xs, double fraction) {
   if (xs.empty()) return 0.0;
   std::vector<double> v(xs.begin(), xs.end());
-  std::sort(v.begin(), v.end());
-  std::size_t k = static_cast<std::size_t>(
-      std::ceil(fraction * static_cast<double>(v.size())));
-  k = std::clamp<std::size_t>(k, 1, v.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < k; ++i) s += v[i];
-  return s / static_cast<double>(k);
+  return mean_of_lowest_fraction_inplace(v, fraction);
 }
 
 double min_of(std::span<const double> xs) {

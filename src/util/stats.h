@@ -21,6 +21,11 @@ double percentile(std::span<const double> xs, double p);
 /// lowest 20% of the windows"). At least one sample is always included.
 double mean_of_lowest_fraction(std::span<const double> xs, double fraction);
 
+/// Same statistic computed in place: sorts `xs` and averages the lowest
+/// `fraction`. The allocation-free flavour scoring hot paths use with
+/// caller-owned scratch storage.
+double mean_of_lowest_fraction_inplace(std::span<double> xs, double fraction);
+
 /// Minimum / maximum; 0 for an empty span.
 double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);

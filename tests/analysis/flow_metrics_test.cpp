@@ -11,6 +11,8 @@ namespace {
 scenario::RunResult clean_run() {
   scenario::ScenarioConfig cfg;
   cfg.duration = TimeNs::seconds(3);
+  // Figure series derive from the raw per-packet event streams.
+  cfg.record_mode = scenario::RecordMode::kFullEvents;
   return scenario::run_scenario(cfg, cca::make_factory("reno"), {});
 }
 
@@ -71,6 +73,7 @@ TEST(LinkRateSeries, LinkModeFollowsTrace) {
   scenario::ScenarioConfig cfg;
   cfg.mode = scenario::FuzzMode::kLink;
   cfg.duration = TimeNs::seconds(2);
+  cfg.record_mode = scenario::RecordMode::kFullEvents;
   // 1000 opportunities in the first second only.
   std::vector<TimeNs> trace;
   for (int i = 0; i < 1000; ++i) trace.emplace_back(TimeNs::millis(i));

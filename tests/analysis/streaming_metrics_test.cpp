@@ -1,0 +1,119 @@
+// Unit tests for the streaming metrics sink and its delay digest.
+#include "analysis/streaming_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ccfuzz::analysis {
+namespace {
+
+net::Packet cca_packet(net::FlowIndex flow_index) {
+  net::Packet p;
+  p.flow = net::FlowId::kCcaData;
+  p.flow_index = flow_index;
+  return p;
+}
+
+TEST(DelayDigest, AggregatesAndExactExtremes) {
+  DelayDigest d;
+  EXPECT_EQ(d.count(), 0);
+  EXPECT_DOUBLE_EQ(d.percentile_s(50.0), 0.0);
+
+  d.add(DurationNs::millis(5));
+  d.add(DurationNs::millis(10));
+  d.add(DurationNs::millis(20));
+  d.add(DurationNs::millis(40));
+  EXPECT_EQ(d.count(), 4);
+  EXPECT_DOUBLE_EQ(d.min_s(), 0.005);
+  EXPECT_DOUBLE_EQ(d.max_s(), 0.040);
+  EXPECT_NEAR(d.mean_s(), 0.01875, 1e-12);
+  // Percentiles are exact at the extremes and within a bucket elsewhere.
+  EXPECT_DOUBLE_EQ(d.percentile_s(0.0), 0.005);
+  EXPECT_DOUBLE_EQ(d.percentile_s(100.0), 0.040);
+  const double p50 = d.percentile_s(50.0);
+  EXPECT_GE(p50, 0.005);
+  EXPECT_LE(p50, 0.021);  // between the 10 ms and 20 ms samples, ±1 bucket
+}
+
+TEST(DelayDigest, MonotoneInPercentile) {
+  DelayDigest d;
+  for (int i = 0; i < 500; ++i) d.add(DurationNs::millis(i % 50));
+  double prev = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 5.0) {
+    const double v = d.percentile_s(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(DelayDigest, OverflowClampsIntoLastBucket) {
+  DelayDigest d;
+  d.add(DurationNs::seconds(30));  // way past the histogram span
+  EXPECT_EQ(d.count(), 1);
+  EXPECT_DOUBLE_EQ(d.max_s(), 30.0);
+  EXPECT_DOUBLE_EQ(d.percentile_s(100.0), 30.0);  // exact max
+}
+
+TEST(StreamingMetrics, BinsEgressPerFlowWindow) {
+  StreamingMetrics m;
+  m.begin_run(2, DurationNs::millis(500), TimeNs::seconds(2));
+  m.set_flow_interval(0, TimeNs::zero());
+  m.set_flow_interval(1, TimeNs::seconds(1));
+
+  // Flow 0: 3 packets in window 0, 1 packet in window 3.
+  m.on_egress(cca_packet(0), TimeNs::millis(10), DurationNs::millis(1));
+  m.on_egress(cca_packet(0), TimeNs::millis(20), DurationNs::millis(2));
+  m.on_egress(cca_packet(0), TimeNs::millis(499), DurationNs::millis(3));
+  m.on_egress(cca_packet(0), TimeNs::millis(1900), DurationNs::millis(4));
+  // Flow 1 bins start at its own start time (1 s).
+  m.on_egress(cca_packet(1), TimeNs::millis(1200), DurationNs::millis(5));
+  // Cross traffic and out-of-range flows are ignored.
+  net::Packet cross;
+  cross.flow = net::FlowId::kCrossTraffic;
+  cross.flow_index = 2;
+  m.on_egress(cross, TimeNs::millis(100), DurationNs::zero());
+  m.on_egress(cca_packet(7), TimeNs::millis(100), DurationNs::zero());
+
+  ASSERT_EQ(m.flow_count(), 2u);
+  ASSERT_EQ(m.flow(0).bins.size(), 4u);  // 2 s / 500 ms
+  EXPECT_EQ(m.flow(0).bins[0], 3);
+  EXPECT_EQ(m.flow(0).bins[1], 0);
+  EXPECT_EQ(m.flow(0).bins[3], 1);
+  EXPECT_EQ(m.flow(0).egress_packets, 4);
+  EXPECT_EQ(m.flow(0).last_egress, TimeNs::millis(1900));
+  ASSERT_EQ(m.flow(1).bins.size(), 2u);  // (2 s − 1 s) / 500 ms
+  EXPECT_EQ(m.flow(1).bins[0], 1);
+  EXPECT_EQ(m.flow(1).egress_packets, 1);
+  EXPECT_EQ(m.flow(1).delay.count(), 1);
+
+  // Mbps conversion: 3 packets / 0.5 s × 1500 B × 8 = 72 kbps… in Mbps.
+  const auto mbps = m.windowed_throughput_mbps(0, 1500);
+  ASSERT_EQ(mbps.size(), 4u);
+  EXPECT_NEAR(mbps[0], 3.0 / 0.5 * 1500 * 8 * 1e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(mbps[1], 0.0);
+}
+
+TEST(StreamingMetrics, ReuseAcrossRunsResetsSummaries) {
+  StreamingMetrics m;
+  m.begin_run(1, DurationNs::millis(500), TimeNs::seconds(1));
+  m.set_flow_interval(0, TimeNs::zero());
+  m.on_egress(cca_packet(0), TimeNs::millis(100), DurationNs::millis(7));
+  ASSERT_EQ(m.flow(0).egress_packets, 1);
+
+  // Next run, fewer flows than slots is fine and summaries restart clean.
+  m.begin_run(1, DurationNs::millis(250), TimeNs::seconds(2));
+  m.set_flow_interval(0, TimeNs::zero());
+  EXPECT_EQ(m.flow(0).egress_packets, 0);
+  EXPECT_EQ(m.flow(0).last_egress, TimeNs(-1));
+  EXPECT_EQ(m.flow(0).delay.count(), 0);
+  EXPECT_EQ(m.flow(0).bins.size(), 8u);  // 2 s / 250 ms
+}
+
+TEST(StreamingMetrics, OutOfRangeFlowIsNeutral) {
+  StreamingMetrics m;
+  EXPECT_EQ(m.flow_count(), 0u);
+  EXPECT_EQ(m.flow(3).egress_packets, 0);
+  EXPECT_TRUE(m.windowed_throughput_mbps(3, 1500).empty());
+}
+
+}  // namespace
+}  // namespace ccfuzz::analysis

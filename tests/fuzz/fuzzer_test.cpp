@@ -42,6 +42,35 @@ TEST(Fuzzer, StepProducesStatsAndBest) {
   EXPECT_EQ(gs.evaluations, 24);
   EXPECT_GE(gs.best_score, gs.mean_score);
   EXPECT_TRUE(f.best().evaluated);
+  // Single-flow cells carry a neutral fairness series.
+  EXPECT_DOUBLE_EQ(gs.topk_mean_jain_fairness, 1.0);
+  ASSERT_EQ(gs.topk_mean_flow_goodput_mbps.size(), 1u);
+  EXPECT_NEAR(gs.topk_mean_flow_goodput_mbps[0], gs.topk_mean_goodput_mbps,
+              1e-12);
+}
+
+TEST(Fuzzer, GenStatsCarryPerFlowFairnessSeries) {
+  // A 2-flow fairness cell: the history series must expose both flows'
+  // goodputs and a real Jain index (ROADMAP follow-up: GenStats were
+  // primary-flow-centric).
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(2);
+  cfg.flows.resize(2);
+  cfg.flows[1].start = TimeNs::millis(500);
+  TraceEvaluator ev(cfg, cca::make_factory("reno"),
+                    std::make_shared<JainFairnessScore>());
+  GaConfig ga = small_config();
+  ga.max_generations = 1;
+  Fuzzer f(ga, small_traffic_model(), std::move(ev));
+  const GenStats gs = f.step();
+  ASSERT_EQ(gs.topk_mean_flow_goodput_mbps.size(), 2u);
+  EXPECT_GT(gs.topk_mean_flow_goodput_mbps[0], 0.0);
+  EXPECT_GT(gs.topk_mean_flow_goodput_mbps[1], 0.0);
+  EXPECT_GT(gs.topk_mean_jain_fairness, 0.0);
+  EXPECT_LE(gs.topk_mean_jain_fairness, 1.0);
+  // The late starter shares the mean goodput split.
+  EXPECT_NEAR(gs.topk_mean_flow_goodput_mbps[0], gs.topk_mean_goodput_mbps,
+              1e-12);
 }
 
 TEST(Fuzzer, PopulationSizeConservedAcrossGenerations) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "cca/registry.h"
+#include "fuzz/evaluator.h"
 
 namespace ccfuzz::fuzz {
 namespace {
@@ -50,6 +51,39 @@ TEST(LowUtilizationScore, UsesLowestWindows) {
   LowUtilizationScore narrow(DurationNs::millis(500), 0.1);
   LowUtilizationScore wide(DurationNs::millis(500), 0.9);
   EXPECT_GE(narrow.performance_score(run), wide.performance_score(run));
+}
+
+TEST(LowUtilizationScore, MismatchedWindowWithoutEventsThrows) {
+  // A metrics-only run cannot serve a window other than metrics_window; a
+  // silent all-zero series would degenerate the GA, so it must fail loudly.
+  const auto run = clean_run();  // metrics-only default
+  LowUtilizationScore custom(DurationNs::millis(100));
+  EXPECT_THROW(custom.performance_score(run), std::logic_error);
+  // With raw events recorded the custom window is re-binned post hoc.
+  scenario::ScenarioConfig cfg = base_config();
+  cfg.record_mode = scenario::RecordMode::kFullEvents;
+  const auto full = scenario::run_scenario(cfg, cca::make_factory("reno"), {});
+  EXPECT_LT(custom.performance_score(full), -4.0);
+}
+
+TEST(LowUtilizationScore, EvaluatorRejectsMismatchedWindowAtConstruction) {
+  // The misconfiguration must surface on the driver thread at evaluator
+  // construction, not as an exception escaping a pool worker mid-GA.
+  scenario::ScenarioConfig cfg = base_config();  // metrics-only default
+  EXPECT_THROW(TraceEvaluator(cfg, cca::make_factory("reno"),
+                              std::make_shared<LowUtilizationScore>(
+                                  DurationNs::millis(100))),
+               std::logic_error);
+  // Aligned window or full-events mode both construct fine.
+  cfg.metrics_window = DurationNs::millis(100);
+  TraceEvaluator aligned(cfg, cca::make_factory("reno"),
+                         std::make_shared<LowUtilizationScore>(
+                             DurationNs::millis(100)));
+  scenario::ScenarioConfig full = base_config();
+  full.record_mode = scenario::RecordMode::kFullEvents;
+  TraceEvaluator events(full, cca::make_factory("reno"),
+                        std::make_shared<LowUtilizationScore>(
+                            DurationNs::millis(100)));
 }
 
 TEST(HighDelayScore, QueueBuildupScoresHigher) {

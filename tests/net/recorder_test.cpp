@@ -6,6 +6,34 @@
 namespace ccfuzz::net {
 namespace {
 
+TEST(Recorder, MetricsOnlyGateKeepsCountersDropsEvents) {
+  BottleneckRecorder r;
+  r.set_flow_count(2);
+  r.set_record_events(false);
+  Packet p;
+  p.flow = FlowId::kCcaData;
+  p.flow_index = 1;
+  r.record_ingress(p, TimeNs::millis(1));
+  r.record_egress(p, TimeNs::millis(2));
+  r.record_drop(p, TimeNs::millis(3));
+  // Event vectors stay empty…
+  EXPECT_TRUE(r.ingress().empty());
+  EXPECT_TRUE(r.egress().empty());
+  EXPECT_TRUE(r.drops().empty());
+  EXPECT_TRUE(r.delays().empty());
+  // …but both counter families are maintained.
+  EXPECT_EQ(r.ingress_count(FlowId::kCcaData), 1);
+  EXPECT_EQ(r.egress_count(FlowId::kCcaData), 1);
+  EXPECT_EQ(r.drop_count(FlowId::kCcaData), 1);
+  EXPECT_EQ(r.flow_egress_count(1), 1);
+  EXPECT_EQ(r.flow_drop_count(1), 1);
+  // Re-enabling records events again (default is enabled).
+  r.set_record_events(true);
+  r.record_egress(p, TimeNs::millis(4));
+  EXPECT_EQ(r.egress().size(), 1u);
+  EXPECT_EQ(r.egress_count(FlowId::kCcaData), 2);
+}
+
 Packet make_packet(FlowId flow, TimeNs enq = TimeNs::zero()) {
   Packet p;
   p.flow = flow;

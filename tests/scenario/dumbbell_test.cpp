@@ -52,6 +52,7 @@ TEST(Dumbbell, WindowLargerThanPipePlusQueueOverflows) {
   ScenarioConfig cfg;
   cfg.duration = TimeNs::seconds(2);
   cfg.net.queue_capacity = 20;
+  cfg.record_mode = RecordMode::kFullEvents;
   // BDP ≈ 41 packets; wnd 100 ≫ BDP + queue → sustained drops.
   Dumbbell db(sim, cfg, std::make_unique<cca::FixedWindow>(100), {});
   db.start();
@@ -83,6 +84,7 @@ TEST(Dumbbell, LinkModeZeroRateRegionStallsService) {
   ScenarioConfig cfg;
   cfg.mode = FuzzMode::kLink;
   cfg.duration = TimeNs::seconds(2);
+  cfg.record_mode = RecordMode::kFullEvents;
   // Opportunities only in the first 0.5 s.
   auto trace = uniform_trace(DurationNs::millis(1), TimeNs::millis(500));
   Dumbbell db(sim, cfg, std::make_unique<cca::FixedWindow>(10), std::move(trace));
@@ -117,6 +119,7 @@ TEST(Dumbbell, CrossTrafficRecordedAsIngress) {
   sim::Simulator sim;
   ScenarioConfig cfg;
   cfg.duration = TimeNs::millis(100);
+  cfg.record_mode = RecordMode::kFullEvents;
   std::vector<TimeNs> trace{TimeNs::millis(10), TimeNs::millis(20)};
   Dumbbell db(sim, cfg, std::make_unique<cca::FixedWindow>(1), std::move(trace));
   db.start();
@@ -133,6 +136,7 @@ TEST(Dumbbell, FlowStartDelayHonoured) {
   ScenarioConfig cfg;
   cfg.duration = TimeNs::seconds(1);
   cfg.flow_start = TimeNs::millis(500);
+  cfg.record_mode = RecordMode::kFullEvents;
   Dumbbell db(sim, cfg, std::make_unique<cca::FixedWindow>(5), {});
   db.start();
   sim.run_until(cfg.duration);
@@ -161,6 +165,7 @@ TEST(Dumbbell, QueueDelaySamplesBounded) {
   ScenarioConfig cfg;
   cfg.duration = TimeNs::seconds(2);
   cfg.net.queue_capacity = 25;
+  cfg.record_mode = RecordMode::kFullEvents;
   Dumbbell db(sim, cfg, std::make_unique<cca::FixedWindow>(100), {});
   db.start();
   sim.run_until(cfg.duration);

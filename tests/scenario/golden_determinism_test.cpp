@@ -88,6 +88,9 @@ ScenarioConfig golden_config(FuzzMode mode) {
   ScenarioConfig cfg;
   cfg.duration = TimeNs::seconds(2);
   cfg.mode = mode;
+  // The fingerprints digest the raw event streams recorded before the
+  // streaming-metrics refactor; keep recording them here.
+  cfg.record_mode = RecordMode::kFullEvents;
   return cfg;
 }
 

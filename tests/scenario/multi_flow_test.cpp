@@ -64,6 +64,8 @@ ScenarioConfig two_flow_config(TimeNs duration = TimeNs::seconds(3)) {
   ScenarioConfig cfg;
   cfg.duration = duration;
   cfg.flows.resize(2);
+  // Several tests here digest the raw event streams or scan ingress times.
+  cfg.record_mode = RecordMode::kFullEvents;
   return cfg;
 }
 
@@ -197,6 +199,7 @@ TEST(MultiFlow, CrossTrafficCarriesOwnFlowIndex) {
 TEST(MultiFlow, FourFlowIncastIsDeterministic) {
   ScenarioConfig cfg = apply_preset("incast", ScenarioConfig{});
   cfg.duration = TimeNs::seconds(2);
+  cfg.record_mode = RecordMode::kFullEvents;  // fingerprinted below
   const auto factory = cca::make_factory("cubic");
   const auto a = run_scenario(cfg, factory, {});
   const auto b = run_scenario(cfg, factory, {});
@@ -213,6 +216,7 @@ TEST(MultiFlow, RunContextAlternatingFlowCountsBitIdentical) {
   const auto factory = cca::make_factory("reno");
   ScenarioConfig one;
   one.duration = TimeNs::seconds(2);
+  one.record_mode = RecordMode::kFullEvents;  // fingerprinted below
   const ScenarioConfig two = two_flow_config(TimeNs::seconds(2));
 
   RunContext cold;
@@ -257,6 +261,8 @@ TEST(RunResultEdge, StalledWithLateFlowStart) {
 TEST(RunResultEdge, WindowedThroughputWithWindowLongerThanRun) {
   ScenarioConfig cfg;
   cfg.duration = TimeNs::seconds(2);
+  // A window other than metrics_window re-bins the raw egress events.
+  cfg.record_mode = RecordMode::kFullEvents;
   const auto run = run_scenario(cfg, cca::make_factory("reno"), {});
   // One partial window normalized by the true span: it equals the overall
   // egress throughput.

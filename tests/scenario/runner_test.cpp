@@ -23,8 +23,10 @@ TEST(Runner, RenoCleanLinkResult) {
 }
 
 TEST(Runner, DeterministicAcrossCalls) {
-  const auto a = run_scenario(base_config(), cca::make_factory("cubic"), {});
-  const auto b = run_scenario(base_config(), cca::make_factory("cubic"), {});
+  ScenarioConfig cfg = base_config();
+  cfg.record_mode = RecordMode::kFullEvents;
+  const auto a = run_scenario(cfg, cca::make_factory("cubic"), {});
+  const auto b = run_scenario(cfg, cca::make_factory("cubic"), {});
   EXPECT_EQ(a.cca_segments_delivered(), b.cca_segments_delivered());
   EXPECT_EQ(a.cca_sent(), b.cca_sent());
   EXPECT_EQ(a.rto_count(), b.rto_count());
@@ -53,7 +55,9 @@ TEST(Runner, CrossTrafficCountsReported) {
 }
 
 TEST(Runner, QueueDelaysPopulated) {
-  const auto r = run_scenario(base_config(), cca::make_factory("reno"), {});
+  ScenarioConfig cfg = base_config();
+  cfg.record_mode = RecordMode::kFullEvents;  // raw delay samples
+  const auto r = run_scenario(cfg, cca::make_factory("reno"), {});
   const auto delays = r.cca_queue_delays_s();
   EXPECT_EQ(delays.size(), static_cast<std::size_t>(r.cca_egress_packets()));
   for (double d : delays) {
@@ -104,6 +108,7 @@ TEST(Runner, BbrKeepsQueueShorterThanCubic) {
   // loss-based CCAs on the same path.
   ScenarioConfig cfg = base_config();
   cfg.duration = TimeNs::seconds(5);
+  cfg.record_mode = RecordMode::kFullEvents;  // raw delay samples
   const auto bbr = run_scenario(cfg, cca::make_factory("bbr"), {});
   const auto cubic = run_scenario(cfg, cca::make_factory("cubic"), {});
   const auto bbr_delays = bbr.cca_queue_delays_s();

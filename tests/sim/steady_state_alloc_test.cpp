@@ -14,12 +14,18 @@
 
 #include "cca/fixed_window.h"
 #include "cca/registry.h"
+#include "fuzz/evaluator.h"
+#include "fuzz/score.h"
 #include "net/delay_pipe.h"
 #include "net/packet_pool.h"
 #include "scenario/dumbbell.h"
+#include "scenario/runner.h"
 #include "sim/simulator.h"
 #include "tcp/receiver.h"
 #include "tcp/sender.h"
+#include "trace/mutation.h"
+#include "util/recycle.h"
+#include "util/rng.h"
 
 namespace {
 std::atomic<std::size_t> g_allocations{0};
@@ -188,6 +194,87 @@ TEST(SteadyStateAllocation, FourFlowScenarioSteadyStateIsAllocationFree) {
   const std::size_t steady = run_once(TimeNs::seconds(1));
   EXPECT_EQ(steady, 0u)
       << "4-flow steady state (post slow-start) must not allocate";
+}
+
+TEST(SteadyStateAllocation, EvaluateBatchGenerationIsAllocationFree) {
+  // The ISSUE-4 acceptance bar: one full GA evaluation batch — run the
+  // simulation end to end, score it, summarize into Evaluations — on a warm
+  // thread context in metrics-only mode performs ZERO heap allocations.
+  // This covers the whole pipeline: trace ingestion, Dumbbell component
+  // reuse (queue/link/pipes/senders/receivers reset in place), recycled CCA
+  // instances, lossy-run receiver reordering on flat buffers, streaming
+  // metrics, scoring from incremental aggregates, and the result handoff
+  // through the context-owned RunResult.
+  if (!util::kRecycleEnabled) {
+    GTEST_SKIP() << "CCA recycling is bypassed in sanitized builds";
+  }
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(2);
+  fuzz::TraceEvaluator evaluator(
+      cfg, cca::make_factory("reno"),
+      std::make_shared<fuzz::LowUtilizationScore>(),
+      fuzz::TraceScoreWeights{.per_packet = 1e-4, .per_drop = 1e-3});
+
+  trace::TrafficTraceModel model;
+  model.duration = cfg.duration;
+  model.max_packets = 1200;
+  Rng rng(29);
+  std::vector<trace::Trace> traces;
+  for (int i = 0; i < 8; ++i) traces.push_back(model.generate(rng));
+
+  std::vector<fuzz::Evaluation> out(traces.size());
+  std::vector<fuzz::BatchItem> items(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    items[i] = {&evaluator, &traces[i], &out[i]};
+  }
+
+  // Two warm-up generations: the first takes every buffer (slab, pool,
+  // segment rings, reorder buffers, metric bins, Evaluation vectors) to its
+  // high-water mark across the whole batch.
+  fuzz::evaluate_batch(items, /*parallel=*/false);
+  fuzz::evaluate_batch(items, /*parallel=*/false);
+
+  const std::size_t before = g_allocations.load();
+  fuzz::evaluate_batch(items, /*parallel=*/false);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "a warm metrics-only evaluation generation must not allocate";
+
+  // The generation really simulated: adversarial traffic induced losses and
+  // the scores moved away from the clean-link value.
+  EXPECT_GT(out.front().cca_sent, 0);
+  std::int64_t drops = 0;
+  for (const auto& e : out) drops += e.cca_drops;
+  EXPECT_GT(drops, 0) << "warm-path coverage needs lossy runs";
+}
+
+TEST(SteadyStateAllocation, MultiFlowEvaluateIsAllocationFreeWhenWarm) {
+  // Fairness-mode cells run multi-flow scenarios through the same path; a
+  // 2-flow late-starter evaluation must be allocation-free too once warm.
+  if (!util::kRecycleEnabled) {
+    GTEST_SKIP() << "CCA recycling is bypassed in sanitized builds";
+  }
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(2);
+  cfg.flows.resize(2);
+  cfg.flows[1].start = TimeNs::millis(500);
+  fuzz::TraceEvaluator evaluator(cfg, cca::make_factory("reno"),
+                                 std::make_shared<fuzz::JainFairnessScore>());
+
+  trace::TrafficTraceModel model;
+  model.duration = cfg.duration;
+  model.max_packets = 600;
+  Rng rng(31);
+  const trace::Trace t = model.generate(rng);
+
+  fuzz::Evaluation e;
+  evaluator.evaluate_into(t, e);
+  evaluator.evaluate_into(t, e);
+
+  const std::size_t before = g_allocations.load();
+  evaluator.evaluate_into(t, e);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "warm 2-flow fairness evaluation must not allocate";
+  EXPECT_EQ(e.flow_goodput_mbps.size(), 2u);
 }
 
 }  // namespace
