@@ -62,6 +62,36 @@ void BM_EventQueueChurnCold(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueChurnCold);
 
+void BM_EventQueueRtoHeavy(benchmark::State& state) {
+  // The far-band stress: every simulated "ACK" re-arms one of 16 flows'
+  // RTO-style timers a full second out (cancel + schedule), on top of the
+  // steady near-event churn. Virtually none of the far timers survive to
+  // their expiry — the armed-then-cancelled pattern that used to fill the
+  // heap with stale far handles and now parks them in epoch buckets that
+  // are discarded wholesale at migration.
+  sim::Simulator sim;
+  constexpr int kFlows = 16;
+  for (auto _ : state) {
+    sim.reset();
+    std::int64_t fired = 0;
+    sim::EventId rto[kFlows] = {};
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_in(DurationNs::micros(i), [&fired] { ++fired; });
+    }
+    for (int i = 0; i < 9'800; ++i) {
+      sim.run_until(sim.now() + DurationNs::micros(1));
+      sim.schedule_in(DurationNs::micros(100), [&fired] { ++fired; });
+      const int f = i % kFlows;
+      sim.cancel(rto[f]);
+      rto[f] = sim.schedule_in(DurationNs::seconds(1), [&fired] { ++fired; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueRtoHeavy);
+
 void BM_DumbbellSimulatedSecond(benchmark::State& state) {
   // Cost of one simulated second of a full Reno-over-dumbbell run — the
   // GA's unit of work (~5 of these per trace evaluation).
@@ -99,6 +129,21 @@ void BM_Dumbbell4FlowSimulatedSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Dumbbell4FlowSimulatedSecond);
+
+void BM_Dumbbell16FlowSimulatedSecond(benchmark::State& state) {
+  // Incast-scale far-band pressure: sixteen competing flows keep sixteen
+  // RTO timers cycling through the far band while the shared bottleneck
+  // multiplies the near-event churn.
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(1);
+  cfg.flows.resize(16);
+  const auto factory = cca::make_factory("reno");
+  for (auto _ : state) {
+    const auto run = scenario::run_scenario(cfg, factory, {});
+    benchmark::DoNotOptimize(run.cca_segments_delivered());
+  }
+}
+BENCHMARK(BM_Dumbbell16FlowSimulatedSecond);
 
 void BM_DumbbellFullEventsSimulatedSecond(benchmark::State& state) {
   // The figure/replay configuration: identical run with the raw per-packet

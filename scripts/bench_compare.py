@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Soft benchmark regression gate.
+
+Compares a fresh google-benchmark JSON file against the checked-in baseline
+(BENCH_sim.json) and prints a GitHub-flavored markdown table of per-benchmark
+deltas, suitable for $GITHUB_STEP_SUMMARY. Regressions beyond the threshold
+emit `::warning` workflow commands; the exit code is always 0 — CI bench
+runners (1 vCPU, noisy neighbors) are too jittery for a hard fail, but the
+table makes every PR's perf delta reviewable at a glance.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Aggregate entries (mean/median/stddev) would double-count.
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = b
+    return out, data.get("context", {})
+
+
+def fmt_time(b):
+    return f"{b['real_time']:.0f} {b['time_unit']}"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="warn when real_time regresses more than PCT percent")
+    args = ap.parse_args()
+
+    base, base_ctx = load(args.baseline)
+    cur, cur_ctx = load(args.current)
+
+    print("### Benchmark deltas vs checked-in `BENCH_sim.json`")
+    print()
+    print(f"baseline app_build_type=`{base_ctx.get('app_build_type', '?')}`, "
+          f"current app_build_type=`{cur_ctx.get('app_build_type', '?')}`, "
+          f"warn threshold ±{args.threshold:.0f}%")
+    print()
+    print("| benchmark | baseline | current | Δ real_time |")
+    print("|---|---:|---:|---:|")
+
+    warnings = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            print(f"| `{name}` | {fmt_time(base[name])} | — (removed) | |")
+            continue
+        if name not in base:
+            print(f"| `{name}` | — (new) | {fmt_time(cur[name])} | |")
+            continue
+        b, c = base[name], cur[name]
+        if b["time_unit"] != c["time_unit"] or b["real_time"] <= 0:
+            delta_txt = "n/a"
+        else:
+            delta = (c["real_time"] - b["real_time"]) / b["real_time"] * 100.0
+            delta_txt = f"{delta:+.1f}%"
+            if delta > args.threshold:
+                delta_txt += " ⚠️"
+                warnings.append((name, delta))
+        print(f"| `{name}` | {fmt_time(b)} | {fmt_time(c)} | {delta_txt} |")
+
+    print()
+    if warnings:
+        print(f"{len(warnings)} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}% (soft gate — not failing the job):")
+        print()
+        for name, delta in warnings:
+            print(f"- `{name}`: {delta:+.1f}%")
+            # Workflow commands must go to the real log, not the summary.
+            sys.stderr.write(
+                f"::warning title=bench regression::{name} real_time "
+                f"{delta:+.1f}% vs checked-in baseline\n")
+    else:
+        print("No benchmark regressed beyond the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,9 +19,10 @@ double DelayDigest::percentile_s(double p) const {
     if (pos < static_cast<double>(cum + n)) {
       const double frac =
           (pos - static_cast<double>(cum)) / static_cast<double>(n);
+      const double units = static_cast<double>(bucket_lo(b)) +
+                           frac * static_cast<double>(bucket_width(b));
       const double est =
-          (static_cast<double>(b) + frac) * static_cast<double>(kBucketNs) *
-          1e-9;
+          units * static_cast<double>(1ll << kUnitShift) * 1e-9;
       return std::clamp(est, min_s(), max_s());
     }
     cum += n;

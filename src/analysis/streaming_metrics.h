@@ -20,6 +20,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -28,16 +29,58 @@
 
 namespace ccfuzz::analysis {
 
-/// Fixed-bucket queue-delay aggregate: count/sum/min/max plus a 1 ms-bucket
+/// Log-bucket queue-delay aggregate: count/sum/min/max plus a log-scale
 /// histogram for percentile estimates. Identical in metrics_only and
 /// full_events runs, so scores built on it cannot diverge across modes.
+///
+/// Bucket layout (HDR-histogram style): delays are measured in 1.024 µs
+/// units (ns >> kUnitShift); the first 32 units are exact 1-unit buckets,
+/// after which each octave splits into 32 sub-buckets, giving a constant
+/// ~3 % relative resolution from ~1 µs to >2000 s. The predecessor was
+/// linear 1 ms × 1024, which collapsed every sub-millisecond delay of a
+/// high-rate scenario into bucket 0 — mid-range percentiles there were pure
+/// interpolation artifacts. Log buckets keep the error proportional to the
+/// value at every scale while using fewer buckets (864 vs 1024).
 class DelayDigest {
  public:
-  /// Histogram span: 1024 buckets × 1 ms = 1.024 s; longer delays clamp
-  /// into the last bucket (queue delay is bounded by capacity × service
-  /// time, well under this for any sane scenario).
-  static constexpr int kBuckets = 1024;
-  static constexpr std::int64_t kBucketNs = 1'000'000;
+  /// One histogram unit is 2^kUnitShift ns ≈ 1.024 µs — the resolution
+  /// floor (queueing delays below a microsecond read as 0-1 units).
+  static constexpr int kUnitShift = 10;
+  /// Sub-buckets per octave: 2^5 = 32 → worst-case relative error 1/32.
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Octaves beyond the exact range; the last bucket starts at
+  /// 63 × 2^25 units ≈ 2163 s. Anything longer clamps into it (max stays
+  /// exact regardless).
+  static constexpr int kOctaves = 26;
+  static constexpr int kBuckets = kSubBuckets * (kOctaves + 1);
+
+  /// Histogram bucket of a non-negative delay in ns.
+  static int bucket_of(std::int64_t ns) {
+    const std::uint64_t u = static_cast<std::uint64_t>(ns) >> kUnitShift;
+    if (u < kSubBuckets) return static_cast<int>(u);  // exact 1-unit buckets
+    const int msb = 63 - std::countl_zero(u);
+    const int octave = msb - kSubBits + 1;
+    const int mantissa =
+        static_cast<int>((u >> (msb - kSubBits)) & (kSubBuckets - 1));
+    const int b = (octave << kSubBits) + mantissa;
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  /// Lower bound of bucket `b`, in units.
+  static std::uint64_t bucket_lo(int b) {
+    const int octave = b >> kSubBits;
+    const std::uint64_t mantissa = static_cast<std::uint64_t>(b) & (kSubBuckets - 1);
+    if (octave == 0) return mantissa;
+    return (static_cast<std::uint64_t>(kSubBuckets) + mantissa)
+           << (octave - 1);
+  }
+
+  /// Width of bucket `b`, in units.
+  static std::uint64_t bucket_width(int b) {
+    const int octave = b >> kSubBits;
+    return octave == 0 ? 1 : 1ull << (octave - 1);
+  }
 
   void add(DurationNs d) {
     const std::int64_t ns = d.ns() < 0 ? 0 : d.ns();
@@ -45,9 +88,7 @@ class DelayDigest {
     sum_ns_ += ns;
     if (count_ == 1 || ns < min_ns_) min_ns_ = ns;
     if (ns > max_ns_) max_ns_ = ns;
-    std::int64_t b = ns / kBucketNs;
-    if (b >= kBuckets) b = kBuckets - 1;
-    ++buckets_[static_cast<std::size_t>(b)];
+    ++buckets_[static_cast<std::size_t>(bucket_of(ns))];
   }
 
   std::int64_t count() const { return count_; }
@@ -62,9 +103,9 @@ class DelayDigest {
   /// Histogram-estimated percentile in seconds, p in [0, 100]; exact at the
   /// extremes (min/max are tracked precisely). In between, the rank is
   /// located in its bucket and interpolated linearly across that bucket, so
-  /// the estimate tracks the nearest-rank sample to within one bucket of
-  /// the histogram CDF — unlike the legacy exact percentile it does NOT
-  /// interpolate linearly *between* samples, so for sparse/bimodal
+  /// the estimate tracks the nearest-rank sample to within ~3 % of its
+  /// value (one log bucket) — unlike the legacy exact percentile it does
+  /// NOT interpolate linearly *between* samples, so for sparse/bimodal
   /// distributions mid-range percentiles sit near the flanking sample
   /// rather than between the two. Monotone in p; 0 for an empty digest.
   double percentile_s(double p) const;

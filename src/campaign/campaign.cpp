@@ -450,14 +450,23 @@ const CampaignReport& Campaign::run() {
     std::uint64_t key;
   };
 
+  // Batch scratch lives across generations so the driver loop reuses its
+  // capacity; the evaluation side is allocation-free per se once warm (each
+  // cell's evaluator runs on its own per-worker context, so interleaved
+  // cells never reshape shared buffers — see TraceEvaluator::evaluate).
+  std::vector<Job> jobs;
+  std::vector<Job> copies;
+  std::vector<fuzz::BatchItem> items;
+  std::unordered_set<std::uint64_t> batch_keys;
+
   while (true) {
     // Gather every active cell's pending members into one flat batch.
     // Repeats — a genome already in the cache, or the same genome reaching
     // two equivalent cells in this batch — are filled by copy, not
     // re-simulated.
-    std::vector<Job> jobs;
-    std::vector<Job> copies;
-    std::unordered_set<std::uint64_t> batch_keys;
+    jobs.clear();
+    copies.clear();
+    batch_keys.clear();
     bool any_active = false;
     for (auto& cp : cells_) {
       CellState& cell = *cp;
@@ -482,7 +491,7 @@ const CampaignReport& Campaign::run() {
     }
     if (!any_active) break;
 
-    std::vector<fuzz::BatchItem> items(jobs.size());
+    items.resize(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       items[i] = {&jobs[i].cell->evaluator, &jobs[i].member->genome,
                   &jobs[i].member->eval};

@@ -18,10 +18,12 @@ Evaluation TraceEvaluator::evaluate(const trace::Trace& t) const {
 
 void TraceEvaluator::evaluate_into(const trace::Trace& t,
                                    Evaluation& e) const {
-  // Run on this thread's warm context and summarize straight from the
-  // context-owned result — no RunResult copy, no per-packet scans.
+  // Run on this thread's warm per-evaluator context and summarize straight
+  // from the context-owned result — no RunResult copy, no per-packet scans,
+  // and no buffer reshaping when a cross-cell batch interleaves evaluators
+  // with different scenario shapes on this worker.
   const scenario::RunResult& run =
-      scenario::thread_run_context().run(scenario_, cca_, t.stamps);
+      scenario::thread_run_context(context_key_).run(scenario_, cca_, t.stamps);
   e.score.performance = score_->performance_score(run);
   e.score.trace = trace_weights_.trace_score(run);
   e.goodput_mbps = run.goodput_mbps();

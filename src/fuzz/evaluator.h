@@ -52,7 +52,12 @@ class TraceEvaluator {
     score_->validate(scenario_);
   }
 
-  /// Runs the simulation for `t` and scores it.
+  /// Runs the simulation for `t` and scores it. Evaluations run on a
+  /// per-evaluator warm context on each worker thread (see
+  /// scenario::thread_run_context), so cross-cell campaign batches that
+  /// interleave evaluators with different FlowSpec shapes never reshape a
+  /// shared context's buffers between runs. Copies of an evaluator share
+  /// its context slot (they evaluate the same scenario).
   Evaluation evaluate(const trace::Trace& t) const;
 
   /// Like evaluate(), but reuses `out`'s storage (per-flow vectors) — with a
@@ -79,6 +84,8 @@ class TraceEvaluator {
   tcp::CcaFactory cca_;
   std::shared_ptr<const ScoreFunction> score_;
   TraceScoreWeights trace_weights_;
+  /// Names this evaluator's per-thread warm RunContext cache slot.
+  scenario::ContextKey context_key_ = scenario::allocate_context_key();
 };
 
 /// One unit of a heterogeneous evaluation batch: a trace to run under a

@@ -1,6 +1,8 @@
 #include "scenario/runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 #include "util/stats.h"
@@ -172,11 +174,24 @@ const RunResult& RunContext::run(const ScenarioConfig& cfg,
   return result_;
 }
 
-RunContext& thread_run_context() {
-  // One warm context per thread: GA batches fan out over the shared pool,
-  // and every worker reuses its own slab/pool/component capacity.
-  thread_local RunContext ctx;
-  return ctx;
+ContextKey allocate_context_key() {
+  // 0 is reserved for the shared default context.
+  static std::atomic<ContextKey> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+RunContext& thread_run_context(ContextKey key) {
+  // One warm context per (thread, key): GA batches fan out over the shared
+  // pool, and every worker reuses its own slab/pool/component capacity per
+  // evaluation configuration. Contexts are built lazily, so the slot table
+  // stays a vector of null pointers for keys this thread never runs; the
+  // table grows only when a new key first evaluates here (never in a warm
+  // generation).
+  thread_local std::vector<std::unique_ptr<RunContext>> contexts;
+  if (contexts.size() <= key) contexts.resize(static_cast<std::size_t>(key) + 1);
+  std::unique_ptr<RunContext>& slot = contexts[key];
+  if (!slot) slot = std::make_unique<RunContext>();
+  return *slot;
 }
 
 RunResult run_scenario(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,

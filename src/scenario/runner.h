@@ -209,10 +209,24 @@ class RunContext {
   Dumbbell db_;
 };
 
-/// This thread's warm RunContext — the one run_scenario uses. Hot callers
-/// (fuzz::TraceEvaluator) run through it directly to skip the RunResult
-/// copy that the by-value run_scenario hands out.
-RunContext& thread_run_context();
+/// Keys a per-thread cache of RunContexts. Key 0 is the shared default
+/// context (what run_scenario uses); every other key is handed out once by
+/// allocate_context_key() and names a dedicated warm context on each thread
+/// that evaluates under it. fuzz::TraceEvaluator allocates one key per
+/// evaluator, so a campaign's cross-cell batches stop funnelling wildly
+/// different ScenarioConfig shapes (flow counts, FlowSpec vectors, metric
+/// windows) through one shared context: each cell's buffers are reshaped
+/// exactly once per worker and stay warm for that cell from then on.
+using ContextKey = std::uint32_t;
+
+/// Reserves a fresh context-cache key. Process-wide monotone; cheap.
+ContextKey allocate_context_key();
+
+/// This thread's warm RunContext for `key` — created on first use, reused
+/// for the thread's lifetime. Hot callers (fuzz::TraceEvaluator) run through
+/// it directly to skip the RunResult copy that the by-value run_scenario
+/// hands out.
+RunContext& thread_run_context(ContextKey key = 0);
 
 /// Runs one simulation. `trace_times` is the link service curve (link mode)
 /// or cross-traffic schedule (traffic mode), sorted ascending. `cca` builds

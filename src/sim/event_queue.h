@@ -5,7 +5,7 @@
 // simulation bit-reproducible, which the GA depends on for convergence
 // (paper §3.6).
 //
-// Design — slab + generation tags + 4-ary index heap (zero steady-state
+// Design — slab + generation tags + a two-band timer core (zero steady-state
 // allocations):
 //
 //   * Callbacks live in a slab of fixed-size slots holding an
@@ -13,24 +13,43 @@
 //     compile-time asserted — capture pool indices, not payloads). A
 //     free list recycles slots, so after the high-water mark is reached
 //     schedule()/cancel()/run_next() never touch the allocator.
-//   * The heap orders 16-byte {time, seq, slot} handles, not closures, so
-//     sift operations move two words. It is 4-ary: ~half the depth of a
-//     binary heap with a branch-predictable four-child scan.
+//   * The ordering structure is split in two bands. The *near band* is a
+//     4-ary index heap of 16-byte {time, seq, slot} handles (~half the depth
+//     of a binary heap, branch-predictable four-child scan) holding only
+//     events within kNearEpochs epochs (~67 ms) of the current heap top.
+//     The *far band* parks everything beyond the horizon — RTO timers,
+//     sender stop times, trace tail events — in a wheel of kWheelSize epoch
+//     buckets (plain vectors, one per 2^kEpochShift ns ≈ 4.2 ms of virtual
+//     time) plus a single overflow vector for epochs beyond the wheel span
+//     (~1.07 s). Far scheduling is an O(1) vector push; far handles migrate
+//     into the heap lazily, whole epochs at a time, as the clock approaches.
+//   * Why it pays: the dominant far-timer pattern is armed-then-cancelled
+//     (the RTO is re-armed on every cumulative ACK, tcp_rearm_rto-style).
+//     In a single heap each re-arm left a stale handle that inflated every
+//     sift until the clock finally reached it ~1 s later; in the far band
+//     the stale handles sit inert in their epoch bucket and are discarded
+//     wholesale at migration without ever entering the heap. Heap depth is
+//     set by the in-flight near events alone.
 //   * An EventId encodes (slot, generation). Each slot counts its
 //     occupancies in a generation counter that never resets, so cancel()
-//     is an O(1) generation compare — no cancelled-id set — and cancelling
-//     a fired, cancelled or pre-reset() id is a guaranteed no-op even after
-//     the slot has been recycled (a single slot would need 2^32 occupancies
-//     for an id to alias).
-//   * Heap handles carry a separate 32-bit FIFO sequence number; the slot
-//     remembers its current occupant's seq, so a handle whose seq no longer
-//     matches is stale and gets skipped when it surfaces. seq restarts on
-//     reset() (the heap is empty then), bounding the tie-break at 2^32
-//     schedules per run — orders of magnitude above any simulation
-//     (scenario::RunContext resets per run).
+//     is an O(1) generation compare — no cancelled-id set, no band
+//     knowledge — and cancelling a fired, cancelled or pre-reset() id is a
+//     guaranteed no-op even after the slot has been recycled (a single slot
+//     would need 2^32 occupancies for an id to alias).
+//   * Heap and bucket handles carry a separate 32-bit FIFO sequence number;
+//     the slot remembers its current occupant's seq, so a handle whose seq
+//     no longer matches is stale and gets skipped when it surfaces (heap) or
+//     migrates (far band). Migration preserves the original seq, so events
+//     that meet at equal timestamps fire in schedule order no matter which
+//     band they travelled through — execution order is bit-identical to a
+//     single heap. seq restarts on reset() (both bands are empty then),
+//     bounding the tie-break at 2^32 schedules per run — orders of magnitude
+//     above any simulation (scenario::RunContext resets per run).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/inline_callback.h"
@@ -49,7 +68,8 @@ using EventId = std::uint64_t;
 inline constexpr std::size_t kEventCallbackCapacity = 32;
 using EventCallback = InlineCallback<kEventCallbackCapacity>;
 
-/// Min-heap of (time, seq) → callback with O(log n) push/pop, O(1)
+/// Two-band min-queue of (time, seq) → callback: O(log near) push/pop for
+/// near events, O(1) amortized parking for far-future ones, O(1)
 /// generation-based cancellation, and no steady-state allocations.
 class EventQueue {
  public:
@@ -83,12 +103,27 @@ class EventQueue {
   /// simulation driver's hot loop.
   bool run_next_due(TimeNs deadline, TimeNs& clock);
 
-  /// Discards all pending events but keeps slab/heap capacity, so a reused
-  /// queue (scenario::RunContext) schedules without allocating.
+  /// Discards all pending events but keeps slab/heap/bucket capacity, so a
+  /// reused queue (scenario::RunContext) schedules without allocating.
   void reset();
 
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
+  // --- Two-band geometry ---
+  /// Virtual-time width of one far-band epoch: 2^22 ns ≈ 4.19 ms.
+  static constexpr int kEpochShift = 22;
+  /// Near-band horizon in epochs beyond the heap top (~67 ms): events this
+  /// close schedule straight into the heap; farther ones park in the wheel.
+  /// Must stay under any realistic RTO (min_rto defaults to 1 s; Linux uses
+  /// 200 ms) so re-armed RTO timers never churn the heap.
+  static constexpr std::int64_t kNearEpochs = 16;
+  /// Wheel span: 256 epochs ≈ 1.07 s. Epochs beyond it overflow into a
+  /// single vector and redistribute when the wheel advances within range.
+  static constexpr std::size_t kWheelSize = 256;
+  static constexpr std::size_t kWheelMask = kWheelSize - 1;
+  static constexpr std::size_t kWheelWords = kWheelSize / 64;
+  static constexpr std::int64_t kNoEpoch =
+      std::numeric_limits<std::int64_t>::max();
 
   struct Slot {
     EventCallback fn;
@@ -103,6 +138,11 @@ class EventQueue {
     std::uint32_t seq;
     std::uint32_t slot;
   };
+
+  static std::int64_t epoch_of(std::int64_t at_ns) {
+    // Arithmetic shift: negative times land in epoch <= 0, i.e. always near.
+    return at_ns >> kEpochShift;
+  }
 
   // if/else (not ?:) so the compiler keeps the highly-predictable time
   // comparison a branch; a cmov dependency chain here measurably slows the
@@ -119,14 +159,40 @@ class EventQueue {
   EventId schedule_impl(TimeNs at, EventCallback fn);
   void heap_push(HeapHandle h);
   void heap_pop_top();
-  /// Discards stale handles sitting at the heap top.
+  /// Parks a handle in the far band (wheel bucket or overflow).
+  void far_push(HeapHandle h, std::int64_t epoch);
+  /// Migrates the earliest far epoch's handles into the heap (stale handles
+  /// are dropped without ever touching it). Requires far_size_ != 0.
+  void flush_min_far();
+  /// Moves overflow handles whose epoch now fits the wheel into buckets.
+  void redistribute_overflow();
+  /// Epoch of the earliest non-empty wheel bucket; kNoEpoch if all empty.
+  std::int64_t first_bucket_epoch() const;
+  /// Discards stale heap-top handles and migrates any far epochs that are
+  /// due (or within the near horizon of) the surfacing heap top.
   void prune();
+
+  std::size_t bucket_count() const { return far_size_ - overflow_.size(); }
 
   std::vector<Slot> slots_;
   std::vector<HeapHandle> heap_;  // 4-ary min-heap; may hold stale handles
   std::uint32_t free_head_ = kNil;
   std::uint32_t next_seq_ = 0;
   std::size_t live_ = 0;
+
+  // --- Far band ---
+  /// Every epoch <= horizon_ has been migrated (or was never populated);
+  /// schedule() sends events with epoch <= horizon_ straight to the heap.
+  /// Monotone within a run; all parked handles have epoch > horizon_ and,
+  /// for wheel buckets, epoch <= horizon_ + kWheelSize — which makes the
+  /// epoch → bucket mapping (epoch & kWheelMask) collision-free.
+  std::int64_t horizon_ = kNearEpochs;
+  std::size_t far_size_ = 0;            ///< parked handles, stale included
+  std::int64_t far_min_epoch_ = kNoEpoch;       ///< min parked epoch
+  std::int64_t overflow_min_epoch_ = kNoEpoch;  ///< min epoch in overflow_
+  std::array<std::vector<HeapHandle>, kWheelSize> wheel_;
+  std::array<std::uint64_t, kWheelWords> wheel_bits_{};  ///< non-empty map
+  std::vector<HeapHandle> overflow_;
 };
 
 }  // namespace ccfuzz::sim

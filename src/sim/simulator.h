@@ -68,6 +68,14 @@ class Simulator {
 
 /// A restartable one-shot timer bound to a Simulator. Re-arming cancels any
 /// pending expiry. Used for RTO, delayed-ACK, pacing release, etc.
+///
+/// Re-arm cost note: cancel() is an O(1) generation bump and a far-future
+/// arm() is an O(1) bucket push — the event core's far band is designed
+/// around exactly this armed-then-cancelled pattern (tcp_rearm_rto fires on
+/// every cumulative ACK), so high-frequency re-arming of far timers never
+/// touches the near heap. Each arm() still assigns a fresh FIFO sequence
+/// number, which is what keeps equal-timestamp execution order — and thus
+/// the golden fingerprints — identical to an eagerly re-scheduled timer.
 class Timer {
  public:
   Timer(Simulator& sim, std::function<void()> on_fire)

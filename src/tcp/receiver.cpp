@@ -89,6 +89,8 @@ void TcpReceiver::on_data_packet(const net::Packet& p) {
       pending_ack_segments_ = 0;
       send_ack_now(p.tcp.tx_id);
     } else if (!delack_timer_.pending()) {
+      // 200 ms out: parks in the event core's far band and is usually
+      // cancelled by the next full segment long before migrating.
       delack_timer_.arm(cfg_.delack_timeout);
     }
     return;

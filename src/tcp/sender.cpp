@@ -216,6 +216,10 @@ void TcpSender::arm_rto(bool force) {
     return;
   }
   if (force || !rto_timer_.pending()) {
+    // Restarted on every cumulative ACK (tcp_rearm_rto): with min_rto >=
+    // 200 ms the expiry always lands in the event core's far band, so this
+    // per-ACK cancel + re-arm is O(1) and leaves no stale handle in the
+    // near heap — the pattern BM_EventQueueRtoHeavy tracks.
     rto_timer_.arm(rtt_.rto_backed_off(backoff_));
   }
 }

@@ -116,6 +116,57 @@ TEST(GoldenDeterminism, MatchesPreRefactorFingerprints) {
   }
 }
 
+TEST(GoldenDeterminism, BandMigrationMatchesPreTwoBandFingerprints) {
+  // Forces the two-band event core through every band transition mid-run:
+  // RTO expiries with exponential backoff park multi-second timers in the
+  // overflow band (case A: service burst, 3 s dead air, service burst),
+  // staggered flow stop times schedule far-future events at start (case B),
+  // and both run long enough (6 s) for the far wheel to wrap several times.
+  // Expected values recorded from the single-heap core as it existed before
+  // the two-band rewrite; execution order must be bit-identical.
+  {
+    ScenarioConfig cfg;
+    cfg.duration = TimeNs::seconds(6);
+    cfg.mode = FuzzMode::kLink;
+    cfg.record_mode = RecordMode::kFullEvents;
+    std::vector<TimeNs> trace;
+    for (int i = 0; i < 400; ++i) trace.push_back(TimeNs(2'500'000ll * i));
+    for (int i = 0; i < 800; ++i) {
+      trace.push_back(TimeNs::seconds(4) + DurationNs(2'500'000ll * i));
+    }
+    const auto run =
+        run_scenario(cfg, cca::make_factory("reno"), std::move(trace));
+    EXPECT_EQ(run.cca_segments_delivered(), 986);
+    EXPECT_EQ(run.cca_sent(), 1070);
+    EXPECT_EQ(run.cca_retransmissions(), 58);
+    EXPECT_EQ(run.cca_drops(), 38);
+    EXPECT_EQ(run.rto_count(), 2);
+    EXPECT_EQ(fingerprint(run), 0xde52f07b9e650cd2ULL);
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.duration = TimeNs::seconds(6);
+    cfg.mode = FuzzMode::kTraffic;
+    cfg.record_mode = RecordMode::kFullEvents;
+    cfg.flows.resize(2);
+    cfg.flows[0].stop = TimeNs::millis(5500);
+    cfg.flows[1].cca = "cubic";
+    cfg.flows[1].start = TimeNs::millis(1500);
+    cfg.flows[1].stop = TimeNs::millis(4500);
+    Rng rng(202);
+    const auto run =
+        run_scenario(cfg, cca::make_factory("reno"),
+                     trace::dist_packets(3000, TimeNs::zero(), cfg.duration,
+                                         rng));
+    EXPECT_EQ(run.cca_segments_delivered(), 1228);
+    EXPECT_EQ(run.cca_sent(), 1265);
+    EXPECT_EQ(run.cca_retransmissions(), 37);
+    EXPECT_EQ(run.cca_drops(), 37);
+    EXPECT_EQ(run.rto_count(), 2);
+    EXPECT_EQ(fingerprint(run), 0xd350048e40190f88ULL);
+  }
+}
+
 TEST(GoldenDeterminism, RepeatedRunsAreBitIdentical) {
   for (const auto& g : kGolden) {
     SCOPED_TRACE(std::string(g.cca) + "/" + to_string(g.mode));

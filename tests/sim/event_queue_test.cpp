@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace ccfuzz::sim {
@@ -200,6 +203,188 @@ TEST(EventQueue, CancelDuringDrainKeepsOrder) {
   for (std::size_t i = 1; i < order.size(); ++i) {
     ASSERT_LT(order[i - 1], order[i]);
   }
+}
+
+// --- Two-band boundary behavior ---------------------------------------------
+//
+// The queue parks far-future events (beyond ~67 ms of the current heap top)
+// in epoch buckets and migrates them into the near heap lazily. These tests
+// pin the band boundary: FIFO ties across migration, cancellation in every
+// band state, reset with a populated far band, and the overflow band beyond
+// the wheel span (~1.07 s).
+
+TEST(EventQueue, MixedBandEventsFireInTimeOrder) {
+  EventQueue q;
+  std::vector<std::int64_t> fired;
+  // Interleave near (µs..ms), wheel-far (hundreds of ms) and overflow-far
+  // (seconds) schedules.
+  const std::int64_t times_ms[] = {5000, 1, 700, 12, 2300, 90, 450,
+                                   8000, 3,  160, 999, 30,  1500};
+  for (const std::int64_t t : times_ms) {
+    q.schedule(TimeNs::millis(t), [&fired, t] { fired.push_back(t); });
+  }
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(fired.size(), std::size(times_ms));
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LT(fired[i - 1], fired[i]);
+  }
+}
+
+TEST(EventQueue, EqualTimestampFifoSurvivesBandMigration) {
+  // A is scheduled while its timestamp is far future (parks in a bucket);
+  // the clock then walks close enough that the horizon passes A's epoch and
+  // A migrates into the heap; B is scheduled at the *same* timestamp
+  // directly into the near band. FIFO order (A first) must hold: migration
+  // preserves the original sequence number.
+  EventQueue q;
+  std::vector<int> order;
+  const TimeNs t = TimeNs::millis(500);
+  q.schedule(t, [&] { order.push_back(1) ; });      // far at schedule time
+  q.schedule(TimeNs::millis(490), [&] { order.push_back(0); });
+  q.run_next();  // clock reaches 490 ms; A's epoch is now inside the horizon
+  q.schedule(t, [&] { order.push_back(2); });       // near at schedule time
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelFarEventBeforeMigration) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(TimeNs::millis(800), [&] { fired = true; });
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(id);  // still parked in its epoch bucket
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.next_time().is_infinite());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelFarEventAfterMigration) {
+  // Drive the clock to just short of the far event so it migrates into the
+  // heap, then cancel by the id handed out at schedule time: the id must
+  // stay valid across the band transition.
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(TimeNs::millis(500), [&] { fired = true; });
+  int fillers = 0;
+  q.schedule(TimeNs::millis(496), [&] { ++fillers; });
+  q.run_next();  // clock at 496 ms: the 500 ms epoch has been migrated
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(fillers, 1);
+}
+
+TEST(EventQueue, RescheduleAcrossTheMigrationHorizon) {
+  // The RTO re-arm pattern: cancel the parked far timer and schedule a
+  // replacement — far again, then finally near. Only the last incarnation
+  // fires, exactly once, at its own time.
+  EventQueue q;
+  std::vector<int> order;
+  EventId rto = q.schedule(TimeNs::millis(900), [&] { order.push_back(-1); });
+  for (int i = 1; i <= 5; ++i) {
+    q.cancel(rto);
+    rto = q.schedule(TimeNs::millis(900 + i), [&] { order.push_back(-2); });
+  }
+  q.cancel(rto);
+  rto = q.schedule(TimeNs::millis(10), [&] { order.push_back(1); });
+  q.schedule(TimeNs::millis(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, ResetWithPopulatedFarBand) {
+  EventQueue q;
+  bool fired = false;
+  // Populate heap, wheel and overflow bands, with some cancels in between.
+  q.schedule(TimeNs::millis(1), [&] { fired = true; });
+  q.schedule(TimeNs::millis(300), [&] { fired = true; });
+  const EventId far_id = q.schedule(TimeNs::millis(700), [&] { fired = true; });
+  q.schedule(TimeNs::seconds(5), [&] { fired = true; });     // overflow band
+  q.schedule(TimeNs::seconds(100), [&] { fired = true; });   // deep overflow
+  q.cancel(far_id);
+  EXPECT_EQ(q.size(), 4u);
+
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.next_time().is_infinite());
+  EXPECT_FALSE(fired);
+
+  // Pre-reset ids (including far-band ones) must not cancel new events,
+  // and the recycled queue keeps full two-band behavior with FIFO intact.
+  std::vector<int> order;
+  q.schedule(TimeNs::millis(600), [&order] { order.push_back(2); });
+  q.schedule(TimeNs::millis(600), [&order] { order.push_back(3); });
+  q.schedule(TimeNs::millis(2), [&order] { order.push_back(1); });
+  q.cancel(far_id);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, OverflowBandRedistributesAndFires) {
+  // Events far beyond the wheel span must survive the overflow →  wheel →
+  // heap journey; one of them is cancelled while still parked deep in the
+  // overflow band.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimeNs::seconds(2), [&] { order.push_back(2); });
+  const EventId dead = q.schedule(TimeNs::seconds(3), [&] { order.push_back(-1); });
+  q.schedule(TimeNs::seconds(4), [&] { order.push_back(4); });
+  q.schedule(TimeNs::seconds(10), [&] { order.push_back(10); });
+  q.schedule(TimeNs::millis(5), [&] { order.push_back(0); });
+  q.cancel(dead);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.next_time(), TimeNs::millis(5));
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 10}));
+}
+
+TEST(EventQueue, CancelledOverflowMinimumDoesNotDisturbLaterEvents) {
+  // The earliest overflow-band event is cancelled while parked (the RTO
+  // backoff pattern): when the clock passes its would-be expiry, the stale
+  // handle is dropped during redistribution and the queue must carry on —
+  // near events keep scheduling cheaply and the surviving deep-overflow
+  // event still fires at its own time, exactly once.
+  EventQueue q;
+  std::vector<int> order;
+  const EventId dead = q.schedule(TimeNs::seconds(3), [&] { order.push_back(-1); });
+  q.schedule(TimeNs::seconds(9), [&] { order.push_back(9); });
+  q.cancel(dead);
+  // Walk the clock across 3 s in small steps so the cancelled epoch is
+  // reached and redistributed away mid-run.
+  for (int i = 1; i <= 80; ++i) {
+    q.schedule(TimeNs::millis(50 * i), [&order, i] {
+      if (i % 20 == 0) order.push_back(i / 20);
+    });
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 9}));
+}
+
+TEST(EventQueue, StressMixedBandsWithCancellations) {
+  // Pseudo-random times across all three bands (0..8 s), every third event
+  // cancelled up front: survivors must fire in exact (time, seq) order.
+  EventQueue q;
+  std::vector<std::pair<std::int64_t, int>> fired;
+  std::vector<EventId> ids;
+  std::vector<std::pair<std::int64_t, int>> expected;
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t t =
+        static_cast<std::int64_t>((static_cast<std::uint64_t>(i) *
+                                   2654435761u) %
+                                  8'000'000'000ull);
+    ids.push_back(q.schedule(TimeNs(t), [&fired, t, i] {
+      fired.push_back({t, i});
+    }));
+    if (i % 3 != 0) expected.push_back({t, i});
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) q.cancel(ids[i]);
+  EXPECT_EQ(q.size(), expected.size());
+  while (!q.empty()) q.run_next();
+  std::stable_sort(expected.begin(), expected.end());
+  ASSERT_EQ(fired.size(), expected.size());
+  EXPECT_EQ(fired, expected);
 }
 
 TEST(EventQueue, StressManyEventsStayOrdered) {

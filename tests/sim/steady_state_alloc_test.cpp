@@ -145,11 +145,19 @@ TEST(SteadyStateAllocation, SenderSegmentRingNeverAllocatesWhenWarm) {
   sender_ptr = &sender;
 
   sender.start(TimeNs::zero());
-  sim.run_until(TimeNs::seconds(2));  // ring/slab/pool high-water mark
+  // Ring/slab/pool high-water mark. This flow is perfectly periodic (ACK
+  // bursts every ~21 ms ≈ 5 far-band epochs), so its re-armed RTO/delack
+  // timers park in every 5th epoch bucket only — and because one wheel
+  // revolution (256 epochs) shifts that residue class by one, the buckets
+  // reach their per-epoch high-water marks only after ~5 revolutions
+  // (~5.4 s) plus the 1 s RTO lead. Production contexts warm in one run
+  // (reset + rerun replays the same schedule); a single continuous flow
+  // needs the longer warm-up.
+  sim.run_until(TimeNs::seconds(7));
 
   const std::size_t before = g_allocations.load();
   const std::int64_t sent_before = sender.total_sent();
-  sim.run_until(TimeNs::seconds(4));
+  sim.run_until(TimeNs::seconds(9));
   EXPECT_EQ(g_allocations.load(), before)
       << "warm ack-clocked sending must not allocate";
   EXPECT_GT(sender.total_sent(), sent_before + 1000);
@@ -245,6 +253,61 @@ TEST(SteadyStateAllocation, EvaluateBatchGenerationIsAllocationFree) {
   std::int64_t drops = 0;
   for (const auto& e : out) drops += e.cca_drops;
   EXPECT_GT(drops, 0) << "warm-path coverage needs lossy runs";
+}
+
+TEST(SteadyStateAllocation, AlternatingCellBatchIsAllocationFreeWhenWarm) {
+  // The cross-cell campaign pattern: one worker thread alternates between
+  // cells whose ScenarioConfigs have wildly different shapes — single-flow
+  // vs 4-flow with staggered starts, different CCAs, a different metrics
+  // window. Each evaluator owns a per-thread context cache slot
+  // (scenario::allocate_context_key), so interleaving them must never
+  // reshape a shared context's buffers: a warm mixed generation performs
+  // zero heap allocations, exactly like a homogeneous one.
+  if (!util::kRecycleEnabled) {
+    GTEST_SKIP() << "CCA recycling is bypassed in sanitized builds";
+  }
+  scenario::ScenarioConfig single;
+  single.duration = TimeNs::seconds(2);
+  fuzz::TraceEvaluator eval_single(single, cca::make_factory("reno"),
+                                   std::make_shared<fuzz::LowUtilizationScore>());
+
+  scenario::ScenarioConfig multi;
+  multi.duration = TimeNs::seconds(2);
+  multi.metrics_window = DurationNs::millis(250);
+  multi.flows.resize(4);
+  multi.flows[1].cca = "cubic";
+  multi.flows[1].start = TimeNs::millis(250);
+  multi.flows[2].cca = "bbr";
+  multi.flows[2].start = TimeNs::millis(500);
+  multi.flows[3].start = TimeNs::millis(750);
+  fuzz::TraceEvaluator eval_multi(multi, cca::make_factory("reno"),
+                                  std::make_shared<fuzz::JainFairnessScore>());
+
+  trace::TrafficTraceModel model;
+  model.duration = TimeNs::seconds(2);
+  model.max_packets = 800;
+  Rng rng(37);
+  std::vector<trace::Trace> traces;
+  for (int i = 0; i < 6; ++i) traces.push_back(model.generate(rng));
+
+  // An interleaved batch: single, multi, single, multi, ...
+  std::vector<fuzz::Evaluation> out(traces.size());
+  std::vector<fuzz::BatchItem> items(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    items[i] = {i % 2 == 0 ? &eval_single : &eval_multi, &traces[i], &out[i]};
+  }
+
+  fuzz::evaluate_batch(items, /*parallel=*/false);
+  fuzz::evaluate_batch(items, /*parallel=*/false);
+
+  const std::size_t before = g_allocations.load();
+  fuzz::evaluate_batch(items, /*parallel=*/false);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "a warm alternating-cell generation must not allocate";
+
+  EXPECT_EQ(out[0].flow_goodput_mbps.size(), 1u);
+  EXPECT_EQ(out[1].flow_goodput_mbps.size(), 4u);
+  EXPECT_GT(out[1].cca_sent, 0);
 }
 
 TEST(SteadyStateAllocation, MultiFlowEvaluateIsAllocationFreeWhenWarm) {
