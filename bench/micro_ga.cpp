@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "campaign/campaign.h"
+#include "fuzz/elite_archive.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/selection.h"
 
@@ -84,6 +85,46 @@ void BM_EvaluateBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_EvaluateBatch)->Unit(benchmark::kMillisecond);
+
+void BM_EliteArchive(benchmark::State& state) {
+  // Warm-archive insert throughput on the worst-case path: synthetic
+  // signatures spread across many lattice cells, and every offer strictly
+  // outscores the incumbent so each insert pays the full union-map merge
+  // plus genome/eval copy-assign into the cell (zero allocations once the
+  // genome high-water mark is reached — the steady-state test pins that).
+  constexpr std::size_t kPool = 256;
+  const auto model = traffic_model();
+  Rng rng(17);
+  std::vector<trace::Trace> genomes;
+  genomes.reserve(kPool);
+  std::vector<fuzz::Evaluation> evals(kPool);
+  for (std::size_t i = 0; i < kPool; ++i) {
+    genomes.push_back(model.generate(rng));
+    fuzz::Evaluation& e = evals[i];
+    auto& sig = e.coverage;
+    sig.valid = true;
+    sig.descriptor.state_transitions = static_cast<std::uint8_t>(i % 16);
+    sig.descriptor.rtt_spread = static_cast<std::uint8_t>((i / 16) % 16);
+    sig.descriptor.max_backoff = static_cast<std::uint8_t>(i % 5);
+    sig.descriptor.cwnd_span = static_cast<std::uint8_t>((i * 7) % 16);
+    for (std::size_t k = 0; k < 32; ++k) {
+      sig.bitmap.set((i * 37 + k * 59) % coverage::CoverageBitmap::kBits);
+    }
+    sig.bits = sig.bitmap.count();
+  }
+
+  fuzz::EliteArchive archive;
+  for (std::size_t i = 0; i < kPool; ++i) archive.insert(genomes[i], evals[i]);
+
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kPool; ++i) {
+      evals[i].score.performance += 1.0;  // strict improvement every offer
+      benchmark::DoNotOptimize(archive.insert(genomes[i], evals[i]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kPool);
+}
+BENCHMARK(BM_EliteArchive);
 
 void BM_FuzzerGeneration(benchmark::State& state) {
   // One full GA generation (24 members, 2 s simulations, parallel).

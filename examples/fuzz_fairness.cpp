@@ -7,13 +7,20 @@
 //
 // Per-flow goodputs land in the report tree (summary.csv's
 // best_flow_goodputs_mbps column, flow_goodputs_mbps in summary.json) and
-// stream live to <output-dir>/progress.jsonl for dashboards.
+// stream live to <output-dir>/progress.jsonl for dashboards. Each cell's
+// winning trace is additionally replayed with full event recording and its
+// per-flow rate series dumped to <cell>/winner_flow_rates.csv —
+// scripts/plot_fairness.py turns that plus history.csv into the
+// fairness-convergence figures.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "analysis/flow_metrics.h"
 #include "campaign/campaign.h"
+#include "campaign/report.h"
 
 using namespace ccfuzz;
 
@@ -72,9 +79,41 @@ int main(int argc, char** argv) {
     std::printf("%-36s %12.3f %10.2f %10.2f %8.3f\n", cell.cell.name.c_str(),
                 cell.best_score(), g0, g1, best.jain_fairness);
   }
+  // Replay each winner with full event recording and dump its per-flow
+  // egress rate series — the raw material of the fairness timeline plots.
+  for (const auto& cell : report.cells) {
+    if (cell.winners.empty()) continue;
+    const auto evaluator = campaign::make_evaluator(cell.cell);
+    const scenario::RunResult run =
+        evaluator.run_full(cell.winners.front().genome);
+    std::vector<analysis::RateSeries> series;
+    for (std::size_t f = 0; f < run.flow_count(); ++f) {
+      series.push_back(
+          analysis::flow_rate_series(run, analysis::Stream::kEgress, f));
+    }
+    if (series.empty() || series.front().time_s.empty()) continue;
+    const std::string path = out_dir + "/" +
+                             campaign::sanitize_cell_name(cell.cell.name) +
+                             "/winner_flow_rates.csv";
+    std::ofstream os(path);
+    os << "time_s";
+    for (std::size_t f = 0; f < series.size(); ++f) {
+      os << ",flow" << f << "_mbps";
+    }
+    os << "\n";
+    for (std::size_t i = 0; i < series.front().time_s.size(); ++i) {
+      os << series.front().time_s[i];
+      for (const auto& s : series) {
+        os << ',' << (i < s.mbps.size() ? s.mbps[i] : 0.0);
+      }
+      os << "\n";
+    }
+  }
+
   std::printf(
       "\nreport: %s/summary.{csv,json} (per-flow goodputs), progress.jsonl "
-      "(live JSONL stream)\n",
+      "(live JSONL stream), <cell>/winner_flow_rates.csv (plot with "
+      "scripts/plot_fairness.py)\n",
       out_dir.c_str());
   return 0;
 }

@@ -55,7 +55,7 @@ trap 'rm -rf "$OUT"' EXIT
   --benchmark_format=json >"$OUT/sim.json" 2>/dev/null
 "$BUILD_DIR/bench/micro_ga" \
   --benchmark_min_time="$MIN_TIME" \
-  --benchmark_filter='BM_TrafficMutation|BM_TrafficCrossover|BM_RankSelection|BM_EvaluateBatch' \
+  --benchmark_filter='BM_TrafficMutation|BM_TrafficCrossover|BM_RankSelection|BM_EvaluateBatch|BM_EliteArchive' \
   --benchmark_format=json >"$OUT/ga.json" 2>/dev/null
 
 if [[ "$SMOKE" == "1" ]]; then

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Fairness-convergence figures from a fairness campaign's report tree.
+
+Reads what examples/fuzz_fairness writes:
+
+  <report>/<cell>/history.csv            top20_jain_fairness and
+                                         top20_flow_goodputs_mbps per
+                                         generation — the GA's convergence
+                                         onto unfair schedules
+  <report>/<cell>/winner_flow_rates.csv  per-flow egress rate series of the
+                                         winning trace's replay — the
+                                         fairness timeline itself
+
+and renders, per cell:
+
+  <out>/<cell>_convergence.png   Jain index + per-flow goodputs vs generation
+  <out>/<cell>_flow_rates.png    per-flow throughput vs time for the winner
+
+matplotlib is optional: without it the same series are rendered as ASCII
+charts on stdout (and the exit code stays 0), so the script is usable in
+minimal CI containers with no extra dependencies.
+
+Usage: plot_fairness.py REPORT_DIR [-o OUT_DIR]
+"""
+import argparse
+import csv
+import os
+import sys
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    HAVE_MPL = True
+except ImportError:
+    HAVE_MPL = False
+
+
+def read_history(path):
+    """history.csv -> (generations, jain, per-flow goodput columns)."""
+    gens, jain, flows = [], [], []
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            gens.append(int(row["generation"]))
+            jain.append(float(row["top20_jain_fairness"]))
+            cell = row.get("top20_flow_goodputs_mbps", "-")
+            per_flow = (
+                [float(x) for x in cell.split(";")] if cell != "-" else []
+            )
+            flows.append(per_flow)
+    n_flows = max((len(p) for p in flows), default=0)
+    cols = [
+        [p[i] if i < len(p) else 0.0 for p in flows] for i in range(n_flows)
+    ]
+    return gens, jain, cols
+
+
+def read_flow_rates(path):
+    """winner_flow_rates.csv -> (time_s, [flow series...])."""
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        cols = [[] for _ in header]
+        for row in reader:
+            for i, v in enumerate(row):
+                cols[i].append(float(v))
+    return cols[0], cols[1:], header[1:]
+
+
+def ascii_chart(title, xs, series, labels, width=64, height=10):
+    """Plain-text line chart: one mark per series, shared y-scale."""
+    print(f"\n  {title}")
+    flat = [v for s in series for v in s]
+    if not flat or not xs:
+        print("    (no data)")
+        return
+    lo, hi = min(flat), max(flat)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    marks = "ox+*#@"
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        for i, v in enumerate(s):
+            x = int(i * (width - 1) / max(1, len(s) - 1))
+            y = int((v - lo) * (height - 1) / (hi - lo))
+            grid[height - 1 - y][x] = marks[si % len(marks)]
+    for r, row in enumerate(grid):
+        label = f"{hi:8.2f} |" if r == 0 else (
+            f"{lo:8.2f} |" if r == height - 1 else "         |"
+        )
+        print("    " + label + "".join(row))
+    print("    " + " " * 9 + "+" + "-" * width)
+    print(
+        "    "
+        + " " * 10
+        + f"x: {xs[0]:g} .. {xs[-1]:g}   "
+        + "  ".join(
+            f"{marks[i % len(marks)]}={l}" for i, l in enumerate(labels)
+        )
+    )
+
+
+def plot_cell(cell, hist, rates, out_dir):
+    gens, jain, flow_cols = hist
+    if HAVE_MPL:
+        fig, (ax1, ax2) = plt.subplots(2, 1, figsize=(7, 6), sharex=True)
+        ax1.plot(gens, jain, marker="o", color="black")
+        ax1.set_ylabel("top-20 Jain index")
+        ax1.set_title(f"{cell}: fairness convergence")
+        ax1.grid(alpha=0.3)
+        for i, col in enumerate(flow_cols):
+            ax2.plot(gens, col, marker=".", label=f"flow {i}")
+        ax2.set_xlabel("generation")
+        ax2.set_ylabel("top-20 goodput (Mbps)")
+        ax2.grid(alpha=0.3)
+        if flow_cols:
+            ax2.legend()
+        fig.tight_layout()
+        path = os.path.join(out_dir, f"{cell}_convergence.png")
+        fig.savefig(path, dpi=120)
+        plt.close(fig)
+        print(f"wrote {path}")
+    else:
+        ascii_chart(f"{cell}: top-20 Jain index vs generation", gens, [jain],
+                    ["jain"])
+        if flow_cols:
+            ascii_chart(
+                f"{cell}: top-20 per-flow goodput (Mbps) vs generation",
+                gens, flow_cols,
+                [f"flow{i}" for i in range(len(flow_cols))],
+            )
+
+    if rates is None:
+        return
+    time_s, series, labels = rates
+    if HAVE_MPL:
+        fig, ax = plt.subplots(figsize=(7, 3.5))
+        for label, s in zip(labels, series):
+            ax.plot(time_s, s, label=label.replace("_mbps", ""))
+        ax.set_xlabel("time (s)")
+        ax.set_ylabel("egress rate (Mbps)")
+        ax.set_title(f"{cell}: winning trace, per-flow throughput")
+        ax.grid(alpha=0.3)
+        ax.legend()
+        fig.tight_layout()
+        path = os.path.join(out_dir, f"{cell}_flow_rates.png")
+        fig.savefig(path, dpi=120)
+        plt.close(fig)
+        print(f"wrote {path}")
+    else:
+        ascii_chart(
+            f"{cell}: winner per-flow egress rate (Mbps) vs time",
+            time_s, series, [l.replace("_mbps", "") for l in labels],
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report_dir", help="fuzz_fairness output directory")
+    ap.add_argument("-o", "--out-dir", default=None,
+                    help="where to write PNGs (default: REPORT_DIR)")
+    args = ap.parse_args()
+
+    out_dir = args.out_dir or args.report_dir
+    os.makedirs(out_dir, exist_ok=True)
+    if not HAVE_MPL:
+        print("matplotlib not available: rendering ASCII charts instead")
+
+    cells = 0
+    for entry in sorted(os.listdir(args.report_dir)):
+        cell_dir = os.path.join(args.report_dir, entry)
+        hist_path = os.path.join(cell_dir, "history.csv")
+        if not os.path.isfile(hist_path):
+            continue
+        rates_path = os.path.join(cell_dir, "winner_flow_rates.csv")
+        rates = read_flow_rates(rates_path) if os.path.isfile(
+            rates_path) else None
+        plot_cell(entry, read_history(hist_path), rates, out_dir)
+        cells += 1
+
+    if cells == 0:
+        print(f"no <cell>/history.csv under {args.report_dir}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,7 @@ fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}" >/dev/null
 cmake --build "$BUILD_DIR" --target quickstart --target fuzz_fairness \
-  -j"$(nproc)"
+  --target fuzz_coverage -j"$(nproc)"
 
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
@@ -53,6 +53,21 @@ if ! grep -q '"event":"campaign_end"' "$OUT/fairness/progress.jsonl"; then
   exit 1
 fi
 echo "fairness smoke OK"
+
+# Coverage-guided smoke: the MAP-Elites A/B must fill more cells than
+# score-only on the same budget (fuzz_coverage exits 2 when it does not) and
+# leave a reloadable archive behind. Runs at the example's defaults — the
+# budget where the margin is pinned.
+"$BUILD_DIR/examples/fuzz_coverage" "$OUT/coverage" >/dev/null
+if [[ ! -s "$OUT/coverage/archive.txt" ]]; then
+  echo "coverage smoke FAILED: archive.txt missing or empty" >&2
+  exit 1
+fi
+if ! head -1 "$OUT/coverage/archive.txt" | grep -q "ccfuzz-archive v1"; then
+  echo "coverage smoke FAILED: archive.txt lacks the v1 header" >&2
+  exit 1
+fi
+echo "coverage smoke OK"
 
 # Cheap benchmark-harness smoke: prove the micro benches still build and run
 # (full regression numbers come from scripts/bench_regression.sh). Exit 3

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <filesystem>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -67,6 +68,9 @@ std::uint64_t scenario_key(const scenario::ScenarioConfig& s) {
   // cell's evaluation identity. record_mode deliberately is not: modes are
   // score-identical by construction.
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.metrics_window.ns()));
+  // The probe is passive, but cached Evaluations carry (or lack) a coverage
+  // signature — a coverage cell must never be served a probe-less entry.
+  h = trace::fnv1a_u64(h, s.coverage ? 1 : 0);
   const auto& n = s.net;
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.bottleneck_rate.bits_per_second()));
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.bottleneck_delay.ns()));
@@ -225,6 +229,23 @@ std::vector<CellConfig> CampaignConfig::cells() const {
     }
     cell.name = std::move(candidate);
   }
+
+  // Coverage-guided search needs the probe; arm it rather than making every
+  // caller remember the pairing (the Fuzzer throws on the mismatch). With a
+  // resume_dir, coverage cells default their archive path to where
+  // write_report saved it last campaign.
+  for (auto& cell : out) {
+    if (cell.ga.search == fuzz::SearchMode::kMapElites ||
+        cell.ga.novelty_bonus != 0.0) {
+      cell.scenario.coverage = true;
+    }
+    if (!resume_dir_.empty() && cell.scenario.coverage &&
+        cell.resume_archive.empty()) {
+      cell.resume_archive =
+          resume_dir_ + '/' + sanitize_cell_name(cell.name) + "/archive.txt";
+    }
+  }
+
   for (const auto& cell : out) validate_cell(cell);
   return out;
 }
@@ -281,9 +302,16 @@ void ConsoleObserver::on_generation(const CellConfig& cell,
                                     const fuzz::GenStats& gs) {
   std::fprintf(stream(),
                "[%s] gen %2d  best=%9.3f  mean=%9.3f  top20 goodput=%5.2f "
-               "Mbps  stalled=%d\n",
+               "Mbps  stalled=%d",
                cell.name.c_str(), gs.generation, gs.best_score, gs.mean_score,
                gs.topk_mean_goodput_mbps, gs.stalled_count);
+  if (cell.scenario.coverage) {
+    std::fprintf(stream(), "  cells=%lld (+%lld)  bits=%lld",
+                 static_cast<long long>(gs.archive_cells),
+                 static_cast<long long>(gs.archive_new_cells),
+                 static_cast<long long>(gs.coverage_bits));
+  }
+  std::fprintf(stream(), "\n");
 }
 
 void ConsoleObserver::on_cell_end(const CellResult& result) {
@@ -344,7 +372,10 @@ void JsonlObserver::on_generation(const CellConfig& cell,
        << format_double(gs.topk_mean_flow_goodput_mbps[f]);
   }
   os << "],\"stalled\":" << gs.stalled_count
-     << ",\"evaluations\":" << gs.evaluations << "}";
+     << ",\"evaluations\":" << gs.evaluations
+     << ",\"archive_cells\":" << gs.archive_cells
+     << ",\"archive_new_cells\":" << gs.archive_new_cells
+     << ",\"coverage_bits\":" << gs.coverage_bits << "}";
   emit_line(os.str());
 }
 
@@ -355,6 +386,10 @@ void JsonlObserver::on_cell_end(const CellResult& result) {
      << ",\"winners\":" << result.winners.size()
      << ",\"simulations\":" << result.simulations
      << ",\"cache_hits\":" << result.cache_hits;
+  if (result.archive) {
+    os << ",\"archive_cells\":" << result.archive->filled()
+       << ",\"coverage_bits\":" << result.archive->union_bits();
+  }
   if (!result.winners.empty() &&
       result.winners.front().eval.flow_goodput_mbps.size() > 1) {
     os << ",\"best_flow_goodputs_mbps\":[";
@@ -398,6 +433,13 @@ struct Campaign::CellState {
     // Mirror Fuzzer::run() for a zero-generation budget: no generations,
     // but the initial population is still evaluated for winners.
     if (cfg.ga.max_generations <= 0) final_pass = true;
+    // Resume: continue filling the archive a previous campaign saved. A
+    // missing file is a cold start by design (first run of a config that
+    // always names its resume path).
+    if (!cfg.resume_archive.empty() && cfg.scenario.coverage &&
+        std::filesystem::exists(cfg.resume_archive)) {
+      fuzzer.seed_archive(fuzz::EliteArchive::load_file(cfg.resume_archive));
+    }
   }
 };
 
@@ -435,6 +477,7 @@ void Campaign::finish_cell(CellState& cell) {
     if (!seen.insert(h).second) continue;
     cell.result.winners.push_back({m.genome, m.eval, h});
   }
+  cell.result.archive = cell.fuzzer.archive();
   cell.done = true;
   for (auto* o : observers_) o->on_cell_end(cell.result);
 }

@@ -59,6 +59,13 @@ struct CellConfig {
                                          .initial_packets = 1500};
   /// Top members serialized per cell, deduped by trace hash.
   std::size_t winners = 5;
+  /// Path of a MAP-Elites archive (fuzz::EliteArchive::save_file format) to
+  /// seed this cell's fuzzer from. Loaded when the file exists; a missing
+  /// file is a cold start, not an error, so the same config works for the
+  /// first campaign and every resume. Only meaningful when the scenario's
+  /// coverage probe is armed (cells() arms it automatically for
+  /// coverage-guided GA configs).
+  std::string resume_archive;
 };
 
 /// Declarative builder for a campaign. Axis setters define a matrix that
@@ -143,6 +150,16 @@ class CampaignConfig {
     output_dir_ = std::move(dir);
     return *this;
   }
+  /// Resume coverage-guided cells from a previous campaign's report tree:
+  /// each cell whose coverage probe is armed defaults its resume_archive to
+  /// `<dir>/<sanitized cell name>/archive.txt` — exactly where write_report
+  /// saves it — so pointing resume_dir at the previous output_dir continues
+  /// filling the same archives. Cells whose archive file does not exist
+  /// start cold.
+  CampaignConfig& resume_dir(std::string dir) {
+    resume_dir_ = std::move(dir);
+    return *this;
+  }
   /// Appends one explicit cell (validated, but not crossed with the axes).
   CampaignConfig& add_cell(CellConfig cell) {
     explicit_cells_.push_back(std::move(cell));
@@ -186,6 +203,7 @@ class CampaignConfig {
   std::size_t winners_ = 5;
   bool parallel_ = true;
   std::string output_dir_;
+  std::string resume_dir_;
   std::vector<CellConfig> explicit_cells_;
 };
 
@@ -207,6 +225,10 @@ struct CellResult {
   /// campaign cache (simulations + cache_hits == evaluations consumed).
   std::int64_t simulations = 0;
   std::int64_t cache_hits = 0;
+  /// The cell's final MAP-Elites archive — null unless the scenario's
+  /// coverage probe was armed. write_report persists it next to the cell's
+  /// history so a later campaign can resume from it (see resume_dir()).
+  std::shared_ptr<const fuzz::EliteArchive> archive;
 
   double best_score() const {
     return winners.empty() ? 0.0 : winners.front().eval.score.total();

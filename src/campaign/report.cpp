@@ -110,6 +110,12 @@ std::string to_json(const CampaignReport& report) {
     os << "      \"evaluations\": " << (r.simulations + r.cache_hits) << ",\n";
     os << "      \"simulations\": " << r.simulations << ",\n";
     os << "      \"cache_hits\": " << r.cache_hits << ",\n";
+    if (r.archive) {
+      os << "      \"archive_cells\": " << r.archive->filled() << ",\n";
+      os << "      \"coverage_bits\": " << r.archive->union_bits() << ",\n";
+      os << "      \"archive_file\": \"" << json_escape(dir)
+         << "/archive.txt\",\n";
+    }
     os << "      \"best_score\": " << format_double(r.best_score()) << ",\n";
     os << "      \"winners\": [\n";
     for (std::size_t w = 0; w < r.winners.size(); ++w) {
@@ -141,7 +147,8 @@ void write_report(const CampaignReport& report, const std::string& dir) {
   {
     std::ostringstream os;
     os << "cell,cca,mode,score,flows,generations,evaluations,simulations,"
-          "cache_hits,best_score,best_goodput_mbps,best_flow_goodputs_mbps,"
+          "cache_hits,archive_cells,coverage_bits,best_score,"
+          "best_goodput_mbps,best_flow_goodputs_mbps,"
           "best_jain_fairness,winner_hash\n";
     for (const CellResult& r : report.cells) {
       os << csv_field(r.cell.name) << ',' << csv_field(r.cell.cca) << ','
@@ -149,7 +156,10 @@ void write_report(const CampaignReport& report, const std::string& dir) {
          << csv_field(score_name(r.cell)) << ','
          << r.cell.scenario.flow_count() << ',' << r.history.size() << ','
          << (r.simulations + r.cache_hits) << ',' << r.simulations << ','
-         << r.cache_hits << ',' << format_double(r.best_score()) << ','
+         << r.cache_hits << ','
+         << (r.archive ? r.archive->filled() : 0) << ','
+         << (r.archive ? r.archive->union_bits() : 0) << ','
+         << format_double(r.best_score()) << ','
          << format_double(r.winners.empty()
                               ? 0.0
                               : r.winners.front().eval.goodput_mbps)
@@ -179,7 +189,8 @@ void write_report(const CampaignReport& report, const std::string& dir) {
       std::ofstream os(cell_dir / "history.csv");
       os << "generation,best_score,mean_score,top20_packets_sent,"
             "top20_goodput_mbps,top20_jain_fairness,"
-            "top20_flow_goodputs_mbps,stalled,evaluations\n";
+            "top20_flow_goodputs_mbps,stalled,evaluations,"
+            "archive_cells,archive_new_cells,coverage_bits\n";
       for (const fuzz::GenStats& gs : r.history) {
         std::string flow_goodputs;
         for (std::size_t f = 0; f < gs.topk_mean_flow_goodput_mbps.size();
@@ -193,7 +204,9 @@ void write_report(const CampaignReport& report, const std::string& dir) {
            << format_double(gs.topk_mean_goodput_mbps) << ','
            << format_double(gs.topk_mean_jain_fairness) << ','
            << (flow_goodputs.empty() ? "-" : flow_goodputs) << ','
-           << gs.stalled_count << ',' << gs.evaluations << '\n';
+           << gs.stalled_count << ',' << gs.evaluations << ','
+           << gs.archive_cells << ',' << gs.archive_new_cells << ','
+           << gs.coverage_bits << '\n';
       }
       if (!os) {
         throw std::runtime_error("failed to write " +
@@ -204,6 +217,11 @@ void write_report(const CampaignReport& report, const std::string& dir) {
       trace::save_trace(
           (cell_dir / ("winner_" + std::to_string(w) + ".trace")).string(),
           r.winners[w].genome);
+    }
+    // The archive is the resumable artifact: a later campaign pointing
+    // resume_dir at this tree continues filling these cells.
+    if (r.archive) {
+      r.archive->save_file((cell_dir / "archive.txt").string());
     }
   }
 }

@@ -8,6 +8,9 @@
 //   <dir>/<cell>/history.csv     per-generation GenStats (Fig 4d series)
 //   <dir>/<cell>/winner_<k>.trace  deduped winner traces (trace_io format,
 //                                  replayable with examples/replay_trace)
+//   <dir>/<cell>/archive.txt     the cell's MAP-Elites archive (coverage
+//                                cells only) — CampaignConfig::resume_dir
+//                                reloads it to continue the campaign
 #pragma once
 
 #include <string>

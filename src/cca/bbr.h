@@ -106,6 +106,10 @@ class Bbr final : public tcp::CongestionControl,
   /// the Fig 4c timeline (probe-round ends, bw samples, filter drops).
   void attach_event_log(tcp::TcpEventLog* log) override { log_ = log; }
 
+  /// Mode-machine state for behavioral coverage: the probe bins transitions
+  /// between STARTUP/DRAIN/PROBE_BW/PROBE_RTT.
+  int probe_state() const override { return static_cast<int>(mode_); }
+
   /// Human-readable mode name.
   static const char* mode_name(Mode m);
 

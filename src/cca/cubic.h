@@ -92,6 +92,13 @@ class Cubic final : public tcp::CongestionControl,
     return cfg_.ns3_slow_start_bug ? "cubic-ns3bug" : "cubic";
   }
 
+  /// Behavioral-coverage state: 0 = slow start, 1 = concave cubic growth
+  /// (below the last w_max), 2 = convex probing past it.
+  int probe_state() const override {
+    if (cwnd_ < ssthresh_) return 0;
+    return static_cast<double>(cwnd_) < w_max_ ? 1 : 2;
+  }
+
   /// Last computed cubic target window (introspection for tests).
   double last_target() const { return last_target_; }
 

@@ -64,6 +64,9 @@ class Reno final : public tcp::CongestionControl,
   std::int64_t ssthresh_segments() const override { return ssthresh_; }
   const char* name() const override { return "reno"; }
 
+  /// Behavioral-coverage state: 0 = slow start, 1 = congestion avoidance.
+  int probe_state() const override { return cwnd_ < ssthresh_ ? 0 : 1; }
+
  private:
   /// Linux tcp_slow_start: grow by acked, capped at ssthresh; returns the
   /// ACK count left over for congestion avoidance.

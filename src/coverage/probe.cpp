@@ -1,0 +1,191 @@
+#include "coverage/probe.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccfuzz::coverage {
+namespace {
+
+// Bin-space layout bases (see probe.h for the map).
+constexpr std::size_t kTransBase = 0;
+constexpr std::size_t kCwndPhaseBase = 64;
+constexpr std::size_t kRttBase = 128;
+constexpr std::size_t kRttInflationBase = 176;
+constexpr std::size_t kEventBase = 192;
+constexpr std::size_t kPacingBase = 208;
+constexpr std::size_t kOccupancyBase = 224;
+constexpr std::size_t kSsthreshBase = 240;
+
+/// AFL-style hit-count class: {1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+}.
+std::size_t count_class(std::uint8_t hits) {
+  if (hits <= 3) return hits - 1;
+  if (hits <= 7) return 3;
+  if (hits <= 15) return 4;
+  if (hits <= 31) return 5;
+  if (hits <= 127) return 6;
+  return 7;
+}
+
+/// log2 bucket of a positive count, clamped to [0, limit).
+std::size_t log2_bucket(std::int64_t v, std::size_t limit) {
+  if (v <= 0) return 0;
+  const auto b = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(v)) - 1);
+  return std::min(b, limit - 1);
+}
+
+/// Effective CCA state: the algorithm's own mode machine when exposed
+/// (BBR's STARTUP/DRAIN/PROBE_BW/PROBE_RTT), else a generic 4-state
+/// congestion-avoidance phase derived from the transport.
+int effective_state(const tcp::SenderState& st,
+                    const tcp::CongestionControl& cca) {
+  const int own = cca.probe_state();
+  if (own >= 0) return std::min(own, 7);
+  if (st.in_loss) return 3;
+  if (st.in_recovery) return 2;
+  return cca.cwnd_segments() < cca.ssthresh_segments() ? 0 : 1;
+}
+
+/// Generic 4-state transport phase (one axis of the cwnd phase space).
+std::size_t generic_ca_state(const tcp::SenderState& st,
+                             const tcp::CongestionControl& cca) {
+  if (st.in_loss) return 3;
+  if (st.in_recovery) return 2;
+  return cca.cwnd_segments() < cca.ssthresh_segments() ? 0 : 1;
+}
+
+/// RTT magnitude bin: half-octave steps starting at 128 us, 48 bins
+/// (covers ~128 us to ~1 min; everything below/above clamps).
+std::size_t rtt_bin(DurationNs rtt) {
+  const std::int64_t us = rtt.ns() / 1000;
+  if (us <= 0) return 0;
+  const auto u = static_cast<std::uint64_t>(us);
+  const int b = std::bit_width(u);  // >= 1
+  const std::size_t sub =
+      b >= 2 ? static_cast<std::size_t>((u >> (b - 2)) & 1u) : 0;
+  if (b < 8) return 0;  // below 128 us: lowest bin
+  return std::min<std::size_t>((static_cast<std::size_t>(b) - 8) * 2 + sub, 47);
+}
+
+}  // namespace
+
+std::uint64_t CoverageSignature::hash() const {
+  std::uint64_t h = bitmap.hash();
+  const std::uint8_t desc[6] = {
+      descriptor.state_transitions, descriptor.rtt_spread,
+      descriptor.max_backoff,       descriptor.cwnd_span,
+      descriptor.event_mask,        descriptor.cca_states,
+  };
+  for (const std::uint8_t b : desc) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void BehaviorProbe::reset(bool enabled) {
+  enabled_ = enabled;
+  hits_.fill(0);
+  prev_state_ = -1;
+  trans_mask_ = 0;
+  rtt_mask_ = 0;
+  cwnd_mask_ = 0;
+  state_mask_ = 0;
+  event_mask_ = 0;
+  max_backoff_ = 0;
+  sig_ = CoverageSignature{};
+}
+
+void BehaviorProbe::on_ack_sample(const tcp::SenderState& st,
+                                  const tcp::CongestionControl& cca,
+                                  DurationNs rtt_sample) {
+  // CCA state transitions, sampled at ACK granularity. The first sample
+  // records the self-loop so "visited state s" is itself coverage.
+  const int state = effective_state(st, cca);
+  state_mask_ |= static_cast<std::uint8_t>(1u << state);
+  if (state != prev_state_) {
+    const int from = prev_state_ < 0 ? state : prev_state_;
+    const std::size_t t = static_cast<std::size_t>(from) * 8 +
+                          static_cast<std::size_t>(state);
+    hit(kTransBase + t);
+    trans_mask_ |= 1ull << t;
+    prev_state_ = state;
+  }
+
+  // cwnd phase space: log2(cwnd) x generic transport phase.
+  const std::int64_t cwnd = cca.cwnd_segments();
+  const std::size_t cwnd_bin = log2_bucket(cwnd, 16);
+  cwnd_mask_ |= 1u << cwnd_bin;
+  hit(kCwndPhaseBase + generic_ca_state(st, cca) * 16 + cwnd_bin);
+
+  // RTT sample magnitude + inflation over the lifetime minimum.
+  if (rtt_sample >= DurationNs::zero()) {
+    const std::size_t rb = rtt_bin(rtt_sample);
+    rtt_mask_ |= 1ull << rb;
+    hit(kRttBase + rb);
+    if (st.min_rtt.ns() > 0) {
+      hit(kRttInflationBase +
+          log2_bucket(rtt_sample.ns() / st.min_rtt.ns(), 16));
+    }
+  }
+
+  // Pacing-rate magnitude in log2 packets/sec; bin 0 = unpaced.
+  const DataRate pacing = cca.pacing_rate();
+  if (pacing.is_zero()) {
+    hit(kPacingBase);
+  } else {
+    const std::int64_t pps =
+        pacing.bits_per_second() / (static_cast<std::int64_t>(st.mss_bytes) * 8);
+    hit(kPacingBase + std::max<std::size_t>(log2_bucket(pps, 16), 1));
+  }
+
+  // Window occupancy: inflight as sixteenths of cwnd.
+  if (cwnd > 0) {
+    const std::int64_t inflight = std::max<std::int64_t>(st.in_flight(), 0);
+    hit(kOccupancyBase +
+        std::min<std::size_t>(
+            static_cast<std::size_t>(inflight * 16 / cwnd), 15));
+  }
+
+  // ssthresh magnitude; the "unused" sentinel (BBR) saturates to the top bin.
+  const std::int64_t ssthresh = cca.ssthresh_segments();
+  hit(kSsthreshBase +
+      (ssthresh >= std::numeric_limits<std::int64_t>::max() / 4
+           ? 15
+           : log2_bucket(ssthresh, 15)));
+}
+
+void BehaviorProbe::on_congestion(tcp::CongestionEvent ev, int backoff) {
+  const auto kind = static_cast<std::size_t>(ev) & 3;
+  event_mask_ |= static_cast<std::uint8_t>(1u << kind);
+  max_backoff_ = std::max(max_backoff_,
+                          static_cast<std::uint8_t>(std::min(backoff, 255)));
+  // Backoff depth buckets: 0, 1, 2-3, 4+.
+  const std::size_t depth = backoff <= 1 ? static_cast<std::size_t>(backoff)
+                            : backoff <= 3 ? 2
+                                           : 3;
+  hit(kEventBase + kind * 4 + depth);
+}
+
+void BehaviorProbe::finalize() {
+  if (!enabled_) return;
+  sig_.bitmap.reset();
+  for (std::size_t bin = 0; bin < kBinCount; ++bin) {
+    if (hits_[bin] == 0) continue;
+    sig_.bitmap.set(bin * 8 + count_class(hits_[bin]));
+  }
+  sig_.bits = sig_.bitmap.count();
+  sig_.descriptor.state_transitions = static_cast<std::uint8_t>(
+      std::popcount(trans_mask_));
+  sig_.descriptor.rtt_spread = static_cast<std::uint8_t>(
+      std::popcount(rtt_mask_));
+  sig_.descriptor.max_backoff = max_backoff_;
+  sig_.descriptor.cwnd_span = static_cast<std::uint8_t>(
+      std::popcount(cwnd_mask_));
+  sig_.descriptor.event_mask = event_mask_;
+  sig_.descriptor.cca_states = static_cast<std::uint8_t>(
+      std::popcount(state_mask_));
+  sig_.valid = true;
+}
+
+}  // namespace ccfuzz::coverage

@@ -1,0 +1,154 @@
+// Behavioral coverage instrumentation for the CCA under test.
+//
+// A BehaviorProbe listens on the sender's BehaviorSink hooks and folds every
+// observation into a fixed set of behavior bins: CCA state-machine
+// transitions (BBR modes via CongestionControl::probe_state, generic
+// congestion-avoidance states otherwise), the cwnd phase space, RTT-sample
+// magnitude and inflation, RTO backoff depth, pacing-rate magnitude, and
+// congestion-event kinds. finalize() collapses the per-bin hit counts into
+// an AFL-style count-class bitmap plus a compact BehaviorDescriptor — the
+// key the MAP-Elites archive (fuzz::EliteArchive) grids on.
+//
+// Everything is integer arithmetic over fixed-size arrays: zero steady-state
+// allocations, and bit-identical signatures for repeated runs of the same
+// (trace, scenario, seed) — pinned by tests/coverage/probe_test.cpp.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "tcp/behavior_sink.h"
+
+namespace ccfuzz::coverage {
+
+/// Fixed-size bitmap over behavior bins × hit-count classes.
+struct CoverageBitmap {
+  static constexpr std::size_t kBits = 2048;
+  static constexpr std::size_t kWords = kBits / 64;
+
+  std::array<std::uint64_t, kWords> words{};
+
+  void reset() { words.fill(0); }
+  void set(std::size_t bit) { words[bit / 64] |= 1ull << (bit % 64); }
+  bool test(std::size_t bit) const {
+    return (words[bit / 64] >> (bit % 64)) & 1u;
+  }
+
+  std::uint32_t count() const {
+    std::uint32_t n = 0;
+    for (const std::uint64_t w : words) {
+      n += static_cast<std::uint32_t>(std::popcount(w));
+    }
+    return n;
+  }
+
+  /// Merges `other` in; returns how many bits were newly set (the novelty
+  /// signal the MAP-Elites selection rewards).
+  std::uint32_t merge_count_new(const CoverageBitmap& other) {
+    std::uint32_t fresh = 0;
+    for (std::size_t i = 0; i < kWords; ++i) {
+      const std::uint64_t add = other.words[i] & ~words[i];
+      fresh += static_cast<std::uint32_t>(std::popcount(add));
+      words[i] |= other.words[i];
+    }
+    return fresh;
+  }
+
+  /// FNV-1a digest over the words, for golden determinism tests.
+  std::uint64_t hash() const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::uint64_t w : words) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (w >> (i * 8)) & 0xffu;
+        h *= 1099511628211ULL;
+      }
+    }
+    return h;
+  }
+
+  bool operator==(const CoverageBitmap&) const = default;
+};
+
+/// Compact behavior summary — the MAP-Elites grid key. Every field is a
+/// small saturating count so the descriptor quantizes cleanly.
+struct BehaviorDescriptor {
+  std::uint8_t state_transitions = 0;  ///< distinct CCA-state (from,to) pairs
+  std::uint8_t rtt_spread = 0;         ///< distinct RTT-magnitude bins hit
+  std::uint8_t max_backoff = 0;        ///< deepest RTO backoff exponent
+  std::uint8_t cwnd_span = 0;          ///< distinct log2(cwnd) bins visited
+  std::uint8_t event_mask = 0;         ///< bitmask of CongestionEvent kinds
+  std::uint8_t cca_states = 0;         ///< distinct effective CCA states
+
+  bool operator==(const BehaviorDescriptor&) const = default;
+};
+
+/// One run's complete coverage result: bitmap + descriptor + summary bits.
+struct CoverageSignature {
+  CoverageBitmap bitmap;
+  BehaviorDescriptor descriptor;
+  std::uint32_t bits = 0;  ///< popcount of bitmap
+  bool valid = false;      ///< probe was attached and finalized
+
+  /// Order-sensitive digest of bitmap + descriptor (golden tests).
+  std::uint64_t hash() const;
+
+  bool operator==(const CoverageSignature&) const = default;
+};
+
+/// Accumulates behavior bins for one run. Observes the scenario's primary
+/// flow (flow 0); reset per run by RunContext, finalized after run_until.
+class BehaviorProbe final : public tcp::BehaviorSink {
+ public:
+  /// Total behavior bins; each expands to 8 count-class bits in the bitmap.
+  static constexpr std::size_t kBinCount = 256;
+  static_assert(kBinCount * 8 == CoverageBitmap::kBits);
+
+  // Bin-space layout (documented here, implemented in probe.cpp):
+  //   [  0,  64)  CCA state transitions, 8x8 (from*8 + to)
+  //   [ 64, 128)  log2(cwnd) x generic CA state, 16x4
+  //   [128, 176)  RTT sample magnitude, half-octave bins from 128 us
+  //   [176, 192)  RTT inflation over min-RTT, log2 ratio
+  //   [192, 208)  congestion event kind x RTO backoff depth, 4x4
+  //   [208, 224)  pacing-rate magnitude, log2 pps (0 = unpaced)
+  //   [224, 240)  inflight/cwnd occupancy, sixteenths
+  //   [240, 256)  log2(ssthresh), saturated for "unused" (BBR)
+
+  /// Arms (or disarms) the probe for a fresh run; clears all accumulators.
+  void reset(bool enabled);
+
+  bool enabled() const { return enabled_; }
+
+  // tcp::BehaviorSink
+  void on_ack_sample(const tcp::SenderState& st,
+                     const tcp::CongestionControl& cca,
+                     DurationNs rtt_sample) override;
+  void on_congestion(tcp::CongestionEvent ev, int backoff) override;
+
+  /// Collapses hit counts into the count-class bitmap and descriptor.
+  /// Signature is invalid (all zero) when the probe was disarmed.
+  void finalize();
+
+  const CoverageSignature& signature() const { return sig_; }
+
+ private:
+  void hit(std::size_t bin) {
+    if (hits_[bin] != 0xff) ++hits_[bin];
+  }
+
+  bool enabled_ = false;
+  std::array<std::uint8_t, kBinCount> hits_{};  // saturating per-bin counts
+  int prev_state_ = -1;
+
+  // Distinct-set accumulators for the descriptor.
+  std::uint64_t trans_mask_ = 0;  // 64 possible (from,to) pairs
+  std::uint64_t rtt_mask_ = 0;    // 48 RTT bins
+  std::uint32_t cwnd_mask_ = 0;   // 16 log2(cwnd) bins
+  std::uint8_t state_mask_ = 0;   // 8 effective states
+  std::uint8_t event_mask_ = 0;   // 4 congestion-event kinds
+  std::uint8_t max_backoff_ = 0;
+
+  CoverageSignature sig_{};
+};
+
+}  // namespace ccfuzz::coverage

@@ -1,0 +1,211 @@
+#include "fuzz/elite_archive.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/trace_io.h"
+
+namespace ccfuzz::fuzz {
+namespace {
+
+/// Saturating quantizer onto kBuckets buckets: exact for small values,
+/// log-ish above, so the low end of every axis (where most runs land) keeps
+/// resolution while heavy-tailed runs still separate.
+std::size_t quantize8(unsigned v) {
+  if (v <= 4) return v;
+  if (v <= 6) return 5;
+  if (v <= 10) return 6;
+  return 7;
+}
+
+constexpr const char* kMagic = "# ccfuzz-archive v1";
+
+void write_hex_words(std::ostream& os, const coverage::CoverageBitmap& map) {
+  os << std::hex;
+  for (std::size_t i = 0; i < coverage::CoverageBitmap::kWords; ++i) {
+    os << (i == 0 ? "" : " ") << map.words[i];
+  }
+  os << std::dec;
+}
+
+coverage::CoverageBitmap read_hex_words(std::istringstream& is) {
+  coverage::CoverageBitmap map;
+  is >> std::hex;
+  for (auto& w : map.words) {
+    if (!(is >> w)) throw std::runtime_error("archive: truncated bitmap");
+  }
+  return map;
+}
+
+}  // namespace
+
+EliteArchive::EliteArchive() : cells_(kCells) { occupied_.reserve(kCells); }
+
+std::size_t EliteArchive::cell_index(const coverage::BehaviorDescriptor& d) {
+  std::size_t idx = quantize8(d.state_transitions);
+  idx = idx * kBuckets + quantize8(d.rtt_spread);
+  idx = idx * kBuckets + quantize8(d.max_backoff);
+  idx = idx * kBuckets + quantize8(d.cwnd_span);
+  return idx;
+}
+
+EliteArchive::InsertResult EliteArchive::insert(const trace::Trace& genome,
+                                                const Evaluation& eval) {
+  InsertResult r;
+  if (!eval.coverage.valid) return r;
+  r.fresh_bits = union_map_.merge_count_new(eval.coverage.bitmap);
+  union_bits_ += r.fresh_bits;
+  r.cell = cell_index(eval.coverage.descriptor);
+
+  Cell& c = cells_[r.cell];
+  if (!c.occupied) {
+    c.occupied = true;
+    occupied_.push_back(static_cast<std::uint16_t>(r.cell));
+    r.new_cell = true;
+  } else if (eval.score.total() > c.eval.score.total()) {
+    r.improved = true;
+  } else {
+    return r;  // incumbent stands (ties included: elites never churn)
+  }
+  // Copy-assign into the incumbent's buffers: warm replacements reuse the
+  // stamp/goodput vector capacities and allocate nothing.
+  c.genome = genome;
+  c.eval = eval;
+  return r;
+}
+
+const EliteArchive::Cell& EliteArchive::sample(Rng& rng) const {
+  const std::size_t pick = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(occupied_.size()) - 1));
+  return cells_[occupied_[pick]];
+}
+
+void EliteArchive::save(std::ostream& os) const {
+  os << kMagic << "\n";
+  os << "# cells " << occupied_.size() << "\n";
+  os << "# union ";
+  write_hex_words(os, union_map_);
+  os << "\n";
+  os << std::setprecision(17);
+  for (const std::uint16_t idx : occupied_) {
+    const Cell& c = cells_[idx];
+    os << "# entry " << idx << "\n";
+    os << "# score " << c.eval.score.performance << " " << c.eval.score.trace
+       << "\n";
+    const auto& d = c.eval.coverage.descriptor;
+    os << "# desc " << +d.state_transitions << " " << +d.rtt_spread << " "
+       << +d.max_backoff << " " << +d.cwnd_span << " " << +d.event_mask << " "
+       << +d.cca_states << "\n";
+    os << "# bits " << c.eval.coverage.bits << "\n";
+    os << "# map ";
+    write_hex_words(os, c.eval.coverage.bitmap);
+    os << "\n";
+    trace::write_trace(os, c.genome);
+    os << "# end entry\n";
+  }
+  if (!os) throw std::runtime_error("archive write failed");
+}
+
+void EliteArchive::save_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    throw std::runtime_error("cannot open archive file for write: " + path);
+  }
+  save(f);
+}
+
+EliteArchive EliteArchive::load(std::istream& is) {
+  EliteArchive a;
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    throw std::runtime_error("archive: missing magic header");
+  }
+
+  bool in_entry = false;
+  std::size_t entry_idx = 0;
+  Evaluation entry_eval;
+  std::ostringstream trace_buf;
+
+  const auto finish_entry = [&] {
+    std::istringstream ts(trace_buf.str());
+    trace::Trace genome = trace::read_trace(ts);
+    if (entry_idx >= kCells) {
+      throw std::runtime_error("archive: cell index out of range");
+    }
+    Cell& c = a.cells_[entry_idx];
+    if (c.occupied) throw std::runtime_error("archive: duplicate cell");
+    c.occupied = true;
+    c.genome = std::move(genome);
+    c.eval = entry_eval;
+    a.occupied_.push_back(static_cast<std::uint16_t>(entry_idx));
+    a.union_map_.merge_count_new(c.eval.coverage.bitmap);
+  };
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string hash, key;
+    if (line[0] == '#') {
+      ls >> hash >> key;
+    }
+    if (key == "cells" || key == "union") {
+      if (key == "union") a.union_map_ = read_hex_words(ls);
+      continue;
+    }
+    if (key == "entry") {
+      if (in_entry) throw std::runtime_error("archive: nested entry");
+      if (!(ls >> entry_idx)) {
+        throw std::runtime_error("archive: bad entry header");
+      }
+      in_entry = true;
+      entry_eval = Evaluation{};
+      entry_eval.coverage.valid = true;
+      trace_buf.str("");
+      trace_buf.clear();
+      continue;
+    }
+    if (!in_entry) throw std::runtime_error("archive: content outside entry");
+    if (key == "score") {
+      if (!(ls >> entry_eval.score.performance >> entry_eval.score.trace)) {
+        throw std::runtime_error("archive: bad score line");
+      }
+    } else if (key == "desc") {
+      unsigned v[6];
+      if (!(ls >> v[0] >> v[1] >> v[2] >> v[3] >> v[4] >> v[5])) {
+        throw std::runtime_error("archive: bad descriptor line");
+      }
+      auto& d = entry_eval.coverage.descriptor;
+      d.state_transitions = static_cast<std::uint8_t>(v[0]);
+      d.rtt_spread = static_cast<std::uint8_t>(v[1]);
+      d.max_backoff = static_cast<std::uint8_t>(v[2]);
+      d.cwnd_span = static_cast<std::uint8_t>(v[3]);
+      d.event_mask = static_cast<std::uint8_t>(v[4]);
+      d.cca_states = static_cast<std::uint8_t>(v[5]);
+    } else if (key == "bits") {
+      if (!(ls >> entry_eval.coverage.bits)) {
+        throw std::runtime_error("archive: bad bits line");
+      }
+    } else if (key == "map") {
+      entry_eval.coverage.bitmap = read_hex_words(ls);
+    } else if (key == "end") {
+      finish_entry();
+      in_entry = false;
+    } else {
+      // Anything else belongs to the embedded trace_io block.
+      trace_buf << line << "\n";
+    }
+  }
+  if (in_entry) throw std::runtime_error("archive: truncated entry");
+  a.union_bits_ = a.union_map_.count();
+  return a;
+}
+
+EliteArchive EliteArchive::load_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open archive file: " + path);
+  return load(f);
+}
+
+}  // namespace ccfuzz::fuzz

@@ -1,0 +1,100 @@
+// MAP-Elites archive over behavioral coverage descriptors.
+//
+// Instead of keeping one best-of-population, the archive grids the behavior
+// space (coverage::BehaviorDescriptor quantized to a fixed
+// 8x8x8x8 lattice) and keeps the highest-scoring trace per cell — so a
+// mid-scoring trace that drives the CCA somewhere *new* survives and breeds.
+// The archive also maintains the union coverage bitmap across everything
+// ever inserted; insert() reports how many bitmap bits a candidate set for
+// the first time, which is the novelty bonus SearchMode::kMapElites /
+// GaConfig::novelty_bonus feeds back into selection.
+//
+// Cell storage is fixed (kCells slots, allocated up front) and replacement
+// copy-assigns into the incumbent's buffers, so a warm generation of
+// inserts performs zero heap allocations when genome sizes have reached
+// their high-water mark (pinned by the steady-state allocation test).
+//
+// Archives serialize through trace_io (each elite genome is an embedded
+// `# ccfuzz-trace v1` block), so a campaign can resume from a previous
+// campaign's archive and keep filling cells.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "coverage/probe.h"
+#include "fuzz/evaluator.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace ccfuzz::fuzz {
+
+/// Fixed-grid MAP-Elites archive keyed by the behavior descriptor.
+class EliteArchive {
+ public:
+  static constexpr std::size_t kDims = 4;
+  static constexpr std::size_t kBuckets = 8;
+  static constexpr std::size_t kCells = 4096;  // kBuckets^kDims
+
+  /// One lattice cell: the elite (highest-scoring) trace observed with this
+  /// behavior, or empty.
+  struct Cell {
+    bool occupied = false;
+    trace::Trace genome;
+    Evaluation eval;
+  };
+
+  struct InsertResult {
+    bool new_cell = false;        ///< first occupant of its cell
+    bool improved = false;        ///< displaced a lower-scoring incumbent
+    std::uint32_t fresh_bits = 0; ///< union-bitmap bits this run set first
+    std::size_t cell = 0;         ///< lattice index the candidate mapped to
+  };
+
+  EliteArchive();
+
+  /// Lattice index of a descriptor: each of the four behavior axes
+  /// (state transitions, RTT spread, max RTO backoff, cwnd span) quantized
+  /// to kBuckets saturating log-ish buckets.
+  static std::size_t cell_index(const coverage::BehaviorDescriptor& d);
+
+  /// Offers a candidate. No-op (all-false result) unless `eval.coverage` is
+  /// valid. The union map always absorbs the candidate's bitmap; the cell
+  /// only takes it when empty or strictly outscored (ties keep the
+  /// incumbent, so re-inserted elites never churn).
+  InsertResult insert(const trace::Trace& genome, const Evaluation& eval);
+
+  std::size_t filled() const { return occupied_.size(); }
+  std::uint32_t union_bits() const { return union_bits_; }
+  const coverage::CoverageBitmap& union_map() const { return union_map_; }
+
+  const Cell& cell(std::size_t index) const { return cells_[index]; }
+  /// Occupied lattice indices in first-fill order (deterministic).
+  const std::vector<std::uint16_t>& occupied_cells() const {
+    return occupied_;
+  }
+
+  /// Uniform-random occupied cell (parent selection). Requires filled() > 0.
+  const Cell& sample(Rng& rng) const;
+
+  // ---- Persistence (archives survive across campaigns) ----
+  /// Writes the archive; elite genomes are embedded trace_io blocks.
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  /// Parses an archive written by save(). Restores genomes, scores,
+  /// descriptors, coverage bitmaps and the union map; transport counters of
+  /// the persisted evaluations read as zero. Throws std::runtime_error on
+  /// malformed input.
+  static EliteArchive load(std::istream& is);
+  static EliteArchive load_file(const std::string& path);
+
+ private:
+  std::vector<Cell> cells_;             // kCells, fixed size
+  std::vector<std::uint16_t> occupied_; // fill order; reserved to kCells
+  coverage::CoverageBitmap union_map_{};
+  std::uint32_t union_bits_ = 0;
+};
+
+}  // namespace ccfuzz::fuzz

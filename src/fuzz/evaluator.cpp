@@ -41,6 +41,7 @@ void TraceEvaluator::evaluate_into(const trace::Trace& t,
     e.flow_goodput_mbps.push_back(run.goodput_mbps(i));
   }
   e.jain_fairness = run.jain_fairness();
+  e.coverage = run.coverage_signature();
 }
 
 std::vector<Evaluation> TraceEvaluator::evaluate_batch(

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "coverage/probe.h"
 #include "fuzz/score.h"
 #include "scenario/config.h"
 #include "scenario/runner.h"
@@ -33,6 +34,10 @@ struct Evaluation {
   std::vector<double> flow_goodput_mbps;
   /// Jain's fairness index over the flows (1.0 for single-flow runs).
   double jain_fairness = 1.0;
+  /// Behavioral coverage of the primary flow — valid only when the scenario
+  /// armed the probe (ScenarioConfig::coverage). Fixed-size POD: copying it
+  /// into the population costs no allocations.
+  coverage::CoverageSignature coverage;
 };
 
 /// Pure-function evaluator: thread-safe as long as the CCA factory and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "fuzz/selection.h"
 
@@ -12,8 +13,16 @@ bool better(const Member& a, const Member& b) {
   return a.eval.score.total() > b.eval.score.total();
 }
 
+/// Population-ranking fitness: score plus the transient novelty bonus.
+/// Identical to the raw score when no bonus is configured, so reporting
+/// (best_ever, top_members, GenStats) always reads raw scores while
+/// selection may favour behavioral novelty.
+bool ranked_better(const Member& a, const Member& b) {
+  return a.eval.score.total() + a.novelty > b.eval.score.total() + b.novelty;
+}
+
 void sort_best_first(std::vector<Member>& members) {
-  std::stable_sort(members.begin(), members.end(), better);
+  std::stable_sort(members.begin(), members.end(), ranked_better);
 }
 
 }  // namespace
@@ -24,6 +33,21 @@ Fuzzer::Fuzzer(const GaConfig& cfg, std::shared_ptr<const TraceModel> model,
   assert(cfg_.population >= 2 && "population too small");
   assert(cfg_.islands >= 1 && "need at least one island");
   assert(cfg_.islands <= cfg_.population && "more islands than members");
+
+  // The archive rides along whenever runs produce coverage signatures: in
+  // kScore mode it is passive telemetry (and the novelty-bonus source), in
+  // kMapElites mode it is the parent pool.
+  if (evaluator_.scenario().coverage) {
+    archive_ = std::make_shared<EliteArchive>();
+  } else if (cfg_.search == SearchMode::kMapElites) {
+    throw std::logic_error(
+        "SearchMode::kMapElites requires the evaluator scenario to arm the "
+        "coverage probe (ScenarioConfig::coverage = true)");
+  } else if (cfg_.novelty_bonus != 0.0) {
+    throw std::logic_error(
+        "GaConfig::novelty_bonus requires the evaluator scenario to arm the "
+        "coverage probe (ScenarioConfig::coverage = true)");
+  }
 
   Rng master(cfg_.seed);
   islands_.resize(static_cast<std::size_t>(cfg_.islands));
@@ -78,7 +102,20 @@ void Fuzzer::breed_island(Island& isl) {
   // Link mode has no crossover (§3.2): those slots become mutations.
   if (n < 2 || !model_->supports_crossover()) crossovers = 0;
 
+  // MAP-Elites draws half its parents uniformly from the behavior archive
+  // and half from the island's rank order (pure-archive selection inbreeds
+  // while the archive is small: a dozen elites cannot carry a population's
+  // worth of genetic diversity). Until the first generation has populated
+  // the archive, everything falls back to rank selection. Elite carry-over
+  // is unchanged, so each island still preserves its best scorer.
+  const bool has_archive = cfg_.search == SearchMode::kMapElites &&
+                           archive_ != nullptr && archive_->filled() > 0;
   RankSelector select(n);
+  const auto parent = [&](Rng& rng) -> const trace::Trace& {
+    if (has_archive && rng.coin()) return archive_->sample(rng).genome;
+    return isl.members[select.pick(rng)].genome;
+  };
+
   std::vector<Member> next;
   next.reserve(n);
 
@@ -86,25 +123,29 @@ void Fuzzer::breed_island(Island& isl) {
   for (std::size_t i = 0; i < elites; ++i) next.push_back(isl.members[i]);
 
   for (std::size_t i = 0; i < crossovers; ++i) {
-    const auto [a, b] = select.pick_pair(isl.rng);
-    auto child = model_->crossover(isl.members[a].genome,
-                                   isl.members[b].genome, isl.rng);
     Member m;
-    m.genome = std::move(*child);
+    if (has_archive) {
+      m.genome =
+          std::move(*model_->crossover(parent(isl.rng), parent(isl.rng),
+                                       isl.rng));
+    } else {
+      const auto [a, b] = select.pick_pair(isl.rng);
+      m.genome = std::move(*model_->crossover(isl.members[a].genome,
+                                              isl.members[b].genome, isl.rng));
+    }
     next.push_back(std::move(m));
   }
 
   while (next.size() < n) {
-    const std::size_t p = select.pick(isl.rng);
     Member m;
     if (cfg_.anneal) {
       // §3.2: smooth the parent between evaluation and mutation, so
       // variation fades wherever it is not needed to keep the score.
       m.genome =
-          model_->mutate(trace::anneal(isl.members[p].genome, cfg_.anneal_cfg),
+          model_->mutate(trace::anneal(parent(isl.rng), cfg_.anneal_cfg),
                          isl.rng);
     } else {
-      m.genome = model_->mutate(isl.members[p].genome, isl.rng);
+      m.genome = model_->mutate(parent(isl.rng), isl.rng);
     }
     next.push_back(std::move(m));
   }
@@ -187,8 +228,34 @@ GenStats Fuzzer::collect_stats() {
   return gs;
 }
 
+void Fuzzer::seed_archive(EliteArchive a) {
+  if (!archive_) {
+    throw std::logic_error(
+        "seed_archive: this fuzzer tracks no archive (scenario coverage off)");
+  }
+  *archive_ = std::move(a);
+}
+
+void Fuzzer::absorb_into_archive(GenStats& gs) {
+  if (!archive_) return;
+  // Deterministic (island, slot) order: archive contents are a pure
+  // function of the evaluated population, independent of thread scheduling.
+  for (auto& isl : islands_) {
+    for (auto& m : isl.members) {
+      if (!m.evaluated || !m.eval.coverage.valid) continue;
+      const EliteArchive::InsertResult r = archive_->insert(m.genome, m.eval);
+      m.novelty = cfg_.novelty_bonus * static_cast<double>(r.fresh_bits);
+      gs.archive_new_cells += r.new_cell ? 1 : 0;
+      gs.archive_improved += r.improved ? 1 : 0;
+    }
+  }
+  gs.archive_cells = static_cast<std::int64_t>(archive_->filled());
+  gs.coverage_bits = static_cast<std::int64_t>(archive_->union_bits());
+}
+
 GenStats Fuzzer::advance_generation() {
-  const GenStats gs = collect_stats();
+  GenStats gs = collect_stats();
+  absorb_into_archive(gs);
   history_.push_back(gs);
   ++generation_;
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "fuzz/elite_archive.h"
 #include "fuzz/evaluator.h"
 #include "fuzz/trace_model.h"
 #include "trace/annealing.h"
@@ -21,6 +22,24 @@
 #include "util/rng.h"
 
 namespace ccfuzz::fuzz {
+
+/// How parents are selected each generation.
+enum class SearchMode {
+  /// Classic CC-Fuzz: rank selection over the island population by score.
+  kScore,
+  /// MAP-Elites: half of all parents are drawn uniformly from the
+  /// behavioral elite archive (fuzz::EliteArchive), the rest from island
+  /// rank order — so every discovered behavior keeps breeding regardless of
+  /// how it scores globally, without collapsing the gene pool onto a small
+  /// archive. Requires the evaluator's scenario to arm the coverage probe
+  /// (ScenarioConfig::coverage).
+  kMapElites,
+};
+
+/// Display/report name of a search mode ("score" / "map-elites").
+constexpr const char* to_string(SearchMode m) {
+  return m == SearchMode::kScore ? "score" : "map-elites";
+}
 
 /// GA parameters. Paper-scale defaults are population 500, 20 islands,
 /// kElite 1, 30% crossovers, 10% migration every 10 generations (§4).
@@ -41,6 +60,14 @@ struct GaConfig {
   std::uint64_t seed = 0x5EED5EED5EEDULL;
   /// Evaluate islands' members in parallel on the global thread pool.
   bool parallel = true;
+  /// Parent-selection strategy (see SearchMode).
+  SearchMode search = SearchMode::kScore;
+  /// Selection bonus per union-coverage bit a member set for the first
+  /// time, added to its score for ranking (not reporting). Works in either
+  /// search mode — with kScore it gives classic novelty-bonus selection —
+  /// but needs the scenario's coverage probe armed. 0 disables. The bonus
+  /// decays naturally: as the union map saturates, fresh bits dry up.
+  double novelty_bonus = 0.0;
 };
 
 /// One population member: a trace and (once evaluated) its fitness.
@@ -48,6 +75,8 @@ struct Member {
   trace::Trace genome;
   Evaluation eval;
   bool evaluated = false;
+  /// Transient selection bonus from coverage novelty (never reported).
+  double novelty = 0.0;
 };
 
 /// Per-generation statistics (Fig 4d plots a series of these).
@@ -68,6 +97,16 @@ struct GenStats {
   /// Members whose run ended in a stall (no progress in the last second).
   int stalled_count = 0;
   std::int64_t evaluations = 0;
+
+  // --- Coverage / archive growth (zero when no archive is attached) ---
+  /// Occupied MAP-Elites cells after this generation's inserts.
+  std::int64_t archive_cells = 0;
+  /// Cells first filled this generation.
+  std::int64_t archive_new_cells = 0;
+  /// Incumbent elites displaced by a higher score this generation.
+  std::int64_t archive_improved = 0;
+  /// Union coverage-bitmap population count across the whole campaign.
+  std::int64_t coverage_bits = 0;
 };
 
 /// The GA loop. Construct, then run() or step() generation by generation.
@@ -115,6 +154,18 @@ class Fuzzer {
   /// Top-k members of the current population, best first (across islands).
   std::vector<Member> top_members(std::size_t k) const;
 
+  /// The behavioral elite archive — present whenever the evaluator's
+  /// scenario arms the coverage probe (kScore mode then tracks coverage
+  /// passively; kMapElites additionally selects parents from it). Null when
+  /// coverage is off.
+  std::shared_ptr<const EliteArchive> archive() const { return archive_; }
+
+  /// Replaces the archive with `a` (campaign resume: continue filling the
+  /// cells a previous campaign discovered). Call before the first
+  /// generation. Throws std::logic_error when this fuzzer tracks no archive
+  /// (scenario coverage off).
+  void seed_archive(EliteArchive a);
+
   /// For Fig 4d-style sweeps: number used to average the top-k metric.
   static constexpr std::size_t kTopK = 20;
 
@@ -125,6 +176,7 @@ class Fuzzer {
   };
 
   void evaluate_all();
+  void absorb_into_archive(GenStats& gs);
   void breed_island(Island& isl);
   void migrate();
   GenStats collect_stats();
@@ -133,6 +185,8 @@ class Fuzzer {
   std::shared_ptr<const TraceModel> model_;
   TraceEvaluator evaluator_;
   std::vector<Island> islands_;
+  /// Shared so campaign reports can outlive the fuzzer without copying.
+  std::shared_ptr<EliteArchive> archive_;
   Member best_ever_;
   std::vector<GenStats> history_;
   int generation_ = 0;

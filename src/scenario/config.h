@@ -140,6 +140,13 @@ struct ScenarioConfig {
   /// their window matches; keep the two in sync for metrics-only runs.
   DurationNs metrics_window = DurationNs::millis(500);
 
+  /// Arm the behavioral coverage probe (coverage::BehaviorProbe) on the
+  /// primary flow. Purely passive — results are bit-identical with the probe
+  /// on or off — but coverage-guided search (fuzz::SearchMode::kMapElites)
+  /// requires it, and the campaign evaluation cache keys on it so coverage
+  /// cells never reuse probe-less evaluations.
+  bool coverage = false;
+
   /// Number of CCA flows this scenario simulates (>= 1; the empty `flows`
   /// shorthand is one flow). The shorthand itself is resolved
   /// allocation-free by Dumbbell::resolve_spec.

@@ -222,6 +222,12 @@ void Dumbbell::setup(const ScenarioConfig& cfg, const tcp::CcaFactory& primary,
       f.sender->reset(scfg, std::move(cca_instance));
     }
 
+    // Coverage instruments the primary flow — the algorithm under test.
+    // reset() detached any previous sink, so probe-less runs stay clean.
+    if (i == 0 && cfg_.coverage && probe_ != nullptr) {
+      f.sender->set_behavior_sink(probe_);
+    }
+
     metrics_->set_flow_interval(i, f.spec.start);
   }
 }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "analysis/streaming_metrics.h"
+#include "coverage/probe.h"
 #include "net/cross_traffic.h"
 #include "net/delay_pipe.h"
 #include "net/link.h"
@@ -90,6 +91,12 @@ class Dumbbell {
   /// Schedules flow starts/stops, link service and cross-traffic injections.
   void start();
 
+  /// Binds the behavioral coverage probe setup() attaches to the primary
+  /// flow's sender when ScenarioConfig::coverage is set (nullptr detaches).
+  /// The caller owns the probe and resets/finalizes it around the run
+  /// (scenario::RunContext does both).
+  void set_behavior_probe(coverage::BehaviorProbe* probe) { probe_ = probe; }
+
   // ---- Component access (tests & analysis) ----
   std::size_t flow_count() const { return flow_count_; }
   /// The resolved spec of flow `i` (delays filled in, stop clamped).
@@ -139,6 +146,7 @@ class Dumbbell {
   net::PacketPool* pool_;
   net::BottleneckRecorder* recorder_;
   analysis::StreamingMetrics* metrics_;
+  coverage::BehaviorProbe* probe_ = nullptr;
 
   std::unique_ptr<net::DropTailQueue> queue_;
   // Both link types stay warm once built; link_ points at this run's.

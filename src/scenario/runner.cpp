@@ -132,11 +132,14 @@ const RunResult& RunContext::run(const ScenarioConfig& cfg,
   sim_.reset();
   pool_.clear();
   result_.recorder.clear();
+  result_.probe.reset(cfg.coverage);
+  db_.set_behavior_probe(&result_.probe);
 
   // setup() clears/rebinds the metrics and rebuilds the components in place.
   db_.setup(cfg, cca, trace_times);
   db_.start();
   sim_.run_until(cfg.duration);
+  result_.probe.finalize();
 
   // The recorder and metrics were written in place (they live inside
   // result_); only counters remain to collect. All assignments below reuse
@@ -180,19 +183,72 @@ ContextKey allocate_context_key() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
-RunContext& thread_run_context(ContextKey key) {
-  // One warm context per (thread, key): GA batches fan out over the shared
-  // pool, and every worker reuses its own slab/pool/component capacity per
-  // evaluation configuration. Contexts are built lazily, so the slot table
-  // stays a vector of null pointers for keys this thread never runs; the
-  // table grows only when a new key first evaluates here (never in a warm
-  // generation).
-  thread_local std::vector<std::unique_ptr<RunContext>> contexts;
-  if (contexts.size() <= key) contexts.resize(static_cast<std::size_t>(key) + 1);
-  std::unique_ptr<RunContext>& slot = contexts[key];
-  if (!slot) slot = std::make_unique<RunContext>();
-  return *slot;
+namespace {
+
+/// Per-thread LRU-bounded context cache. One warm context per (thread, key):
+/// GA batches fan out over the shared pool, and every worker reuses its own
+/// slab/pool/component capacity per evaluation configuration. Contexts are
+/// built lazily, so the slot table stays a vector of empty slots for keys
+/// this thread never runs; the table grows only when a new key first
+/// evaluates here (never in a warm generation). The LRU cap keeps a
+/// many-cell campaign (one key per evaluator) from pinning unbounded warm
+/// state per worker: materializing a context past the cap destroys the
+/// least-recently-touched one.
+struct ContextCache {
+  struct Slot {
+    std::unique_ptr<RunContext> ctx;
+    std::uint64_t last_use = 0;
+  };
+  std::vector<Slot> slots;
+  std::uint64_t tick = 0;
+  std::size_t live = 0;
+  std::size_t capacity = kDefaultThreadContextCapacity;
+
+  void evict_lru() {
+    Slot* victim = nullptr;
+    for (Slot& s : slots) {
+      if (s.ctx && (victim == nullptr || s.last_use < victim->last_use)) {
+        victim = &s;
+      }
+    }
+    if (victim != nullptr) {
+      victim->ctx.reset();
+      --live;
+    }
+  }
+};
+
+ContextCache& context_cache() {
+  thread_local ContextCache cache;
+  return cache;
 }
+
+}  // namespace
+
+RunContext& thread_run_context(ContextKey key) {
+  ContextCache& cache = context_cache();
+  if (cache.slots.size() <= key) {
+    cache.slots.resize(static_cast<std::size_t>(key) + 1);
+  }
+  ContextCache::Slot& slot = cache.slots[key];
+  if (!slot.ctx) {
+    while (cache.live >= cache.capacity) cache.evict_lru();
+    slot.ctx = std::make_unique<RunContext>();
+    ++cache.live;
+  }
+  slot.last_use = ++cache.tick;
+  return *slot.ctx;
+}
+
+void set_thread_context_capacity(std::size_t cap) {
+  ContextCache& cache = context_cache();
+  cache.capacity = std::max<std::size_t>(cap, 1);
+  while (cache.live > cache.capacity) cache.evict_lru();
+}
+
+std::size_t thread_context_capacity() { return context_cache().capacity; }
+
+std::size_t thread_context_count() { return context_cache().live; }
 
 RunResult run_scenario(const ScenarioConfig& cfg, const tcp::CcaFactory& cca,
                        std::vector<TimeNs> trace_times) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "analysis/streaming_metrics.h"
+#include "coverage/probe.h"
 #include "net/packet_pool.h"
 #include "net/queue.h"
 #include "net/recorder.h"
@@ -101,7 +102,18 @@ struct RunResult {
   /// RecordMode::kFullEvents (empty otherwise).
   net::BottleneckRecorder recorder;
 
+  /// Behavioral coverage probe for the primary flow; armed and finalized by
+  /// run_scenario when ScenarioConfig::coverage is set (its signature reads
+  /// invalid otherwise). Fixed-size state: carrying it costs nothing warm.
+  coverage::BehaviorProbe probe;
+
   std::size_t flow_count() const { return flows.size(); }
+
+  /// The run's behavioral coverage signature (invalid unless
+  /// ScenarioConfig::coverage was set).
+  const coverage::CoverageSignature& coverage_signature() const {
+    return probe.signature();
+  }
 
   /// True when the run kept raw per-packet events (figures/timeline APIs in
   /// analysis/flow_metrics need them).
@@ -209,6 +221,9 @@ class RunContext {
   Dumbbell db_;
 };
 
+/// Default per-thread cap on cached RunContexts (see thread_run_context).
+inline constexpr std::size_t kDefaultThreadContextCapacity = 64;
+
 /// Keys a per-thread cache of RunContexts. Key 0 is the shared default
 /// context (what run_scenario uses); every other key is handed out once by
 /// allocate_context_key() and names a dedicated warm context on each thread
@@ -223,10 +238,24 @@ using ContextKey = std::uint32_t;
 ContextKey allocate_context_key();
 
 /// This thread's warm RunContext for `key` — created on first use, reused
-/// for the thread's lifetime. Hot callers (fuzz::TraceEvaluator) run through
-/// it directly to skip the RunResult copy that the by-value run_scenario
-/// hands out.
+/// until evicted. The cache is LRU-bounded per thread (default
+/// kDefaultThreadContextCapacity): campaigns allocate one key per evaluator,
+/// so hundreds of cells would otherwise pin hundreds of warm contexts per
+/// worker forever. Touching a key refreshes it; creating one past the cap
+/// destroys the least-recently-used context (references to evicted contexts
+/// are invalidated — hot callers must not hold one across evaluations of
+/// other keys). Hot callers (fuzz::TraceEvaluator) run through the context
+/// directly to skip the RunResult copy that the by-value run_scenario hands
+/// out.
 RunContext& thread_run_context(ContextKey key = 0);
+
+/// Caps this thread's RunContext cache (min 1), evicting LRU contexts
+/// immediately if over the new cap. Per thread; affects future lookups.
+void set_thread_context_capacity(std::size_t cap);
+/// This thread's current cache cap.
+std::size_t thread_context_capacity();
+/// Live (materialized) contexts currently cached on this thread.
+std::size_t thread_context_count();
 
 /// Runs one simulation. `trace_times` is the link service curve (link mode)
 /// or cross-traffic schedule (traffic mode), sorted ascending. `cca` builds

@@ -1,0 +1,37 @@
+// Passive behavioral instrumentation hook for the sender/CCA pair.
+//
+// A BehaviorSink observes the transport from the outside: the sender feeds
+// it one sample per processed ACK plus every congestion-state transition,
+// and the sink reads whatever CCA introspection it needs (cwnd, ssthresh,
+// pacing rate, CongestionControl::probe_state). Observation must never feed
+// back into the simulation — the determinism contract (paper §3.6) requires
+// runs with and without a sink attached to be bit-identical, which the
+// golden fingerprint tests pin.
+//
+// The concrete implementation lives in src/coverage/ (BehaviorProbe); the
+// interface lives here so tcp/ does not depend upward.
+#pragma once
+
+#include "tcp/congestion_control.h"
+#include "tcp/types.h"
+#include "util/time.h"
+
+namespace ccfuzz::tcp {
+
+/// Read-only observer of transport behavior, attached per sender.
+class BehaviorSink {
+ public:
+  virtual ~BehaviorSink() = default;
+
+  /// One sample per processed ACK, after the CCA's on_ack ran. `rtt_sample`
+  /// is this ACK's Karn-filtered RTT measurement, -1 if none.
+  virtual void on_ack_sample(const SenderState& st,
+                             const CongestionControl& cca,
+                             DurationNs rtt_sample) = 0;
+
+  /// Mirrors every CongestionControl::on_congestion_event delivery;
+  /// `backoff` is the sender's current RTO exponential-backoff exponent.
+  virtual void on_congestion(CongestionEvent ev, int backoff) = 0;
+};
+
+}  // namespace ccfuzz::tcp

@@ -80,6 +80,13 @@ class CongestionControl {
   /// The sender offers its event log so model-internal transitions (BBR
   /// probe rounds, bandwidth samples) can appear on analysis timelines.
   virtual void attach_event_log(TcpEventLog* log) { (void)log; }
+
+  /// Compact id of the algorithm's internal mode for behavioral coverage
+  /// (coverage::BehaviorProbe bins transitions between successive values).
+  /// Return a small non-negative id (< 8); -1 (default) means "no internal
+  /// mode machine" and lets the probe fall back to the generic congestion-
+  /// avoidance state derived from SenderState.
+  virtual int probe_state() const { return -1; }
 };
 
 /// Factory signature used by scenarios and the fuzzer: each simulation gets

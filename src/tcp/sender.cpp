@@ -35,6 +35,7 @@ void TcpSender::reset(const Config& cfg, std::unique_ptr<CongestionControl> cca)
 
   st_ = SenderState{};
   st_.mss_bytes = cfg_.mss_bytes;
+  sink_ = nullptr;  // observers are per run; the harness re-attaches
   segs_.recycle();
   snd_una_ = 0;
   snd_nxt_ = 0;
@@ -253,6 +254,7 @@ void TcpSender::on_rto_timer() {
   recovery_point_ = snd_nxt_;
   refresh_state();
   cca_->on_congestion_event(st_, CongestionEvent::kRto);
+  if (sink_) sink_->on_congestion(CongestionEvent::kRto, backoff_);
 
   // Back off the timer for the next expiry, then retransmit the head.
   arm_rto(/*force=*/true);
@@ -314,6 +316,7 @@ void TcpSender::maybe_enter_recovery(TimeNs now, std::int64_t newly_lost) {
   log_.emit(now, TcpEventType::kEnterRecovery, recovery_point_);
   refresh_state();
   cca_->on_congestion_event(st_, CongestionEvent::kEnterRecovery);
+  if (sink_) sink_->on_congestion(CongestionEvent::kEnterRecovery, backoff_);
 }
 
 void TcpSender::maybe_exit_recovery(TimeNs now) {
@@ -326,8 +329,10 @@ void TcpSender::maybe_exit_recovery(TimeNs now) {
   log_.emit(now, was_loss ? TcpEventType::kExitLoss : TcpEventType::kExitRecovery,
             snd_una_);
   refresh_state();
-  cca_->on_congestion_event(
-      st_, was_loss ? CongestionEvent::kExitLoss : CongestionEvent::kExitRecovery);
+  const CongestionEvent ev =
+      was_loss ? CongestionEvent::kExitLoss : CongestionEvent::kExitRecovery;
+  cca_->on_congestion_event(st_, ev);
+  if (sink_) sink_->on_congestion(ev, backoff_);
 }
 
 RateSample TcpSender::generate_rate_sample(const RateSampleBuilder& rsb,
@@ -450,6 +455,7 @@ void TcpSender::on_ack_packet(const net::Packet& ack) {
             snd_una_, static_cast<double>(newly_acked + newly_sacked));
 
   cca_->on_ack(st_, ev, rs);
+  if (sink_) sink_->on_ack_sample(st_, *cca_, rtt_sample);
 
   // 7. RTO maintenance: restart on forward progress, stop when idle.
   if (newly_acked > 0) {

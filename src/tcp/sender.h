@@ -23,6 +23,7 @@
 
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "tcp/behavior_sink.h"
 #include "tcp/congestion_control.h"
 #include "tcp/event_log.h"
 #include "tcp/rtt_estimator.h"
@@ -82,6 +83,11 @@ class TcpSender {
 
   /// Handles an arriving ACK (cumulative + SACK blocks).
   void on_ack_packet(const net::Packet& ack);
+
+  /// Attaches a passive behavior observer (nullptr detaches). Cleared by
+  /// reset(); the harness re-attaches per run. The sink must not mutate the
+  /// simulation — golden fingerprints pin sink-on == sink-off.
+  void set_behavior_sink(BehaviorSink* sink) { sink_ = sink; }
 
   // ---- Introspection ----
   const SenderState& state() const { return st_; }
@@ -203,6 +209,7 @@ class TcpSender {
 
   sim::Simulator& sim_;
   Config cfg_;
+  BehaviorSink* sink_ = nullptr;
   std::unique_ptr<CongestionControl> cca_;
   std::function<void(net::Packet&&)> send_data_;
   RttEstimator rtt_;

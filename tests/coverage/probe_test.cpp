@@ -1,0 +1,127 @@
+// Behavior-probe contract tests: signatures are a deterministic pure
+// function of the run (pinned golden hashes), the bitmap/descriptor stay
+// in sync, and distinct CCAs land in distinct behavior cells.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "cca/registry.h"
+#include "coverage/probe.h"
+#include "scenario/runner.h"
+#include "trace/dist_packets.h"
+#include "util/rng.h"
+
+namespace ccfuzz::coverage {
+namespace {
+
+scenario::ScenarioConfig probe_config() {
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(2);
+  cfg.mode = scenario::FuzzMode::kTraffic;
+  cfg.coverage = true;
+  return cfg;
+}
+
+std::vector<TimeNs> probe_trace(TimeNs duration) {
+  Rng rng(7);
+  return trace::dist_packets(1500, TimeNs::zero(), duration, rng);
+}
+
+struct GoldenSignature {
+  const char* cca;
+  std::uint64_t hash;
+  std::uint32_t bits;
+  unsigned state_transitions, rtt_spread, max_backoff, cwnd_span;
+  unsigned event_mask, cca_states;
+};
+
+// Recorded from the probe as first landed; any change to bin layout,
+// count classes or hook placement trips these (bump deliberately).
+constexpr GoldenSignature kGolden[] = {
+    {"reno", 0x20bb1948b9670fdcULL, 46, 3, 5, 1, 5, 15, 2},
+    {"cubic", 0x1c7fdbea9a7ed840ULL, 42, 4, 6, 1, 5, 13, 3},
+    {"bbr", 0xa1d90f916e456059ULL, 44, 3, 6, 1, 4, 15, 3},
+};
+
+TEST(BehaviorProbe, GoldenSignaturesArePinned) {
+  for (const auto& g : kGolden) {
+    SCOPED_TRACE(g.cca);
+    const scenario::ScenarioConfig cfg = probe_config();
+    const auto run = scenario::run_scenario(cfg, cca::make_factory(g.cca),
+                                            probe_trace(cfg.duration));
+    const CoverageSignature& sig = run.coverage_signature();
+    ASSERT_TRUE(sig.valid);
+    EXPECT_EQ(sig.hash(), g.hash);
+    EXPECT_EQ(sig.bits, g.bits);
+    const BehaviorDescriptor& d = sig.descriptor;
+    EXPECT_EQ(+d.state_transitions, g.state_transitions);
+    EXPECT_EQ(+d.rtt_spread, g.rtt_spread);
+    EXPECT_EQ(+d.max_backoff, g.max_backoff);
+    EXPECT_EQ(+d.cwnd_span, g.cwnd_span);
+    EXPECT_EQ(+d.event_mask, g.event_mask);
+    EXPECT_EQ(+d.cca_states, g.cca_states);
+  }
+}
+
+TEST(BehaviorProbe, RepeatedRunsProduceBitIdenticalSignatures) {
+  const scenario::ScenarioConfig cfg = probe_config();
+  const auto factory = cca::make_factory("bbr");
+  const auto a =
+      scenario::run_scenario(cfg, factory, probe_trace(cfg.duration));
+  const auto b =
+      scenario::run_scenario(cfg, factory, probe_trace(cfg.duration));
+  EXPECT_TRUE(a.coverage_signature().bitmap == b.coverage_signature().bitmap);
+  EXPECT_EQ(a.coverage_signature().hash(), b.coverage_signature().hash());
+}
+
+TEST(BehaviorProbe, WarmContextMatchesColdContext) {
+  // The probe lives inside the context-owned RunResult; reuse must reset it
+  // fully (stale hits from the previous run would inflate the signature).
+  const scenario::ScenarioConfig cfg = probe_config();
+  const auto factory = cca::make_factory("reno");
+
+  scenario::RunContext warm;
+  std::uint64_t warm_hash = 0;
+  for (int i = 0; i < 3; ++i) {
+    warm_hash =
+        warm.run(cfg, factory, probe_trace(cfg.duration))
+            .coverage_signature()
+            .hash();
+  }
+  scenario::RunContext cold;
+  EXPECT_EQ(warm_hash, cold.run(cfg, factory, probe_trace(cfg.duration))
+                           .coverage_signature()
+                           .hash());
+}
+
+TEST(BehaviorProbe, DisarmedRunsCarryNoSignature) {
+  scenario::ScenarioConfig cfg = probe_config();
+  cfg.coverage = false;
+  const auto run = scenario::run_scenario(cfg, cca::make_factory("reno"),
+                                          probe_trace(cfg.duration));
+  EXPECT_FALSE(run.coverage_signature().valid);
+  EXPECT_EQ(run.coverage_signature().bits, 0u);
+}
+
+TEST(BehaviorProbe, BitsMatchesBitmapPopulationCount) {
+  const scenario::ScenarioConfig cfg = probe_config();
+  const auto run = scenario::run_scenario(cfg, cca::make_factory("cubic"),
+                                          probe_trace(cfg.duration));
+  const CoverageSignature& sig = run.coverage_signature();
+  EXPECT_GT(sig.bits, 0u);
+  EXPECT_EQ(sig.bits, sig.bitmap.count());
+}
+
+TEST(CoverageBitmap, MergeCountsOnlyFreshBits) {
+  CoverageBitmap a, b;
+  a.set(1);
+  a.set(100);
+  b.set(100);
+  b.set(2047);
+  EXPECT_EQ(a.merge_count_new(b), 1u);  // only 2047 is new to a
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.merge_count_new(b), 0u);  // idempotent
+}
+
+}  // namespace
+}  // namespace ccfuzz::coverage

@@ -1,0 +1,245 @@
+// EliteArchive semantics: cell replacement rules, union-coverage novelty
+// accounting, trace_io round-tripping, and the Fuzzer's coverage-guided
+// search modes (kMapElites parent selection, archive seeding for resume).
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "cca/registry.h"
+#include "fuzz/elite_archive.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/score.h"
+#include "trace/hash.h"
+#include "util/rng.h"
+
+namespace ccfuzz::fuzz {
+namespace {
+
+trace::Trace make_trace(std::uint64_t seed, std::size_t n = 16) {
+  trace::Trace t;
+  t.kind = trace::TraceKind::kTraffic;
+  t.duration = TimeNs::seconds(2);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.stamps.push_back(TimeNs(rng.uniform_int(0, t.duration.ns() - 1)));
+  }
+  std::sort(t.stamps.begin(), t.stamps.end());
+  return t;
+}
+
+Evaluation make_eval(double score, unsigned transitions, unsigned rtt_spread,
+                     std::uint32_t first_bit = 0) {
+  Evaluation e;
+  e.score.performance = score;
+  e.coverage.valid = true;
+  e.coverage.descriptor.state_transitions =
+      static_cast<std::uint8_t>(transitions);
+  e.coverage.descriptor.rtt_spread = static_cast<std::uint8_t>(rtt_spread);
+  e.coverage.bitmap.set(first_bit);
+  e.coverage.bitmap.set(first_bit + 1);
+  e.coverage.bits = 2;
+  return e;
+}
+
+TEST(EliteArchive, InsertFillsImprovesAndKeepsTiedIncumbents) {
+  EliteArchive a;
+  const trace::Trace t1 = make_trace(1), t2 = make_trace(2),
+                     t3 = make_trace(3);
+
+  const auto r1 = a.insert(t1, make_eval(1.0, 2, 3, 0));
+  EXPECT_TRUE(r1.new_cell);
+  EXPECT_FALSE(r1.improved);
+  EXPECT_EQ(r1.fresh_bits, 2u);
+  EXPECT_EQ(a.filled(), 1u);
+
+  // Same cell, same score: the incumbent stands (elites never churn).
+  const auto r2 = a.insert(t2, make_eval(1.0, 2, 3, 0));
+  EXPECT_FALSE(r2.new_cell);
+  EXPECT_FALSE(r2.improved);
+  EXPECT_EQ(r2.fresh_bits, 0u);
+  EXPECT_EQ(trace::hash(a.cell(r2.cell).genome), trace::hash(t1));
+
+  // Same cell, higher score: displaced. New bitmap bits still count.
+  const auto r3 = a.insert(t3, make_eval(2.0, 2, 3, 8));
+  EXPECT_FALSE(r3.new_cell);
+  EXPECT_TRUE(r3.improved);
+  EXPECT_EQ(r3.fresh_bits, 2u);
+  EXPECT_EQ(trace::hash(a.cell(r3.cell).genome), trace::hash(t3));
+  EXPECT_EQ(a.filled(), 1u);
+  EXPECT_EQ(a.union_bits(), 4u);
+
+  // Different descriptor: a second cell.
+  const auto r4 = a.insert(t2, make_eval(0.1, 7, 3, 0));
+  EXPECT_TRUE(r4.new_cell);
+  EXPECT_NE(r4.cell, r3.cell);
+  EXPECT_EQ(a.filled(), 2u);
+}
+
+TEST(EliteArchive, InvalidCoverageIsIgnored) {
+  EliteArchive a;
+  Evaluation e;  // coverage.valid == false
+  e.score.performance = 5.0;
+  const auto r = a.insert(make_trace(1), e);
+  EXPECT_FALSE(r.new_cell);
+  EXPECT_EQ(a.filled(), 0u);
+  EXPECT_EQ(a.union_bits(), 0u);
+}
+
+TEST(EliteArchive, CellIndexSaturatesHeavyTails) {
+  coverage::BehaviorDescriptor d{};
+  d.state_transitions = 200;  // far past the last bucket
+  d.rtt_spread = 200;
+  d.max_backoff = 200;
+  d.cwnd_span = 200;
+  EXPECT_EQ(EliteArchive::cell_index(d), EliteArchive::kCells - 1);
+  EXPECT_EQ(EliteArchive::cell_index(coverage::BehaviorDescriptor{}), 0u);
+}
+
+TEST(EliteArchive, SaveLoadRoundTripsThroughTraceIo) {
+  EliteArchive a;
+  a.insert(make_trace(1, 8), make_eval(1.5, 1, 2, 0));
+  a.insert(make_trace(2, 32), make_eval(-0.5, 4, 0, 40));
+  a.insert(make_trace(3, 1), make_eval(3.25, 7, 7, 80));
+
+  std::stringstream ss;
+  a.save(ss);
+  const EliteArchive b = EliteArchive::load(ss);
+
+  ASSERT_EQ(b.filled(), a.filled());
+  EXPECT_EQ(b.union_bits(), a.union_bits());
+  EXPECT_TRUE(b.union_map() == a.union_map());
+  ASSERT_EQ(b.occupied_cells(), a.occupied_cells());
+  for (const std::uint16_t idx : a.occupied_cells()) {
+    const auto& ca = a.cell(idx);
+    const auto& cb = b.cell(idx);
+    EXPECT_EQ(trace::hash(cb.genome), trace::hash(ca.genome));
+    EXPECT_EQ(cb.genome.duration, ca.genome.duration);
+    EXPECT_DOUBLE_EQ(cb.eval.score.total(), ca.eval.score.total());
+    EXPECT_EQ(EliteArchive::cell_index(cb.eval.coverage.descriptor), idx);
+    EXPECT_TRUE(cb.eval.coverage.bitmap == ca.eval.coverage.bitmap);
+  }
+
+  // A loaded archive keeps its replacement semantics: a known behavior with
+  // a lower score is still rejected, a new behavior still fills a cell.
+  EliteArchive c = b;
+  EXPECT_FALSE(c.insert(make_trace(9), make_eval(1.0, 1, 2, 0)).new_cell);
+  EXPECT_TRUE(c.insert(make_trace(9), make_eval(1.0, 2, 2, 0)).new_cell);
+  EXPECT_EQ(c.filled(), b.filled() + 1);
+}
+
+TEST(EliteArchive, LoadRejectsMalformedInput) {
+  std::istringstream no_magic("# not-an-archive\n");
+  EXPECT_THROW(EliteArchive::load(no_magic), std::runtime_error);
+
+  std::istringstream truncated(
+      "# ccfuzz-archive v1\n# entry 3\n# score 1 0\n");
+  EXPECT_THROW(EliteArchive::load(truncated), std::runtime_error);
+}
+
+// --- Fuzzer integration ------------------------------------------------------
+
+GaConfig coverage_ga() {
+  GaConfig ga;
+  ga.population = 12;
+  ga.islands = 2;
+  ga.max_generations = 4;
+  ga.parallel = false;
+  return ga;
+}
+
+TraceEvaluator coverage_evaluator(bool coverage = true) {
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(2);
+  cfg.coverage = coverage;
+  return TraceEvaluator(cfg, cca::make_factory("reno"),
+                        std::make_shared<LowUtilizationScore>(),
+                        TraceScoreWeights{.per_packet = 1e-4});
+}
+
+std::shared_ptr<const TraceModel> coverage_model() {
+  trace::TrafficTraceModel m;
+  m.duration = TimeNs::seconds(2);
+  m.max_packets = 400;
+  return std::make_shared<TrafficModel>(m);
+}
+
+TEST(Fuzzer, CoverageGuidedModesRequireTheProbe) {
+  GaConfig ga = coverage_ga();
+  ga.search = SearchMode::kMapElites;
+  EXPECT_THROW(Fuzzer(ga, coverage_model(), coverage_evaluator(false)),
+               std::logic_error);
+  GaConfig bonus = coverage_ga();
+  bonus.novelty_bonus = 0.5;
+  EXPECT_THROW(Fuzzer(bonus, coverage_model(), coverage_evaluator(false)),
+               std::logic_error);
+  EXPECT_EQ(Fuzzer(coverage_ga(), coverage_model(), coverage_evaluator(false))
+                .archive(),
+            nullptr);
+}
+
+TEST(Fuzzer, MapElitesFillsArchiveAndReportsGrowth) {
+  GaConfig ga = coverage_ga();
+  ga.search = SearchMode::kMapElites;
+  Fuzzer f(ga, coverage_model(), coverage_evaluator());
+  const auto& history = f.run();
+
+  ASSERT_NE(f.archive(), nullptr);
+  EXPECT_GT(f.archive()->filled(), 0u);
+  EXPECT_GT(f.archive()->union_bits(), 0u);
+  ASSERT_FALSE(history.empty());
+  EXPECT_GT(history.front().archive_cells, 0);
+  EXPECT_EQ(history.front().archive_new_cells, history.front().archive_cells);
+  // Occupancy is monotone: cells are never vacated.
+  for (std::size_t g = 1; g < history.size(); ++g) {
+    EXPECT_GE(history[g].archive_cells, history[g - 1].archive_cells);
+    EXPECT_GE(history[g].coverage_bits, history[g - 1].coverage_bits);
+  }
+  EXPECT_EQ(history.back().archive_cells,
+            static_cast<std::int64_t>(f.archive()->filled()));
+}
+
+TEST(Fuzzer, SeededArchiveResumesFilling) {
+  GaConfig ga = coverage_ga();
+  ga.search = SearchMode::kMapElites;
+
+  Fuzzer first(ga, coverage_model(), coverage_evaluator());
+  first.run();
+  std::stringstream ss;
+  first.archive()->save(ss);
+  const std::size_t carried = first.archive()->filled();
+  ASSERT_GT(carried, 0u);
+
+  GaConfig resumed_ga = ga;
+  resumed_ga.seed ^= 0x9E3779B97F4A7C15ULL;  // a fresh population
+  Fuzzer resumed(resumed_ga, coverage_model(), coverage_evaluator());
+  resumed.seed_archive(EliteArchive::load(ss));
+  const auto& history = resumed.run();
+  // The seeded cells survive; the resumed campaign only adds to them.
+  EXPECT_GE(resumed.archive()->filled(), carried);
+  EXPECT_GE(history.front().archive_cells,
+            static_cast<std::int64_t>(carried));
+}
+
+TEST(Fuzzer, NoveltyBonusBiasesSelectionNotReporting) {
+  // Same population, same evaluations: the bonus must leave reported scores
+  // untouched (GenStats reads raw totals), and a fuzzer with a bonus still
+  // tracks the identical archive (inserts are pre-selection).
+  GaConfig plain = coverage_ga();
+  Fuzzer a(plain, coverage_model(), coverage_evaluator());
+  GaConfig bonus = coverage_ga();
+  bonus.novelty_bonus = 10.0;
+  Fuzzer b(bonus, coverage_model(), coverage_evaluator());
+
+  const GenStats ga_first = a.step();
+  const GenStats gb_first = b.step();
+  // Generation 0 is the same seeded population → identical raw stats.
+  EXPECT_DOUBLE_EQ(ga_first.best_score, gb_first.best_score);
+  EXPECT_DOUBLE_EQ(ga_first.mean_score, gb_first.mean_score);
+  EXPECT_EQ(ga_first.archive_cells, gb_first.archive_cells);
+  EXPECT_EQ(ga_first.coverage_bits, gb_first.coverage_bits);
+}
+
+}  // namespace
+}  // namespace ccfuzz::fuzz

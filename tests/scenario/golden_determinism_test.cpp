@@ -167,6 +167,22 @@ TEST(GoldenDeterminism, BandMigrationMatchesPreTwoBandFingerprints) {
   }
 }
 
+TEST(GoldenDeterminism, CoverageProbeIsPurelyPassive) {
+  // Arming the behavior probe must not perturb the simulation by one bit:
+  // the same pre-refactor fingerprints hold with coverage on, and the runs
+  // now additionally carry a signature.
+  for (const auto& g : kGolden) {
+    SCOPED_TRACE(std::string(g.cca) + "/" + to_string(g.mode));
+    ScenarioConfig cfg = golden_config(g.mode);
+    cfg.coverage = true;
+    const auto run = run_scenario(cfg, cca::make_factory(g.cca),
+                                  golden_trace(g.mode, cfg.duration));
+    EXPECT_EQ(fingerprint(run), g.hash);
+    EXPECT_TRUE(run.coverage_signature().valid);
+    EXPECT_GT(run.coverage_signature().bits, 0u);
+  }
+}
+
 TEST(GoldenDeterminism, RepeatedRunsAreBitIdentical) {
   for (const auto& g : kGolden) {
     SCOPED_TRACE(std::string(g.cca) + "/" + to_string(g.mode));

@@ -14,6 +14,7 @@
 
 #include "cca/fixed_window.h"
 #include "cca/registry.h"
+#include "fuzz/elite_archive.h"
 #include "fuzz/evaluator.h"
 #include "fuzz/score.h"
 #include "net/delay_pipe.h"
@@ -308,6 +309,66 @@ TEST(SteadyStateAllocation, AlternatingCellBatchIsAllocationFreeWhenWarm) {
   EXPECT_EQ(out[0].flow_goodput_mbps.size(), 1u);
   EXPECT_EQ(out[1].flow_goodput_mbps.size(), 4u);
   EXPECT_GT(out[1].cca_sent, 0);
+}
+
+TEST(SteadyStateAllocation, MapElitesGenerationIsAllocationFreeWhenWarm) {
+  // Coverage-guided cells ride the same zero-allocation hot path: with the
+  // behavior probe armed, a warm generation — evaluate the batch (probe
+  // accumulation included) and offer every member to the MAP-Elites archive
+  // — performs zero heap allocations. The probe is fixed-size state inside
+  // the context-owned RunResult; archive replacement copy-assigns into the
+  // incumbent cell's buffers, so once genome sizes and Evaluation vectors
+  // have hit their high-water marks nothing touches the allocator.
+  if (!util::kRecycleEnabled) {
+    GTEST_SKIP() << "CCA recycling is bypassed in sanitized builds";
+  }
+  scenario::ScenarioConfig cfg;
+  cfg.duration = TimeNs::seconds(2);
+  cfg.coverage = true;
+  fuzz::TraceEvaluator evaluator(
+      cfg, cca::make_factory("reno"),
+      std::make_shared<fuzz::LowUtilizationScore>(),
+      fuzz::TraceScoreWeights{.per_packet = 1e-4, .per_drop = 1e-3});
+
+  trace::TrafficTraceModel model;
+  model.duration = cfg.duration;
+  model.max_packets = 1000;
+  model.initial_packets = 1000;  // fixed-size genomes: warm inserts reuse
+  Rng rng(43);
+  std::vector<trace::Trace> traces;
+  for (int i = 0; i < 8; ++i) traces.push_back(model.generate(rng));
+
+  std::vector<fuzz::Evaluation> out(traces.size());
+  std::vector<fuzz::BatchItem> items(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    items[i] = {&evaluator, &traces[i], &out[i]};
+  }
+  fuzz::EliteArchive archive;
+
+  auto generation = [&](double score_shift) {
+    fuzz::evaluate_batch(items, /*parallel=*/false);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      // Shift scores so later rounds displace incumbents: replacement (the
+      // genome + Evaluation copy into the cell) is the allocating candidate,
+      // not the no-op tie path.
+      out[i].score.performance += score_shift;
+      archive.insert(traces[i], out[i]);
+    }
+  };
+
+  generation(0.0);  // warm: contexts, probe, archive cells
+  generation(1.0);  // warm the replacement path too
+
+  const std::size_t before = g_allocations.load();
+  generation(2.0);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "a warm MAP-Elites generation (probe + archive insert) must not "
+         "allocate";
+
+  EXPECT_GT(archive.filled(), 0u);
+  EXPECT_GT(archive.union_bits(), 0u);
+  ASSERT_TRUE(out.front().coverage.valid);
+  EXPECT_GT(out.front().coverage.bits, 0u);
 }
 
 TEST(SteadyStateAllocation, MultiFlowEvaluateIsAllocationFreeWhenWarm) {
