@@ -16,15 +16,44 @@ import sys
 
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
+    """Parses a google-benchmark JSON file defensively.
+
+    A missing, truncated, or hand-mangled file (crashed bench run, bad
+    merge) degrades to an empty result set with a ::warning — this script
+    is a soft gate and must never fail the job over its own inputs.
+    """
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as e:
+        sys.stderr.write(
+            f"::warning title=bench compare::cannot read {path}: {e}\n")
+        return {}, {}
+    if not isinstance(data, dict):
+        sys.stderr.write(
+            f"::warning title=bench compare::{path}: not a JSON object\n")
+        return {}, {}
     out = {}
-    for b in data.get("benchmarks", []):
+    benchmarks = data.get("benchmarks", [])
+    if not isinstance(benchmarks, list):
+        benchmarks = []
+    skipped = 0
+    for b in benchmarks:
         # Aggregate entries (mean/median/stddev) would double-count.
-        if b.get("run_type", "iteration") != "iteration":
+        if not isinstance(b, dict) or b.get("run_type",
+                                            "iteration") != "iteration":
+            continue
+        if ("name" not in b or not isinstance(b.get("real_time"), (int, float))
+                or "time_unit" not in b):
+            skipped += 1
             continue
         out[b["name"]] = b
-    return out, data.get("context", {})
+    if skipped:
+        sys.stderr.write(
+            f"::warning title=bench compare::{path}: skipped {skipped} "
+            f"malformed benchmark entr{'y' if skipped == 1 else 'ies'}\n")
+    context = data.get("context", {})
+    return out, context if isinstance(context, dict) else {}
 
 
 def fmt_time(b):
@@ -41,6 +70,10 @@ def main():
 
     base, base_ctx = load(args.baseline)
     cur, cur_ctx = load(args.current)
+    if not base and not cur:
+        print("No readable benchmark data on either side; nothing to "
+              "compare (see workflow warnings).")
+        return 0
 
     print("### Benchmark deltas vs checked-in `BENCH_sim.json`")
     print()

@@ -15,7 +15,7 @@ fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}" >/dev/null
 cmake --build "$BUILD_DIR" --target quickstart --target fuzz_fairness \
-  --target fuzz_coverage -j"$(nproc)"
+  --target fuzz_coverage --target crashsafe_campaign -j"$(nproc)"
 
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
@@ -68,6 +68,31 @@ if ! head -1 "$OUT/coverage/archive.txt" | grep -q "ccfuzz-archive v1"; then
   exit 1
 fi
 echo "coverage smoke OK"
+
+# Crash-resume smoke: start a throttled crash-safe campaign, SIGKILL it once
+# the first checkpoint lands, rerun the same command, and require the resumed
+# report to be byte-identical to an uninterrupted reference run.
+"$BUILD_DIR/examples/crashsafe_campaign" "$OUT/crash-ref" 4 16 0 >/dev/null
+"$BUILD_DIR/examples/crashsafe_campaign" "$OUT/crash" 4 16 200 >/dev/null &
+victim_pid=$!
+for _ in $(seq 1 500); do
+  [[ -f "$OUT/crash/checkpoint/campaign.ckpt" ]] && break
+  sleep 0.05
+done
+if [[ ! -f "$OUT/crash/checkpoint/campaign.ckpt" ]]; then
+  echo "crash-resume smoke FAILED: no checkpoint appeared" >&2
+  exit 1
+fi
+kill -KILL "$victim_pid" 2>/dev/null || true
+wait "$victim_pid" 2>/dev/null || true
+"$BUILD_DIR/examples/crashsafe_campaign" "$OUT/crash" 4 16 0 >/dev/null
+for f in summary.csv summary.json; do
+  if ! cmp -s "$OUT/crash/$f" "$OUT/crash-ref/$f"; then
+    echo "crash-resume smoke FAILED: $f diverged after kill+resume" >&2
+    exit 1
+  fi
+done
+echo "crash-resume smoke OK"
 
 # Cheap benchmark-harness smoke: prove the micro benches still build and run
 # (full regression numbers come from scripts/bench_regression.sh). Exit 3

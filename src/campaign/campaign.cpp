@@ -1,9 +1,16 @@
 #include "campaign/campaign.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <bit>
 #include <cassert>
+#include <csignal>
 #include <filesystem>
+#include <fstream>
+#include <iomanip>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -13,8 +20,11 @@
 
 #include "campaign/report.h"
 #include "cca/registry.h"
+#include "fuzz/state_io.h"
 #include "trace/hash.h"
 #include "util/csv.h"
+#include "util/fs.h"
+#include "util/logging.h"
 
 namespace ccfuzz::campaign {
 namespace {
@@ -78,14 +88,20 @@ std::uint64_t scenario_key(const scenario::ScenarioConfig& s) {
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.access_delay.ns()));
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.queue_capacity));
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(n.packet_bytes));
+  // Run guards change where a run stops, so cells with different budgets
+  // must not share cached evaluations.
+  h = trace::fnv1a_u64(h, s.budget.max_events);
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.budget.max_sim_time.ns()));
+  h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.budget.max_wall_time.ns()));
   return h;
 }
 
 /// Cache-sharing identity of a cell's evaluation semantics. Cells agree iff
 /// the same trace is guaranteed the same Evaluation: same registry CCA,
-/// same scenario, the same ScoreFunction *object* (pointer identity — safe
-/// for shared axis entries, conservative for distinct-but-equal instances)
-/// and the same weights. Cells with an opaque custom factory never share.
+/// same scenario, the same scoring configuration
+/// (ScoreFunction::identity() — stable across processes, which is what lets
+/// checkpointed cache entries be reused after resume) and the same weights.
+/// Cells with an opaque custom factory never share.
 std::uint64_t eval_key(const CellConfig& cell, std::size_t cell_index) {
   std::uint64_t h = trace::kFnvOffset;
   if (cell.factory || has_custom_flow_factory(cell.scenario)) {
@@ -94,9 +110,7 @@ std::uint64_t eval_key(const CellConfig& cell, std::size_t cell_index) {
     h = fnv_str(h, cell.cca);
   }
   h = trace::fnv1a_u64(h, scenario_key(cell.scenario));
-  h = trace::fnv1a_u64(
-      h, static_cast<std::uint64_t>(
-             reinterpret_cast<std::uintptr_t>(cell.score.get())));
+  h = trace::fnv1a_u64(h, cell.score->identity());
   h = fnv_double(h, cell.trace_weights.per_packet);
   h = fnv_double(h, cell.trace_weights.per_drop);
   return h;
@@ -135,6 +149,31 @@ void validate_cell(const CellConfig& cell) {
 
 }  // namespace
 
+// --- Graceful shutdown -------------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void ccfuzz_stop_signal_handler(int) {
+  // Only async-signal-safe work here: raise the flag; the driver loop does
+  // the rest (finish batch, checkpoint, flush) on its own thread.
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool stop_requested() { return g_stop.load(std::memory_order_relaxed); }
+
+void request_stop() { g_stop.store(true, std::memory_order_relaxed); }
+
+void reset_stop_flag() { g_stop.store(false, std::memory_order_relaxed); }
+
+void install_stop_signal_handlers() {
+  std::signal(SIGINT, ccfuzz_stop_signal_handler);
+  std::signal(SIGTERM, ccfuzz_stop_signal_handler);
+}
+
 // --- CampaignConfig ---------------------------------------------------------
 
 std::vector<CellConfig> CampaignConfig::cells() const {
@@ -151,8 +190,6 @@ std::vector<CellConfig> CampaignConfig::cells() const {
   if (scenarios.empty()) scenarios.push_back({"", base_scenario_});
   std::vector<NamedScore> scores = scores_;
   if (scores.empty()) {
-    // One shared default instance, so same-scenario cells share cache
-    // entries (the eval key uses score object identity).
     scores.push_back({"", std::make_shared<fuzz::LowUtilizationScore>(), {}});
   }
 
@@ -188,9 +225,9 @@ std::vector<CellConfig> CampaignConfig::cells() const {
     }
   }
 
-  // One shared default score across explicit cells too: the eval-cache key
-  // uses score object identity, so per-cell instances would stop identical
-  // add_cell() cells (e.g. a seed sweep) from sharing cached evaluations.
+  // One shared default score across explicit cells (equal instances would
+  // share the cache anyway — identity() folds the configuration — but one
+  // instance is simply cheaper).
   std::shared_ptr<const fuzz::ScoreFunction> default_score;
   for (CellConfig cell : explicit_cells_) {
     if (!cell.factory && !cca::is_known_cca(cell.cca)) {
@@ -326,18 +363,38 @@ void ConsoleObserver::on_cell_end(const CellResult& result) {
 
 // --- JsonlObserver ----------------------------------------------------------
 
-JsonlObserver::JsonlObserver(const std::string& path)
-    : file_(path, std::ios::trunc), out_(&file_) {
-  if (!file_) {
+JsonlObserver::JsonlObserver(const std::string& path, bool sync)
+    : fp_(std::fopen(path.c_str(), "w")), sync_(sync) {
+  if (fp_ == nullptr) {
     throw std::runtime_error("JsonlObserver: cannot open " + path);
   }
+  // Unbuffered: each emit_line's single fwrite reaches the fd as one write,
+  // so a buffer-boundary flush can never split a line (a buffered stream
+  // flushing mid-fwrite would leave a torn line after SIGKILL).
+  std::setvbuf(fp_, nullptr, _IONBF, 0);
 }
 
 JsonlObserver::JsonlObserver(std::ostream& out) : out_(&out) {}
 
+JsonlObserver::~JsonlObserver() {
+  if (fp_ != nullptr) std::fclose(fp_);
+}
+
 void JsonlObserver::emit_line(const std::string& json) {
+  // One write per event line (newline included, stream unbuffered): a crash
+  // (or a tail -f reader) between events sees only whole lines, never a
+  // torn one.
+  if (fp_ != nullptr) {
+    const std::string line = json + '\n';
+    std::fwrite(line.data(), 1, line.size(), fp_);
+    return;
+  }
   *out_ << json << '\n';
   out_->flush();  // dashboards tail the file mid-campaign
+}
+
+void JsonlObserver::sync_boundary() {
+  if (fp_ != nullptr && sync_) ::fsync(::fileno(fp_));
 }
 
 void JsonlObserver::on_campaign_begin(const std::vector<CellConfig>& cells) {
@@ -377,6 +434,7 @@ void JsonlObserver::on_generation(const CellConfig& cell,
      << ",\"archive_new_cells\":" << gs.archive_new_cells
      << ",\"coverage_bits\":" << gs.coverage_bits << "}";
   emit_line(os.str());
+  sync_boundary();
 }
 
 void JsonlObserver::on_cell_end(const CellResult& result) {
@@ -401,12 +459,15 @@ void JsonlObserver::on_cell_end(const CellResult& result) {
   }
   os << "}";
   emit_line(os.str());
+  sync_boundary();
 }
 
 void JsonlObserver::on_campaign_end(const CampaignReport& report) {
   std::ostringstream os;
-  os << "{\"event\":\"campaign_end\",\"cells\":" << report.cells.size() << "}";
+  os << "{\"event\":\"campaign_end\",\"cells\":" << report.cells.size()
+     << ",\"interrupted\":" << (report.interrupted ? "true" : "false") << "}";
   emit_line(os.str());
+  sync_boundary();
 }
 
 // --- Campaign ---------------------------------------------------------------
@@ -424,10 +485,11 @@ struct Campaign::CellState {
   bool final_pass = false;
   bool done = false;
 
-  CellState(CellConfig c, std::uint64_t k)
-      : cfg(c),
+  CellState(CellConfig c, std::uint64_t k,
+            const std::shared_ptr<fuzz::Quarantine>& quarantine)
+      : cfg(std::move(c)),
         key(k),
-        evaluator(make_evaluator(cfg)),
+        evaluator(make_quarantined_evaluator(cfg, quarantine)),
         fuzzer(cfg.ga, make_trace_model(cfg), evaluator) {
     result.cell = cfg;
     // Mirror Fuzzer::run() for a zero-generation budget: no generations,
@@ -435,11 +497,33 @@ struct Campaign::CellState {
     if (cfg.ga.max_generations <= 0) final_pass = true;
     // Resume: continue filling the archive a previous campaign saved. A
     // missing file is a cold start by design (first run of a config that
-    // always names its resume path).
+    // always names its resume path); an unreadable or corrupt archive is a
+    // crash artifact, so it degrades to a cold start with a warning instead
+    // of killing the campaign.
     if (!cfg.resume_archive.empty() && cfg.scenario.coverage &&
         std::filesystem::exists(cfg.resume_archive)) {
-      fuzzer.seed_archive(fuzz::EliteArchive::load_file(cfg.resume_archive));
+      Result<fuzz::EliteArchive> a =
+          fuzz::EliteArchive::try_load_file(cfg.resume_archive);
+      if (a) {
+        fuzzer.seed_archive(std::move(*a));
+      } else {
+        CCFUZZ_LOG_WARN(
+            "cell '%s': resume archive %s unusable (%s: %s); starting with "
+            "a fresh archive",
+            cfg.name.c_str(), cfg.resume_archive.c_str(),
+            to_string(a.error().code), a.error().message.c_str());
+      }
     }
+  }
+
+ private:
+  static fuzz::TraceEvaluator make_quarantined_evaluator(
+      const CellConfig& cell, std::shared_ptr<fuzz::Quarantine> q) {
+    fuzz::TraceEvaluator e = make_evaluator(cell);
+    // Attach before the Fuzzer copies the evaluator, so both copies share
+    // the recorder.
+    e.set_quarantine(std::move(q));
+    return e;
   }
 };
 
@@ -448,20 +532,49 @@ Campaign::~Campaign() = default;
 Campaign::Campaign(const CampaignConfig& cfg)
     : cell_cfgs_(cfg.cells()),
       output_dir_(cfg.output_dir()),
+      checkpoint_every_(cfg.checkpoint_every()),
       parallel_(cfg.parallel()) {
-  cells_.reserve(cell_cfgs_.size());
-  for (std::size_t i = 0; i < cell_cfgs_.size(); ++i) {
-    cells_.push_back(
-        std::make_unique<CellState>(cell_cfgs_[i], eval_key(cell_cfgs_[i], i)));
+  if (!output_dir_.empty()) {
+    quarantine_ =
+        std::make_shared<fuzz::Quarantine>(output_dir_ + "/quarantine");
+  }
+  build_cells();
+  // Full mid-campaign resume: restore populations, RNG streams, counters,
+  // archives, and the evaluation cache from the last checkpoint. Anything
+  // wrong with the file — truncated by a crash, version skew, config drift —
+  // degrades to the fresh cells built above, with a warning.
+  if (!cfg.resume_dir().empty()) {
+    const std::string ckpt = cfg.resume_dir() + "/checkpoint/campaign.ckpt";
+    if (std::filesystem::exists(ckpt)) {
+      if (Error e = restore_checkpoint(ckpt)) {
+        CCFUZZ_LOG_WARN(
+            "checkpoint %s unusable (%s: %s); starting the campaign fresh",
+            ckpt.c_str(), to_string(e.code), e.message.c_str());
+        cache_.clear();
+        cells_.clear();
+        build_cells();
+      } else {
+        resumed_ = true;
+      }
+    }
   }
 }
 
-void Campaign::finish_cell(CellState& cell) {
+void Campaign::build_cells() {
+  cells_.reserve(cell_cfgs_.size());
+  for (std::size_t i = 0; i < cell_cfgs_.size(); ++i) {
+    cells_.push_back(std::make_unique<CellState>(
+        cell_cfgs_[i], eval_key(cell_cfgs_[i], i), quarantine_));
+  }
+}
+
+void Campaign::compute_winners(CellState& cell) {
   // Rank the final population together with the best member *ever*
   // observed: without elitism the best trace can be bred away before the
   // last generation, and losing it from the report would be silent. best()
   // predates the final-pass evaluation, so it must be re-ranked against the
   // final population, not assumed to lead it.
+  cell.result.winners.clear();
   auto top = cell.fuzzer.top_members(std::numeric_limits<std::size_t>::max());
   if (cell.fuzzer.best().evaluated) {
     top.push_back(cell.fuzzer.best());
@@ -478,6 +591,10 @@ void Campaign::finish_cell(CellState& cell) {
     cell.result.winners.push_back({m.genome, m.eval, h});
   }
   cell.result.archive = cell.fuzzer.archive();
+}
+
+void Campaign::finish_cell(CellState& cell) {
+  compute_winners(cell);
   cell.done = true;
   for (auto* o : observers_) o->on_cell_end(cell.result);
 }
@@ -501,8 +618,17 @@ const CampaignReport& Campaign::run() {
   std::vector<Job> copies;
   std::vector<fuzz::BatchItem> items;
   std::unordered_set<std::uint64_t> batch_keys;
+  std::uint64_t iteration = 0;
 
   while (true) {
+    // Graceful shutdown: the previous generation finished cleanly, so this
+    // is a consistent point to persist and leave. The checkpoint makes the
+    // interruption resumable; the report below records partial results.
+    if (stop_requested()) {
+      report_.interrupted = true;
+      write_checkpoint();
+      break;
+    }
     // Gather every active cell's pending members into one flat batch.
     // Repeats — a genome already in the cache, or the same genome reaching
     // two equivalent cells in this batch — are filled by copy, not
@@ -542,11 +668,26 @@ const CampaignReport& Campaign::run() {
     fuzz::evaluate_batch(items, parallel_);
     for (const Job& j : jobs) {
       j.member->evaluated = true;
-      cache_.emplace(j.key, j.member->eval);
+      // Wall-clock truncation is the one nondeterministic outcome a run can
+      // have: the same genome may finish fine on a resumed (or merely
+      // luckier) run. Keeping it out of the cache keeps the cache a pure
+      // function of the genome and cell.
+      if (!(j.member->eval.truncated &&
+            j.member->eval.truncation == sim::TruncationReason::kWallDeadline)) {
+        cache_.emplace(j.key, j.member->eval);
+      }
       ++j.cell->result.simulations;
     }
     for (const Job& c : copies) {
-      c.member->eval = cache_.at(c.key);
+      if (const auto hit = cache_.find(c.key); hit != cache_.end()) {
+        c.member->eval = hit->second;
+      } else {
+        // The job this copy deferred to was wall-truncated and excluded from
+        // the cache — simulate it after all.
+        c.cell->evaluator.evaluate_into(c.member->genome, c.member->eval);
+        ++c.cell->result.simulations;
+        --c.cell->result.cache_hits;
+      }
       c.member->evaluated = true;
     }
 
@@ -572,13 +713,160 @@ const CampaignReport& Campaign::run() {
       }
       if (stop) cell.final_pass = true;
     }
+
+    ++iteration;
+    if (checkpoint_every_ > 0 && iteration % checkpoint_every_ == 0) {
+      write_checkpoint();
+    }
   }
+
+  // Final checkpoint: a finished campaign resumes as a no-op rewrite of the
+  // same report. (An interrupted run already checkpointed before breaking.)
+  if (!report_.interrupted) write_checkpoint();
 
   report_.cells.reserve(cells_.size());
   for (auto& cp : cells_) report_.cells.push_back(std::move(cp->result));
   if (!output_dir_.empty()) write_report(report_, output_dir_);
   for (auto* o : observers_) o->on_campaign_end(report_);
   return report_;
+}
+
+void Campaign::write_checkpoint() const {
+  if (checkpoint_every_ <= 0 || output_dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(output_dir_ + "/checkpoint", ec);
+  if (ec) {
+    CCFUZZ_LOG_WARN("checkpoint: cannot create %s/checkpoint: %s",
+                    output_dir_.c_str(), ec.message().c_str());
+    return;
+  }
+  std::ostringstream os;
+  os << "# ccfuzz-checkpoint v1\n";
+  os << "# cells " << cells_.size() << "\n";
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const CellState& cell = *cells_[i];
+    os << "# cell " << i << "\n";
+    os << "# name " << cell.cfg.name << "\n";
+    os << "# best_so_far " << cell.best_so_far << "\n";
+    os << "# since_improvement " << cell.since_improvement << "\n";
+    os << "# final_pass " << (cell.final_pass ? 1 : 0) << "\n";
+    os << "# done " << (cell.done ? 1 : 0) << "\n";
+    os << "# simulations " << cell.result.simulations << "\n";
+    os << "# cache_hits " << cell.result.cache_hits << "\n";
+    cell.fuzzer.save_state(os);
+    os << "# end cell\n";
+  }
+  // Entry order follows the hash map and is not meaningful; the restored
+  // cache is order-independent.
+  os << "# cache " << cache_.size() << "\n";
+  for (const auto& [key, eval] : cache_) {
+    os << "# cachekey " << std::hex << key << std::dec << "\n";
+    fuzz::state_io::write_eval(os, eval);
+  }
+  os << "# end checkpoint\n";
+  const std::string path = output_dir_ + "/checkpoint/campaign.ckpt";
+  if (Error e = write_file_atomic(path, os.str())) {
+    CCFUZZ_LOG_WARN("checkpoint: write failed: %s", e.message.c_str());
+  }
+}
+
+Error Campaign::restore_checkpoint(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Error::io("cannot open checkpoint: " + path);
+  std::string line;
+  const auto next = [&](std::string& out) {
+    while (std::getline(is, out)) {
+      if (!out.empty()) return true;
+    }
+    return false;
+  };
+  // Parses "# <tag> <value>" into `out`; value-less tags pass a dummy.
+  const auto expect = [&](const char* tag, auto& out) -> Error {
+    if (!next(line)) {
+      return Error::truncated(std::string("checkpoint: missing '") + tag +
+                              "' line");
+    }
+    std::istringstream ls(line);
+    std::string hash, key;
+    ls >> hash >> key;
+    if (hash != "#" || key != tag || !(ls >> out)) {
+      return Error::parse(std::string("checkpoint: expected '# ") + tag +
+                          " <value>', got: " + line);
+    }
+    return Error::success();
+  };
+
+  if (!next(line)) return Error::truncated("checkpoint: empty file");
+  if (line.rfind("# ccfuzz-checkpoint", 0) != 0) {
+    return Error::parse("checkpoint: bad magic: " + line);
+  }
+  if (line != "# ccfuzz-checkpoint v1") {
+    return Error::version("checkpoint: unsupported version: " + line);
+  }
+  std::size_t n_cells = 0;
+  if (Error e = expect("cells", n_cells)) return e;
+  if (n_cells != cells_.size()) {
+    return Error::mismatch("checkpoint: holds " + std::to_string(n_cells) +
+                           " cells, campaign configures " +
+                           std::to_string(cells_.size()));
+  }
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    CellState& cell = *cells_[i];
+    std::size_t idx = 0;
+    if (Error e = expect("cell", idx)) return e;
+    if (idx != i) return Error::corrupt("checkpoint: cell index out of order");
+    if (!next(line)) return Error::truncated("checkpoint: missing cell name");
+    if (line.rfind("# name ", 0) != 0) {
+      return Error::parse("checkpoint: expected '# name', got: " + line);
+    }
+    // Config drift between the checkpointing and resuming processes would
+    // silently graft one cell's population onto another's scenario.
+    if (line.substr(7) != cell.cfg.name) {
+      return Error::mismatch("checkpoint: cell " + std::to_string(i) +
+                             " is '" + line.substr(7) + "', campaign expects '" +
+                             cell.cfg.name + "'");
+    }
+    int final_pass = 0, done = 0;
+    if (Error e = expect("best_so_far", cell.best_so_far)) return e;
+    if (Error e = expect("since_improvement", cell.since_improvement)) return e;
+    if (Error e = expect("final_pass", final_pass)) return e;
+    if (Error e = expect("done", done)) return e;
+    if (Error e = expect("simulations", cell.result.simulations)) return e;
+    if (Error e = expect("cache_hits", cell.result.cache_hits)) return e;
+    cell.final_pass = final_pass != 0;
+    cell.done = done != 0;
+    if (Error e = cell.fuzzer.restore_state(is)) return e;
+    if (!next(line)) return Error::truncated("checkpoint: missing end cell");
+    if (line != "# end cell") {
+      return Error::parse("checkpoint: expected '# end cell', got: " + line);
+    }
+  }
+  std::size_t n_cache = 0;
+  if (Error e = expect("cache", n_cache)) return e;
+  for (std::size_t i = 0; i < n_cache; ++i) {
+    if (!next(line)) return Error::truncated("checkpoint: missing cache key");
+    std::istringstream ls(line);
+    std::string hash, key;
+    std::uint64_t k = 0;
+    ls >> hash >> key >> std::hex >> k;
+    if (hash != "#" || key != "cachekey" || ls.fail()) {
+      return Error::parse("checkpoint: bad cache key line: " + line);
+    }
+    fuzz::Evaluation eval;
+    if (Error e = fuzz::state_io::read_eval(is, eval)) return e;
+    cache_.emplace(k, std::move(eval));
+  }
+  if (!next(line) || line != "# end checkpoint") {
+    return Error::truncated("checkpoint: missing terminator");
+  }
+  // Rebuild the derived report state the run loop normally accumulates.
+  for (auto& cp : cells_) {
+    CellState& cell = *cp;
+    cell.result.history = cell.fuzzer.history();
+    if (cell.done) compute_winners(cell);
+  }
+  return Error::success();
 }
 
 }  // namespace ccfuzz::campaign

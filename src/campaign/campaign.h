@@ -150,14 +150,30 @@ class CampaignConfig {
     output_dir_ = std::move(dir);
     return *this;
   }
-  /// Resume coverage-guided cells from a previous campaign's report tree:
-  /// each cell whose coverage probe is armed defaults its resume_archive to
+  /// Resume from a previous campaign's report tree. Two layers, both keyed
+  /// off the same directory: (1) when `<dir>/checkpoint/campaign.ckpt`
+  /// exists (written by checkpoint_every), the *full* mid-campaign state —
+  /// island populations, RNG streams, per-cell generation counters, elite
+  /// archives, and the evaluation cache — is restored, and the campaign
+  /// continues to a bit-identical report vs one that never stopped; a
+  /// corrupt or mismatched checkpoint degrades to a fresh start with a
+  /// warning, never an abort. (2) Independently, each cell whose coverage
+  /// probe is armed defaults its resume_archive to
   /// `<dir>/<sanitized cell name>/archive.txt` — exactly where write_report
-  /// saves it — so pointing resume_dir at the previous output_dir continues
-  /// filling the same archives. Cells whose archive file does not exist
-  /// start cold.
+  /// saves it — so archives keep filling even without a checkpoint. Cells
+  /// whose archive file does not exist start cold.
   CampaignConfig& resume_dir(std::string dir) {
     resume_dir_ = std::move(dir);
+    return *this;
+  }
+  /// Atomically snapshots the full campaign state into
+  /// `<output_dir>/checkpoint/campaign.ckpt` every `n` lockstep generations
+  /// (and at interruption / completion). 0 disables. Requires output_dir().
+  /// Pair with resume_dir(output_dir()) to make a campaign crash-safe: kill
+  /// it at any point, rerun the same binary, and it continues from the last
+  /// checkpoint to a bit-identical report.
+  CampaignConfig& checkpoint_every(int n) {
+    checkpoint_every_ = n;
     return *this;
   }
   /// Appends one explicit cell (validated, but not crossed with the axes).
@@ -173,6 +189,8 @@ class CampaignConfig {
   std::vector<CellConfig> cells() const;
 
   const std::string& output_dir() const { return output_dir_; }
+  const std::string& resume_dir() const { return resume_dir_; }
+  int checkpoint_every() const { return checkpoint_every_; }
   bool parallel() const { return parallel_; }
 
  private:
@@ -204,6 +222,7 @@ class CampaignConfig {
   bool parallel_ = true;
   std::string output_dir_;
   std::string resume_dir_;
+  int checkpoint_every_ = 0;
   std::vector<CellConfig> explicit_cells_;
 };
 
@@ -237,7 +256,28 @@ struct CellResult {
 
 struct CampaignReport {
   std::vector<CellResult> cells;
+  /// True when the campaign stopped early on a shutdown request
+  /// (stop_requested()); unfinished cells carry partial histories and no
+  /// winners. Resume from the checkpoint to finish them.
+  bool interrupted = false;
 };
+
+// --- Graceful shutdown -------------------------------------------------------
+// A cooperative process-wide stop flag. The campaign driver polls it between
+// lockstep generations: when raised, it finishes the in-flight batch, writes
+// a final checkpoint, flushes observers, and returns normally — so a
+// SIGINT/SIGTERM'd campaign exits 0 with a resumable on-disk state instead
+// of dying mid-write.
+
+/// True once a stop was requested (signal or request_stop()).
+bool stop_requested();
+/// Raises the stop flag (async-signal-safe).
+void request_stop();
+/// Clears the flag (tests; running several campaigns in one process).
+void reset_stop_flag();
+/// Installs SIGINT/SIGTERM handlers that raise the stop flag. Call once from
+/// the driver binary; repeated calls are harmless.
+void install_stop_signal_handlers();
 
 /// Progress hooks, replacing the ad-hoc printing the benches used to
 /// hand-roll. Callbacks run on the driver thread, between batches.
@@ -275,14 +315,20 @@ class ConsoleObserver final : public CampaignObserver {
 /// Streams campaign progress as JSON Lines — one self-describing object per
 /// event (`campaign_begin`, `generation`, `cell_end`, `campaign_end`) — the
 /// machine-readable sibling of ConsoleObserver for dashboards tailing a
-/// file while a long campaign runs. Each line is flushed as it is written.
+/// file while a long campaign runs. Each line is flushed whole as it is
+/// written, so a reader (or a post-crash triage) never sees a torn line;
+/// with `sync` the file is additionally fsync'd at generation and cell
+/// boundaries, surviving power loss as well as process death.
 class JsonlObserver final : public CampaignObserver {
  public:
   /// Opens (truncates) `path`. Throws std::runtime_error when the file
-  /// cannot be opened.
-  explicit JsonlObserver(const std::string& path);
+  /// cannot be opened. `sync` fsyncs at generation/cell boundaries.
+  explicit JsonlObserver(const std::string& path, bool sync = false);
   /// Writes to an already-open stream (tests, in-process consumers).
   explicit JsonlObserver(std::ostream& out);
+  ~JsonlObserver() override;
+  JsonlObserver(const JsonlObserver&) = delete;
+  JsonlObserver& operator=(const JsonlObserver&) = delete;
 
   void on_campaign_begin(const std::vector<CellConfig>& cells) override;
   void on_generation(const CellConfig& cell,
@@ -292,9 +338,13 @@ class JsonlObserver final : public CampaignObserver {
 
  private:
   void emit_line(const std::string& json);
+  /// fsync at an event boundary (no-op for stream-backed observers or when
+  /// `sync` is off).
+  void sync_boundary();
 
-  std::ofstream file_;
-  std::ostream* out_;
+  std::FILE* fp_ = nullptr;  ///< owned, file-backed mode (enables fsync)
+  bool sync_ = false;
+  std::ostream* out_ = nullptr;  ///< borrowed, stream mode
 };
 
 /// Builds the evaluator for one cell — the single place scenario wiring
@@ -319,28 +369,50 @@ class Campaign {
 
   /// Runs every cell to completion (max_generations or patience), then
   /// writes the report to output_dir (when set) and returns it. Idempotent:
-  /// later calls return the first run's report.
+  /// later calls return the first run's report. Checks stop_requested()
+  /// between lockstep generations: on a stop it checkpoints (when
+  /// configured) and returns the partial report with `interrupted` set.
   const CampaignReport& run();
 
   const CampaignReport& report() const { return report_; }
   const std::vector<CellConfig>& cell_configs() const { return cell_cfgs_; }
 
+  /// True when this campaign restored mid-run state from a checkpoint.
+  bool resumed() const { return resumed_; }
+
+  /// The quarantine recorder for NaN/inf-scoring genomes — present when an
+  /// output_dir is configured (writes to `<output_dir>/quarantine/`).
+  const std::shared_ptr<fuzz::Quarantine>& quarantine() const {
+    return quarantine_;
+  }
+
  private:
   struct CellState;
 
+  /// Recomputes a cell's deduped winner list + archive pointer from its
+  /// final populations (pure function of GA state — also used when
+  /// restoring finished cells from a checkpoint).
+  void compute_winners(CellState& cell);
   void finish_cell(CellState& cell);
+  void build_cells();
+  void write_checkpoint() const;
+  Error restore_checkpoint(const std::string& path);
 
   std::vector<CellConfig> cell_cfgs_;
   std::vector<std::unique_ptr<CellState>> cells_;
   /// (cell evaluation key, trace hash) → Evaluation. Cells with identical
   /// evaluation semantics (same CCA/scenario/score, e.g. a GA-seed sweep)
-  /// share entries.
+  /// share entries. Persisted in checkpoints (the keys are process-stable),
+  /// so resumed campaigns replay cache hits bit-identically.
   std::unordered_map<std::uint64_t, fuzz::Evaluation> cache_;
   std::vector<CampaignObserver*> observers_;
   CampaignReport report_;
   std::string output_dir_;
+  int checkpoint_every_ = 0;
+  std::shared_ptr<fuzz::Quarantine> quarantine_;
   bool parallel_ = true;
   bool ran_ = false;
+  bool resumed_ = false;
 };
 
 }  // namespace ccfuzz::campaign

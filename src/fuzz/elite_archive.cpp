@@ -30,13 +30,12 @@ void write_hex_words(std::ostream& os, const coverage::CoverageBitmap& map) {
   os << std::dec;
 }
 
-coverage::CoverageBitmap read_hex_words(std::istringstream& is) {
-  coverage::CoverageBitmap map;
+bool read_hex_words(std::istringstream& is, coverage::CoverageBitmap& map) {
   is >> std::hex;
   for (auto& w : map.words) {
-    if (!(is >> w)) throw std::runtime_error("archive: truncated bitmap");
+    if (!(is >> w)) return false;
   }
-  return map;
+  return true;
 }
 
 }  // namespace
@@ -82,7 +81,7 @@ const EliteArchive::Cell& EliteArchive::sample(Rng& rng) const {
   return cells_[occupied_[pick]];
 }
 
-void EliteArchive::save(std::ostream& os) const {
+void EliteArchive::save(std::ostream& os, bool terminated) const {
   os << kMagic << "\n";
   os << "# cells " << occupied_.size() << "\n";
   os << "# union ";
@@ -105,6 +104,7 @@ void EliteArchive::save(std::ostream& os) const {
     trace::write_trace(os, c.genome);
     os << "# end entry\n";
   }
+  if (terminated) os << "# end archive\n";
   if (!os) throw std::runtime_error("archive write failed");
 }
 
@@ -116,11 +116,17 @@ void EliteArchive::save_file(const std::string& path) const {
   save(f);
 }
 
-EliteArchive EliteArchive::load(std::istream& is) {
+Result<EliteArchive> EliteArchive::try_load(std::istream& is) {
   EliteArchive a;
   std::string line;
-  if (!std::getline(is, line) || line != kMagic) {
-    throw std::runtime_error("archive: missing magic header");
+  if (!std::getline(is, line)) {
+    return Error::truncated("archive: empty input");
+  }
+  if (line != kMagic) {
+    if (line.rfind("# ccfuzz-archive", 0) == 0) {
+      return Error::version("archive: unsupported format version: " + line);
+    }
+    return Error::parse("archive: missing magic header");
   }
 
   bool in_entry = false;
@@ -128,19 +134,22 @@ EliteArchive EliteArchive::load(std::istream& is) {
   Evaluation entry_eval;
   std::ostringstream trace_buf;
 
-  const auto finish_entry = [&] {
+  // Returns kOk or the parse failure of the embedded trace block.
+  const auto finish_entry = [&]() -> Error {
     std::istringstream ts(trace_buf.str());
-    trace::Trace genome = trace::read_trace(ts);
+    Result<trace::Trace> genome = trace::try_read_trace(ts);
+    if (!genome) return genome.error();
     if (entry_idx >= kCells) {
-      throw std::runtime_error("archive: cell index out of range");
+      return Error::corrupt("archive: cell index out of range");
     }
     Cell& c = a.cells_[entry_idx];
-    if (c.occupied) throw std::runtime_error("archive: duplicate cell");
+    if (c.occupied) return Error::corrupt("archive: duplicate cell");
     c.occupied = true;
-    c.genome = std::move(genome);
+    c.genome = std::move(*genome);
     c.eval = entry_eval;
     a.occupied_.push_back(static_cast<std::uint16_t>(entry_idx));
     a.union_map_.merge_count_new(c.eval.coverage.bitmap);
+    return Error::success();
   };
 
   while (std::getline(is, line)) {
@@ -151,13 +160,15 @@ EliteArchive EliteArchive::load(std::istream& is) {
       ls >> hash >> key;
     }
     if (key == "cells" || key == "union") {
-      if (key == "union") a.union_map_ = read_hex_words(ls);
+      if (key == "union" && !read_hex_words(ls, a.union_map_)) {
+        return Error::parse("archive: bad union bitmap line");
+      }
       continue;
     }
     if (key == "entry") {
-      if (in_entry) throw std::runtime_error("archive: nested entry");
+      if (in_entry) return Error::corrupt("archive: nested entry");
       if (!(ls >> entry_idx)) {
-        throw std::runtime_error("archive: bad entry header");
+        return Error::parse("archive: bad entry header");
       }
       in_entry = true;
       entry_eval = Evaluation{};
@@ -166,15 +177,30 @@ EliteArchive EliteArchive::load(std::istream& is) {
       trace_buf.clear();
       continue;
     }
-    if (!in_entry) throw std::runtime_error("archive: content outside entry");
+    if (key == "end") {
+      std::string what;
+      ls >> what;
+      if (what == "archive") {
+        // Embedded-block terminator (checkpoints). Stops here, leaving the
+        // enclosing stream positioned after this line.
+        if (in_entry) return Error::truncated("archive: truncated entry");
+        a.union_bits_ = a.union_map_.count();
+        return a;
+      }
+      if (!in_entry) return Error::corrupt("archive: stray end marker");
+      if (Error e = finish_entry()) return e;
+      in_entry = false;
+      continue;
+    }
+    if (!in_entry) return Error::corrupt("archive: content outside entry");
     if (key == "score") {
       if (!(ls >> entry_eval.score.performance >> entry_eval.score.trace)) {
-        throw std::runtime_error("archive: bad score line");
+        return Error::parse("archive: bad score line");
       }
     } else if (key == "desc") {
       unsigned v[6];
       if (!(ls >> v[0] >> v[1] >> v[2] >> v[3] >> v[4] >> v[5])) {
-        throw std::runtime_error("archive: bad descriptor line");
+        return Error::parse("archive: bad descriptor line");
       }
       auto& d = entry_eval.coverage.descriptor;
       d.state_transitions = static_cast<std::uint8_t>(v[0]);
@@ -185,27 +211,38 @@ EliteArchive EliteArchive::load(std::istream& is) {
       d.cca_states = static_cast<std::uint8_t>(v[5]);
     } else if (key == "bits") {
       if (!(ls >> entry_eval.coverage.bits)) {
-        throw std::runtime_error("archive: bad bits line");
+        return Error::parse("archive: bad bits line");
       }
     } else if (key == "map") {
-      entry_eval.coverage.bitmap = read_hex_words(ls);
-    } else if (key == "end") {
-      finish_entry();
-      in_entry = false;
+      if (!read_hex_words(ls, entry_eval.coverage.bitmap)) {
+        return Error::parse("archive: bad bitmap line");
+      }
     } else {
       // Anything else belongs to the embedded trace_io block.
       trace_buf << line << "\n";
     }
   }
-  if (in_entry) throw std::runtime_error("archive: truncated entry");
+  if (in_entry) return Error::truncated("archive: truncated entry");
   a.union_bits_ = a.union_map_.count();
   return a;
 }
 
-EliteArchive EliteArchive::load_file(const std::string& path) {
+Result<EliteArchive> EliteArchive::try_load_file(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open archive file: " + path);
-  return load(f);
+  if (!f) return Error::io("cannot open archive file: " + path);
+  return try_load(f);
+}
+
+EliteArchive EliteArchive::load(std::istream& is) {
+  Result<EliteArchive> r = try_load(is);
+  if (!r) throw std::runtime_error(r.error().message);
+  return std::move(*r);
+}
+
+EliteArchive EliteArchive::load_file(const std::string& path) {
+  Result<EliteArchive> r = try_load_file(path);
+  if (!r) throw std::runtime_error(r.error().message);
+  return std::move(*r);
 }
 
 }  // namespace ccfuzz::fuzz

@@ -1,8 +1,20 @@
 #include "fuzz/evaluator.h"
 
+#include <cmath>
+#include <string>
+
 #include "util/thread_pool.h"
 
 namespace ccfuzz::fuzz {
+
+namespace {
+
+/// Finite stand-in for a non-finite score component: catastrophically bad
+/// (never selected, never displaces an archive elite) but totally ordered,
+/// so GA bookkeeping stays sane.
+constexpr double kQuarantinePenalty = -1e30;
+
+}  // namespace
 
 scenario::RunResult TraceEvaluator::run_full(const trace::Trace& t) const {
   scenario::ScenarioConfig cfg = scenario_;
@@ -26,6 +38,22 @@ void TraceEvaluator::evaluate_into(const trace::Trace& t,
       scenario::thread_run_context(context_key_).run(scenario_, cca_, t.stamps);
   e.score.performance = score_->performance_score(run);
   e.score.trace = trace_weights_.trace_score(run);
+  e.truncated = run.truncated;
+  e.truncation = run.truncation;
+  // NaN/inf quarantine: a non-finite fitness would corrupt every downstream
+  // ordering (selection, elites, history). Substitute a huge finite penalty
+  // and hand the genome to the quarantine recorder for offline replay.
+  e.quarantined = false;
+  if (!std::isfinite(e.score.performance) || !std::isfinite(e.score.trace)) {
+    const std::string reason =
+        std::string("non-finite score from '") + score_->name() + "'";
+    if (!std::isfinite(e.score.performance)) {
+      e.score.performance = kQuarantinePenalty;
+    }
+    if (!std::isfinite(e.score.trace)) e.score.trace = kQuarantinePenalty;
+    e.quarantined = true;
+    if (quarantine_) quarantine_->record(t, reason);
+  }
   e.goodput_mbps = run.goodput_mbps();
   e.cca_sent = run.cca_sent();
   e.cca_delivered = run.cca_segments_delivered();

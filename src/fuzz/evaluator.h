@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "coverage/probe.h"
+#include "fuzz/quarantine.h"
 #include "fuzz/score.h"
 #include "scenario/config.h"
 #include "scenario/runner.h"
@@ -38,6 +39,14 @@ struct Evaluation {
   /// armed the probe (ScenarioConfig::coverage). Fixed-size POD: copying it
   /// into the population costs no allocations.
   coverage::CoverageSignature coverage;
+  /// A run guard (ScenarioConfig::budget) stopped the simulation early;
+  /// `truncation` says which one. The score reflects the truncated prefix.
+  bool truncated = false;
+  sim::TruncationReason truncation = sim::TruncationReason::kNone;
+  /// The score function produced a non-finite value; it was replaced by a
+  /// large finite penalty and the genome was handed to the evaluator's
+  /// Quarantine (if any).
+  bool quarantined = false;
 };
 
 /// Pure-function evaluator: thread-safe as long as the CCA factory and
@@ -84,11 +93,20 @@ class TraceEvaluator {
   const scenario::ScenarioConfig& scenario() const { return scenario_; }
   const ScoreFunction& score_function() const { return *score_; }
 
+  /// Attaches a quarantine recorder: genomes whose score comes out NaN/inf
+  /// get a large finite penalty instead (Evaluation::quarantined) and are
+  /// saved through `q` for offline replay. Shared across evaluator copies.
+  void set_quarantine(std::shared_ptr<Quarantine> q) {
+    quarantine_ = std::move(q);
+  }
+  const std::shared_ptr<Quarantine>& quarantine() const { return quarantine_; }
+
  private:
   scenario::ScenarioConfig scenario_;
   tcp::CcaFactory cca_;
   std::shared_ptr<const ScoreFunction> score_;
   TraceScoreWeights trace_weights_;
+  std::shared_ptr<Quarantine> quarantine_;
   /// Names this evaluator's per-thread warm RunContext cache slot.
   scenario::ContextKey context_key_ = scenario::allocate_context_key();
 };

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "fuzz/selection.h"
+#include "fuzz/state_io.h"
 
 namespace ccfuzz::fuzz {
 namespace {
@@ -288,6 +293,142 @@ const std::vector<GenStats>& Fuzzer::run() {
   // top_members() reflect the final population.
   evaluate_all();
   return history_;
+}
+
+void Fuzzer::save_state(std::ostream& os) const {
+  os << "# ccfuzz-fuzzer v1\n";
+  os << "# generation " << generation_ << "\n";
+  os << "# total_evaluations " << total_evaluations_ << "\n";
+  os << "# best " << (best_ever_.evaluated ? 1 : 0) << "\n";
+  if (best_ever_.evaluated) state_io::write_member(os, best_ever_);
+  os << "# history " << history_.size() << "\n";
+  for (const GenStats& gs : history_) state_io::write_genstats(os, gs);
+  os << "# islands " << islands_.size() << "\n";
+  for (std::size_t i = 0; i < islands_.size(); ++i) {
+    const Island& isl = islands_[i];
+    const auto s = isl.rng.state();
+    os << "# island " << i << " " << std::hex << s[0] << " " << s[1] << " "
+       << s[2] << " " << s[3] << std::dec << " " << isl.members.size() << "\n";
+    for (const Member& m : isl.members) state_io::write_member(os, m);
+    os << "# end island\n";
+  }
+  os << "# archive " << (archive_ ? 1 : 0) << "\n";
+  if (archive_) archive_->save(os, /*terminated=*/true);
+  os << "# end fuzzer\n";
+}
+
+Error Fuzzer::restore_state(std::istream& is) {
+  std::string line;
+  const auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      if (!line.empty()) return true;
+    }
+    return false;
+  };
+  const auto expect = [&](const char* key,
+                          std::istringstream& ls) -> Error {
+    if (!next_line()) {
+      return Error::truncated(std::string("fuzzer state: missing '") + key +
+                              "'");
+    }
+    ls.str(line);
+    ls.clear();
+    std::string hash, k;
+    ls >> hash >> k;
+    if (hash != "#" || k != key) {
+      return Error::parse(std::string("fuzzer state: expected '# ") + key +
+                          "', got: " + line);
+    }
+    return Error::success();
+  };
+
+  if (!next_line()) return Error::truncated("fuzzer state: empty input");
+  if (line != "# ccfuzz-fuzzer v1") {
+    if (line.rfind("# ccfuzz-fuzzer", 0) == 0) {
+      return Error::version("fuzzer state: unsupported version: " + line);
+    }
+    return Error::parse("fuzzer state: missing magic header");
+  }
+
+  std::istringstream ls;
+  if (Error e = expect("generation", ls)) return e;
+  if (!(ls >> generation_)) {
+    return Error::parse("fuzzer state: bad generation line");
+  }
+  if (Error e = expect("total_evaluations", ls)) return e;
+  if (!(ls >> total_evaluations_)) {
+    return Error::parse("fuzzer state: bad total_evaluations line");
+  }
+  if (Error e = expect("best", ls)) return e;
+  int has_best = 0;
+  if (!(ls >> has_best)) return Error::parse("fuzzer state: bad best line");
+  if (has_best != 0) {
+    if (Error e = state_io::read_member(is, best_ever_)) return e;
+  } else {
+    best_ever_ = Member{};
+  }
+
+  if (Error e = expect("history", ls)) return e;
+  std::size_t n_hist = 0;
+  if (!(ls >> n_hist)) return Error::parse("fuzzer state: bad history line");
+  history_.clear();
+  history_.reserve(n_hist);
+  for (std::size_t i = 0; i < n_hist; ++i) {
+    if (!next_line()) return Error::truncated("fuzzer state: short history");
+    GenStats gs;
+    if (Error e = state_io::parse_genstats(line, gs)) return e;
+    history_.push_back(std::move(gs));
+  }
+
+  if (Error e = expect("islands", ls)) return e;
+  std::size_t n_islands = 0;
+  if (!(ls >> n_islands)) return Error::parse("fuzzer state: bad islands line");
+  if (n_islands != islands_.size()) {
+    return Error::mismatch("fuzzer state: island count mismatch (config has " +
+                           std::to_string(islands_.size()) + ", state has " +
+                           std::to_string(n_islands) + ")");
+  }
+  for (std::size_t i = 0; i < n_islands; ++i) {
+    if (Error e = expect("island", ls)) return e;
+    std::size_t idx = 0, n_members = 0;
+    std::array<std::uint64_t, 4> s{};
+    if (!(ls >> idx >> std::hex >> s[0] >> s[1] >> s[2] >> s[3] >> std::dec >>
+          n_members) ||
+        idx != i) {
+      return Error::parse("fuzzer state: bad island header: " + line);
+    }
+    Island& isl = islands_[i];
+    isl.rng.set_state(s);
+    isl.members.clear();
+    isl.members.reserve(n_members);
+    for (std::size_t m = 0; m < n_members; ++m) {
+      Member mem;
+      if (Error e = state_io::read_member(is, mem)) return e;
+      isl.members.push_back(std::move(mem));
+    }
+    if (!next_line() || line != "# end island") {
+      return Error::truncated("fuzzer state: island block not terminated");
+    }
+  }
+
+  if (Error e = expect("archive", ls)) return e;
+  int has_archive = 0;
+  if (!(ls >> has_archive)) {
+    return Error::parse("fuzzer state: bad archive line");
+  }
+  if ((has_archive != 0) != (archive_ != nullptr)) {
+    return Error::mismatch(
+        "fuzzer state: archive presence mismatch (coverage setting changed?)");
+  }
+  if (has_archive != 0) {
+    Result<EliteArchive> a = EliteArchive::try_load(is);
+    if (!a) return a.error();
+    *archive_ = std::move(*a);
+  }
+  if (!next_line() || line != "# end fuzzer") {
+    return Error::truncated("fuzzer state: block not terminated");
+  }
+  return Error::success();
 }
 
 std::vector<Member> Fuzzer::top_members(std::size_t k) const {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -168,6 +169,20 @@ class Fuzzer {
 
   /// For Fig 4d-style sweeps: number used to average the top-k metric.
   static constexpr std::size_t kTopK = 20;
+
+  // --- Checkpointing --------------------------------------------------------
+  /// Writes the full GA runtime state — island populations with their RNG
+  /// streams, generation counter, history, best-ever member, and the elite
+  /// archive (embedded, terminated) — as a `# ccfuzz-fuzzer v1` block.
+  /// restore_state on an identically-configured Fuzzer continues the search
+  /// bit-identically to one that never stopped.
+  void save_state(std::ostream& os) const;
+
+  /// Restores state written by save_state into this (identically
+  /// configured) fuzzer. On error the fuzzer is left unusable for resume —
+  /// callers must fall back to a fresh instance. kMismatch when the stream
+  /// disagrees with this fuzzer's shape (island count, archive presence).
+  Error restore_state(std::istream& is);
 
  private:
   struct Island {

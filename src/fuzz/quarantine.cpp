@@ -1,0 +1,44 @@
+#include "fuzz/quarantine.h"
+
+#include <exception>
+#include <filesystem>
+
+#include "trace/hash.h"
+#include "trace/trace_io.h"
+#include "util/logging.h"
+
+namespace ccfuzz::fuzz {
+
+void Quarantine::record(const trace::Trace& genome, const std::string& reason) {
+  const std::uint64_t h = trace::hash(genome);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (seen_.size() >= max_records_ || !seen_.insert(h).second) return;
+    if (!dir_ready_) {
+      std::error_code ec;
+      std::filesystem::create_directories(dir_, ec);
+      if (ec) {
+        CCFUZZ_LOG_WARN("quarantine: cannot create %s: %s", dir_.c_str(),
+                        ec.message().c_str());
+        return;
+      }
+      dir_ready_ = true;
+    }
+  }
+  const std::string path = dir_ + "/" + trace::hash_hex(h) + ".trace";
+  try {
+    trace::save_trace(path, genome);
+  } catch (const std::exception& e) {
+    CCFUZZ_LOG_WARN("quarantine: cannot write %s: %s", path.c_str(), e.what());
+    return;
+  }
+  CCFUZZ_LOG_WARN("quarantined genome %s (%s) -> %s", trace::hash_hex(h).c_str(),
+                  reason.c_str(), path.c_str());
+}
+
+std::size_t Quarantine::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_.size();
+}
+
+}  // namespace ccfuzz::fuzz

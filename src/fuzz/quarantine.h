@@ -1,0 +1,49 @@
+// Quarantine for genomes that produce non-finite scores.
+//
+// A NaN or inf fitness is poison for the GA: it outcompetes (or breaks the
+// ordering of) every finite score and silently corrupts selection, the elite
+// archive, and history CSVs. When TraceEvaluator sees one, it replaces the
+// score with a large finite penalty and — when a Quarantine is attached —
+// records the offending genome to disk so the bug (in a score function or a
+// CCA model) can be replayed in isolation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "trace/trace.h"
+
+namespace ccfuzz::fuzz {
+
+/// Thread-safe recorder writing quarantined genomes to `<dir>/<hash>.trace`
+/// (trace_io format), one file per distinct genome, capped. All failures
+/// degrade to a warning — quarantine must never take down the campaign it is
+/// protecting.
+class Quarantine {
+ public:
+  /// `dir` is created lazily on the first record (so a clean campaign never
+  /// leaves an empty quarantine/ directory behind).
+  explicit Quarantine(std::string dir, std::size_t max_records = 64)
+      : dir_(std::move(dir)), max_records_(max_records) {}
+
+  /// Records `genome` with a human-readable reason. Deduplicates by content
+  /// hash; silently drops once `max_records` distinct genomes are stored.
+  void record(const trace::Trace& genome, const std::string& reason);
+
+  /// Distinct genomes recorded so far.
+  std::size_t recorded() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::size_t max_records_;
+  mutable std::mutex mu_;
+  std::unordered_set<std::uint64_t> seen_;
+  bool dir_ready_ = false;
+};
+
+}  // namespace ccfuzz::fuzz

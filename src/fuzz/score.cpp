@@ -1,5 +1,6 @@
 #include "fuzz/score.h"
 
+#include <bit>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -7,6 +8,40 @@
 #include "util/stats.h"
 
 namespace ccfuzz::fuzz {
+
+std::uint64_t ScoreFunction::identity_base() const {
+  // FNV-1a over name(): stable across processes and builds, unlike the
+  // object's address.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = name(); *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t ScoreFunction::mix_identity(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t LowUtilizationScore::identity() const {
+  std::uint64_t h = identity_base();
+  h = mix_identity(h, static_cast<std::uint64_t>(window_.ns()));
+  h = mix_identity(h, std::bit_cast<std::uint64_t>(fraction_));
+  return h;
+}
+
+std::uint64_t HighDelayScore::identity() const {
+  return mix_identity(identity_base(), std::bit_cast<std::uint64_t>(pct_));
+}
+
+std::uint64_t ThroughputRatioScore::identity() const {
+  std::uint64_t h = identity_base();
+  h = mix_identity(h, static_cast<std::uint64_t>(victim_));
+  h = mix_identity(h, static_cast<std::uint64_t>(attacker_));
+  return h;
+}
 
 void LowUtilizationScore::validate(
     const scenario::ScenarioConfig& scenario) const {

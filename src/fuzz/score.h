@@ -6,6 +6,7 @@
 // during generation (e.g. minimal cross-traffic vectors).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "scenario/runner.h"
@@ -28,6 +29,13 @@ class ScoreFunction {
   /// Higher return = worse CCA behaviour = fitter adversarial trace.
   virtual double performance_score(const scenario::RunResult& run) const = 0;
   virtual const char* name() const = 0;
+  /// Stable, process-independent identity of this scoring configuration —
+  /// used in the campaign evaluation-cache key so cached evaluations survive
+  /// checkpoint/resume (a pointer-based key would differ every process).
+  /// Default: FNV-1a of name(). Parametrized scores MUST fold their
+  /// parameters in (identity_base() then mix_identity per parameter), or two
+  /// differently-tuned instances would wrongly share cache entries.
+  virtual std::uint64_t identity() const { return identity_base(); }
   /// Throws std::logic_error when the score cannot work on runs of this
   /// scenario (e.g. a windowed score whose window the metrics-only mode
   /// cannot serve). TraceEvaluator calls it at construction, so
@@ -36,6 +44,12 @@ class ScoreFunction {
   virtual void validate(const scenario::ScenarioConfig& scenario) const {
     (void)scenario;
   }
+
+ protected:
+  /// FNV-1a of name() — the starting point for identity().
+  std::uint64_t identity_base() const;
+  /// Mixes one 64-bit parameter word into an identity accumulator.
+  static std::uint64_t mix_identity(std::uint64_t h, std::uint64_t v);
 };
 
 /// §3.4: windowed throughput, averaged over the lowest `fraction` of
@@ -55,6 +69,7 @@ class LowUtilizationScore final : public ScoreFunction {
 
   double performance_score(const scenario::RunResult& run) const override;
   const char* name() const override { return "low-utilization"; }
+  std::uint64_t identity() const override;
   void validate(const scenario::ScenarioConfig& scenario) const override;
 
  private:
@@ -73,6 +88,7 @@ class HighDelayScore final : public ScoreFunction {
 
   double performance_score(const scenario::RunResult& run) const override;
   const char* name() const override { return "high-delay"; }
+  std::uint64_t identity() const override;
 
  private:
   double pct_;
@@ -127,6 +143,7 @@ class ThroughputRatioScore final : public ScoreFunction {
 
   double performance_score(const scenario::RunResult& run) const override;
   const char* name() const override { return "throughput-ratio"; }
+  std::uint64_t identity() const override;
 
  private:
   std::size_t victim_;

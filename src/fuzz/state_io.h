@@ -1,0 +1,38 @@
+// Serialization helpers for GA runtime state (campaign checkpoints).
+//
+// Everything is line-oriented '#'-keyed text in the same family as trace_io
+// and the elite-archive format, so checkpoint files stay greppable and the
+// parsers share the same hardening discipline (typed Errors, no exceptions
+// on the load path). Doubles are written with 17 significant digits, which
+// round-trips IEEE-754 exactly — resumed campaigns must be bit-identical.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+#include "util/error.h"
+
+namespace ccfuzz::fuzz::state_io {
+
+/// Writes an Evaluation as three '#'-keyed lines (`# eval`, `# cov`,
+/// `# covmap`).
+void write_eval(std::ostream& os, const Evaluation& e);
+
+/// Reads the three lines written by write_eval.
+Error read_eval(std::istream& is, Evaluation& e);
+
+/// Writes a population member: `# member <evaluated> <novelty>`, the
+/// evaluation, the genome as an embedded trace_io block, `# end member`.
+void write_member(std::ostream& os, const Member& m);
+
+/// Reads a member block (expects `# member` as the next non-empty line).
+Error read_member(std::istream& is, Member& m);
+
+/// Writes one GenStats as a single `# gen` line.
+void write_genstats(std::ostream& os, const GenStats& gs);
+
+/// Parses a `# gen` line produced by write_genstats.
+Error parse_genstats(const std::string& line, GenStats& gs);
+
+}  // namespace ccfuzz::fuzz::state_io

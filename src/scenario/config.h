@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/budget.h"
 #include "tcp/congestion_control.h"
 #include "util/time.h"
 
@@ -146,6 +147,11 @@ struct ScenarioConfig {
   /// requires it, and the campaign evaluation cache keys on it so coverage
   /// cells never reuse probe-less evaluations.
   bool coverage = false;
+
+  /// Run guards (sim::Budget): hard ceilings on events / simulated time /
+  /// wall time that truncate a runaway run into RunResult::truncated instead
+  /// of hanging a worker. Default: unlimited (bit-identical to no guard).
+  sim::Budget budget{};
 
   /// Number of CCA flows this scenario simulates (>= 1; the empty `flows`
   /// shorthand is one flow). The shorthand itself is resolved

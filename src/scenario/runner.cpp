@@ -138,7 +138,25 @@ const RunResult& RunContext::run(const ScenarioConfig& cfg,
   // setup() clears/rebinds the metrics and rebuilds the components in place.
   db_.setup(cfg, cca, trace_times);
   db_.start();
-  sim_.run_until(cfg.duration);
+
+  // Run guards: cap the deadline at the sim-time budget, and arm the
+  // event/wall guards inside the simulator. All of this is branch-only when
+  // the budget is unlimited (the default), so guarded-but-unhit runs stay
+  // bit-identical to unguarded ones.
+  TimeNs deadline = cfg.duration;
+  bool sim_time_capped = false;
+  if (cfg.budget.max_sim_time > DurationNs::zero() &&
+      TimeNs::zero() + cfg.budget.max_sim_time < deadline) {
+    deadline = TimeNs::zero() + cfg.budget.max_sim_time;
+    sim_time_capped = true;
+  }
+  sim_.arm_budget(cfg.budget);
+  sim_.run_until(deadline);
+  result_.truncation = sim_.truncation();
+  if (result_.truncation == sim::TruncationReason::kNone && sim_time_capped) {
+    result_.truncation = sim::TruncationReason::kSimTimeLimit;
+  }
+  result_.truncated = result_.truncation != sim::TruncationReason::kNone;
   result_.probe.finalize();
 
   // The recorder and metrics were written in place (they live inside

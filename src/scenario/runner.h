@@ -107,6 +107,12 @@ struct RunResult {
   /// invalid otherwise). Fixed-size state: carrying it costs nothing warm.
   coverage::BehaviorProbe probe;
 
+  /// True when a run guard (ScenarioConfig::budget) stopped the run before
+  /// its configured end; `truncation` says which one. Counters and metrics
+  /// reflect the truncated prefix.
+  bool truncated = false;
+  sim::TruncationReason truncation = sim::TruncationReason::kNone;
+
   std::size_t flow_count() const { return flows.size(); }
 
   /// The run's behavioral coverage signature (invalid unless

@@ -1,0 +1,57 @@
+// Run guards for a single simulation: hard ceilings that turn a runaway or
+// livelocked scenario into a *truncated* result instead of a hung worker.
+//
+// The fuzzer's whole job is to find inputs that push CCAs into pathological
+// regimes, so the harness must survive the inputs it discovers: a genome
+// that drives the event loop into an ACK ping-pong storm, or a scenario
+// matrix entry with an absurd duration, must cost at most the budget — not
+// the campaign. All checks are branch-only on the hot path (a counter
+// compare per event; the wall clock is sampled every 4096 events and only
+// when a wall budget is armed), so an unarmed or unhit budget leaves event
+// execution — and therefore the golden fingerprints — bit-identical.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace ccfuzz::sim {
+
+/// Why a run stopped before its configured end.
+enum class TruncationReason : std::uint8_t {
+  kNone = 0,
+  kEventLimit,   ///< Budget::max_events executed
+  kSimTimeLimit, ///< Budget::max_sim_time reached before the scenario end
+  kWallDeadline, ///< Budget::max_wall_time of real time elapsed
+};
+
+/// Display/report name of a truncation reason.
+constexpr const char* to_string(TruncationReason r) {
+  switch (r) {
+    case TruncationReason::kNone: return "none";
+    case TruncationReason::kEventLimit: return "event-limit";
+    case TruncationReason::kSimTimeLimit: return "sim-time-limit";
+    case TruncationReason::kWallDeadline: return "wall-deadline";
+  }
+  return "?";
+}
+
+/// Per-run ceilings; zero (or non-positive) disables each guard.
+///
+/// max_events and max_sim_time are deterministic: the same run truncates at
+/// the same point every time, so truncated evaluations cache and replay like
+/// any other. max_wall_time depends on host speed and is therefore a
+/// last-resort livelock guard — results it truncates are flagged and never
+/// enter the campaign evaluation cache.
+struct Budget {
+  std::uint64_t max_events = 0;
+  DurationNs max_sim_time = DurationNs(0);
+  DurationNs max_wall_time = DurationNs(0);
+
+  bool unlimited() const {
+    return max_events == 0 && max_sim_time <= DurationNs::zero() &&
+           max_wall_time <= DurationNs::zero();
+  }
+};
+
+}  // namespace ccfuzz::sim

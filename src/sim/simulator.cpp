@@ -1,11 +1,49 @@
 #include "sim/simulator.h"
 
+#include <ctime>
+
 namespace ccfuzz::sim {
+
+namespace {
+
+std::int64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+void Simulator::arm_budget(const Budget& b) {
+  event_limit_ =
+      b.max_events > 0 ? executed_ + b.max_events : UINT64_MAX;
+  wall_deadline_ns_ = b.max_wall_time > DurationNs::zero()
+                          ? monotonic_ns() + b.max_wall_time.ns()
+                          : -1;
+  truncation_ = TruncationReason::kNone;
+}
 
 std::uint64_t Simulator::run_until(TimeNs deadline) {
   std::uint64_t n = 0;
-  while (queue_.run_next_due(deadline, now_)) ++n;
-  if (!deadline.is_infinite() && now_ < deadline) now_ = deadline;
+  const bool wall_armed = wall_deadline_ns_ >= 0;
+  while (queue_.run_next_due(deadline, now_)) {
+    ++n;
+    if (executed_ + n >= event_limit_) [[unlikely]] {
+      truncation_ = TruncationReason::kEventLimit;
+      break;
+    }
+    if (wall_armed && (n & 0xFFF) == 0 &&
+        monotonic_ns() >= wall_deadline_ns_) [[unlikely]] {
+      truncation_ = TruncationReason::kWallDeadline;
+      break;
+    }
+  }
+  // Advancing the clock to the deadline only makes sense for a run that
+  // drained everything due; a truncated run stops at the last event fired.
+  if (truncation_ == TruncationReason::kNone && !deadline.is_infinite() &&
+      now_ < deadline) {
+    now_ = deadline;
+  }
   executed_ += n;
   return n;
 }

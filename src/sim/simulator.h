@@ -6,6 +6,7 @@
 #include <functional>
 #include <utility>
 
+#include "sim/budget.h"
 #include "sim/event_queue.h"
 #include "util/time.h"
 
@@ -51,19 +52,38 @@ class Simulator {
   /// Total events executed so far.
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Arms run guards for subsequent run_until() calls. Unarmed (default) or
+  /// unhit guards leave execution bit-identical: the event limit is a single
+  /// integer compare per event against a limit that defaults to UINT64_MAX,
+  /// and the wall clock is only sampled (every 4096 events) when a wall
+  /// budget is armed. Budget::max_sim_time is enforced by callers that own
+  /// the deadline (scenario::RunContext caps the run deadline), not here.
+  void arm_budget(const Budget& b);
+
+  /// Why the last run_until() stopped early (kNone if it didn't). Sticky
+  /// across run_until() calls until reset() or arm_budget().
+  TruncationReason truncation() const { return truncation_; }
+
   /// Returns the simulator to its initial state (clock at zero, no pending
-  /// events) while keeping the event queue's slab/heap capacity, so a reused
-  /// simulator (scenario::RunContext) runs without allocator traffic.
+  /// events, budget disarmed) while keeping the event queue's slab/heap
+  /// capacity, so a reused simulator (scenario::RunContext) runs without
+  /// allocator traffic.
   void reset() {
     queue_.reset();
     now_ = TimeNs::zero();
     executed_ = 0;
+    event_limit_ = UINT64_MAX;
+    wall_deadline_ns_ = -1;
+    truncation_ = TruncationReason::kNone;
   }
 
  private:
   EventQueue queue_;
   TimeNs now_ = TimeNs::zero();
   std::uint64_t executed_ = 0;
+  std::uint64_t event_limit_ = UINT64_MAX;      // absolute, vs executed_
+  std::int64_t wall_deadline_ns_ = -1;          // monotonic ns; -1 = unarmed
+  TruncationReason truncation_ = TruncationReason::kNone;
 };
 
 /// A restartable one-shot timer bound to a Simulator. Re-arming cancels any

@@ -22,7 +22,18 @@ void save_trace(const std::string& path, const Trace& t) {
   write_trace(f, t);
 }
 
-Trace read_trace(std::istream& is) {
+namespace {
+
+/// True when everything left in `s` is whitespace — guards against number
+/// lines with trailing garbage ("123abc" must not parse as 123).
+bool rest_is_blank(std::istringstream& s) {
+  char c = 0;
+  return !(s >> c);
+}
+
+}  // namespace
+
+Result<Trace> try_read_trace(std::istream& is) {
   Trace t;
   std::string line;
   bool have_kind = false;
@@ -33,7 +44,14 @@ Trace read_trace(std::istream& is) {
       std::istringstream hs(line.substr(1));
       std::string key;
       hs >> key;
-      if (key == "kind") {
+      if (key == "ccfuzz-trace") {
+        std::string v;
+        hs >> v;
+        if (v != "v1") {
+          return Error::version("trace: unsupported format version '" + v +
+                                "' (expected v1)");
+        }
+      } else if (key == "kind") {
         std::string v;
         hs >> v;
         if (v == "link") {
@@ -41,13 +59,15 @@ Trace read_trace(std::istream& is) {
         } else if (v == "traffic") {
           t.kind = TraceKind::kTraffic;
         } else {
-          throw std::runtime_error("trace: unknown kind '" + v + "'");
+          return Error::parse("trace: unknown kind '" + v + "'");
         }
         have_kind = true;
       } else if (key == "duration_ns") {
         std::int64_t ns = -1;
         hs >> ns;
-        if (!hs || ns < 0) throw std::runtime_error("trace: bad duration");
+        if (!hs || ns < 0 || !rest_is_blank(hs)) {
+          return Error::parse("trace: bad duration line: " + line);
+        }
         t.duration = TimeNs(ns);
         have_duration = true;
       }
@@ -56,22 +76,38 @@ Trace read_trace(std::istream& is) {
     std::istringstream vs(line);
     std::int64_t ns = 0;
     vs >> ns;
-    if (!vs) throw std::runtime_error("trace: bad timestamp line: " + line);
+    if (!vs || !rest_is_blank(vs)) {
+      return Error::parse("trace: bad timestamp line: " + line);
+    }
     t.stamps.emplace_back(ns);
   }
   if (!have_kind || !have_duration) {
-    throw std::runtime_error("trace: missing kind/duration header");
+    // The classic crash artifact: a file cut off before (or inside) the
+    // header block.
+    return Error::truncated("trace: missing kind/duration header");
   }
   if (!t.well_formed()) {
-    throw std::runtime_error("trace: stamps not sorted within [0, duration)");
+    return Error::corrupt("trace: stamps not sorted within [0, duration)");
   }
   return t;
 }
 
-Trace load_trace(const std::string& path) {
+Result<Trace> try_load_trace(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open trace file: " + path);
-  return read_trace(f);
+  if (!f) return Error::io("cannot open trace file: " + path);
+  return try_read_trace(f);
+}
+
+Trace read_trace(std::istream& is) {
+  Result<Trace> r = try_read_trace(is);
+  if (!r) throw std::runtime_error(r.error().message);
+  return std::move(*r);
+}
+
+Trace load_trace(const std::string& path) {
+  Result<Trace> r = try_load_trace(path);
+  if (!r) throw std::runtime_error(r.error().message);
+  return std::move(*r);
 }
 
 }  // namespace ccfuzz::trace

@@ -1,14 +1,21 @@
 // Plain-text trace serialization, for saving adversarial traces found by
 // the fuzzer and replaying them later (regression tests, figure scripts).
 //
-// Format: '#'-prefixed header lines (kind, duration), then one integer
-// nanosecond timestamp per line.
+// Format: a `# ccfuzz-trace v1` magic line, '#'-prefixed header lines
+// (kind, duration), then one integer nanosecond timestamp per line.
+//
+// Two API tiers: the try_* functions return Result<Trace> with a typed
+// Error (kVersion for format skew, kParse/kCorrupt for mangled bytes) and
+// never throw — campaign load paths use these so a truncated file after a
+// crash degrades instead of aborting. The original throwing functions wrap
+// them for callers that want exceptions (tests, one-shot tools).
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "trace/trace.h"
+#include "util/error.h"
 
 namespace ccfuzz::trace {
 
@@ -17,6 +24,15 @@ void write_trace(std::ostream& os, const Trace& t);
 
 /// Writes `t` to `path` (overwrites). Throws std::runtime_error on failure.
 void save_trace(const std::string& path, const Trace& t);
+
+/// Parses a trace from `is` without throwing. Error codes: kVersion for a
+/// `# ccfuzz-trace` magic naming an unsupported version, kParse for
+/// syntactically mangled lines, kTruncated for a missing header, kCorrupt
+/// for stamps outside [0, duration) or out of order.
+Result<Trace> try_read_trace(std::istream& is);
+
+/// Loads a trace from `path` without throwing (kIo if unreadable).
+Result<Trace> try_load_trace(const std::string& path);
 
 /// Parses a trace from `is`. Throws std::runtime_error on malformed input.
 Trace read_trace(std::istream& is);

@@ -1,0 +1,92 @@
+// Structured error handling for load/parse paths.
+//
+// The simulator core throws on programmer errors, but campaign-facing load
+// paths (trace files, archives, checkpoints) fail for operational reasons —
+// truncated files after a crash, version skew, disk full — and those must
+// degrade ("start fresh + warn"), never kill a long campaign. Result<T>
+// carries either a value or an Error with a machine-checkable code, so
+// callers can branch on *why* a load failed without string-matching what().
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ccfuzz {
+
+struct Error {
+  enum class Code {
+    kOk = 0,
+    kIo,         ///< open/read/write/rename failure
+    kParse,      ///< syntactically malformed content
+    kCorrupt,    ///< parsed but semantically invalid (bad ranges, duplicates)
+    kVersion,    ///< recognized format, unsupported version
+    kTruncated,  ///< file ends mid-structure (classic crash artifact)
+    kMismatch,   ///< valid content that does not match the expected config
+  };
+
+  Code code = Code::kOk;
+  std::string message;
+
+  bool ok() const { return code == Code::kOk; }
+  /// True when this carries an error (reads naturally in `if (err)`).
+  explicit operator bool() const { return !ok(); }
+
+  static Error success() { return {}; }
+  static Error io(std::string msg) { return {Code::kIo, std::move(msg)}; }
+  static Error parse(std::string msg) { return {Code::kParse, std::move(msg)}; }
+  static Error corrupt(std::string msg) {
+    return {Code::kCorrupt, std::move(msg)};
+  }
+  static Error version(std::string msg) {
+    return {Code::kVersion, std::move(msg)};
+  }
+  static Error truncated(std::string msg) {
+    return {Code::kTruncated, std::move(msg)};
+  }
+  static Error mismatch(std::string msg) {
+    return {Code::kMismatch, std::move(msg)};
+  }
+};
+
+/// Display name of an error code ("io", "parse", ...).
+constexpr const char* to_string(Error::Code c) {
+  switch (c) {
+    case Error::Code::kOk: return "ok";
+    case Error::Code::kIo: return "io";
+    case Error::Code::kParse: return "parse";
+    case Error::Code::kCorrupt: return "corrupt";
+    case Error::Code::kVersion: return "version";
+    case Error::Code::kTruncated: return "truncated";
+    case Error::Code::kMismatch: return "mismatch";
+  }
+  return "?";
+}
+
+/// A value or an Error — the non-throwing sibling of the load_* APIs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : error_(std::move(error)) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Valid only when ok().
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Valid only when !ok().
+  const Error& error() const { return error_; }
+
+ private:
+  std::optional<T> value_;
+  Error error_;
+};
+
+}  // namespace ccfuzz

@@ -1,0 +1,53 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ccfuzz {
+
+Error write_file_atomic(const std::string& path, const std::string& body,
+                        bool sync) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Error::io("cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  const char* p = body.data();
+  std::size_t left = body.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Error e =
+          Error::io("write failed for " + tmp + ": " + std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return e;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (sync && ::fsync(fd) != 0) {
+    const Error e =
+        Error::io("fsync failed for " + tmp + ": " + std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return e;
+  }
+  if (::close(fd) != 0) {
+    return Error::io("close failed for " + tmp + ": " + std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Error e = Error::io("rename " + tmp + " -> " + path + ": " +
+                              std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return e;
+  }
+  return Error::success();
+}
+
+}  // namespace ccfuzz

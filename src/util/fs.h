@@ -1,0 +1,20 @@
+// Crash-safe file writes.
+//
+// Checkpoints are only useful if a crash mid-write cannot leave a torn file
+// where a good one used to be. write_file_atomic writes to `<path>.tmp`,
+// fsyncs, and renames into place — readers observe either the old complete
+// file or the new complete file, never a prefix.
+#pragma once
+
+#include <string>
+
+#include "util/error.h"
+
+namespace ccfuzz {
+
+/// Writes `body` to `path` via write-to-temp + fsync + rename. The parent
+/// directory must exist. `sync` skips the fsync (tests, throwaway files).
+Error write_file_atomic(const std::string& path, const std::string& body,
+                        bool sync = true);
+
+}  // namespace ccfuzz

@@ -6,6 +6,7 @@
 // island / simulation gets an independent deterministic stream.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cmath>
 
@@ -82,6 +83,17 @@ class Rng {
   /// Derives an independent child generator for stream `stream`.
   Rng fork(std::uint64_t stream) const {
     return Rng(fork_seed(s_[0] ^ s_[3], stream));
+  }
+
+  /// Raw generator state, for checkpointing. Restoring via set_state()
+  /// resumes the stream at exactly the next draw.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  /// Restores state captured by state().
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
  private:

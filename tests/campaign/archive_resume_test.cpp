@@ -3,6 +3,7 @@
 // (resume_dir) reloads it and keeps filling cells instead of starting cold.
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -87,6 +88,79 @@ TEST(CampaignArchive, MissingResumeFileIsAColdStart) {
   const auto& report = c.run();
   ASSERT_NE(report.cells.front().archive, nullptr);
   EXPECT_GT(report.cells.front().archive->filled(), 0u);
+}
+
+TEST(CampaignArchive, CorruptResumeArchiveDegradesToFreshNotAbort) {
+  // A crash can leave a partial or garbage archive.txt in the report tree.
+  // Resuming over it must warn and start that cell's archive cold — never
+  // throw out of the campaign constructor or run().
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ccfuzz_archive_corrupt";
+  fs::remove_all(dir);
+
+  {
+    CampaignConfig cfg;
+    cfg.add_cell(coverage_cell(1)).output_dir(dir.string());
+    Campaign c(cfg);
+    c.run();
+  }
+  const fs::path archive_path =
+      dir / "reno.traffic.low-utilization" / "archive.txt";
+  ASSERT_TRUE(fs::exists(archive_path));
+  {
+    std::ofstream os(archive_path, std::ios::binary);
+    os << "# ccfuzz-archive v1\n# garbage that is not an entry\n\x03\x07";
+  }
+
+  CampaignConfig cfg;
+  cfg.add_cell(coverage_cell(2))
+      .resume_dir(dir.string())
+      .output_dir(dir.string());
+  Campaign c(cfg);  // must not throw
+  const auto& report = c.run();
+  ASSERT_NE(report.cells.front().archive, nullptr);
+  EXPECT_GT(report.cells.front().archive->filled(), 0u);  // cold start filled
+  fs::remove_all(dir);
+}
+
+TEST(CampaignArchive, PartialResumeArchiveDegradesToFreshNotAbort) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ccfuzz_archive_partial";
+  fs::remove_all(dir);
+
+  std::size_t first_filled = 0;
+  {
+    CampaignConfig cfg;
+    cfg.add_cell(coverage_cell(1)).output_dir(dir.string());
+    Campaign c(cfg);
+    first_filled = c.run().cells.front().archive->filled();
+  }
+  const fs::path archive_path =
+      dir / "reno.traffic.low-utilization" / "archive.txt";
+  // Truncate to half: the tail entry is cut mid-genome.
+  std::string bytes;
+  {
+    std::ifstream is(archive_path, std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    bytes = ss.str();
+  }
+  ASSERT_GT(bytes.size(), 2u);
+  {
+    std::ofstream os(archive_path, std::ios::binary);
+    os << bytes.substr(0, bytes.size() / 2);
+  }
+
+  CampaignConfig cfg;
+  cfg.add_cell(coverage_cell(2))
+      .resume_dir(dir.string())
+      .output_dir(dir.string());
+  Campaign c(cfg);
+  const auto& report = c.run();
+  ASSERT_NE(report.cells.front().archive, nullptr);
+  EXPECT_GT(report.cells.front().archive->filled(), 0u);
+  (void)first_filled;
+  fs::remove_all(dir);
 }
 
 TEST(CampaignArchive, ProbelessCellsCarryNoArchive) {

@@ -92,7 +92,7 @@ TEST(JsonlSchema, EventKeySetsArePinned) {
       {"cell_end",
        {"event", "cell", "best_score", "winners", "simulations", "cache_hits",
         "archive_cells", "coverage_bits"}},
-      {"campaign_end", {"event", "cells"}},
+      {"campaign_end", {"event", "cells", "interrupted"}},
   };
 
   std::istringstream lines(out.str());

@@ -222,6 +222,84 @@ TEST(Fuzzer, SeededArchiveResumesFilling) {
             static_cast<std::int64_t>(carried));
 }
 
+// --- Corrupt / truncated archive files ---------------------------------------
+// Archive files are crash artifacts as often as clean saves (campaign
+// checkpoints embed them; resume loads them after a kill). Every mangling
+// must surface as a typed Error from try_load, never a crash.
+
+TEST(EliteArchiveErrors, EmptyStreamIsKTruncated) {
+  std::istringstream empty("");
+  const auto r = EliteArchive::try_load(empty);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, Error::Code::kTruncated);
+}
+
+TEST(EliteArchiveErrors, WrongVersionIsKVersion) {
+  std::istringstream is("# ccfuzz-archive v7\n");
+  const auto r = EliteArchive::try_load(is);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, Error::Code::kVersion);
+}
+
+TEST(EliteArchiveErrors, MissingMagicIsKParse) {
+  std::istringstream is("totally not an archive\n");
+  const auto r = EliteArchive::try_load(is);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, Error::Code::kParse);
+}
+
+TEST(EliteArchiveErrors, MissingFileIsKIo) {
+  const auto r = EliteArchive::try_load_file("/nonexistent/archive.txt");
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, Error::Code::kIo);
+}
+
+TEST(EliteArchiveErrors, EveryTruncationOfARealArchiveIsATypedError) {
+  GaConfig ga = coverage_ga();
+  ga.search = SearchMode::kMapElites;
+  Fuzzer f(ga, coverage_model(), coverage_evaluator());
+  f.run();
+  std::stringstream full;
+  f.archive()->save(full);
+  const std::string bytes = full.str();
+  ASSERT_GT(bytes.size(), 200u);
+
+  int load_errors = 0;
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 97) {
+    std::istringstream partial(bytes.substr(0, cut));
+    const auto r = EliteArchive::try_load(partial);
+    if (!r) {
+      ++load_errors;
+      EXPECT_NE(r.error().code, Error::Code::kOk) << "cut at " << cut;
+    }
+  }
+  // Cuts inside an entry must be flagged, not silently dropped.
+  EXPECT_GT(load_errors, 0);
+}
+
+TEST(EliteArchiveErrors, GarbageInsideAnEntryIsFlagged) {
+  GaConfig ga = coverage_ga();
+  ga.search = SearchMode::kMapElites;
+  Fuzzer f(ga, coverage_model(), coverage_evaluator());
+  f.step();
+  std::stringstream full;
+  f.archive()->save(full);
+  std::string bytes = full.str();
+  // Mangle the first numeric payload line after the header.
+  const auto pos = bytes.find('\n', bytes.find('\n') + 1);
+  ASSERT_NE(pos, std::string::npos);
+  bytes.replace(pos + 1, 4, "zzzz");
+  std::istringstream mangled(bytes);
+  EXPECT_FALSE(static_cast<bool>(EliteArchive::try_load(mangled)));
+}
+
+TEST(EliteArchiveErrors, ThrowingLoadersStillThrowOnCorruptInput) {
+  std::istringstream is("# ccfuzz-archive v7\n");
+  EXPECT_THROW(EliteArchive::load(is), std::runtime_error);
+  EXPECT_THROW(EliteArchive::load_file("/nonexistent/archive.txt"),
+               std::runtime_error);
+}
+
 TEST(Fuzzer, NoveltyBonusBiasesSelectionNotReporting) {
   // Same population, same evaluations: the bonus must leave reported scores
   // untouched (GenStats reads raw totals), and a fuzzer with a bonus still

@@ -1,0 +1,116 @@
+// NaN/inf score quarantine: a misbehaving score function must not poison the
+// GA with non-finite fitness — the evaluation gets a large finite penalty and
+// the offending genome is saved for offline replay.
+#include "fuzz/quarantine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <memory>
+
+#include "cca/registry.h"
+#include "fuzz/evaluator.h"
+#include "trace/hash.h"
+#include "trace/trace_io.h"
+
+namespace ccfuzz::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Always returns NaN — stands in for a buggy or divide-by-zero score.
+class NanScore final : public ScoreFunction {
+ public:
+  double performance_score(const scenario::RunResult&) const override {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const char* name() const override { return "nan-score"; }
+};
+
+class InfScore final : public ScoreFunction {
+ public:
+  double performance_score(const scenario::RunResult&) const override {
+    return std::numeric_limits<double>::infinity();
+  }
+  const char* name() const override { return "inf-score"; }
+};
+
+scenario::ScenarioConfig tiny_scenario() {
+  scenario::ScenarioConfig s;
+  s.duration = TimeNs::seconds(1);
+  return s;
+}
+
+trace::Trace tiny_trace() {
+  trace::Trace t;
+  t.kind = trace::TraceKind::kTraffic;
+  t.duration = TimeNs::seconds(1);
+  t.stamps = {TimeNs::millis(100), TimeNs::millis(200)};
+  return t;
+}
+
+TEST(Quarantine, NonFiniteScoreIsPenalizedAndFlagged) {
+  TraceEvaluator eval(tiny_scenario(), cca::make_factory("reno"),
+                      std::make_shared<NanScore>());
+  const Evaluation e = eval.evaluate(tiny_trace());
+  EXPECT_TRUE(e.quarantined);
+  EXPECT_TRUE(std::isfinite(e.score.performance));
+  EXPECT_TRUE(std::isfinite(e.score.trace));
+  // The penalty ranks the genome below any real evaluation.
+  EXPECT_LT(e.score.total(), -1e29);
+}
+
+TEST(Quarantine, InfScoreIsPenalizedToo) {
+  TraceEvaluator eval(tiny_scenario(), cca::make_factory("reno"),
+                      std::make_shared<InfScore>());
+  const Evaluation e = eval.evaluate(tiny_trace());
+  EXPECT_TRUE(e.quarantined);
+  EXPECT_TRUE(std::isfinite(e.score.performance));
+}
+
+TEST(Quarantine, FiniteScoresAreUntouched) {
+  TraceEvaluator eval(tiny_scenario(), cca::make_factory("reno"),
+                      std::make_shared<LowGoodputScore>());
+  const Evaluation e = eval.evaluate(tiny_trace());
+  EXPECT_FALSE(e.quarantined);
+}
+
+TEST(Quarantine, RecordsGenomeToDirDedupedByHash) {
+  const fs::path dir = fs::temp_directory_path() / "ccfuzz_quarantine_test";
+  fs::remove_all(dir);
+
+  auto q = std::make_shared<Quarantine>(dir.string());
+  TraceEvaluator eval(tiny_scenario(), cca::make_factory("reno"),
+                      std::make_shared<NanScore>());
+  eval.set_quarantine(q);
+
+  const trace::Trace t = tiny_trace();
+  eval.evaluate(t);
+  eval.evaluate(t);  // duplicate: recorded once
+  EXPECT_EQ(q->recorded(), 1u);
+
+  // The quarantined file replays as the exact offending genome.
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++files;
+    const auto loaded = trace::load_trace(entry.path().string());
+    EXPECT_EQ(trace::hash(loaded), trace::hash(t));
+  }
+  EXPECT_EQ(files, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(Quarantine, UnwritableDirDegradesToWarningNotThrow) {
+  auto q = std::make_shared<Quarantine>("/nonexistent-root/quarantine");
+  TraceEvaluator eval(tiny_scenario(), cca::make_factory("reno"),
+                      std::make_shared<NanScore>());
+  eval.set_quarantine(q);
+  Evaluation e;
+  EXPECT_NO_THROW(e = eval.evaluate(tiny_trace()));
+  EXPECT_TRUE(e.quarantined);
+}
+
+}  // namespace
+}  // namespace ccfuzz::fuzz

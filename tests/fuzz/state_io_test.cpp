@@ -1,0 +1,225 @@
+// Round-trip tests for the GA state serialization (state_io + Fuzzer
+// save_state/restore_state): a restored fuzzer must continue the search
+// bit-identically to one that never stopped.
+#include "fuzz/state_io.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "campaign/campaign.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/score.h"
+#include "trace/hash.h"
+
+namespace ccfuzz::fuzz {
+namespace {
+
+Evaluation sample_eval() {
+  Evaluation e;
+  e.score = {-3.25, 0.125};
+  e.goodput_mbps = 7.123456789012345;
+  e.cca_sent = 1234;
+  e.cca_delivered = 1200;
+  e.cca_drops = 34;
+  e.cross_sent = 55;
+  e.cross_drops = 5;
+  e.rto_count = 2;
+  e.p10_delay_s = 0.004321;
+  e.stalled = true;
+  e.truncated = true;
+  e.truncation = sim::TruncationReason::kEventLimit;
+  e.quarantined = true;
+  e.jain_fairness = 0.875;
+  e.flow_goodput_mbps = {3.5, 3.623456789};
+  e.coverage.valid = true;
+  e.coverage.bits = 42;
+  e.coverage.descriptor.state_transitions = 3;
+  e.coverage.descriptor.rtt_spread = 7;
+  e.coverage.bitmap.words[0] = 0xdeadbeefULL;
+  e.coverage.bitmap.words[coverage::CoverageBitmap::kWords - 1] = 0x1;
+  return e;
+}
+
+TEST(StateIo, EvalRoundTripsExactly) {
+  const Evaluation in = sample_eval();
+  std::stringstream ss;
+  state_io::write_eval(ss, in);
+  Evaluation out;
+  ASSERT_FALSE(state_io::read_eval(ss, out));
+  EXPECT_EQ(out.score.performance, in.score.performance);
+  EXPECT_EQ(out.score.trace, in.score.trace);
+  EXPECT_EQ(out.goodput_mbps, in.goodput_mbps);
+  EXPECT_EQ(out.cca_sent, in.cca_sent);
+  EXPECT_EQ(out.stalled, in.stalled);
+  EXPECT_EQ(out.truncated, in.truncated);
+  EXPECT_EQ(out.truncation, in.truncation);
+  EXPECT_EQ(out.quarantined, in.quarantined);
+  EXPECT_EQ(out.jain_fairness, in.jain_fairness);
+  EXPECT_EQ(out.flow_goodput_mbps, in.flow_goodput_mbps);
+  EXPECT_EQ(out.coverage.valid, in.coverage.valid);
+  EXPECT_EQ(out.coverage.bits, in.coverage.bits);
+  EXPECT_EQ(out.coverage.descriptor.state_transitions,
+            in.coverage.descriptor.state_transitions);
+  EXPECT_EQ(out.coverage.bitmap.words[0], in.coverage.bitmap.words[0]);
+}
+
+TEST(StateIo, MemberRoundTripsGenomeByHash) {
+  Member m;
+  m.genome.kind = trace::TraceKind::kTraffic;
+  m.genome.duration = TimeNs::seconds(2);
+  m.genome.stamps = {TimeNs::millis(10), TimeNs::millis(20),
+                     TimeNs::millis(1999)};
+  m.eval = sample_eval();
+  m.evaluated = true;
+  m.novelty = 0.25;
+
+  std::stringstream ss;
+  state_io::write_member(ss, m);
+  Member out;
+  ASSERT_FALSE(state_io::read_member(ss, out));
+  EXPECT_EQ(out.evaluated, m.evaluated);
+  EXPECT_EQ(out.novelty, m.novelty);
+  EXPECT_EQ(trace::hash(out.genome), trace::hash(m.genome));
+  EXPECT_EQ(out.eval.score.performance, m.eval.score.performance);
+}
+
+TEST(StateIo, GenStatsRoundTripExactly) {
+  GenStats gs;
+  gs.generation = 7;
+  gs.best_score = -1.2345678901234567;
+  gs.mean_score = -5.5;
+  gs.topk_mean_packets_sent = 812.5;
+  gs.topk_mean_goodput_mbps = 3.25;
+  gs.topk_mean_jain_fairness = 0.99;
+  gs.topk_mean_flow_goodput_mbps = {1.5, 1.75};
+  gs.stalled_count = 3;
+  gs.evaluations = 640;
+  gs.archive_cells = 12;
+  gs.archive_new_cells = 2;
+  gs.archive_improved = 1;
+  gs.coverage_bits = 99;
+
+  std::stringstream ss;
+  state_io::write_genstats(ss, gs);
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(ss, line)));
+  GenStats out;
+  ASSERT_FALSE(state_io::parse_genstats(line, out));
+  EXPECT_EQ(out.generation, gs.generation);
+  EXPECT_EQ(out.best_score, gs.best_score);
+  EXPECT_EQ(out.mean_score, gs.mean_score);
+  EXPECT_EQ(out.topk_mean_flow_goodput_mbps, gs.topk_mean_flow_goodput_mbps);
+  EXPECT_EQ(out.evaluations, gs.evaluations);
+  EXPECT_EQ(out.coverage_bits, gs.coverage_bits);
+}
+
+TEST(StateIo, ReadEvalRejectsGarbage) {
+  std::istringstream empty("");
+  Evaluation e;
+  EXPECT_EQ(state_io::read_eval(empty, e).code, Error::Code::kTruncated);
+  std::istringstream junk("# eval not-a-number\n");
+  EXPECT_EQ(state_io::read_eval(junk, e).code, Error::Code::kParse);
+}
+
+// --- Fuzzer save/restore -----------------------------------------------------
+
+fuzz::GaConfig tiny_ga() {
+  GaConfig ga;
+  ga.population = 12;
+  ga.islands = 2;
+  ga.max_generations = 6;
+  ga.seed = 31;
+  return ga;
+}
+
+campaign::CellConfig tiny_cell(bool coverage) {
+  campaign::CellConfig cell;
+  cell.cca = "reno";
+  cell.scenario.duration = TimeNs::seconds(1);
+  cell.scenario.coverage = coverage;
+  cell.score = std::make_shared<LowGoodputScore>();
+  cell.traffic_model.max_packets = 150;
+  cell.traffic_model.initial_packets = 75;
+  cell.ga = tiny_ga();
+  return cell;
+}
+
+Fuzzer make_fuzzer(bool coverage = false) {
+  const campaign::CellConfig cell = tiny_cell(coverage);
+  return Fuzzer(cell.ga, campaign::make_trace_model(cell),
+                campaign::make_evaluator(cell));
+}
+
+TEST(FuzzerState, RestoredFuzzerContinuesBitIdentically) {
+  // Reference: run 6 generations straight through.
+  Fuzzer reference = make_fuzzer();
+  for (int g = 0; g < 6; ++g) reference.step();
+
+  // Candidate: run 3, snapshot, restore into a fresh fuzzer, run 3 more.
+  Fuzzer first_half = make_fuzzer();
+  for (int g = 0; g < 3; ++g) first_half.step();
+  std::stringstream snapshot;
+  first_half.save_state(snapshot);
+
+  Fuzzer second_half = make_fuzzer();
+  ASSERT_FALSE(second_half.restore_state(snapshot));
+  EXPECT_EQ(second_half.generation(), 3);
+  for (int g = 0; g < 3; ++g) second_half.step();
+
+  ASSERT_EQ(second_half.history().size(), reference.history().size());
+  for (std::size_t g = 0; g < reference.history().size(); ++g) {
+    EXPECT_EQ(second_half.history()[g].best_score,
+              reference.history()[g].best_score)
+        << "generation " << g;
+    EXPECT_EQ(second_half.history()[g].mean_score,
+              reference.history()[g].mean_score);
+    EXPECT_EQ(second_half.history()[g].evaluations,
+              reference.history()[g].evaluations);
+  }
+  EXPECT_EQ(trace::hash(second_half.best().genome),
+            trace::hash(reference.best().genome));
+}
+
+TEST(FuzzerState, CoverageArchiveSurvivesTheRoundTrip) {
+  Fuzzer a = make_fuzzer(/*coverage=*/true);
+  for (int g = 0; g < 3; ++g) a.step();
+  ASSERT_NE(a.archive(), nullptr);
+  const std::size_t filled = a.archive()->filled();
+
+  std::stringstream snapshot;
+  a.save_state(snapshot);
+  Fuzzer b = make_fuzzer(/*coverage=*/true);
+  ASSERT_FALSE(b.restore_state(snapshot));
+  ASSERT_NE(b.archive(), nullptr);
+  EXPECT_EQ(b.archive()->filled(), filled);
+  EXPECT_EQ(b.archive()->union_bits(), a.archive()->union_bits());
+}
+
+TEST(FuzzerState, RestoreRejectsShapeMismatch) {
+  Fuzzer a = make_fuzzer();
+  a.step();
+  std::stringstream snapshot;
+  a.save_state(snapshot);
+
+  campaign::CellConfig other = tiny_cell(false);
+  other.ga.islands = 3;
+  Fuzzer b(other.ga, campaign::make_trace_model(other),
+           campaign::make_evaluator(other));
+  EXPECT_EQ(b.restore_state(snapshot).code, Error::Code::kMismatch);
+}
+
+TEST(FuzzerState, RestoreRejectsTruncatedStream) {
+  Fuzzer a = make_fuzzer();
+  a.step();
+  std::stringstream snapshot;
+  a.save_state(snapshot);
+  const std::string full = snapshot.str();
+  std::istringstream cut(full.substr(0, full.size() / 2));
+  Fuzzer b = make_fuzzer();
+  EXPECT_TRUE(static_cast<bool>(b.restore_state(cut)));
+}
+
+}  // namespace
+}  // namespace ccfuzz::fuzz

@@ -1,0 +1,160 @@
+// End-to-end crash safety: run the crashsafe_campaign example binary, kill it
+// mid-campaign (SIGKILL — no chance to clean up), rerun the same command, and
+// verify the resumed campaign converges to the same report tree as one that
+// was never interrupted. Also pins the graceful path: SIGTERM exits 0 with a
+// checkpoint on disk and a parseable JSONL progress log.
+//
+// Spawns the child with fork+exec (fork without exec is unsafe here: the test
+// binary's thread pool does not survive a fork).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* binary_path() { return CCFUZZ_EXAMPLES_DIR "/crashsafe_campaign"; }
+
+std::string slurp(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// fork+execs the campaign driver; returns the child pid (or -1).
+pid_t spawn_campaign(const std::string& dir, const char* generations,
+                     const char* population, const char* throttle_ms) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Quiet the child's progress spam; keep stderr for real failures.
+    ::freopen("/dev/null", "w", stdout);
+    ::execl(binary_path(), "crashsafe_campaign", dir.c_str(), generations,
+            population, throttle_ms, static_cast<char*>(nullptr));
+    std::_Exit(127);  // exec failed
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+/// Polls until the child has written its first checkpoint (or `ms` elapse).
+bool wait_for_checkpoint(const fs::path& dir, int ms) {
+  const fs::path ckpt = dir / "checkpoint" / "campaign.ckpt";
+  for (int i = 0; i < ms / 10; ++i) {
+    if (fs::exists(ckpt)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return fs::exists(ckpt);
+}
+
+class KillResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fs::exists(binary_path())) {
+      GTEST_SKIP() << "crashsafe_campaign example not built at "
+                   << binary_path();
+    }
+    base_ = fs::temp_directory_path() /
+            ("ccfuzz_killresume_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override { fs::remove_all(base_); }
+
+  fs::path base_;
+};
+
+TEST_F(KillResumeTest, SigkillMidCampaignThenResumeConvergesBitIdentically) {
+  // Reference: the same campaign, never interrupted.
+  const std::string ref_dir = (base_ / "ref").string();
+  {
+    const pid_t pid = spawn_campaign(ref_dir, "5", "16", "0");
+    ASSERT_GT(pid, 0);
+    const int status = wait_exit(pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "reference run failed";
+  }
+
+  // Victim: throttled so we reliably land mid-campaign, then SIGKILL.
+  const std::string dir = (base_ / "victim").string();
+  {
+    const pid_t pid = spawn_campaign(dir, "5", "16", "150");
+    ASSERT_GT(pid, 0);
+    ASSERT_TRUE(wait_for_checkpoint(dir, 30000)) << "no checkpoint appeared";
+    ::kill(pid, SIGKILL);
+    wait_exit(pid);
+  }
+
+  // After SIGKILL the JSONL log must still hold only whole lines.
+  {
+    std::ifstream jsonl(fs::path(dir) / "progress.jsonl");
+    std::string line;
+    while (std::getline(jsonl, line)) {
+      ASSERT_FALSE(line.empty());
+      EXPECT_EQ(line.front(), '{') << line;
+      EXPECT_EQ(line.back(), '}') << line;
+    }
+  }
+
+  // Resume: the exact same command finishes the campaign.
+  {
+    const pid_t pid = spawn_campaign(dir, "5", "16", "0");
+    ASSERT_GT(pid, 0);
+    const int status = wait_exit(pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "resume run failed";
+  }
+
+  for (const char* rel :
+       {"summary.csv", "summary.json",
+        "reno.traffic.low-utilization/history.csv",
+        "cubic.traffic.low-utilization/history.csv"}) {
+    ASSERT_TRUE(fs::exists(fs::path(dir) / rel)) << rel;
+    EXPECT_EQ(slurp(fs::path(dir) / rel), slurp(fs::path(ref_dir) / rel))
+        << rel << " diverged after kill+resume";
+  }
+}
+
+TEST_F(KillResumeTest, SigtermShutsDownGracefullyWithExitZero) {
+  const std::string dir = (base_ / "term").string();
+  const pid_t pid = spawn_campaign(dir, "6", "16", "150");
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(wait_for_checkpoint(dir, 30000)) << "no checkpoint appeared";
+  ::kill(pid, SIGTERM);
+  const int status = wait_exit(pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "child did not exit normally";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  // The graceful path leaves a resumable checkpoint and a parseable log.
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "checkpoint" / "campaign.ckpt"));
+  std::ifstream jsonl(fs::path(dir) / "progress.jsonl");
+  std::string line;
+  bool saw_any = false;
+  while (std::getline(jsonl, line)) {
+    saw_any = true;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+  }
+  EXPECT_TRUE(saw_any);
+}
+
+}  // namespace

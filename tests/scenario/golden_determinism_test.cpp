@@ -183,6 +183,23 @@ TEST(GoldenDeterminism, CoverageProbeIsPurelyPassive) {
   }
 }
 
+TEST(GoldenDeterminism, ArmedBudgetGuardsAreFingerprintNeutral) {
+  // Arming the run guards (event / sim-time / wall-clock budgets) with
+  // limits a golden run never reaches must leave execution bit-identical:
+  // the guard is a branch on the hot path, not a behavior change.
+  for (const auto& g : kGolden) {
+    SCOPED_TRACE(std::string(g.cca) + "/" + to_string(g.mode));
+    ScenarioConfig cfg = golden_config(g.mode);
+    cfg.budget.max_events = 1'000'000'000ull;
+    cfg.budget.max_sim_time = DurationNs::seconds(3600);
+    cfg.budget.max_wall_time = DurationNs::seconds(300);
+    const auto run = run_scenario(cfg, cca::make_factory(g.cca),
+                                  golden_trace(g.mode, cfg.duration));
+    EXPECT_FALSE(run.truncated);
+    EXPECT_EQ(fingerprint(run), g.hash);
+  }
+}
+
 TEST(GoldenDeterminism, RepeatedRunsAreBitIdentical) {
   for (const auto& g : kGolden) {
     SCOPED_TRACE(std::string(g.cca) + "/" + to_string(g.mode));

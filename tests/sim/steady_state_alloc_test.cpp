@@ -182,6 +182,12 @@ TEST(SteadyStateAllocation, FourFlowScenarioSteadyStateIsAllocationFree) {
 
   auto run_once = [&](TimeNs measure_from) {
     sim.reset();
+    // Arm every run guard (generously — no golden run hits them): the
+    // budget checks must stay branch-only, never allocating per event.
+    Budget budget;
+    budget.max_events = 1'000'000'000ull;
+    budget.max_wall_time = DurationNs::seconds(300);
+    sim.arm_budget(budget);
     pool.clear();
     recorder.clear();
     scenario::Dumbbell db(sim, cfg, factory, {}, &pool, &recorder);
@@ -219,6 +225,10 @@ TEST(SteadyStateAllocation, EvaluateBatchGenerationIsAllocationFree) {
   }
   scenario::ScenarioConfig cfg;
   cfg.duration = TimeNs::seconds(2);
+  // Guards armed (generously, never hit): the budget checks on the event
+  // loop must not cost an allocation on the warm path either.
+  cfg.budget.max_events = 1'000'000'000ull;
+  cfg.budget.max_wall_time = DurationNs::seconds(300);
   fuzz::TraceEvaluator evaluator(
       cfg, cca::make_factory("reno"),
       std::make_shared<fuzz::LowUtilizationScore>(),

@@ -82,5 +82,77 @@ TEST(TraceIo, LoadMissingFileThrows) {
   EXPECT_THROW(load_trace("/nonexistent/path/trace.txt"), std::runtime_error);
 }
 
+// --- Structured (non-throwing) parse errors ----------------------------------
+// Every way a trace file can be mangled maps to a typed Error, so loaders in
+// crash-recovery paths (checkpoint restore, archive resume) can distinguish
+// "wrong version" from "crash-truncated" from "bit rot" and degrade
+// accordingly instead of dying on a bare exception.
+
+TEST(TraceIoErrors, WrittenTracesCarryTheVersionMagic) {
+  std::stringstream ss;
+  write_trace(ss, sample_trace());
+  std::string first;
+  std::getline(ss, first);
+  EXPECT_EQ(first, "# ccfuzz-trace v1");
+}
+
+TEST(TraceIoErrors, FutureVersionIsKVersion) {
+  std::stringstream ss("# ccfuzz-trace v9\n# kind link\n# duration_ns 10\n");
+  const auto r = try_read_trace(ss);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, Error::Code::kVersion);
+}
+
+TEST(TraceIoErrors, MissingHeaderIsKTruncated) {
+  std::stringstream empty("");
+  EXPECT_EQ(try_read_trace(empty).error().code, Error::Code::kTruncated);
+  std::stringstream kind_only("# kind link\n");
+  EXPECT_EQ(try_read_trace(kind_only).error().code, Error::Code::kTruncated);
+}
+
+TEST(TraceIoErrors, GarbageIsKParse) {
+  std::stringstream bad_kind("# kind bogus\n# duration_ns 10\n");
+  EXPECT_EQ(try_read_trace(bad_kind).error().code, Error::Code::kParse);
+  std::stringstream bad_duration("# kind link\n# duration_ns ten\n");
+  EXPECT_EQ(try_read_trace(bad_duration).error().code, Error::Code::kParse);
+  std::stringstream bad_stamp("# kind link\n# duration_ns 1000\nabc\n");
+  EXPECT_EQ(try_read_trace(bad_stamp).error().code, Error::Code::kParse);
+  std::stringstream trailing("# kind link\n# duration_ns 1000 junk\n");
+  EXPECT_EQ(try_read_trace(trailing).error().code, Error::Code::kParse);
+}
+
+TEST(TraceIoErrors, MalformedTraceIsKCorrupt) {
+  std::stringstream unsorted(
+      "# kind link\n# duration_ns 1000000000\n500\n100\n");
+  EXPECT_EQ(try_read_trace(unsorted).error().code, Error::Code::kCorrupt);
+  std::stringstream outside("# kind link\n# duration_ns 1000\n2000\n");
+  EXPECT_EQ(try_read_trace(outside).error().code, Error::Code::kCorrupt);
+}
+
+TEST(TraceIoErrors, MissingFileIsKIo) {
+  const auto r = try_load_trace("/nonexistent/path/trace.txt");
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, Error::Code::kIo);
+  EXPECT_NE(r.error().message.find("trace.txt"), std::string::npos);
+}
+
+TEST(TraceIoErrors, TruncatedFileBytesStillRoundTripAsTypedErrors) {
+  // A crash mid-write leaves a prefix of a valid file: every prefix must
+  // parse to a typed error or a shorter (still well-formed) trace — never a
+  // crash or an unflagged wrong result.
+  std::stringstream full;
+  write_trace(full, sample_trace());
+  const std::string bytes = full.str();
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    std::stringstream partial(bytes.substr(0, cut));
+    const auto r = try_read_trace(partial);
+    if (r) {
+      EXPECT_TRUE(r->well_formed());
+    } else {
+      EXPECT_NE(r.error().code, Error::Code::kOk);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ccfuzz::trace
