@@ -13,8 +13,14 @@ Reads what examples/fuzz_fairness writes:
 
 and renders, per cell:
 
-  <out>/<cell>_convergence.png   Jain index + per-flow goodputs vs generation
-  <out>/<cell>_flow_rates.png    per-flow throughput vs time for the winner
+  <out>/<cell>_convergence.png     Jain index + per-flow goodputs vs
+                                   generation
+  <out>/<cell>_flow_rates.png      per-flow throughput vs time for the winner
+  <out>/<cell>_fairness_panel.png  the figX-style panel: the winner's
+                                   per-flow rates (top) over the
+                                   instantaneous Jain index computed from
+                                   the same series (bottom) — fairness
+                                   collapse localized in time
 
 matplotlib is optional: without it the same series are rendered as ASCII
 charts on stdout (and the exit code stays 0), so the script is usable in
@@ -67,6 +73,27 @@ def read_flow_rates(path):
             for i, v in enumerate(row):
                 cols[i].append(float(v))
     return cols[0], cols[1:], header[1:]
+
+
+def instantaneous_jain(series):
+    """Per-sample Jain fairness index across the flow series.
+
+    jain(x) = (sum x)^2 / (n * sum x^2). Bins where every flow is idle have
+    no allocation to be unfair about; they score a neutral 1.0 so the panel
+    shows fairness *collapses*, not idle gaps.
+    """
+    if not series:
+        return []
+    n = len(series)
+    out = []
+    for vals in zip(*series):
+        sq_sum = sum(v * v for v in vals)
+        if sq_sum < 1e-12:
+            out.append(1.0)
+        else:
+            total = sum(vals)
+            out.append((total * total) / (n * sq_sum))
+    return out
 
 
 def ascii_chart(title, xs, series, labels, width=64, height=10):
@@ -153,6 +180,40 @@ def plot_cell(cell, hist, rates, out_dir):
         ascii_chart(
             f"{cell}: winner per-flow egress rate (Mbps) vs time",
             time_s, series, [l.replace("_mbps", "") for l in labels],
+        )
+
+    # The figX-style panel: the same flow-rate series with the instantaneous
+    # Jain index computed underneath, so a fairness collapse is localized in
+    # time instead of summarized as one end-of-run number.
+    jain_t = instantaneous_jain(series)
+    if not jain_t:
+        return
+    if HAVE_MPL:
+        fig, (ax1, ax2) = plt.subplots(
+            2, 1, figsize=(7, 5.5), sharex=True,
+            gridspec_kw={"height_ratios": [2, 1]},
+        )
+        for label, s in zip(labels, series):
+            ax1.plot(time_s, s, label=label.replace("_mbps", ""))
+        ax1.set_ylabel("egress rate (Mbps)")
+        ax1.set_title(f"{cell}: fairness over time (winning trace)")
+        ax1.grid(alpha=0.3)
+        ax1.legend()
+        ax2.plot(time_s, jain_t, color="black")
+        ax2.axhline(1.0, color="gray", linestyle=":", linewidth=1)
+        ax2.set_ylim(0.0, 1.05)
+        ax2.set_xlabel("time (s)")
+        ax2.set_ylabel("Jain index")
+        ax2.grid(alpha=0.3)
+        fig.tight_layout()
+        path = os.path.join(out_dir, f"{cell}_fairness_panel.png")
+        fig.savefig(path, dpi=120)
+        plt.close(fig)
+        print(f"wrote {path}")
+    else:
+        ascii_chart(
+            f"{cell}: instantaneous Jain index vs time (1.0 = fair)",
+            time_s, [jain_t], ["jain"],
         )
 
 

@@ -15,7 +15,8 @@ fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}" >/dev/null
 cmake --build "$BUILD_DIR" --target quickstart --target fuzz_fairness \
-  --target fuzz_coverage --target crashsafe_campaign -j"$(nproc)"
+  --target fuzz_coverage --target crashsafe_campaign --target ccfuzz_tool \
+  -j"$(nproc)"
 
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
@@ -93,6 +94,49 @@ for f in summary.csv summary.json; do
   fi
 done
 echo "crash-resume smoke OK"
+
+# Distributed-campaign smoke: a 2-worker supervised run must survive one of
+# its workers being SIGKILLed mid-generation — the supervisor restarts it
+# from its shard checkpoint — and still merge a report byte-identical to the
+# single-process run of the same matrix.
+CCFUZZ="$BUILD_DIR/tools/ccfuzz"
+MATRIX=(--ccas reno,cubic,bbr --generations 3 --population 12 --islands 2
+        --seed 7 --duration-ms 800)
+"$CCFUZZ" run --workers 0 --output "$OUT/dist-ref" "${MATRIX[@]}" >/dev/null
+"$CCFUZZ" run --workers 2 --output "$OUT/dist" "${MATRIX[@]}" \
+  --throttle-ms 200 >/dev/null &
+supervisor_pid=$!
+victim=""
+for _ in $(seq 1 500); do
+  for shard in 0 1; do
+    d="$OUT/dist/shards/$shard"
+    if [[ -f "$d/worker.pid" && -f "$d/checkpoint/campaign.ckpt" ]]; then
+      victim="$(cat "$d/worker.pid")"
+      break 2
+    fi
+  done
+  sleep 0.05
+done
+if [[ -z "$victim" ]]; then
+  echo "shard smoke FAILED: no killable worker appeared" >&2
+  exit 1
+fi
+kill -KILL "$victim" 2>/dev/null || true
+if ! wait "$supervisor_pid"; then
+  echo "shard smoke FAILED: supervisor exited nonzero" >&2
+  exit 1
+fi
+if ! grep -q '"event":"worker_restart"' "$OUT/dist/progress.jsonl"; then
+  echo "shard smoke FAILED: supervisor never restarted the killed worker" >&2
+  exit 1
+fi
+for f in summary.csv summary.json; do
+  if ! cmp -s "$OUT/dist/$f" "$OUT/dist-ref/$f"; then
+    echo "shard smoke FAILED: merged $f diverged from single-process run" >&2
+    exit 1
+  fi
+done
+echo "shard smoke OK (killed worker $victim; restarted, merged, byte-identical)"
 
 # Cheap benchmark-harness smoke: prove the micro benches still build and run
 # (full regression numbers come from scripts/bench_regression.sh). Exit 3

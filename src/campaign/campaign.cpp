@@ -397,9 +397,13 @@ void JsonlObserver::sync_boundary() {
   if (fp_ != nullptr && sync_) ::fsync(::fileno(fp_));
 }
 
+std::string JsonlObserver::shard_field() const {
+  return shard_ >= 0 ? ",\"shard\":" + std::to_string(shard_) : std::string();
+}
+
 void JsonlObserver::on_campaign_begin(const std::vector<CellConfig>& cells) {
   std::ostringstream os;
-  os << "{\"event\":\"campaign_begin\",\"cells\":[";
+  os << "{\"event\":\"campaign_begin\"" << shard_field() << ",\"cells\":[";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellConfig& c = cells[i];
     os << (i ? "," : "") << "{\"name\":\"" << json_escape(c.name)
@@ -416,7 +420,8 @@ void JsonlObserver::on_campaign_begin(const std::vector<CellConfig>& cells) {
 void JsonlObserver::on_generation(const CellConfig& cell,
                                   const fuzz::GenStats& gs) {
   std::ostringstream os;
-  os << "{\"event\":\"generation\",\"cell\":\"" << json_escape(cell.name)
+  os << "{\"event\":\"generation\"" << shard_field() << ",\"cell\":\""
+     << json_escape(cell.name)
      << "\",\"generation\":" << gs.generation
      << ",\"best_score\":" << format_double(gs.best_score)
      << ",\"mean_score\":" << format_double(gs.mean_score)
@@ -439,7 +444,8 @@ void JsonlObserver::on_generation(const CellConfig& cell,
 
 void JsonlObserver::on_cell_end(const CellResult& result) {
   std::ostringstream os;
-  os << "{\"event\":\"cell_end\",\"cell\":\"" << json_escape(result.cell.name)
+  os << "{\"event\":\"cell_end\"" << shard_field() << ",\"cell\":\""
+     << json_escape(result.cell.name)
      << "\",\"best_score\":" << format_double(result.best_score())
      << ",\"winners\":" << result.winners.size()
      << ",\"simulations\":" << result.simulations
@@ -464,7 +470,8 @@ void JsonlObserver::on_cell_end(const CellResult& result) {
 
 void JsonlObserver::on_campaign_end(const CampaignReport& report) {
   std::ostringstream os;
-  os << "{\"event\":\"campaign_end\",\"cells\":" << report.cells.size()
+  os << "{\"event\":\"campaign_end\"" << shard_field()
+     << ",\"cells\":" << report.cells.size()
      << ",\"interrupted\":" << (report.interrupted ? "true" : "false") << "}";
   emit_line(os.str());
   sync_boundary();

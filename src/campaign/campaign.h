@@ -324,11 +324,20 @@ class JsonlObserver final : public CampaignObserver {
   /// Opens (truncates) `path`. Throws std::runtime_error when the file
   /// cannot be opened. `sync` fsyncs at generation/cell boundaries.
   explicit JsonlObserver(const std::string& path, bool sync = false);
-  /// Writes to an already-open stream (tests, in-process consumers).
+  /// Writes to an already-open stream (tests, in-process consumers, and
+  /// distributed workers streaming to a supervisor pipe via std::cout).
   explicit JsonlObserver(std::ostream& out);
   ~JsonlObserver() override;
   JsonlObserver(const JsonlObserver&) = delete;
   JsonlObserver& operator=(const JsonlObserver&) = delete;
+
+  /// Tags every subsequent event line with `"shard":<k>` (right after
+  /// "event"), so lines from many workers multiplexed into one aggregate
+  /// feed stay attributable. Negative (the default) leaves lines untagged.
+  JsonlObserver& set_shard(int shard) {
+    shard_ = shard;
+    return *this;
+  }
 
   void on_campaign_begin(const std::vector<CellConfig>& cells) override;
   void on_generation(const CellConfig& cell,
@@ -341,10 +350,13 @@ class JsonlObserver final : public CampaignObserver {
   /// fsync at an event boundary (no-op for stream-backed observers or when
   /// `sync` is off).
   void sync_boundary();
+  /// `,"shard":<k>` when tagged, "" otherwise.
+  std::string shard_field() const;
 
   std::FILE* fp_ = nullptr;  ///< owned, file-backed mode (enables fsync)
   bool sync_ = false;
   std::ostream* out_ = nullptr;  ///< borrowed, stream mode
+  int shard_ = -1;               ///< >= 0: tag every line with this shard
 };
 
 /// Builds the evaluator for one cell — the single place scenario wiring

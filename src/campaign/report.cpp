@@ -60,8 +60,18 @@ std::string flow_goodputs_csv(const fuzz::Evaluation& e) {
   return join_flow_goodputs(e, ';');
 }
 
-/// RFC-4180 quoting for the hand-rolled summary columns: cell names are
-/// free-form user input and must not be able to shift the row.
+void write_file(const std::filesystem::path& path, const std::string& body) {
+  std::ofstream os(path);
+  os << body;
+  if (!os) {
+    throw std::runtime_error("failed to write " + path.string());
+  }
+}
+
+}  // namespace
+
+// Cell names are free-form user input and must not be able to shift a
+// summary row.
 std::string csv_field(const std::string& s) {
   if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
   std::string out = "\"";
@@ -73,16 +83,6 @@ std::string csv_field(const std::string& s) {
   return out;
 }
 
-void write_file(const std::filesystem::path& path, const std::string& body) {
-  std::ofstream os(path);
-  os << body;
-  if (!os) {
-    throw std::runtime_error("failed to write " + path.string());
-  }
-}
-
-}  // namespace
-
 std::string sanitize_cell_name(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
@@ -93,9 +93,17 @@ std::string sanitize_cell_name(const std::string& name) {
   return out;
 }
 
+const char* summary_csv_header() {
+  return "cell,cca,mode,score,flows,generations,evaluations,simulations,"
+         "cache_hits,archive_cells,coverage_bits,best_score,"
+         "best_goodput_mbps,best_flow_goodputs_mbps,"
+         "best_jain_fairness,winner_hash\n";
+}
+
 std::string to_json(const CampaignReport& report) {
   std::ostringstream os;
-  os << "{\n  \"cells\": [\n";
+  os << "{\n  \"interrupted\": " << (report.interrupted ? "true" : "false")
+     << ",\n  \"cells\": [\n";
   for (std::size_t i = 0; i < report.cells.size(); ++i) {
     const CellResult& r = report.cells[i];
     const std::string dir = sanitize_cell_name(r.cell.name);
@@ -146,10 +154,7 @@ void write_report(const CampaignReport& report, const std::string& dir) {
   // summary.csv — one row per cell.
   {
     std::ostringstream os;
-    os << "cell,cca,mode,score,flows,generations,evaluations,simulations,"
-          "cache_hits,archive_cells,coverage_bits,best_score,"
-          "best_goodput_mbps,best_flow_goodputs_mbps,"
-          "best_jain_fairness,winner_hash\n";
+    os << summary_csv_header();
     for (const CellResult& r : report.cells) {
       os << csv_field(r.cell.name) << ',' << csv_field(r.cell.cca) << ','
          << scenario::to_string(r.cell.scenario.mode) << ','

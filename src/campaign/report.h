@@ -23,8 +23,16 @@ namespace ccfuzz::campaign {
 /// std::runtime_error on I/O failure.
 void write_report(const CampaignReport& report, const std::string& dir);
 
-/// The summary.json payload (exposed for tests and embedding).
+/// The summary.json payload (exposed for tests and embedding). Records the
+/// report's `interrupted` flag: a summary written by a gracefully stopped
+/// campaign says so, and resuming to completion rewrites it as false — so a
+/// finished resumed report stays byte-identical to an uninterrupted one.
 std::string to_json(const CampaignReport& report);
+
+/// The exact summary.csv header row (newline included). Shared with the
+/// distributed merge step, which reassembles shard summaries row-by-row and
+/// must emit the identical header.
+const char* summary_csv_header();
 
 /// A cell name made filesystem-safe (anything outside [A-Za-z0-9._-] → '_').
 std::string sanitize_cell_name(const std::string& name);
@@ -32,5 +40,10 @@ std::string sanitize_cell_name(const std::string& name);
 /// JSON string-escapes `s` (quotes, backslashes, control characters). Shared
 /// by the report writer and JsonlObserver.
 std::string json_escape(const std::string& s);
+
+/// RFC-4180 quoting of one summary.csv field (quoted only when needed).
+/// Shared with the distributed merge step, which matches shard summary rows
+/// by their exact first column.
+std::string csv_field(const std::string& s);
 
 }  // namespace ccfuzz::campaign

@@ -1,0 +1,278 @@
+#include "dist/supervisor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <utility>
+
+#include "campaign/campaign.h"
+#include "dist/merge.h"
+#include "util/fs.h"
+#include "util/logging.h"
+
+namespace ccfuzz::dist {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+struct Supervisor::Worker {
+  std::uint32_t shard = 0;
+  pid_t pid = -1;           ///< -1: not running
+  int fd = -1;              ///< read end of the worker's stdout pipe
+  std::string buffer;       ///< bytes since the last newline
+  int restarts = 0;
+  Clock::time_point last_activity{};
+  bool done = false;
+  bool failed = false;
+};
+
+Supervisor::Supervisor(SupervisorOptions opt, ShardPlan plan)
+    : opt_(std::move(opt)), plan_(std::move(plan)) {}
+
+Supervisor::~Supervisor() = default;
+
+std::FILE* Supervisor::log_stream() const {
+  return opt_.log ? opt_.log : stderr;
+}
+
+void Supervisor::emit_event(const std::string& json) {
+  if (!feed_) return;
+  std::fwrite(json.data(), 1, json.size(), feed_);
+  std::fputc('\n', feed_);
+  std::fflush(feed_);
+}
+
+bool Supervisor::spawn(Worker& w, int restart) {
+  const std::string dir = shard_dir(opt_.root, w.shard);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+
+  int fds[2];
+  if (pipe(fds) != 0) {
+    CCFUZZ_LOG_ERROR("supervisor: pipe failed for shard %u", w.shard);
+    return false;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    CCFUZZ_LOG_ERROR("supervisor: fork failed for shard %u", w.shard);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: stdout becomes the supervisor pipe, then become the worker.
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    std::vector<std::string> args = {
+        opt_.binary,
+        "worker",
+        "--shard",
+        std::to_string(w.shard) + "/" + std::to_string(plan_.num_shards),
+        "--output",
+        opt_.root,
+    };
+    args.insert(args.end(), opt_.worker_flags.begin(),
+                opt_.worker_flags.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(opt_.binary.c_str(), argv.data());
+    _exit(127);  // exec failed; 127 lands in the restart budget like a crash
+  }
+  close(fds[1]);
+  fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  w.pid = pid;
+  w.fd = fds[0];
+  w.buffer.clear();
+  w.last_activity = Clock::now();
+  // The pid file lets external tooling (kill tests, ops) target the live
+  // worker; each restart rewrites it.
+  write_file_atomic(dir + "/worker.pid", std::to_string(pid) + "\n");
+  emit_event("{\"event\":\"worker_start\",\"shard\":" +
+             std::to_string(w.shard) + ",\"pid\":" + std::to_string(pid) +
+             ",\"restart\":" + std::to_string(restart) + "}");
+  std::fprintf(log_stream(), "[supervisor] shard %u: worker pid %d%s\n",
+               w.shard, static_cast<int>(pid),
+               restart > 0 ? " (restarted)" : "");
+  return true;
+}
+
+bool Supervisor::drain(Worker& w) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = read(w.fd, buf, sizeof buf);
+    if (n > 0) {
+      w.buffer.append(buf, static_cast<std::size_t>(n));
+      w.last_activity = Clock::now();
+      std::size_t pos;
+      while ((pos = w.buffer.find('\n')) != std::string::npos) {
+        if (feed_) std::fwrite(w.buffer.data(), 1, pos + 1, feed_);
+        w.buffer.erase(0, pos + 1);
+      }
+      if (feed_) std::fflush(feed_);
+      continue;
+    }
+    if (n == 0) return false;  // EOF: worker gone
+    if (errno == EINTR) continue;
+    return true;  // EAGAIN: drained for now
+  }
+}
+
+void Supervisor::handle_exit(Worker& w, int wait_status) {
+  close(w.fd);
+  w.fd = -1;
+  const pid_t pid = w.pid;
+  w.pid = -1;
+  // A killed worker's last line may be torn; the aggregate feed carries
+  // whole lines only, so the fragment is dropped (its events replay on
+  // restart from the checkpoint anyway).
+  w.buffer.clear();
+
+  int code = -1;
+  int sig = 0;
+  if (WIFEXITED(wait_status)) code = WEXITSTATUS(wait_status);
+  if (WIFSIGNALED(wait_status)) sig = WTERMSIG(wait_status);
+  emit_event("{\"event\":\"worker_exit\",\"shard\":" +
+             std::to_string(w.shard) + ",\"pid\":" + std::to_string(pid) +
+             ",\"code\":" + std::to_string(code) +
+             ",\"signal\":" + std::to_string(sig) + "}");
+
+  if (code == 0) {
+    w.done = true;
+    return;
+  }
+  if (campaign::stop_requested()) {
+    // Our own stop: an interrupted exit (or signal death) is the expected
+    // drain, state is checkpointed, no restart. A rerun resumes the shard.
+    interrupted_ = true;
+    w.done = true;
+    return;
+  }
+  if (w.restarts >= opt_.max_restarts) {
+    w.failed = true;
+    std::fprintf(log_stream(),
+                 "[supervisor] shard %u: worker died (code %d, signal %d), "
+                 "restart budget exhausted\n",
+                 w.shard, code, sig);
+    return;
+  }
+  ++w.restarts;
+  emit_event("{\"event\":\"worker_restart\",\"shard\":" +
+             std::to_string(w.shard) +
+             ",\"restart\":" + std::to_string(w.restarts) + "}");
+  std::fprintf(log_stream(),
+               "[supervisor] shard %u: worker died (code %d, signal %d), "
+               "restarting from checkpoint (%d/%d)\n",
+               w.shard, code, sig, w.restarts, opt_.max_restarts);
+  if (!spawn(w, w.restarts)) w.failed = true;
+}
+
+int Supervisor::run() {
+  std::error_code ec;
+  fs::create_directories(opt_.root, ec);
+  if (Error e = plan_.save_file(opt_.root + "/shard_plan.json")) {
+    CCFUZZ_LOG_ERROR("supervisor: cannot write shard plan: %s",
+                     e.message.c_str());
+    return 1;
+  }
+  const std::string feed_path = opt_.root + "/progress.jsonl";
+  feed_ = std::fopen(feed_path.c_str(), "w");
+  if (!feed_) {
+    CCFUZZ_LOG_ERROR("supervisor: cannot open %s", feed_path.c_str());
+    return 1;
+  }
+
+  workers_.clear();
+  for (int k = 0; k < plan_.num_shards; ++k) {
+    if (plan_.cell_count(static_cast<std::uint32_t>(k)) == 0) {
+      continue;  // nothing to do; merge never reads an unowned shard
+    }
+    Worker w;
+    w.shard = static_cast<std::uint32_t>(k);
+    workers_.push_back(std::move(w));
+  }
+  std::fprintf(log_stream(),
+               "[supervisor] %zu worker(s) over %d shard(s), %zu cell(s)\n",
+               workers_.size(), plan_.num_shards, plan_.entries.size());
+
+  bool any_failed = false;
+  for (auto& w : workers_) {
+    if (!spawn(w, 0)) {
+      w.failed = true;
+      any_failed = true;
+    }
+  }
+
+  bool stop_forwarded = false;
+  while (true) {
+    std::vector<pollfd> fds;
+    std::vector<Worker*> live;
+    for (auto& w : workers_) {
+      if (w.pid < 0) continue;
+      fds.push_back({w.fd, POLLIN, 0});
+      live.push_back(&w);
+    }
+    if (live.empty()) break;
+
+    if (campaign::stop_requested() && !stop_forwarded) {
+      stop_forwarded = true;
+      interrupted_ = true;
+      for (Worker* w : live) kill(w->pid, SIGTERM);
+      std::fprintf(log_stream(),
+                   "[supervisor] stop requested; draining %zu worker(s)\n",
+                   live.size());
+    }
+
+    const int n = poll(fds.data(), static_cast<nfds_t>(fds.size()), 200);
+    if (n < 0 && errno != EINTR) {
+      CCFUZZ_LOG_ERROR("supervisor: poll failed (errno %d)", errno);
+      break;
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      Worker& w = *live[i];
+      if (w.pid < 0 || !(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) {
+        continue;
+      }
+      if (!drain(w)) {
+        int status = 0;
+        waitpid(w.pid, &status, 0);
+        handle_exit(w, status);
+      }
+    }
+
+    if (opt_.heartbeat_timeout_s > 0 && !campaign::stop_requested()) {
+      const Clock::time_point now = Clock::now();
+      for (auto& w : workers_) {
+        if (w.pid < 0) continue;
+        const double silence =
+            std::chrono::duration<double>(now - w.last_activity).count();
+        if (silence <= opt_.heartbeat_timeout_s) continue;
+        emit_event("{\"event\":\"worker_stall\",\"shard\":" +
+                   std::to_string(w.shard) +
+                   ",\"pid\":" + std::to_string(w.pid) + "}");
+        std::fprintf(log_stream(),
+                     "[supervisor] shard %u: no output for %.1fs, killing "
+                     "pid %d\n",
+                     w.shard, silence, static_cast<int>(w.pid));
+        kill(w.pid, SIGKILL);
+        w.last_activity = now;  // one kill per silence window
+      }
+    }
+  }
+
+  std::fclose(feed_);
+  feed_ = nullptr;
+  for (const auto& w : workers_) any_failed = any_failed || w.failed;
+  return any_failed ? 1 : 0;
+}
+
+}  // namespace ccfuzz::dist

@@ -1,0 +1,81 @@
+// The distributed-campaign supervisor: spawn, watch, restart.
+//
+// The supervisor fork/execs one `ccfuzz worker` process per nonempty shard,
+// multiplexes their shard-tagged JSONL stdout streams into one aggregate
+// feed (`<root>/progress.jsonl` — whole lines only, so the feed is valid
+// JSONL even while workers race), and watches for worker death: a nonzero
+// exit, a termination signal, or a missed heartbeat (no output for longer
+// than the timeout → SIGKILL). A dead worker is restarted with the same
+// argv; because workers checkpoint every generation into their own shard
+// directory (PR 7's crash-safe campaign machinery, reused verbatim), the
+// restart resumes where the victim died and the finished shard tree — and
+// therefore the merged report — is bit-identical to an undisturbed run.
+//
+// Shutdown is cooperative: the supervisor's own SIGINT/SIGTERM (via the
+// campaign stop flag) is forwarded to every live worker once, workers drain
+// gracefully (exit kWorkerInterruptedExit, state checkpointed), and no
+// restarts are issued — rerunning the supervisor resumes the campaign.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dist/shard_plan.h"
+
+namespace ccfuzz::dist {
+
+struct SupervisorOptions {
+  /// Path of the ccfuzz binary to exec workers from (usually
+  /// /proc/self/exe, resolved by the CLI).
+  std::string binary;
+  /// Flags reproducing the campaign matrix, appended to every worker's argv
+  /// after `worker --shard k/N --output <root>` (the supervisor does not
+  /// understand them; the CLI reserializes its own).
+  std::vector<std::string> worker_flags;
+  /// Campaign root: shard trees under `<root>/shards/<k>/`, the aggregate
+  /// feed at `<root>/progress.jsonl`, the plan at `<root>/shard_plan.json`.
+  std::string root;
+  /// Restart budget per shard; a worker dying more than this many times
+  /// marks the run failed.
+  int max_restarts = 3;
+  /// Seconds of worker silence before it is presumed hung and SIGKILLed
+  /// (restart path). 0 disables the watchdog.
+  double heartbeat_timeout_s = 0.0;
+  /// Human progress notes (worker starts/exits/restarts); null for stderr.
+  std::FILE* log = nullptr;
+};
+
+/// Runs the campaign's workers to completion. Returns 0 when every shard
+/// completed (or the run was gracefully interrupted — check interrupted()),
+/// 1 when any shard exhausted its restart budget or could not be spawned.
+class Supervisor {
+ public:
+  Supervisor(SupervisorOptions opt, ShardPlan plan);
+  ~Supervisor();  // out-of-line: Worker is incomplete here
+
+  int run();
+
+  /// True when run() stopped on a shutdown request instead of completing;
+  /// shard state is checkpointed and a rerun resumes it.
+  bool interrupted() const { return interrupted_; }
+
+ private:
+  struct Worker;
+
+  bool spawn(Worker& w, int restart);
+  /// Moves available bytes from the worker's pipe into its line buffer,
+  /// flushing whole lines to the feed. False on EOF (worker gone).
+  bool drain(Worker& w);
+  void handle_exit(Worker& w, int wait_status);
+  void emit_event(const std::string& json);
+  std::FILE* log_stream() const;
+
+  SupervisorOptions opt_;
+  ShardPlan plan_;
+  std::vector<Worker> workers_;
+  std::FILE* feed_ = nullptr;  ///< owned while run() is live
+  bool interrupted_ = false;
+};
+
+}  // namespace ccfuzz::dist

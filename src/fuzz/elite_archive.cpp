@@ -75,6 +75,25 @@ EliteArchive::InsertResult EliteArchive::insert(const trace::Trace& genome,
   return r;
 }
 
+std::size_t EliteArchive::merge_from(const EliteArchive& other) {
+  union_bits_ += union_map_.merge_count_new(other.union_map_);
+  std::size_t changed = 0;
+  for (const std::uint16_t idx : other.occupied_) {
+    const Cell& theirs = other.cells_[idx];
+    Cell& ours = cells_[idx];
+    if (!ours.occupied) {
+      ours.occupied = true;
+      occupied_.push_back(idx);
+    } else if (!(theirs.eval.score.total() > ours.eval.score.total())) {
+      continue;  // incumbent stands (ties included), as in insert()
+    }
+    ours.genome = theirs.genome;
+    ours.eval = theirs.eval;
+    ++changed;
+  }
+  return changed;
+}
+
 const EliteArchive::Cell& EliteArchive::sample(Rng& rng) const {
   const std::size_t pick = static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<std::int64_t>(occupied_.size()) - 1));

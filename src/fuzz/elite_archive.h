@@ -67,6 +67,17 @@ class EliteArchive {
   /// incumbent, so re-inserted elites never churn).
   InsertResult insert(const trace::Trace& genome, const Evaluation& eval);
 
+  /// Unions `other` into this archive (distributed report merge, repeated-
+  /// seed aggregation): the union bitmap absorbs other's map, and each of
+  /// other's elites is offered to its cell under insert() semantics — empty
+  /// cells take it, occupied cells keep the strictly higher score (ties keep
+  /// this archive's incumbent). Deterministic: other's elites are visited in
+  /// its fill order, and cells this newly fills extend this archive's fill
+  /// order in that sequence — merging into an empty archive reproduces
+  /// `other` byte-for-byte through save(). Returns the number of cells
+  /// newly filled or improved.
+  std::size_t merge_from(const EliteArchive& other);
+
   std::size_t filled() const { return occupied_.size(); }
   std::uint32_t union_bits() const { return union_bits_; }
   const coverage::CoverageBitmap& union_map() const { return union_map_; }

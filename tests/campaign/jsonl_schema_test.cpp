@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "campaign/campaign.h"
+#include "campaign/report.h"
 #include "fuzz/score.h"
 
 namespace ccfuzz::campaign {
@@ -134,6 +135,81 @@ TEST(JsonlSchema, CampaignBeginCellEntriesArePinned) {
        {"\"name\":", "\"cca\":", "\"mode\":", "\"flows\":", "\"population\":",
         "\"max_generations\":"}) {
     EXPECT_NE(first.find(key), std::string::npos) << key << " in " << first;
+  }
+}
+
+TEST(JsonlSchema, ShardTagIsSecondKeyOnEveryLine) {
+  // Distributed workers tag every line so a multiplexed aggregate feed stays
+  // attributable; the tag's position (right after "event") is part of the
+  // pinned schema.
+  std::ostringstream out;
+  CampaignConfig cfg;
+  cfg.add_cell(schema_cell(false));
+  Campaign c(cfg);
+  JsonlObserver obs(out);
+  obs.set_shard(3);
+  c.add_observer(&obs);
+  c.run();
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int checked = 0;
+  while (std::getline(lines, line)) {
+    const auto keys = top_level_keys(line);
+    ASSERT_GE(keys.size(), 2u) << line;
+    EXPECT_EQ(keys[0], "event") << line;
+    EXPECT_EQ(keys[1], "shard") << line;
+    EXPECT_NE(line.find("\"shard\":3,"), std::string::npos) << line;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 5);  // begin + 2 generations + cell_end + end
+}
+
+TEST(JsonlSchema, UntaggedObserverEmitsNoShardKey) {
+  std::ostringstream out;
+  CampaignConfig cfg;
+  cfg.add_cell(schema_cell(false));
+  Campaign c(cfg);
+  JsonlObserver obs(out);
+  c.add_observer(&obs);
+  c.run();
+  EXPECT_EQ(out.str().find("\"shard\""), std::string::npos);
+}
+
+TEST(SummaryJson, RecordsInterruptedFlag) {
+  // The JSONL campaign_end event always carried `interrupted`; summary.json
+  // used to omit it, leaving post-hoc triage unable to tell a partial report
+  // from a finished one. Both serializations now agree.
+
+  // A stop raised mid-campaign yields an interrupted summary...
+  class StopAfterFirstGeneration final : public CampaignObserver {
+    void on_generation(const CellConfig&, const fuzz::GenStats&) override {
+      request_stop();
+    }
+  };
+  reset_stop_flag();
+  {
+    CampaignConfig cfg;
+    cfg.add_cell(schema_cell(false));
+    Campaign c(cfg);
+    StopAfterFirstGeneration stopper;
+    c.add_observer(&stopper);
+    const CampaignReport& report = c.run();
+    ASSERT_TRUE(report.interrupted);
+    EXPECT_NE(to_json(report).find("\"interrupted\": true"),
+              std::string::npos);
+  }
+  reset_stop_flag();
+
+  // ...and a completed campaign records false.
+  {
+    CampaignConfig cfg;
+    cfg.add_cell(schema_cell(false));
+    Campaign c(cfg);
+    const CampaignReport& report = c.run();
+    ASSERT_FALSE(report.interrupted);
+    EXPECT_NE(to_json(report).find("\"interrupted\": false"),
+              std::string::npos);
   }
 }
 

@@ -138,6 +138,72 @@ TEST(EliteArchive, LoadRejectsMalformedInput) {
   EXPECT_THROW(EliteArchive::load(truncated), std::runtime_error);
 }
 
+// --- merge_from (distributed report merge) -----------------------------------
+
+TEST(EliteArchiveMerge, UnionsBitmapAndKeepsBestPerCell) {
+  const trace::Trace ta = make_trace(1), tb = make_trace(2),
+                     tc = make_trace(3), td = make_trace(4);
+  EliteArchive a;
+  a.insert(ta, make_eval(1.0, 2, 3, 0));   // shared cell, lower score
+  a.insert(tb, make_eval(5.0, 7, 0, 8));   // a-only cell
+
+  EliteArchive b;
+  b.insert(tc, make_eval(2.0, 2, 3, 16));  // shared cell, higher score
+  b.insert(td, make_eval(0.5, 0, 7, 24));  // b-only cell
+
+  const std::size_t changed = a.merge_from(b);
+  EXPECT_EQ(changed, 2u);  // shared cell improved + b-only cell filled
+  EXPECT_EQ(a.filled(), 3u);
+  // Union bitmap covers all four disjoint 2-bit groups.
+  EXPECT_EQ(a.union_bits(), 8u);
+  // The shared cell now holds b's higher-scoring elite...
+  const std::size_t shared = EliteArchive::cell_index(
+      make_eval(0, 2, 3).coverage.descriptor);
+  EXPECT_EQ(trace::hash(a.cell(shared).genome), trace::hash(tc));
+  // ...and a's own cell is untouched.
+  const std::size_t a_only = EliteArchive::cell_index(
+      make_eval(0, 7, 0).coverage.descriptor);
+  EXPECT_EQ(trace::hash(a.cell(a_only).genome), trace::hash(tb));
+}
+
+TEST(EliteArchiveMerge, TieKeepsThisArchivesIncumbent) {
+  const trace::Trace mine = make_trace(1), theirs = make_trace(2);
+  EliteArchive a, b;
+  a.insert(mine, make_eval(1.0, 2, 3, 0));
+  b.insert(theirs, make_eval(1.0, 2, 3, 0));
+
+  EXPECT_EQ(a.merge_from(b), 0u);
+  EXPECT_EQ(a.filled(), 1u);
+  const std::size_t cell = EliteArchive::cell_index(
+      make_eval(0, 2, 3).coverage.descriptor);
+  EXPECT_EQ(trace::hash(a.cell(cell).genome), trace::hash(mine));
+}
+
+TEST(EliteArchiveMerge, IntoEmptyArchiveReproducesSaveBytes) {
+  EliteArchive b;
+  b.insert(make_trace(1, 8), make_eval(1.5, 1, 2, 0));
+  b.insert(make_trace(2, 32), make_eval(-0.5, 4, 0, 40));
+  b.insert(make_trace(3, 1), make_eval(3.25, 7, 7, 80));
+
+  EliteArchive a;
+  EXPECT_EQ(a.merge_from(b), b.filled());
+
+  std::stringstream sa, sb;
+  a.save(sa);
+  b.save(sb);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(EliteArchiveMerge, IsIdempotent) {
+  EliteArchive a, b;
+  b.insert(make_trace(1), make_eval(2.0, 3, 1, 4));
+  a.merge_from(b);
+  const std::uint32_t bits = a.union_bits();
+  EXPECT_EQ(a.merge_from(b), 0u);
+  EXPECT_EQ(a.filled(), 1u);
+  EXPECT_EQ(a.union_bits(), bits);
+}
+
 // --- Fuzzer integration ------------------------------------------------------
 
 GaConfig coverage_ga() {

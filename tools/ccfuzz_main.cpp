@@ -1,0 +1,422 @@
+// ccfuzz — the distributed-campaign CLI.
+//
+//   ccfuzz run    --output DIR [--workers N] [matrix flags]
+//   ccfuzz worker --output DIR --shard k/N   [matrix flags]
+//   ccfuzz plan   --output DIR --workers N   [matrix flags]
+//   ccfuzz merge  --output DIR
+//
+// `run` is the front door: with --workers N it plans the shards, fork/execs
+// this same binary as N `worker` processes, multiplexes their shard-tagged
+// JSONL progress into `<DIR>/progress.jsonl`, restarts dead workers from
+// their checkpoints, and merges the shard trees into one report at the
+// campaign root. With --workers 0 it runs the identical campaign in-process
+// (the single-process reference: the merged sharded report is byte-identical
+// to it at the same seeds). `worker` and `merge` are the pieces `run`
+// composes, exposed for tests and manual surgery; `plan` writes
+// shard_plan.json without running anything.
+//
+// The matrix flags define the campaign and round-trip exactly: the
+// supervisor reserializes them onto every worker's argv, and every process
+// expands the same matrix (cell assignment is a pure function of cell name
+// and --workers, so no process needs to be told its cell list).
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/report.h"
+#include "dist/merge.h"
+#include "dist/shard_plan.h"
+#include "dist/supervisor.h"
+#include "dist/worker.h"
+#include "fuzz/score.h"
+#include "scenario/config.h"
+#include "util/time.h"
+
+using namespace ccfuzz;
+
+namespace {
+
+struct Options {
+  std::string command;
+  // Matrix flags (reserialized verbatim onto worker argv).
+  std::vector<std::string> ccas = {"reno", "cubic"};
+  std::vector<std::string> modes = {"traffic"};
+  std::vector<std::string> presets;
+  std::string score = "low-utilization";
+  int generations = 6;
+  int population = 24;
+  int islands = 2;
+  unsigned long long seed = 11;
+  long long duration_ms = 2000;
+  long long max_events = 50'000'000;
+  int winners = 3;
+  int checkpoint_every = 1;
+  int throttle_ms = 0;
+  // Role flags.
+  std::string output;
+  int workers = 2;
+  std::string shard;  // "k/N"
+  double heartbeat_timeout_s = 0.0;
+  int max_restarts = 3;
+};
+
+void usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: ccfuzz <run|worker|plan|merge> --output DIR [flags]\n"
+      "\n"
+      "commands:\n"
+      "  run     run the campaign: --workers N spawns N supervised worker\n"
+      "          processes and merges their reports; --workers 0 runs\n"
+      "          in-process (single-process reference)\n"
+      "  worker  run one shard's cells (--shard k/N); JSONL progress on\n"
+      "          stdout, report tree under <DIR>/shards/<k>/\n"
+      "  plan    write <DIR>/shard_plan.json for --workers N\n"
+      "  merge   fold <DIR>/shards/*/ back into a report at <DIR>\n"
+      "\n"
+      "matrix flags (identical across run/worker/plan for one campaign):\n"
+      "  --ccas a,b          CCA registry names (default reno,cubic)\n"
+      "  --modes m,..        traffic and/or link (default traffic)\n"
+      "  --presets p,..      multi-flow presets (incast, late_starter, ...)\n"
+      "  --score NAME        scoring function (default low-utilization)\n"
+      "  --generations N --population N --islands N --seed N\n"
+      "  --duration-ms N --max-events N --winners N\n"
+      "  --checkpoint-every N (default 1)  --throttle-ms N (test hook)\n"
+      "\n"
+      "run flags: --workers N (default 2), --heartbeat-timeout-s X,\n"
+      "           --max-restarts N (default 3)\n");
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string join_csv(const std::vector<std::string>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ',';
+    out += v[i];
+  }
+  return out;
+}
+
+std::shared_ptr<const fuzz::ScoreFunction> make_score(const std::string& n) {
+  if (n == "low-utilization")
+    return std::make_shared<fuzz::LowUtilizationScore>();
+  if (n == "high-delay") return std::make_shared<fuzz::HighDelayScore>();
+  if (n == "high-loss") return std::make_shared<fuzz::HighLossScore>();
+  if (n == "low-goodput") return std::make_shared<fuzz::LowGoodputScore>();
+  if (n == "low-send-rate") return std::make_shared<fuzz::LowSendRateScore>();
+  if (n == "jain-unfairness")
+    return std::make_shared<fuzz::JainFairnessScore>();
+  if (n == "throughput-ratio")
+    return std::make_shared<fuzz::ThroughputRatioScore>();
+  return nullptr;
+}
+
+/// The campaign matrix an Options describes — identical in every process of
+/// one distributed run (output/resume wiring is the caller's business).
+campaign::CampaignConfig build_matrix(const Options& opt) {
+  scenario::ScenarioConfig sc;
+  sc.duration = TimeNs::millis(opt.duration_ms);
+  sc.budget.max_events = opt.max_events;
+
+  fuzz::GaConfig ga;
+  ga.population = opt.population;
+  ga.islands = opt.islands;
+  ga.max_generations = opt.generations;
+  ga.seed = opt.seed;
+
+  std::vector<scenario::FuzzMode> modes;
+  for (const std::string& m : opt.modes) {
+    if (m == "traffic") {
+      modes.push_back(scenario::FuzzMode::kTraffic);
+    } else if (m == "link") {
+      modes.push_back(scenario::FuzzMode::kLink);
+    } else {
+      throw std::invalid_argument("unknown mode: " + m +
+                                  " (expected traffic or link)");
+    }
+  }
+
+  std::shared_ptr<const fuzz::ScoreFunction> score = make_score(opt.score);
+  if (!score) {
+    throw std::invalid_argument(
+        "unknown score: " + opt.score +
+        " (known: low-utilization, high-delay, high-loss, low-goodput, "
+        "low-send-rate, jain-unfairness, throughput-ratio)");
+  }
+
+  campaign::CampaignConfig cfg;
+  cfg.ccas(opt.ccas)
+      .modes(std::move(modes))
+      .base_scenario(sc)
+      .score(std::move(score))
+      .ga(ga)
+      .winners(static_cast<std::size_t>(opt.winners));
+  for (const std::string& p : opt.presets) cfg.add_preset(p);
+  return cfg;
+}
+
+/// The matrix flags, reserialized — what the supervisor appends to every
+/// worker's argv so each worker expands the identical campaign.
+std::vector<std::string> matrix_flags(const Options& opt) {
+  std::vector<std::string> f = {
+      "--ccas",          join_csv(opt.ccas),
+      "--modes",         join_csv(opt.modes),
+      "--score",         opt.score,
+      "--generations",   std::to_string(opt.generations),
+      "--population",    std::to_string(opt.population),
+      "--islands",       std::to_string(opt.islands),
+      "--seed",          std::to_string(opt.seed),
+      "--duration-ms",   std::to_string(opt.duration_ms),
+      "--max-events",    std::to_string(opt.max_events),
+      "--winners",       std::to_string(opt.winners),
+      "--checkpoint-every", std::to_string(opt.checkpoint_every),
+      "--throttle-ms",   std::to_string(opt.throttle_ms),
+  };
+  if (!opt.presets.empty()) {
+    f.push_back("--presets");
+    f.push_back(join_csv(opt.presets));
+  }
+  return f;
+}
+
+/// The running binary's path, for exec'ing workers: /proc/self/exe when the
+/// kernel provides it, else however we were invoked.
+std::string self_binary(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      usage(stdout);
+      std::exit(0);
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "ccfuzz: %s needs a value\n", flag.c_str());
+      return false;
+    }
+    const std::string val = argv[++i];
+    if (flag == "--ccas") {
+      opt.ccas = split_csv(val);
+    } else if (flag == "--modes") {
+      opt.modes = split_csv(val);
+    } else if (flag == "--presets") {
+      opt.presets = split_csv(val);
+    } else if (flag == "--score") {
+      opt.score = val;
+    } else if (flag == "--generations") {
+      opt.generations = std::atoi(val.c_str());
+    } else if (flag == "--population") {
+      opt.population = std::atoi(val.c_str());
+    } else if (flag == "--islands") {
+      opt.islands = std::atoi(val.c_str());
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (flag == "--duration-ms") {
+      opt.duration_ms = std::atoll(val.c_str());
+    } else if (flag == "--max-events") {
+      opt.max_events = std::atoll(val.c_str());
+    } else if (flag == "--winners") {
+      opt.winners = std::atoi(val.c_str());
+    } else if (flag == "--checkpoint-every") {
+      opt.checkpoint_every = std::atoi(val.c_str());
+    } else if (flag == "--throttle-ms") {
+      opt.throttle_ms = std::atoi(val.c_str());
+    } else if (flag == "--output") {
+      opt.output = val;
+    } else if (flag == "--workers") {
+      opt.workers = std::atoi(val.c_str());
+    } else if (flag == "--shard") {
+      opt.shard = val;
+    } else if (flag == "--heartbeat-timeout-s") {
+      opt.heartbeat_timeout_s = std::atof(val.c_str());
+    } else if (flag == "--max-restarts") {
+      opt.max_restarts = std::atoi(val.c_str());
+    } else {
+      std::fprintf(stderr, "ccfuzz: unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (opt.output.empty()) {
+    std::fprintf(stderr, "ccfuzz: --output is required\n");
+    return false;
+  }
+  if (opt.generations < 1 || opt.population < 2 || opt.islands < 1 ||
+      opt.winners < 0 || opt.duration_ms < 1) {
+    std::fprintf(stderr, "ccfuzz: bad matrix parameters\n");
+    return false;
+  }
+  return true;
+}
+
+int cmd_worker(const Options& opt) {
+  int shard = -1;
+  int num_shards = -1;
+  if (std::sscanf(opt.shard.c_str(), "%d/%d", &shard, &num_shards) != 2 ||
+      num_shards < 1 || shard < 0 || shard >= num_shards) {
+    std::fprintf(stderr, "ccfuzz worker: --shard must be k/N, got '%s'\n",
+                 opt.shard.c_str());
+    return 2;
+  }
+  campaign::install_stop_signal_handlers();
+  dist::WorkerOptions wopt;
+  wopt.shard = shard;
+  wopt.num_shards = num_shards;
+  wopt.root = opt.output;
+  wopt.checkpoint_every = opt.checkpoint_every;
+  wopt.throttle_ms = opt.throttle_ms;
+  return dist::run_worker(build_matrix(opt), wopt);
+}
+
+int cmd_plan(const Options& opt) {
+  const int shards = opt.workers > 0 ? opt.workers : 1;
+  const dist::ShardPlan plan =
+      dist::ShardPlan::build(build_matrix(opt).cells(), shards);
+  std::filesystem::create_directories(opt.output);
+  const std::string path = opt.output + "/shard_plan.json";
+  if (Error e = plan.save_file(path)) {
+    std::fprintf(stderr, "ccfuzz plan: %s\n", e.message.c_str());
+    return 1;
+  }
+  for (int k = 0; k < plan.num_shards; ++k) {
+    std::printf("shard %d: %zu cell(s)\n", k,
+                plan.cell_count(static_cast<std::uint32_t>(k)));
+  }
+  std::printf("wrote %s (%zu cells over %d shards)\n", path.c_str(),
+              plan.entries.size(), plan.num_shards);
+  return 0;
+}
+
+int do_merge(const std::string& root, const dist::ShardPlan& plan) {
+  Result<dist::MergeStats> stats = dist::merge_reports(root, plan, root);
+  if (!stats) {
+    std::fprintf(stderr, "ccfuzz merge: %s: %s\n",
+                 to_string(stats.error().code),
+                 stats.error().message.c_str());
+    return 1;
+  }
+  std::printf(
+      "merged %zu cell(s) from %zu shard(s) into %s (%zu archive(s), "
+      "%zu elite cells, %u coverage bits)%s\n",
+      stats->cells, stats->shards_read, root.c_str(), stats->archives_merged,
+      stats->archive_cells, stats->coverage_bits,
+      stats->interrupted ? " [INTERRUPTED — report is partial]" : "");
+  return 0;
+}
+
+int cmd_merge(const Options& opt) {
+  Result<dist::ShardPlan> plan =
+      dist::ShardPlan::try_load_file(opt.output + "/shard_plan.json");
+  if (!plan) {
+    std::fprintf(stderr, "ccfuzz merge: cannot load shard plan: %s\n",
+                 plan.error().message.c_str());
+    return 1;
+  }
+  return do_merge(opt.output, *plan);
+}
+
+/// --workers 0: the single-process reference run. Same matrix, same crash
+/// safety (checkpoint + resume at the campaign root), no sharding — the
+/// distributed path's merged report must match this one byte for byte.
+int run_in_process(const Options& opt) {
+  campaign::install_stop_signal_handlers();
+  campaign::CampaignConfig cfg = build_matrix(opt);
+  cfg.output_dir(opt.output)
+      .resume_dir(opt.output)
+      .checkpoint_every(opt.checkpoint_every);
+  campaign::Campaign campaign(cfg);
+  std::filesystem::create_directories(opt.output);
+  campaign::ConsoleObserver console;
+  campaign::JsonlObserver jsonl(opt.output + "/progress.jsonl");
+  campaign.add_observer(&console);
+  campaign.add_observer(&jsonl);
+  const campaign::CampaignReport& report = campaign.run();
+  if (report.interrupted) {
+    std::printf("interrupted: state checkpointed, rerun to resume\n");
+    return dist::kWorkerInterruptedExit;
+  }
+  std::printf("complete: %zu cell(s) reported to %s\n", report.cells.size(),
+              opt.output.c_str());
+  return 0;
+}
+
+int cmd_run(const Options& opt, const char* argv0) {
+  if (opt.workers < 0) {
+    std::fprintf(stderr, "ccfuzz run: --workers must be >= 0\n");
+    return 2;
+  }
+  if (opt.workers == 0) return run_in_process(opt);
+
+  const dist::ShardPlan plan =
+      dist::ShardPlan::build(build_matrix(opt).cells(), opt.workers);
+  campaign::install_stop_signal_handlers();
+  dist::SupervisorOptions sopt;
+  sopt.binary = self_binary(argv0);
+  sopt.worker_flags = matrix_flags(opt);
+  sopt.root = opt.output;
+  sopt.max_restarts = opt.max_restarts;
+  sopt.heartbeat_timeout_s = opt.heartbeat_timeout_s;
+  dist::Supervisor supervisor(sopt, plan);
+  const int rc = supervisor.run();
+  if (rc != 0) {
+    std::fprintf(stderr, "ccfuzz run: a worker failed permanently\n");
+    return 1;
+  }
+  if (supervisor.interrupted()) {
+    std::printf("interrupted: shard state checkpointed, rerun to resume\n");
+    return dist::kWorkerInterruptedExit;
+  }
+  return do_merge(opt.output, plan);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(stderr);
+    return 2;
+  }
+  try {
+    if (opt.command == "run") return cmd_run(opt, argv[0]);
+    if (opt.command == "worker") return cmd_worker(opt);
+    if (opt.command == "plan") return cmd_plan(opt);
+    if (opt.command == "merge") return cmd_merge(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ccfuzz %s: %s\n", opt.command.c_str(), e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "ccfuzz: unknown command '%s'\n", opt.command.c_str());
+  usage(stderr);
+  return 2;
+}
