@@ -138,6 +138,31 @@ for f in summary.csv summary.json; do
 done
 echo "shard smoke OK (killed worker $victim; restarted, merged, byte-identical)"
 
+# Chaos smoke: the same 2-worker campaign under a deterministic fault plan —
+# each worker's first checkpoint write fails with ENOSPC (typed degrade, no
+# abort) and each worker crashes hard (exit 86) right after its second
+# completed checkpoint. The supervisor must back off, restart both, and the
+# merged report must still be byte-identical to the fault-free reference.
+CHAOS_LATCH="$OUT/chaos-latch"
+mkdir -p "$CHAOS_LATCH"
+CCFUZZ_FAULT_PLAN="latch=$CHAOS_LATCH;worker:enospc@1*1;worker:crash_checkpoint@2*1" \
+  "$CCFUZZ" run --workers 2 --output "$OUT/chaos" "${MATRIX[@]}" >/dev/null
+if ! grep -q '"event":"worker_backoff"' "$OUT/chaos/progress.jsonl"; then
+  echo "chaos smoke FAILED: no backoff restart after the injected crash" >&2
+  exit 1
+fi
+for f in summary.csv summary.json; do
+  if ! cmp -s "$OUT/chaos/$f" "$OUT/dist-ref/$f"; then
+    echo "chaos smoke FAILED: merged $f diverged under fault injection" >&2
+    exit 1
+  fi
+done
+if ! "$CCFUZZ" doctor --output "$OUT/chaos" >/dev/null; then
+  echo "chaos smoke FAILED: doctor found problems after a clean finish" >&2
+  exit 1
+fi
+echo "chaos smoke OK (ENOSPC + crash-at-checkpoint injected; report byte-identical)"
+
 # Cheap benchmark-harness smoke: prove the micro benches still build and run
 # (full regression numbers come from scripts/bench_regression.sh). Exit 3
 # means google-benchmark is unavailable — the only failure we tolerate.

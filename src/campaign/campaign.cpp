@@ -20,6 +20,7 @@
 
 #include "campaign/report.h"
 #include "cca/registry.h"
+#include "faultinject/fault_plan.h"
 #include "fuzz/state_io.h"
 #include "trace/hash.h"
 #include "util/csv.h"
@@ -363,8 +364,20 @@ void ConsoleObserver::on_cell_end(const CellResult& result) {
 
 // --- JsonlObserver ----------------------------------------------------------
 
-JsonlObserver::JsonlObserver(const std::string& path, bool sync)
-    : fp_(std::fopen(path.c_str(), "w")), sync_(sync) {
+JsonlObserver::JsonlObserver(const std::string& path, bool sync, bool append)
+    : sync_(sync) {
+  if (append) {
+    // Resume audit: a crash mid-write leaves a torn final line; repair the
+    // file before appending so the feed stays valid JSONL end to end.
+    if (Result<std::uint64_t> dropped = truncate_torn_tail(path);
+        dropped && *dropped > 0) {
+      CCFUZZ_LOG_WARN("progress log %s: dropped a torn final line (%llu "
+                      "bytes) before resuming",
+                      path.c_str(),
+                      static_cast<unsigned long long>(*dropped));
+    }
+  }
+  fp_ = std::fopen(path.c_str(), append ? "a" : "w");
   if (fp_ == nullptr) {
     throw std::runtime_error("JsonlObserver: cannot open " + path);
   }
@@ -551,18 +564,27 @@ Campaign::Campaign(const CampaignConfig& cfg)
   // wrong with the file — truncated by a crash, version skew, config drift —
   // degrades to the fresh cells built above, with a warning.
   if (!cfg.resume_dir().empty()) {
-    const std::string ckpt = cfg.resume_dir() + "/checkpoint/campaign.ckpt";
-    if (std::filesystem::exists(ckpt)) {
-      if (Error e = restore_checkpoint(ckpt)) {
-        CCFUZZ_LOG_WARN(
-            "checkpoint %s unusable (%s: %s); starting the campaign fresh",
-            ckpt.c_str(), to_string(e.code), e.message.c_str());
-        cache_.clear();
-        cells_.clear();
-        build_cells();
-      } else {
+    const std::string head = cfg.resume_dir() + "/checkpoint/campaign.ckpt";
+    // Degradation chain: the head snapshot, then its .prev rotation
+    // sibling, then a fresh start — each step loses at most one checkpoint
+    // generation, and nothing short of both files corrupting loses state.
+    for (const std::string& ckpt : {head, head + ".prev"}) {
+      if (!std::filesystem::exists(ckpt)) continue;
+      Error e = restore_checkpoint(ckpt);
+      if (!e) {
         resumed_ = true;
+        break;
       }
+      // A failed restore may have half-mutated cell state; rebuild before
+      // the next candidate (or the fresh start) so nothing leaks through.
+      cache_.clear();
+      cells_.clear();
+      build_cells();
+      CCFUZZ_LOG_WARN("checkpoint %s unusable (%s: %s); %s", ckpt.c_str(),
+                      to_string(e.code), e.message.c_str(),
+                      ckpt == head
+                          ? "falling back to the previous snapshot"
+                          : "starting the campaign fresh");
     }
   }
 }
@@ -773,9 +795,40 @@ void Campaign::write_checkpoint() const {
   }
   os << "# end checkpoint\n";
   const std::string path = output_dir_ + "/checkpoint/campaign.ckpt";
-  if (Error e = write_file_atomic(path, os.str())) {
-    CCFUZZ_LOG_WARN("checkpoint: write failed: %s", e.message.c_str());
+  // Rotating write: the previous snapshot survives as campaign.ckpt.prev,
+  // so a corrupted head (bad sector, fsync lie) degrades to the previous
+  // generation instead of a fresh start. A failed write (ENOSPC et al) is a
+  // warning, not an abort: the campaign keeps running on the old snapshot.
+  if (Error e = write_file_rotating(path, os.str())) {
+    CCFUZZ_LOG_WARN("checkpoint: write failed (%s): %s", to_string(e.code),
+                    e.message.c_str());
+  } else if (faultinject::should_fire(
+                 faultinject::FaultSite::kCrashCheckpoint)) {
+    // The checkpoint is complete and durable; dying here is exactly the
+    // power-cut-at-the-boundary case the resume machinery must absorb.
+    faultinject::crash_now(faultinject::FaultSite::kCrashCheckpoint);
   }
+}
+
+Error validate_checkpoint_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Error::io("cannot open checkpoint: " + path);
+  std::string line;
+  if (!std::getline(is, line)) return Error::truncated("checkpoint: empty file");
+  if (line.rfind("# ccfuzz-checkpoint", 0) != 0) {
+    return Error::parse("checkpoint: bad magic: " + line);
+  }
+  if (line != "# ccfuzz-checkpoint v1") {
+    return Error::version("checkpoint: unsupported version: " + line);
+  }
+  std::string last;
+  while (std::getline(is, line)) {
+    if (!line.empty()) last = line;
+  }
+  if (last != "# end checkpoint") {
+    return Error::truncated("checkpoint: missing terminator (torn write?)");
+  }
+  return Error::success();
 }
 
 Error Campaign::restore_checkpoint(const std::string& path) {

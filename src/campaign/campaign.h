@@ -321,9 +321,13 @@ class ConsoleObserver final : public CampaignObserver {
 /// boundaries, surviving power loss as well as process death.
 class JsonlObserver final : public CampaignObserver {
  public:
-  /// Opens (truncates) `path`. Throws std::runtime_error when the file
-  /// cannot be opened. `sync` fsyncs at generation/cell boundaries.
-  explicit JsonlObserver(const std::string& path, bool sync = false);
+  /// Opens `path` — truncating by default, appending with `append` (the
+  /// resume path: an existing feed is audited first and a torn final line
+  /// left by a crash is truncated away, so appending always starts on a
+  /// clean line boundary). Throws std::runtime_error when the file cannot
+  /// be opened. `sync` fsyncs at generation/cell boundaries.
+  explicit JsonlObserver(const std::string& path, bool sync = false,
+                         bool append = false);
   /// Writes to an already-open stream (tests, in-process consumers, and
   /// distributed workers streaming to a supervisor pipe via std::cout).
   explicit JsonlObserver(std::ostream& out);
@@ -358,6 +362,13 @@ class JsonlObserver final : public CampaignObserver {
   std::ostream* out_ = nullptr;  ///< borrowed, stream mode
   int shard_ = -1;               ///< >= 0: tag every line with this shard
 };
+
+/// Structural health check of a checkpoint file, for `ccfuzz doctor`:
+/// verifies the magic/version header and the `# end checkpoint` terminator
+/// without needing (or touching) a configured campaign. Typed errors mirror
+/// restore_checkpoint's: kIo (unreadable), kParse (bad magic), kVersion
+/// (unsupported version), kTruncated (missing terminator — a torn write).
+Error validate_checkpoint_file(const std::string& path);
 
 /// Builds the evaluator for one cell — the single place scenario wiring
 /// (factory, score, weights) happens. Micro benches that exercise the inner

@@ -180,28 +180,46 @@ Result<MergeStats> merge_reports(const std::string& shards_root,
 
   // Reassemble the summaries in global cell order. Rows and blocks are the
   // shard writers' bytes, so the merged files match the single-process run's.
+  // A planned cell missing from its shard is normally a hard mismatch; a
+  // quarantine marker turns it into a skip (the merged report simply omits
+  // the cell the supervisor had to isolate).
   std::string csv = campaign::summary_csv_header();
-  std::string json = "{\n  \"interrupted\": ";
-  json += stats.interrupted ? "true" : "false";
-  json += ",\n  \"cells\": [\n";
-  for (std::size_t i = 0; i < plan.entries.size(); ++i) {
-    const ShardPlan::Entry& entry = plan.entries[i];
+  std::vector<std::string> blocks;
+  std::vector<const ShardPlan::Entry*> merged;
+  for (const ShardPlan::Entry& entry : plan.entries) {
     const ShardSummary& shard = shards.at(entry.shard);
     const auto row = shard.csv_rows.find(campaign::csv_field(entry.cell));
     const auto block = shard.json_blocks.find(campaign::json_escape(entry.cell));
     if (row == shard.csv_rows.end() || block == shard.json_blocks.end()) {
+      const fs::path marker = fs::path(shards_root) / "quarantine" / "cells" /
+                              (campaign::sanitize_cell_name(entry.cell) +
+                               ".cell");
+      if (fs::exists(marker)) {
+        CCFUZZ_LOG_WARN("merge: cell '%s' is quarantined (%s); omitting it "
+                        "from the merged report",
+                        entry.cell.c_str(), marker.string().c_str());
+        ++stats.cells_quarantined;
+        continue;
+      }
       return Error::mismatch("cell '" + entry.cell + "' missing from shard " +
                              std::to_string(entry.shard) + "'s summary");
     }
     csv += row->second;
-    json += block->second;
-    if (i + 1 < plan.entries.size()) {
+    blocks.push_back(block->second);
+    merged.push_back(&entry);
+  }
+  std::string json = "{\n  \"interrupted\": ";
+  json += stats.interrupted ? "true" : "false";
+  json += ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    json += blocks[i];
+    if (i + 1 < blocks.size()) {
       json.back() = ',';  // "    }\n" → "    },\n"
       json += '\n';
     }
   }
   json += "  ]\n}\n";
-  stats.cells = plan.entries.size();
+  stats.cells = merged.size();
 
   std::error_code ec;
   fs::create_directories(out_dir, ec);
@@ -211,9 +229,11 @@ Result<MergeStats> merge_reports(const std::string& shards_root,
   if (Error e = write_file_atomic(out_dir + "/summary.csv", csv)) return e;
   if (Error e = write_file_atomic(out_dir + "/summary.json", json)) return e;
 
-  // Per-cell artifacts are shard-local and final: copy the directories over.
+  // Per-cell artifacts are shard-local and final: copy the directories over
+  // (quarantined cells have none).
   fuzz::EliteArchive merged_archive;
-  for (const auto& entry : plan.entries) {
+  for (const ShardPlan::Entry* ep : merged) {
+    const ShardPlan::Entry& entry = *ep;
     const std::string cell_dir = campaign::sanitize_cell_name(entry.cell);
     const fs::path src =
         fs::path(shard_dir(shards_root, entry.shard)) / cell_dir;

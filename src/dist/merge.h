@@ -36,6 +36,10 @@ struct MergeStats {
   std::size_t archives_merged = 0;  ///< per-cell archives folded into the union
   std::size_t archive_cells = 0;    ///< merged archive occupancy
   std::uint32_t coverage_bits = 0;  ///< merged archive union-bitmap bits
+  /// Planned cells absent from their shard's report but covered by a
+  /// quarantine marker (`<root>/quarantine/cells/<cell>.cell`) — skipped
+  /// instead of failing the merge. The merged report omits them.
+  std::size_t cells_quarantined = 0;
 };
 
 /// Merges `<shards_root>/shards/<k>/` trees into a report under `out_dir`

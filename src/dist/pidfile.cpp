@@ -1,0 +1,56 @@
+#include "dist/pidfile.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace ccfuzz::dist {
+
+const char* to_string(PidStatus s) {
+  switch (s) {
+    case PidStatus::kAbsent: return "absent";
+    case PidStatus::kMissing: return "missing";
+    case PidStatus::kStale: return "stale";
+    case PidStatus::kLive: return "live";
+  }
+  return "?";
+}
+
+PidCheck check_pid_file(const std::string& pid_path,
+                        const std::string& expect_binary) {
+  PidCheck out;
+  std::FILE* f = std::fopen(pid_path.c_str(), "r");
+  if (!f) return out;
+  int pid = 0;
+  const bool parsed = std::fscanf(f, "%d", &pid) == 1 && pid > 0;
+  std::fclose(f);
+  if (!parsed) return out;
+  out.pid = pid;
+
+  if (::kill(pid, 0) != 0 && errno == ESRCH) {
+    out.status = PidStatus::kMissing;
+    return out;
+  }
+  // The pid exists (or we lack permission to signal it — either way it is
+  // not ours to reclaim blindly). Compare its executable with ours; symlink
+  // resolution normalizes both sides so /proc's resolved target matches a
+  // relative `build/tools/ccfuzz`.
+  std::error_code ec;
+  const std::filesystem::path exe = std::filesystem::read_symlink(
+      "/proc/" + std::to_string(pid) + "/exe", ec);
+  if (ec) {
+    out.status = PidStatus::kStale;  // unprovable — do not claim it is ours
+    return out;
+  }
+  out.exe = exe.string();
+  const std::filesystem::path expect =
+      std::filesystem::weakly_canonical(expect_binary, ec);
+  out.status = (!ec && exe == expect) ? PidStatus::kLive : PidStatus::kStale;
+  return out;
+}
+
+}  // namespace ccfuzz::dist

@@ -1,0 +1,45 @@
+// Worker pid-file triage: is the recorded pid still *our* worker?
+//
+// Each shard directory carries a `worker.pid` written at spawn. After a
+// supervisor crash (or an operator kill -9), that file survives with a pid
+// that may now be dead, or — worse — recycled by the kernel for an
+// unrelated process. Before a resumed supervisor reclaims a shard it
+// triages the stale file: a missing process means the shard is safely
+// reclaimable; a live pid whose /proc/<pid>/exe no longer points at our
+// binary is a recycled pid (also reclaimable, with a louder warning); a
+// live pid still running our binary means another supervisor may own the
+// campaign and the caller should refuse to double-run it.
+#pragma once
+
+#include <string>
+
+#include "util/error.h"
+
+namespace ccfuzz::dist {
+
+enum class PidStatus {
+  kAbsent,   ///< no pid file, or unparseable — nothing to reclaim
+  kMissing,  ///< pid file present but the process is gone (stale, reclaim)
+  kStale,    ///< pid alive but running a different binary (recycled pid)
+  kLive,     ///< pid alive and its executable matches `expect_binary`
+};
+
+/// Display name ("absent", "missing", "stale", "live").
+const char* to_string(PidStatus s);
+
+struct PidCheck {
+  PidStatus status = PidStatus::kAbsent;
+  int pid = 0;
+  /// What /proc/<pid>/exe resolved to for kStale/kLive (may be empty when
+  /// unreadable — permission-restricted pids degrade to kStale).
+  std::string exe;
+};
+
+/// Triages `pid_path` against `expect_binary` (the path the supervisor
+/// execs workers from). Never throws; unreadable /proc answers degrade
+/// toward kStale rather than kLive so a resume is not blocked by a pid we
+/// cannot prove is ours.
+PidCheck check_pid_file(const std::string& pid_path,
+                        const std::string& expect_binary);
+
+}  // namespace ccfuzz::dist

@@ -1,0 +1,38 @@
+#include "dist/restart_policy.h"
+
+namespace ccfuzz::dist {
+
+RestartPolicy::RestartPolicy(RestartPolicyConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed + 0x9e3779b97f4a7c15ULL) {}
+
+double RestartPolicy::jitter_factor() {
+  if (cfg_.jitter <= 0) return 1.0;
+  // splitmix64: tiny, seedable, and good enough to decorrelate shards.
+  std::uint64_t z = (rng_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 + cfg_.jitter * unit;
+}
+
+int RestartPolicy::in_window(double now) {
+  while (!deaths_.empty() && now - deaths_.front() > cfg_.window_s) {
+    deaths_.pop_front();
+  }
+  return static_cast<int>(deaths_.size());
+}
+
+double RestartPolicy::on_death(double now) {
+  if (in_window(now) >= cfg_.budget) return -1.0;
+  deaths_.push_back(now);
+  double delay = cfg_.base_delay_s;
+  for (int i = 0; i < streak_ && delay < cfg_.max_delay_s; ++i) delay *= 2.0;
+  if (delay > cfg_.max_delay_s) delay = cfg_.max_delay_s;
+  ++streak_;
+  return delay * jitter_factor();
+}
+
+void RestartPolicy::reset_backoff() { streak_ = 0; }
+
+}  // namespace ccfuzz::dist

@@ -1,0 +1,66 @@
+// Restart pacing for crashed workers: exponential backoff with jitter,
+// budgeted per sliding window.
+//
+// A worker that dies the instant it starts (bad flag, poisoned cell, full
+// disk) must not be respawned in a tight loop — that turns one failure into
+// a fork bomb and floods the feed with start/exit churn. The policy spaces
+// restarts exponentially (base doubling up to a cap) with deterministic
+// jitter so co-crashed shards don't resynchronize, and counts restarts
+// against a budget *per sliding time window* rather than per lifetime: a
+// long-lived campaign is allowed a crash every few hours forever, but a
+// crash loop exhausts the window budget and marks the shard failed.
+//
+// The policy is pure arithmetic over caller-supplied timestamps — no clock
+// of its own — so tests drive it with a fake clock and assert exact delays.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace ccfuzz::dist {
+
+struct RestartPolicyConfig {
+  /// Delay before the 1st restart; doubles each consecutive restart.
+  double base_delay_s = 0.25;
+  /// Ceiling on the backoff delay.
+  double max_delay_s = 30.0;
+  /// Restarts allowed inside any `window_s`-long interval; exceeding it
+  /// means give up. <= 0 disables restarts entirely.
+  int budget = 3;
+  /// Length of the sliding budget window.
+  double window_s = 300.0;
+  /// Jitter fraction: the delay is scaled by [1, 1 + jitter], chosen
+  /// deterministically from a per-shard seed. 0 disables jitter.
+  double jitter = 0.25;
+  /// Seed for the deterministic jitter sequence (use the shard index).
+  std::uint64_t seed = 0;
+};
+
+class RestartPolicy {
+ public:
+  explicit RestartPolicy(RestartPolicyConfig cfg);
+
+  /// Records a death at time `now` (seconds, any monotonic origin) and
+  /// returns the delay to wait before respawning, or a negative value when
+  /// the window budget is exhausted and the shard should be marked failed.
+  double on_death(double now);
+
+  /// Restarts currently counted inside the sliding window at `now`.
+  int in_window(double now);
+
+  /// Forgets backoff state (consecutive-crash streak) after recovery — e.g.
+  /// once a respawned worker survives long enough, or after a quarantine
+  /// removed the crash's cause. The window history is kept: recovering from
+  /// a crash does not refund its budget.
+  void reset_backoff();
+
+ private:
+  double jitter_factor();
+
+  RestartPolicyConfig cfg_;
+  int streak_ = 0;                ///< consecutive restarts without a reset
+  std::uint64_t rng_;             ///< splitmix64 state for jitter
+  std::deque<double> deaths_;     ///< death times inside the current window
+};
+
+}  // namespace ccfuzz::dist

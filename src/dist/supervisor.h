@@ -1,4 +1,4 @@
-// The distributed-campaign supervisor: spawn, watch, restart.
+// The distributed-campaign supervisor: spawn, watch, restart — carefully.
 //
 // The supervisor fork/execs one `ccfuzz worker` process per nonempty shard,
 // multiplexes their shard-tagged JSONL stdout streams into one aggregate
@@ -11,16 +11,37 @@
 // restart resumes where the victim died and the finished shard tree — and
 // therefore the merged report — is bit-identical to an undisturbed run.
 //
+// Self-hardening (PR 9):
+//   * Restarts are paced by RestartPolicy — exponential backoff with
+//     deterministic jitter, budgeted per sliding window — and scheduled as
+//     deadlines, so the supervisor keeps draining healthy workers while a
+//     crashing one waits out its backoff.
+//   * A worker that dies repeatedly at the *same cell* (tracked from the
+//     JSONL stream) has that cell quarantined: a marker lands in
+//     `<root>/quarantine/cells/`, the worker restarts with `--skip-cells`,
+//     and the rest of the campaign completes. The merge step skips
+//     quarantined cells instead of failing.
+//   * Disk space is preflighted before spawning and re-checked while
+//     running; low space triggers the same graceful drain as SIGTERM
+//     (workers checkpoint and exit, rerun resumes).
+//   * A stale `worker.pid` left by a dead supervisor is triaged (gone pid /
+//     recycled pid → reclaimed with a warning; a live sibling worker →
+//     refuse to double-run the campaign).
+//
 // Shutdown is cooperative: the supervisor's own SIGINT/SIGTERM (via the
 // campaign stop flag) is forwarded to every live worker once, workers drain
-// gracefully (exit kWorkerInterruptedExit, state checkpointed), and no
-// restarts are issued — rerunning the supervisor resumes the campaign.
+// gracefully (exit kWorkerInterruptedExit, state checkpointed), pending
+// backoff respawns are cancelled, and rerunning the supervisor resumes the
+// campaign.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "dist/restart_policy.h"
 #include "dist/shard_plan.h"
 
 namespace ccfuzz::dist {
@@ -36,19 +57,40 @@ struct SupervisorOptions {
   /// Campaign root: shard trees under `<root>/shards/<k>/`, the aggregate
   /// feed at `<root>/progress.jsonl`, the plan at `<root>/shard_plan.json`.
   std::string root;
-  /// Restart budget per shard; a worker dying more than this many times
-  /// marks the run failed.
+  /// Restart budget per shard *per sliding window* (see restart_window_s);
+  /// a worker dying more often marks the run failed. A long campaign may
+  /// crash occasionally forever; a crash loop exhausts the window.
   int max_restarts = 3;
+  /// Length of the sliding restart-budget window.
+  double restart_window_s = 300.0;
+  /// Backoff before the 1st restart; doubles per consecutive restart.
+  double restart_base_delay_s = 0.25;
+  /// Backoff ceiling.
+  double restart_max_delay_s = 30.0;
+  /// Jitter fraction on top of the backoff (deterministic per shard).
+  double restart_jitter = 0.25;
   /// Seconds of worker silence before it is presumed hung and SIGKILLed
   /// (restart path). 0 disables the watchdog.
   double heartbeat_timeout_s = 0.0;
+  /// Deaths at the same cell before that cell is quarantined. <= 0 disables
+  /// quarantine.
+  int poison_threshold = 2;
+  /// Minimum free bytes on the campaign filesystem: preflighted before
+  /// spawning (refuse to start) and re-checked while running (graceful
+  /// drain). 0 disables both checks.
+  std::uint64_t min_free_bytes = std::uint64_t{16} << 20;
+  /// Monotonic seconds for every scheduling decision (backoff deadlines,
+  /// budget windows, heartbeats). Null uses steady_clock; tests inject a
+  /// fake clock to observe backoff timing without waiting it out.
+  std::function<double()> clock;
   /// Human progress notes (worker starts/exits/restarts); null for stderr.
   std::FILE* log = nullptr;
 };
 
 /// Runs the campaign's workers to completion. Returns 0 when every shard
 /// completed (or the run was gracefully interrupted — check interrupted()),
-/// 1 when any shard exhausted its restart budget or could not be spawned.
+/// 1 when any shard exhausted its restart budget, could not be spawned, or
+/// the preflight refused to start.
 class Supervisor {
  public:
   Supervisor(SupervisorOptions opt, ShardPlan plan);
@@ -56,8 +98,9 @@ class Supervisor {
 
   int run();
 
-  /// True when run() stopped on a shutdown request instead of completing;
-  /// shard state is checkpointed and a rerun resumes it.
+  /// True when run() stopped on a shutdown request (signal or low disk)
+  /// instead of completing; shard state is checkpointed and a rerun
+  /// resumes it.
   bool interrupted() const { return interrupted_; }
 
  private:
@@ -65,11 +108,17 @@ class Supervisor {
 
   bool spawn(Worker& w, int restart);
   /// Moves available bytes from the worker's pipe into its line buffer,
-  /// flushing whole lines to the feed. False on EOF (worker gone).
+  /// flushing whole lines to the feed (and tracking the worker's current
+  /// cell for poison attribution). False on EOF (worker gone).
   bool drain(Worker& w);
   void handle_exit(Worker& w, int wait_status);
+  void quarantine_cell(Worker& w, const std::string& cell);
+  /// Triage a pre-existing worker.pid before claiming the shard. False when
+  /// a live sibling worker owns it (refuse to double-run).
+  bool reclaim_pid_file(const Worker& w);
   void emit_event(const std::string& json);
   std::FILE* log_stream() const;
+  double now_s() const;
 
   SupervisorOptions opt_;
   ShardPlan plan_;

@@ -1,5 +1,6 @@
 #include "dist/worker.h"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <iostream>
@@ -9,6 +10,8 @@
 #include "campaign/report.h"
 #include "dist/merge.h"
 #include "dist/shard_plan.h"
+#include "faultinject/fault_plan.h"
+#include "util/logging.h"
 
 namespace ccfuzz::dist {
 namespace {
@@ -49,6 +52,24 @@ class ThrottleObserver final : public campaign::CampaignObserver {
   int ms_;
 };
 
+/// Consults the armed FaultPlan at generation boundaries — the two faults a
+/// worker can suffer as a whole process (hang; die while a named cell is
+/// active). Only registered while a plan is armed, so fault-free campaigns
+/// never pay the dispatch.
+class FaultObserver final : public campaign::CampaignObserver {
+ public:
+  void on_generation(const campaign::CellConfig& cell,
+                     const fuzz::GenStats&) override {
+    using faultinject::FaultSite;
+    if (faultinject::should_fire(FaultSite::kWorkerHang)) {
+      faultinject::hang_now();
+    }
+    if (faultinject::should_fire(FaultSite::kCellCrash, cell.name)) {
+      faultinject::crash_now(FaultSite::kCellCrash);
+    }
+  }
+};
+
 }  // namespace
 
 int run_worker(const campaign::CampaignConfig& full,
@@ -76,6 +97,12 @@ int run_worker(const campaign::CampaignConfig& full,
         static_cast<std::uint32_t>(opt.shard)) {
       continue;
     }
+    if (std::find(opt.skip_cells.begin(), opt.skip_cells.end(), cell.name) !=
+        opt.skip_cells.end()) {
+      CCFUZZ_LOG_WARN("worker: skipping quarantined cell '%s'",
+                      cell.name.c_str());
+      continue;
+    }
     // The full config carries no resume_dir; this worker's cells resume from
     // its own shard directory (where its write_report puts archives).
     mine.add_cell(std::move(cell));
@@ -100,11 +127,15 @@ int run_worker(const campaign::CampaignConfig& full,
   campaign::Campaign campaign(mine);
   HeartbeatObserver heartbeat(std::cout, opt.shard);
   ThrottleObserver throttle(opt.throttle_ms);
+  FaultObserver faults;
   if (opt.jsonl_stdout) {
     campaign.add_observer(&jsonl);
     campaign.add_observer(&heartbeat);
   }
   if (opt.throttle_ms > 0) campaign.add_observer(&throttle);
+  // Last: a cell-crash must land *after* the cell's progress lines reached
+  // stdout, so the supervisor attributes the death to the right cell.
+  if (faultinject::active() != nullptr) campaign.add_observer(&faults);
 
   const campaign::CampaignReport& report = campaign.run();
   return report.interrupted ? kWorkerInterruptedExit : 0;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "campaign/campaign.h"
 
@@ -37,6 +38,11 @@ struct WorkerOptions {
   int throttle_ms = 0;
   /// Stream shard-tagged JSONL progress (and heartbeats) to stdout.
   bool jsonl_stdout = true;
+  /// Cells this worker owns but must not run — quarantined by the
+  /// supervisor after repeated deaths. Dropping a cell invalidates the
+  /// shard checkpoint's cell count, so the survivors restart fresh; that is
+  /// the accepted cost of isolating a poison cell.
+  std::vector<std::string> skip_cells;
 };
 
 /// Runs the worker's subset of `full` (the whole campaign's config — every

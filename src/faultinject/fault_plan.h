@@ -1,0 +1,136 @@
+// Deterministic, seedable fault injection for the campaign service.
+//
+// CC-fuzz's thesis is that systems become robust only when an adversary
+// drives them into their failure corners (§1); this layer turns that on our
+// own infrastructure. A FaultPlan is a list of rules — fault site × trigger
+// count × repeat count — armed process-wide; hooks threaded through
+// util/fs, the campaign checkpoint path, and the dist worker consult it and
+// fire deterministically on the Nth hit of a site. No real signals, no real
+// disk pressure: a "failed fsync" is a typed error returned from the same
+// line a real one would, a "crash at checkpoint" is a _exit at the same
+// boundary a power cut would hit.
+//
+// Arming:
+//   * In-process (tests): faultinject::arm(plan) / disarm().
+//   * Cross-process: the CCFUZZ_FAULT_PLAN environment variable, parsed by
+//     arm_from_env() in the ccfuzz CLI — fork/exec'd workers inherit it, so
+//     the *real* binary participates in the chaos run.
+//
+// Zero overhead unarmed: every hook is an inline null-pointer check on a
+// process-wide pointer; no allocation, no atomics on the hot path, nothing
+// for the steady-state allocation tests to see.
+//
+// Determinism across restarts: per-site hit counters are process-local, so
+// a rule like crash_checkpoint@2 would re-fire in every restarted worker
+// forever. A latch directory (`latch=<dir>` plan element) persists each
+// rule's fire count to a file *before* the fault takes effect; arm()
+// subtracts prior fires, so "crash once at the 2nd checkpoint" means once
+// per campaign, not once per process life.
+//
+// Plan grammar (elements ';'-separated):
+//   latch=<dir>                     fire-count persistence directory
+//   [role:]site[=arg]@N[*C]         fire on hits N..N+C-1 of `site`
+//                                   (C defaults to 1); `role` restricts the
+//                                   rule to processes that called
+//                                   set_role(role) — "worker", "supervisor"
+//   e.g. "latch=/tmp/l;worker:enospc@1;worker:crash_checkpoint@2*1"
+//        "worker:cell_crash=reno.traffic.low-utilization@1*99"
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ccfuzz::faultinject {
+
+/// Exit code of a process killed by an injected crash (kCrashCheckpoint,
+/// kCellCrash). Distinct from exec-failure (127) and graceful interrupt (3)
+/// so supervisors and tests can attribute the death.
+inline constexpr int kFaultCrashExit = 86;
+
+enum class FaultSite {
+  kShortWrite = 0,   ///< write() persists a prefix of the body, then fails
+  kRenameFail,       ///< rename() into place fails (tmp left behind)
+  kFsyncFail,        ///< fsync() fails
+  kNoSpace,          ///< write() fails with ENOSPC semantics
+  kLowDisk,          ///< free_bytes() reports zero free space
+  kCrashCheckpoint,  ///< _exit(kFaultCrashExit) at a checkpoint boundary
+  kWorkerHang,       ///< worker stops producing output (watchdog fodder)
+  kCellCrash,        ///< _exit while the rule's named cell is active
+  kCount,
+};
+
+/// Display/parse name of a fault site ("short_write", "enospc", ...).
+const char* to_string(FaultSite site);
+
+struct FaultRule {
+  FaultSite site = FaultSite::kShortWrite;
+  /// 1-based hit index the rule first fires on.
+  int trigger = 1;
+  /// Consecutive hits that fire, starting at `trigger`.
+  int count = 1;
+  /// Restricts the rule to processes whose set_role() matches; empty = any.
+  std::string role;
+  /// kCellCrash only: the campaign cell the rule targets.
+  std::string arg;
+};
+
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+  /// When set, fire counts persist to `<latch_dir>/<rule-key>` so rules
+  /// survive exec — "fire once" means once per campaign, not per process.
+  std::string latch_dir;
+
+  /// Parses the plan grammar documented above. Typed errors: kParse for a
+  /// malformed element, unknown site or role-less cell_crash argument.
+  static Result<FaultPlan> parse(const std::string& spec);
+  /// Reserializes to the parse() grammar (round-trips).
+  std::string to_string() const;
+};
+
+// --- Process-wide arming -----------------------------------------------------
+
+/// Arms `plan` for this process, replacing any previous plan. Rules whose
+/// latch file already records `count` fires are disarmed on the spot.
+void arm(FaultPlan plan);
+/// Disarms fault injection (hooks return to their single null check).
+void disarm();
+/// The armed plan, or nullptr. (Hooks use this; tests may inspect it.)
+const FaultPlan* active();
+/// Tags this process for role-scoped rules ("worker", "supervisor", ...).
+void set_role(std::string role);
+/// Arms from CCFUZZ_FAULT_PLAN when set; unset is a clean no-op. A malformed
+/// plan is returned as a typed error and nothing is armed — a chaos harness
+/// must fail loudly, not silently run fault-free.
+Error arm_from_env();
+
+// --- Hooks -------------------------------------------------------------------
+
+namespace detail {
+/// Non-null only while armed. The single word every hook reads.
+extern const FaultPlan* g_active;
+bool should_fire_slow(FaultSite site, std::string_view arg);
+}  // namespace detail
+
+/// Counts a hit of `site`; true when an armed rule says this hit fails.
+/// Unarmed cost: one pointer compare.
+inline bool should_fire(FaultSite site) {
+  return detail::g_active != nullptr && detail::should_fire_slow(site, {});
+}
+
+/// kCellCrash variant: the hit only matches rules whose arg equals `cell`.
+inline bool should_fire(FaultSite site, std::string_view cell) {
+  return detail::g_active != nullptr && detail::should_fire_slow(site, cell);
+}
+
+/// Dies like a power cut: _exit(kFaultCrashExit), no unwinding, no flushes
+/// beyond what already reached the kernel.
+[[noreturn]] void crash_now(FaultSite site);
+
+/// Simulates a hang: sleeps far longer than any heartbeat timeout (the
+/// supervisor's watchdog is expected to SIGKILL us first).
+void hang_now();
+
+}  // namespace ccfuzz::faultinject

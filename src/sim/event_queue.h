@@ -23,6 +23,15 @@
 //     time) plus a single overflow vector for epochs beyond the wheel span
 //     (~1.07 s). Far scheduling is an O(1) vector push; far handles migrate
 //     into the heap lazily, whole epochs at a time, as the clock approaches.
+//   * Capacity caveat: the wheel's epoch buckets are cleared, not shrunk,
+//     at migration, so each bucket's capacity sits at its own high-water
+//     mark for the rest of the run. For periodic single-flow traffic the
+//     per-bucket HWM converges after about five wheel revolutions (~5 s of
+//     virtual time): the periodic pattern must land in every bucket a few
+//     times before the deepest phase alignment has been seen. Until then a
+//     long-idle bucket can still take one allocator hit when the pattern
+//     first drifts into it — relevant to anyone adding a steady-state
+//     allocation assertion with a warmup shorter than that.
 //   * Why it pays: the dominant far-timer pattern is armed-then-cancelled
 //     (the RTO is re-armed on every cumulative ACK, tcp_rearm_rto-style).
 //     In a single heap each re-arm left a stale handle that inflated every

@@ -23,6 +23,7 @@ struct Error {
     kVersion,    ///< recognized format, unsupported version
     kTruncated,  ///< file ends mid-structure (classic crash artifact)
     kMismatch,   ///< valid content that does not match the expected config
+    kNoSpace,    ///< ENOSPC: the disk is full (degrade/drain, don't retry)
   };
 
   Code code = Code::kOk;
@@ -47,6 +48,9 @@ struct Error {
   static Error mismatch(std::string msg) {
     return {Code::kMismatch, std::move(msg)};
   }
+  static Error no_space(std::string msg) {
+    return {Code::kNoSpace, std::move(msg)};
+  }
 };
 
 /// Display name of an error code ("io", "parse", ...).
@@ -59,6 +63,7 @@ constexpr const char* to_string(Error::Code c) {
     case Error::Code::kVersion: return "version";
     case Error::Code::kTruncated: return "truncated";
     case Error::Code::kMismatch: return "mismatch";
+    case Error::Code::kNoSpace: return "no_space";
   }
   return "?";
 }

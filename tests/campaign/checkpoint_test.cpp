@@ -176,6 +176,10 @@ TEST_F(CheckpointTest, TruncatedCheckpointDegradesToFreshStart) {
   const std::string full = slurp(ckpt);
   ASSERT_GT(full.size(), 100u);
   std::ofstream(ckpt, std::ios::binary) << full.substr(0, full.size() / 3);
+  // Rotation would rescue the truncated head from campaign.ckpt.prev (see
+  // checkpoint_rotation_test.cpp); remove it so this pins the last rung of
+  // the degradation ladder: no usable snapshot at all → fresh start.
+  fs::remove(fs::path(ckpt.string() + ".prev"));
 
   CampaignConfig cfg = tiny_campaign(dir);
   cfg.resume_dir(dir);

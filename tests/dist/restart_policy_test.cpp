@@ -1,0 +1,102 @@
+// RestartPolicy is pure arithmetic over caller timestamps, so these tests
+// drive it with literal times and assert exact delays: exponential doubling
+// from the base to the cap, deterministic jitter, and a restart budget that
+// slides with the window instead of counting lifetime deaths.
+#include "dist/restart_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace ccfuzz::dist {
+namespace {
+
+RestartPolicyConfig no_jitter() {
+  RestartPolicyConfig cfg;
+  cfg.base_delay_s = 0.25;
+  cfg.max_delay_s = 30.0;
+  cfg.budget = 100;  // irrelevant here
+  cfg.window_s = 1e9;
+  cfg.jitter = 0.0;
+  return cfg;
+}
+
+TEST(RestartPolicyTest, DelaysDoubleFromBaseToCap) {
+  RestartPolicy p(no_jitter());
+  double t = 0.0;
+  double expect = 0.25;
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(p.on_death(t), expect) << "death " << i;
+    t += 1.0;
+    expect *= 2.0;
+  }
+  // 0.25 * 2^7 = 32 would exceed the cap; this and every later delay pins
+  // to it.
+  EXPECT_DOUBLE_EQ(p.on_death(t), 30.0);
+  EXPECT_DOUBLE_EQ(p.on_death(t + 1), 30.0);
+}
+
+TEST(RestartPolicyTest, ResetBackoffRestartsTheStreakNotTheBudget) {
+  RestartPolicyConfig cfg = no_jitter();
+  cfg.budget = 4;
+  cfg.window_s = 1000.0;
+  RestartPolicy p(cfg);
+  EXPECT_DOUBLE_EQ(p.on_death(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(p.on_death(1.0), 0.5);
+  p.reset_backoff();
+  // The streak restarts at the base...
+  EXPECT_DOUBLE_EQ(p.on_death(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(p.on_death(3.0), 0.5);
+  // ...but the window still remembers all four deaths: budget exhausted.
+  EXPECT_LT(p.on_death(4.0), 0.0);
+  EXPECT_EQ(p.in_window(4.0), 4);
+}
+
+TEST(RestartPolicyTest, BudgetSlidesWithTheWindow) {
+  RestartPolicyConfig cfg = no_jitter();
+  cfg.budget = 2;
+  cfg.window_s = 100.0;
+  RestartPolicy p(cfg);
+  EXPECT_GE(p.on_death(0.0), 0.0);
+  EXPECT_GE(p.on_death(10.0), 0.0);
+  // Both deaths inside the window: the third is refused.
+  EXPECT_LT(p.on_death(20.0), 0.0);
+  EXPECT_EQ(p.in_window(20.0), 2);
+  // 101s after the first death it ages out; one slot frees up.
+  EXPECT_EQ(p.in_window(101.0), 1);
+  EXPECT_GE(p.on_death(101.0), 0.0);
+  // A refused death is not recorded: the window holds the two real ones.
+  EXPECT_EQ(p.in_window(101.0), 2);
+}
+
+TEST(RestartPolicyTest, ZeroBudgetDisablesRestartsEntirely) {
+  RestartPolicyConfig cfg = no_jitter();
+  cfg.budget = 0;
+  RestartPolicy p(cfg);
+  EXPECT_LT(p.on_death(0.0), 0.0);
+}
+
+TEST(RestartPolicyTest, JitterIsBoundedAndDeterministicPerSeed) {
+  RestartPolicyConfig cfg = no_jitter();
+  cfg.jitter = 0.25;
+  cfg.seed = 7;
+  RestartPolicy a(cfg);
+  RestartPolicy b(cfg);  // same seed: identical jitter sequence
+  cfg.seed = 8;
+  RestartPolicy c(cfg);  // different seed: decorrelated shards
+  double base = 0.25;
+  bool diverged = false;
+  for (int i = 0; i < 6; ++i) {
+    const double da = a.on_death(i);
+    const double db = b.on_death(i);
+    const double dc = c.on_death(i);
+    EXPECT_DOUBLE_EQ(da, db) << "death " << i;
+    // Jitter scales by [1, 1 + jitter] on top of the exponential step.
+    EXPECT_GE(da, base);
+    EXPECT_LE(da, base * 1.25);
+    diverged = diverged || da != dc;
+    base *= 2.0;
+  }
+  EXPECT_TRUE(diverged) << "different seeds produced identical jitter";
+}
+
+}  // namespace
+}  // namespace ccfuzz::dist

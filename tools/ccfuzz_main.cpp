@@ -4,6 +4,7 @@
 //   ccfuzz worker --output DIR --shard k/N   [matrix flags]
 //   ccfuzz plan   --output DIR --workers N   [matrix flags]
 //   ccfuzz merge  --output DIR
+//   ccfuzz doctor --output DIR
 //
 // `run` is the front door: with --workers N it plans the shards, fork/execs
 // this same binary as N `worker` processes, multiplexes their shard-tagged
@@ -32,11 +33,14 @@
 #include "campaign/campaign.h"
 #include "campaign/report.h"
 #include "dist/merge.h"
+#include "dist/pidfile.h"
 #include "dist/shard_plan.h"
 #include "dist/supervisor.h"
 #include "dist/worker.h"
+#include "faultinject/fault_plan.h"
 #include "fuzz/score.h"
 #include "scenario/config.h"
+#include "util/fs.h"
 #include "util/time.h"
 
 using namespace ccfuzz;
@@ -63,8 +67,11 @@ struct Options {
   std::string output;
   int workers = 2;
   std::string shard;  // "k/N"
+  std::vector<std::string> skip_cells;
   double heartbeat_timeout_s = 0.0;
   int max_restarts = 3;
+  double restart_window_s = 300.0;
+  long long min_free_mb = 16;
 };
 
 void usage(std::FILE* out) {
@@ -80,6 +87,9 @@ void usage(std::FILE* out) {
       "          stdout, report tree under <DIR>/shards/<k>/\n"
       "  plan    write <DIR>/shard_plan.json for --workers N\n"
       "  merge   fold <DIR>/shards/*/ back into a report at <DIR>\n"
+      "  doctor  health-check a campaign directory: write round-trip, disk\n"
+      "          space, checkpoint integrity, stale worker pids, fault plan\n"
+      "          (exit 0 healthy, 1 findings, 2 usage)\n"
       "\n"
       "matrix flags (identical across run/worker/plan for one campaign):\n"
       "  --ccas a,b          CCA registry names (default reno,cubic)\n"
@@ -91,7 +101,13 @@ void usage(std::FILE* out) {
       "  --checkpoint-every N (default 1)  --throttle-ms N (test hook)\n"
       "\n"
       "run flags: --workers N (default 2), --heartbeat-timeout-s X,\n"
-      "           --max-restarts N (default 3)\n");
+      "           --max-restarts N (default 3, per --restart-window-s\n"
+      "           sliding window, default 300), --min-free-mb N (default\n"
+      "           16; 0 disables the disk preflight/drain)\n"
+      "worker flags: --skip-cells a,b  (quarantined cells to drop)\n"
+      "\n"
+      "CCFUZZ_FAULT_PLAN (env): deterministic fault injection for chaos\n"
+      "runs — see src/faultinject/fault_plan.h for the grammar.\n");
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -258,10 +274,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.workers = std::atoi(val.c_str());
     } else if (flag == "--shard") {
       opt.shard = val;
+    } else if (flag == "--skip-cells") {
+      opt.skip_cells = split_csv(val);
     } else if (flag == "--heartbeat-timeout-s") {
       opt.heartbeat_timeout_s = std::atof(val.c_str());
     } else if (flag == "--max-restarts") {
       opt.max_restarts = std::atoi(val.c_str());
+    } else if (flag == "--restart-window-s") {
+      opt.restart_window_s = std::atof(val.c_str());
+    } else if (flag == "--min-free-mb") {
+      opt.min_free_mb = std::atoll(val.c_str());
     } else {
       std::fprintf(stderr, "ccfuzz: unknown flag %s\n", flag.c_str());
       return false;
@@ -289,12 +311,14 @@ int cmd_worker(const Options& opt) {
     return 2;
   }
   campaign::install_stop_signal_handlers();
+  faultinject::set_role("worker");
   dist::WorkerOptions wopt;
   wopt.shard = shard;
   wopt.num_shards = num_shards;
   wopt.root = opt.output;
   wopt.checkpoint_every = opt.checkpoint_every;
   wopt.throttle_ms = opt.throttle_ms;
+  wopt.skip_cells = opt.skip_cells;
   return dist::run_worker(build_matrix(opt), wopt);
 }
 
@@ -331,6 +355,10 @@ int do_merge(const std::string& root, const dist::ShardPlan& plan) {
       stats->cells, stats->shards_read, root.c_str(), stats->archives_merged,
       stats->archive_cells, stats->coverage_bits,
       stats->interrupted ? " [INTERRUPTED — report is partial]" : "");
+  if (stats->cells_quarantined > 0) {
+    std::printf("%zu cell(s) quarantined — see %s/quarantine/cells/\n",
+                stats->cells_quarantined, root.c_str());
+  }
   return 0;
 }
 
@@ -345,6 +373,128 @@ int cmd_merge(const Options& opt) {
   return do_merge(opt.output, *plan);
 }
 
+/// Health-checks a campaign directory without touching campaign state:
+/// the pre-takeoff (and mid-incident) checklist for operators of long
+/// campaigns. Exit 0 healthy, 1 findings, 2 usage.
+int cmd_doctor(const Options& opt, const char* argv0) {
+  namespace stdfs = std::filesystem;
+  int findings = 0;
+  const auto warn = [&](const std::string& msg) {
+    ++findings;
+    std::printf("doctor: WARN  %s\n", msg.c_str());
+  };
+  const auto ok = [](const std::string& msg) {
+    std::printf("doctor: ok    %s\n", msg.c_str());
+  };
+
+  if (!stdfs::exists(opt.output)) {
+    warn("campaign directory " + opt.output + " does not exist");
+    return 1;
+  }
+
+  // Write round-trip: can we land an atomic file where checkpoints go?
+  {
+    const std::string probe = opt.output + "/.doctor-probe";
+    if (Error e = write_file_atomic(probe, "ok\n")) {
+      warn("write round-trip failed (" + std::string(to_string(e.code)) +
+           "): " + e.message);
+    } else {
+      ok("atomic write round-trip under " + opt.output);
+      std::error_code ec;
+      stdfs::remove(probe, ec);
+    }
+  }
+
+  // Disk headroom.
+  if (Result<std::uint64_t> free = free_bytes(opt.output)) {
+    const std::uint64_t need =
+        opt.min_free_mb > 0 ? static_cast<std::uint64_t>(opt.min_free_mb) << 20
+                            : 0;
+    if (*free < need) {
+      warn("only " + std::to_string(*free >> 20) + " MiB free (need " +
+           std::to_string(need >> 20) + " MiB) — campaign would drain");
+    } else {
+      ok(std::to_string(*free >> 20) + " MiB free");
+    }
+  } else {
+    warn("cannot stat free space under " + opt.output);
+  }
+
+  // Fault plan: a malformed plan means a chaos run silently runs fault-free.
+  if (const char* spec = std::getenv("CCFUZZ_FAULT_PLAN"); spec && *spec) {
+    if (Result<faultinject::FaultPlan> plan = faultinject::FaultPlan::parse(spec)) {
+      std::printf("doctor: note  fault injection armed: %s\n",
+                  plan->to_string().c_str());
+    } else {
+      warn("CCFUZZ_FAULT_PLAN does not parse: " + plan.error().message);
+    }
+  } else {
+    ok("fault injection disarmed");
+  }
+
+  // Checkpoints: the campaign root's and every shard's. A corrupt head with
+  // an intact .prev degrades one generation; both corrupt resumes fresh.
+  std::vector<std::string> roots = {opt.output};
+  if (stdfs::exists(opt.output + "/shards")) {
+    for (const auto& entry :
+         stdfs::directory_iterator(opt.output + "/shards")) {
+      if (entry.is_directory()) roots.push_back(entry.path().string());
+    }
+  }
+  for (const std::string& root : roots) {
+    const std::string head = root + "/checkpoint/campaign.ckpt";
+    if (!stdfs::exists(head) && !stdfs::exists(head + ".prev")) continue;
+    const Error head_err = stdfs::exists(head)
+                               ? campaign::validate_checkpoint_file(head)
+                               : Error::io("missing");
+    if (!head_err) {
+      ok("checkpoint " + head);
+      continue;
+    }
+    const bool prev_ok = stdfs::exists(head + ".prev") &&
+                         !campaign::validate_checkpoint_file(head + ".prev");
+    if (prev_ok) {
+      warn("checkpoint " + head + " is unusable (" + head_err.message +
+           ") — resume will degrade to the .prev snapshot");
+    } else {
+      warn("checkpoint " + head + " is unusable (" + head_err.message +
+           ") and no usable .prev exists — resume will start fresh");
+    }
+  }
+
+  // Stale worker pids left by a dead supervisor.
+  const std::string binary = self_binary(argv0);
+  for (const std::string& root : roots) {
+    const std::string pid_path = root + "/worker.pid";
+    if (!stdfs::exists(pid_path)) continue;
+    const dist::PidCheck check = dist::check_pid_file(pid_path, binary);
+    switch (check.status) {
+      case dist::PidStatus::kLive:
+        std::printf("doctor: note  %s: worker pid %d is live (campaign "
+                    "appears to be running)\n",
+                    pid_path.c_str(), check.pid);
+        break;
+      case dist::PidStatus::kMissing:
+        warn(pid_path + ": pid " + std::to_string(check.pid) +
+             " is gone — stale pid file (a rerun reclaims it)");
+        break;
+      case dist::PidStatus::kStale:
+        warn(pid_path + ": pid " + std::to_string(check.pid) +
+             " is not a ccfuzz worker — recycled pid (a rerun reclaims it)");
+        break;
+      case dist::PidStatus::kAbsent:
+        break;
+    }
+  }
+
+  if (findings == 0) {
+    std::printf("doctor: healthy\n");
+  } else {
+    std::printf("doctor: %d finding(s)\n", findings);
+  }
+  return findings == 0 ? 0 : 1;
+}
+
 /// --workers 0: the single-process reference run. Same matrix, same crash
 /// safety (checkpoint + resume at the campaign root), no sharding — the
 /// distributed path's merged report must match this one byte for byte.
@@ -357,7 +507,10 @@ int run_in_process(const Options& opt) {
   campaign::Campaign campaign(cfg);
   std::filesystem::create_directories(opt.output);
   campaign::ConsoleObserver console;
-  campaign::JsonlObserver jsonl(opt.output + "/progress.jsonl");
+  // A resumed run appends to the existing feed (repairing any torn final
+  // line first) so the full campaign history stays in one file.
+  campaign::JsonlObserver jsonl(opt.output + "/progress.jsonl",
+                                /*sync=*/false, /*append=*/campaign.resumed());
   campaign.add_observer(&console);
   campaign.add_observer(&jsonl);
   const campaign::CampaignReport& report = campaign.run();
@@ -380,12 +533,18 @@ int cmd_run(const Options& opt, const char* argv0) {
   const dist::ShardPlan plan =
       dist::ShardPlan::build(build_matrix(opt).cells(), opt.workers);
   campaign::install_stop_signal_handlers();
+  faultinject::set_role("supervisor");
   dist::SupervisorOptions sopt;
   sopt.binary = self_binary(argv0);
   sopt.worker_flags = matrix_flags(opt);
   sopt.root = opt.output;
   sopt.max_restarts = opt.max_restarts;
+  sopt.restart_window_s = opt.restart_window_s;
   sopt.heartbeat_timeout_s = opt.heartbeat_timeout_s;
+  sopt.min_free_bytes =
+      opt.min_free_mb > 0
+          ? static_cast<std::uint64_t>(opt.min_free_mb) << 20
+          : 0;
   dist::Supervisor supervisor(sopt, plan);
   const int rc = supervisor.run();
   if (rc != 0) {
@@ -407,11 +566,21 @@ int main(int argc, char** argv) {
     usage(stderr);
     return 2;
   }
+  // Chaos harness: a fault plan in the environment arms this process (and
+  // is inherited by fork/exec'd workers, which re-arm themselves here). A
+  // malformed plan must fail loudly — running fault-free while the operator
+  // believes faults are armed would invalidate the whole chaos run.
+  if (Error e = faultinject::arm_from_env()) {
+    std::fprintf(stderr, "ccfuzz: CCFUZZ_FAULT_PLAN: %s\n",
+                 e.message.c_str());
+    return 2;
+  }
   try {
     if (opt.command == "run") return cmd_run(opt, argv[0]);
     if (opt.command == "worker") return cmd_worker(opt);
     if (opt.command == "plan") return cmd_plan(opt);
     if (opt.command == "merge") return cmd_merge(opt);
+    if (opt.command == "doctor") return cmd_doctor(opt, argv[0]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ccfuzz %s: %s\n", opt.command.c_str(), e.what());
     return 1;
