@@ -163,6 +163,45 @@ if ! "$CCFUZZ" doctor --output "$OUT/chaos" >/dev/null; then
 fi
 echo "chaos smoke OK (ENOSPC + crash-at-checkpoint injected; report byte-identical)"
 
+# Triage smoke: turn the reference campaign's winners into finding bundles,
+# require every bundle's minimized trace to be no larger than its original
+# (with at least one strictly smaller), and replay the corpus twice — both
+# passes must exit 0, i.e. every bundle reproduces bit-deterministically.
+"$CCFUZZ" triage --output "$OUT/dist-ref" "${MATRIX[@]}" \
+  --minimize-evals 48 >/dev/null
+bundles=0
+shrunk=0
+for d in "$OUT"/dist-ref/findings/*/; do
+  [[ -f "$d/manifest.json" ]] || continue
+  bundles=$((bundles + 1))
+  orig="$(sed -n 's/^  "original_events": \([0-9]*\),$/\1/p' "$d/manifest.json")"
+  mini="$(sed -n 's/^  "minimized_events": \([0-9]*\),$/\1/p' "$d/manifest.json")"
+  if [[ -z "$orig" || -z "$mini" || "$mini" -gt "$orig" ]]; then
+    echo "triage smoke FAILED: $d minimized ($mini) exceeds original ($orig)" >&2
+    exit 1
+  fi
+  [[ "$mini" -lt "$orig" ]] && shrunk=$((shrunk + 1))
+done
+if [[ "$bundles" -eq 0 ]]; then
+  echo "triage smoke FAILED: no finding bundles written" >&2
+  exit 1
+fi
+if [[ "$shrunk" -eq 0 ]]; then
+  echo "triage smoke FAILED: no bundle minimized below its original" >&2
+  exit 1
+fi
+for pass in 1 2; do
+  if ! "$CCFUZZ" replay --output "$OUT/dist-ref" "${MATRIX[@]}" >/dev/null; then
+    echo "triage smoke FAILED: replay pass $pass drifted" >&2
+    exit 1
+  fi
+done
+if ! "$CCFUZZ" doctor --output "$OUT/dist-ref" "${MATRIX[@]}" >/dev/null; then
+  echo "triage smoke FAILED: doctor rejected the findings corpus" >&2
+  exit 1
+fi
+echo "triage smoke OK ($bundles bundles, $shrunk minimized; replayed twice)"
+
 # Cheap benchmark-harness smoke: prove the micro benches still build and run
 # (full regression numbers come from scripts/bench_regression.sh). Exit 3
 # means google-benchmark is unavailable — the only failure we tolerate.

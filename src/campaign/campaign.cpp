@@ -51,6 +51,8 @@ bool has_custom_flow_factory(const scenario::ScenarioConfig& s) {
   return false;
 }
 
+}  // namespace
+
 std::uint64_t scenario_key(const scenario::ScenarioConfig& s) {
   std::uint64_t h = trace::kFnvOffset;
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.mode));
@@ -94,8 +96,13 @@ std::uint64_t scenario_key(const scenario::ScenarioConfig& s) {
   h = trace::fnv1a_u64(h, s.budget.max_events);
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.budget.max_sim_time.ns()));
   h = trace::fnv1a_u64(h, static_cast<std::uint64_t>(s.budget.max_wall_time.ns()));
+  // Armed invariant audits add events, so armed runs can hit the event
+  // budget earlier than disarmed ones — never share their cache entries.
+  h = trace::fnv1a_u64(h, s.invariants ? 1 : 0);
   return h;
 }
+
+namespace {
 
 /// Cache-sharing identity of a cell's evaluation semantics. Cells agree iff
 /// the same trace is guaranteed the same Evaluation: same registry CCA,
@@ -485,7 +492,8 @@ void JsonlObserver::on_campaign_end(const CampaignReport& report) {
   std::ostringstream os;
   os << "{\"event\":\"campaign_end\"" << shard_field()
      << ",\"cells\":" << report.cells.size()
-     << ",\"interrupted\":" << (report.interrupted ? "true" : "false") << "}";
+     << ",\"interrupted\":" << (report.interrupted ? "true" : "false")
+     << ",\"quarantined\":" << report.quarantined << "}";
   emit_line(os.str());
   sync_boundary();
 }
@@ -555,8 +563,8 @@ Campaign::Campaign(const CampaignConfig& cfg)
       checkpoint_every_(cfg.checkpoint_every()),
       parallel_(cfg.parallel()) {
   if (!output_dir_.empty()) {
-    quarantine_ =
-        std::make_shared<fuzz::Quarantine>(output_dir_ + "/quarantine");
+    quarantine_ = std::make_shared<fuzz::Quarantine>(
+        output_dir_ + "/quarantine", cfg.quarantine_capacity());
   }
   build_cells();
   // Full mid-campaign resume: restore populations, RNG streams, counters,
@@ -755,6 +763,9 @@ const CampaignReport& Campaign::run() {
 
   report_.cells.reserve(cells_.size());
   for (auto& cp : cells_) report_.cells.push_back(std::move(cp->result));
+  // Count what is on disk, not what this process recorded: a resumed
+  // campaign reports the quarantine accumulated across every attempt.
+  report_.quarantined = quarantine_ ? quarantine_->stored() : 0;
   if (!output_dir_.empty()) write_report(report_, output_dir_);
   for (auto* o : observers_) o->on_campaign_end(report_);
   return report_;

@@ -176,6 +176,13 @@ class CampaignConfig {
     checkpoint_every_ = n;
     return *this;
   }
+  /// Caps the quarantine recorder for NaN/inf-scoring genomes (see
+  /// fuzz::Quarantine): at most `n` distinct genomes are written to
+  /// `<output_dir>/quarantine/` before further ones are silently dropped.
+  CampaignConfig& quarantine_capacity(std::size_t n) {
+    quarantine_capacity_ = n;
+    return *this;
+  }
   /// Appends one explicit cell (validated, but not crossed with the axes).
   CampaignConfig& add_cell(CellConfig cell) {
     explicit_cells_.push_back(std::move(cell));
@@ -192,6 +199,7 @@ class CampaignConfig {
   const std::string& resume_dir() const { return resume_dir_; }
   int checkpoint_every() const { return checkpoint_every_; }
   bool parallel() const { return parallel_; }
+  std::size_t quarantine_capacity() const { return quarantine_capacity_; }
 
  private:
   struct NamedScenario {
@@ -223,8 +231,16 @@ class CampaignConfig {
   std::string output_dir_;
   std::string resume_dir_;
   int checkpoint_every_ = 0;
+  std::size_t quarantine_capacity_ = 64;
   std::vector<CellConfig> explicit_cells_;
 };
+
+/// Stable content hash of everything that affects a scenario's evaluation
+/// semantics (mode, flows, transport knobs, network path, budget). This is
+/// the scenario component of the campaign evaluation-cache key; triage
+/// bundles record it (hex) so `ccfuzz replay` can prove the matrix it was
+/// handed reconstructs the same scenario the finding was confirmed under.
+std::uint64_t scenario_key(const scenario::ScenarioConfig& s);
 
 /// One deduplicated winner trace of a cell.
 struct Finding {
@@ -260,6 +276,10 @@ struct CampaignReport {
   /// (stop_requested()); unfinished cells carry partial histories and no
   /// winners. Resume from the checkpoint to finish them.
   bool interrupted = false;
+  /// Distinct NaN/inf-scoring genomes sitting in `<output_dir>/quarantine/`
+  /// when the report was written (cumulative across resumes; 0 when no
+  /// output_dir / nothing quarantined).
+  std::size_t quarantined = 0;
 };
 
 // --- Graceful shutdown -------------------------------------------------------

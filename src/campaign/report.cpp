@@ -103,6 +103,7 @@ const char* summary_csv_header() {
 std::string to_json(const CampaignReport& report) {
   std::ostringstream os;
   os << "{\n  \"interrupted\": " << (report.interrupted ? "true" : "false")
+     << ",\n  \"quarantined\": " << report.quarantined
      << ",\n  \"cells\": [\n";
   for (std::size_t i = 0; i < report.cells.size(); ++i) {
     const CellResult& r = report.cells[i];

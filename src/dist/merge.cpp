@@ -1,5 +1,6 @@
 #include "dist/merge.h"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -29,6 +30,9 @@ Result<std::string> slurp(const fs::path& path) {
 /// text preserved so reassembly is byte-exact.
 struct ShardSummary {
   bool interrupted = false;
+  /// Quarantined-genome count from the shard's summary header (0 for
+  /// summaries written before the field existed).
+  std::size_t quarantined = 0;
   /// Cell name → its summary.csv data row (newline included).
   std::map<std::string, std::string, std::less<>> csv_rows;
   /// Cell name (escaped form) → its summary.json cell block, normalized to
@@ -97,7 +101,20 @@ Error parse_summary_json(const std::string& body, std::uint32_t shard,
     return Error::parse(where + ": summary.json missing interrupted flag");
   }
   out.interrupted = line.find("true") != std::string::npos;
-  if (!std::getline(is, line) || line != "  \"cells\": [") {
+  if (!std::getline(is, line)) {
+    return Error::parse(where + ": summary.json missing cells array");
+  }
+  // Optional (absent in pre-triage summaries): the campaign-wide
+  // quarantined-genome count, summed across shards at reassembly.
+  constexpr std::string_view kQuarantined = "  \"quarantined\": ";
+  if (line.rfind(kQuarantined, 0) == 0) {
+    out.quarantined = static_cast<std::size_t>(
+        std::strtoull(line.c_str() + kQuarantined.size(), nullptr, 10));
+    if (!std::getline(is, line)) {
+      return Error::parse(where + ": summary.json missing cells array");
+    }
+  }
+  if (line != "  \"cells\": [") {
     return Error::parse(where + ": summary.json missing cells array");
   }
   std::string block, name;
@@ -174,6 +191,7 @@ Result<MergeStats> merge_reports(const std::string& shards_root,
       return e;
     }
     stats.interrupted = stats.interrupted || summary.interrupted;
+    stats.genomes_quarantined += summary.quarantined;
     shards.emplace(entry.shard, std::move(summary));
   }
   stats.shards_read = shards.size();
@@ -210,6 +228,7 @@ Result<MergeStats> merge_reports(const std::string& shards_root,
   }
   std::string json = "{\n  \"interrupted\": ";
   json += stats.interrupted ? "true" : "false";
+  json += ",\n  \"quarantined\": " + std::to_string(stats.genomes_quarantined);
   json += ",\n  \"cells\": [\n";
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     json += blocks[i];

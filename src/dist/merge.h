@@ -40,6 +40,10 @@ struct MergeStats {
   /// quarantine marker (`<root>/quarantine/cells/<cell>.cell`) — skipped
   /// instead of failing the merge. The merged report omits them.
   std::size_t cells_quarantined = 0;
+  /// NaN/inf-scoring genomes quarantined across all shards (sum of the
+  /// shards' summary.json "quarantined" counts; the genome files themselves
+  /// stay under each shard's quarantine/ directory).
+  std::size_t genomes_quarantined = 0;
 };
 
 /// Merges `<shards_root>/shards/<k>/` trees into a report under `out_dir`

@@ -34,8 +34,12 @@ void TraceEvaluator::evaluate_into(const trace::Trace& t,
   // from the context-owned result — no RunResult copy, no per-packet scans,
   // and no buffer reshaping when a cross-cell batch interleaves evaluators
   // with different scenario shapes on this worker.
-  const scenario::RunResult& run =
-      scenario::thread_run_context(context_key_).run(scenario_, cca_, t.stamps);
+  evaluate_on(scenario::thread_run_context(context_key_), t, e);
+}
+
+void TraceEvaluator::evaluate_on(scenario::RunContext& ctx,
+                                 const trace::Trace& t, Evaluation& e) const {
+  const scenario::RunResult& run = ctx.run(scenario_, cca_, t.stamps);
   e.score.performance = score_->performance_score(run);
   e.score.trace = trace_weights_.trace_score(run);
   e.truncated = run.truncated;

@@ -79,6 +79,13 @@ class TraceEvaluator {
   /// heap allocations, which is what makes GA throughput simulation-bound.
   void evaluate_into(const trace::Trace& t, Evaluation& out) const;
 
+  /// Like evaluate_into(), but on a caller-owned context instead of this
+  /// thread's warm per-evaluator slot. The triage confirmation path uses
+  /// this with fresh RunContexts to prove a finding does not depend on warm
+  /// state carried over from the campaign.
+  void evaluate_on(scenario::RunContext& ctx, const trace::Trace& t,
+                   Evaluation& out) const;
+
   /// Evaluates every trace; results land by index, so the output is
   /// deterministic regardless of thread scheduling. When `parallel`, the
   /// batch is spread over the global thread pool.

@@ -41,4 +41,15 @@ std::size_t Quarantine::recorded() const {
   return seen_.size();
 }
 
+std::size_t Quarantine::stored() const {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return 0;
+  std::size_t n = 0;
+  for (const auto& entry : it) {
+    if (entry.path().extension() == ".trace") ++n;
+  }
+  return n;
+}
+
 }  // namespace ccfuzz::fuzz

@@ -36,6 +36,14 @@ class Quarantine {
   /// Distinct genomes recorded so far.
   std::size_t recorded() const;
 
+  /// Distinct genomes currently stored on disk (`.trace` files under dir).
+  /// Unlike recorded(), this survives process restarts — a resumed campaign
+  /// reports the quarantine accumulated across every attempt. 0 when the
+  /// directory does not exist.
+  std::size_t stored() const;
+
+  std::size_t capacity() const { return max_records_; }
+
   const std::string& dir() const { return dir_; }
 
  private:

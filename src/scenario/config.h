@@ -148,6 +148,15 @@ struct ScenarioConfig {
   /// cells never reuse probe-less evaluations.
   bool coverage = false;
 
+  /// Arm the runtime invariant oracle (sim::Invariants): periodic audits of
+  /// sender scoreboards / cwnd / queue occupancy plus post-run packet
+  /// conservation checks, recorded into RunResult::invariants. Diagnostic
+  /// opt-in for finding triage; disarmed runs (the default) schedule and
+  /// allocate nothing, staying bit-identical to pre-oracle builds. Armed
+  /// audit events count toward the event budget, so armed runs must not
+  /// share evaluation-cache entries with disarmed ones.
+  bool invariants = false;
+
   /// Run guards (sim::Budget): hard ceilings on events / simulated time /
   /// wall time that truncate a runaway run into RunResult::truncated instead
   /// of hanging a worker. Default: unlimited (bit-identical to no guard).

@@ -133,11 +133,19 @@ const RunResult& RunContext::run(const ScenarioConfig& cfg,
   pool_.clear();
   result_.recorder.clear();
   result_.probe.reset(cfg.coverage);
+  result_.invariants.reset(cfg.invariants);
   db_.set_behavior_probe(&result_.probe);
 
   // setup() clears/rebinds the metrics and rebuilds the components in place.
   db_.setup(cfg, cca, trace_times);
   db_.start();
+
+  // Armed invariant oracle: periodic audits of live sender/queue state.
+  // Disarmed runs schedule nothing, so they stay bit-identical; armed audit
+  // events do count toward the run's event budget.
+  if (cfg.invariants) {
+    schedule_audit(DurationNs::millis(5));
+  }
 
   // Run guards: cap the deadline at the sim-time budget, and arm the
   // event/wall guards inside the simulator. All of this is branch-only when
@@ -192,7 +200,76 @@ const RunResult& RunContext::run(const ScenarioConfig& cfg,
     result_.cross_sent = 0;
     result_.cross_drops = 0;
   }
+  if (cfg.invariants) {
+    audit_live_state();  // final scoreboard/cwnd/queue state
+    check_conservation();
+  }
   return result_;
+}
+
+void RunContext::schedule_audit(DurationNs period) {
+  sim_.schedule_in(period, [this, period] {
+    audit_live_state();
+    schedule_audit(period);
+  });
+}
+
+void RunContext::audit_live_state() {
+  sim::Invariants& inv = result_.invariants;
+  const TimeNs now = sim_.now();
+  for (std::size_t i = 0; i < db_.flow_count(); ++i) {
+    const tcp::TcpSender& s = db_.sender(i);
+    const tcp::SenderState& st = s.state();
+    inv.check(st.packets_out >= 0 && st.sacked_out >= 0 && st.lost_out >= 0 &&
+                  st.retrans_out >= 0,
+              now, "scoreboard: negative outstanding-segment counter");
+    inv.check(st.in_flight() >= 0, now,
+              "scoreboard: negative in-flight (sacked+lost exceed "
+              "outstanding+retrans)");
+    inv.check(st.sacked_out + st.lost_out <= st.packets_out, now,
+              "scoreboard: sacked+lost exceeds outstanding window");
+    inv.check(s.snd_una() <= s.snd_nxt(), now, "sequence: snd_una > snd_nxt");
+    inv.check(st.packets_out == s.snd_nxt() - s.snd_una(), now,
+              "scoreboard: packets_out != snd_nxt - snd_una");
+    inv.check(s.cca().cwnd_segments() >= 1, now, "cwnd below 1 MSS");
+    inv.check(st.now >= TimeNs::zero() && st.now <= now, now,
+              "timestamp: sender clock outside [0, now]");
+    inv.check(st.total_sent >= st.total_retx, now,
+              "counters: retransmissions exceed total transmissions");
+    inv.check(st.delivered >= 0, now, "counters: negative delivered");
+  }
+  inv.check(db_.queue().size() <= db_.queue().capacity(), now,
+            "queue: occupancy exceeds capacity");
+  inv.check(pool_.in_use() <= pool_.capacity(), now,
+            "packet conservation: pool in_use exceeds slab capacity");
+}
+
+void RunContext::check_conservation() {
+  sim::Invariants& inv = result_.invariants;
+  const TimeNs end = sim_.now();
+  const net::QueueStats& qs = db_.queue().stats();
+  std::int64_t dequeued = 0;
+  for (std::size_t k = 0; k < net::kFlowCount; ++k) {
+    inv.check(qs.enqueued[k] >= 0 && qs.dropped[k] >= 0 && qs.dequeued[k] >= 0,
+              end, "queue conservation: negative per-kind counter");
+    inv.check(qs.dequeued[k] <= qs.enqueued[k], end,
+              "queue conservation: dequeued exceeds enqueued");
+    dequeued += qs.dequeued[k];
+  }
+  inv.check(qs.total_enqueued() ==
+                dequeued + static_cast<std::int64_t>(db_.queue().size()),
+            end, "queue conservation: enqueued != dequeued + resident");
+  for (const FlowResult& f : result_.flows) {
+    inv.check(f.segments_delivered >= 0 && f.egress_packets >= 0 &&
+                  f.sent >= 0 && f.drops >= 0 && f.rto_count >= 0,
+              end, "flow conservation: negative counter");
+    inv.check(f.sent >= f.retransmissions, end,
+              "flow conservation: retransmissions exceed transmissions");
+    inv.check(f.segments_delivered <= f.sent, end,
+              "flow conservation: delivered exceeds transmissions");
+    inv.check(f.egress_packets <= f.sent, end,
+              "flow conservation: bottleneck egress exceeds transmissions");
+  }
 }
 
 ContextKey allocate_context_key() {

@@ -34,6 +34,7 @@
 #include "net/recorder.h"
 #include "scenario/config.h"
 #include "scenario/dumbbell.h"
+#include "sim/invariants.h"
 #include "sim/simulator.h"
 #include "tcp/congestion_control.h"
 #include "tcp/event_log.h"
@@ -112,6 +113,10 @@ struct RunResult {
   /// reflect the truncated prefix.
   bool truncated = false;
   sim::TruncationReason truncation = sim::TruncationReason::kNone;
+
+  /// Runtime invariant oracle results; armed and populated only when
+  /// ScenarioConfig::invariants is set (empty and inert otherwise).
+  sim::Invariants invariants;
 
   std::size_t flow_count() const { return flows.size(); }
 
@@ -221,6 +226,15 @@ class RunContext {
                        std::span<const TimeNs> trace_times);
 
  private:
+  /// Armed-invariants support: schedules the next periodic audit and runs
+  /// the live-state checks (sender scoreboards, cwnd, queue occupancy).
+  /// Never called on disarmed runs.
+  void schedule_audit(DurationNs period);
+  void audit_live_state();
+  /// Post-run conservation checks (packet pool, queue accounting, per-flow
+  /// counters). Never called on disarmed runs.
+  void check_conservation();
+
   sim::Simulator sim_;
   net::PacketPool pool_;
   RunResult result_;

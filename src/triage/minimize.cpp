@@ -1,0 +1,63 @@
+#include "triage/minimize.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ccfuzz::triage {
+
+namespace {
+
+/// `cur` without the half-open stamp range [lo, hi).
+trace::Trace without_range(const trace::Trace& cur, std::size_t lo,
+                           std::size_t hi) {
+  trace::Trace out;
+  out.kind = cur.kind;
+  out.duration = cur.duration;
+  out.stamps.reserve(cur.stamps.size() - (hi - lo));
+  out.stamps.insert(out.stamps.end(), cur.stamps.begin(),
+                    cur.stamps.begin() + static_cast<std::ptrdiff_t>(lo));
+  out.stamps.insert(out.stamps.end(),
+                    cur.stamps.begin() + static_cast<std::ptrdiff_t>(hi),
+                    cur.stamps.end());
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize_events(const trace::Trace& t,
+                               const TracePredicate& keep, int max_evals) {
+  MinimizeResult r;
+  r.trace = t;
+  if (t.stamps.empty() || max_evals <= 0) return r;
+
+  trace::Trace& cur = r.trace;
+  // Classic ddmin complement loop: split into n chunks, try dropping each
+  // chunk; on success restart near the current granularity, otherwise
+  // refine until chunks are single stamps.
+  std::size_t n = 2;
+  while (!cur.stamps.empty() && r.evals < max_evals) {
+    n = std::min(n, cur.stamps.size());
+    const std::size_t chunk = (cur.stamps.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t i = 0; i < n && r.evals < max_evals; ++i) {
+      const std::size_t lo = i * chunk;
+      const std::size_t hi = std::min(lo + chunk, cur.stamps.size());
+      if (lo >= hi) break;
+      trace::Trace cand = without_range(cur, lo, hi);
+      ++r.evals;
+      if (keep(cand)) {
+        cur = std::move(cand);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= cur.stamps.size()) break;  // single-stamp granularity: 1-minimal
+      n = std::min(cur.stamps.size(), n * 2);
+    }
+  }
+  return r;
+}
+
+}  // namespace ccfuzz::triage

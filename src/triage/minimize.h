@@ -1,0 +1,37 @@
+// ddmin-style delta debugging over trace events.
+//
+// A campaign winner is whatever genome the GA happened to converge on —
+// usually carrying hundreds of stamps that contribute nothing to the
+// finding. minimize_events() removes complement chunks of the stamp vector
+// (Zeller & Hildebrandt's ddmin, complements-only variant) while a
+// caller-supplied predicate keeps holding, producing a trace with the same
+// adversarial effect and as few events as the evaluation budget allows.
+// Removing stamps preserves sortedness and the duration bound, so every
+// candidate is well-formed by construction.
+#pragma once
+
+#include <functional>
+
+#include "trace/trace.h"
+
+namespace ccfuzz::triage {
+
+/// The finding predicate: true when `t` still exhibits the finding (score
+/// within tolerance, same behavior-descriptor cell, still quarantined, ...).
+/// Must be deterministic — each candidate is evaluated exactly once.
+using TracePredicate = std::function<bool(const trace::Trace&)>;
+
+struct MinimizeResult {
+  /// The minimized trace; equals the input when nothing could be removed.
+  trace::Trace trace;
+  /// Predicate evaluations spent (each is one simulation for real callers).
+  int evals = 0;
+};
+
+/// Shrinks `t.stamps` to a locally 1-minimal subset that still satisfies
+/// `keep`, spending at most `max_evals` predicate calls. `keep` is never
+/// called on the input itself — the caller already confirmed it holds.
+MinimizeResult minimize_events(const trace::Trace& t, const TracePredicate& keep,
+                               int max_evals);
+
+}  // namespace ccfuzz::triage

@@ -93,7 +93,7 @@ TEST(JsonlSchema, EventKeySetsArePinned) {
       {"cell_end",
        {"event", "cell", "best_score", "winners", "simulations", "cache_hits",
         "archive_cells", "coverage_bits"}},
-      {"campaign_end", {"event", "cells", "interrupted"}},
+      {"campaign_end", {"event", "cells", "interrupted", "quarantined"}},
   };
 
   std::istringstream lines(out.str());

@@ -1,0 +1,97 @@
+// ddmin over trace events: the minimizer must preserve the predicate, never
+// exceed its evaluation budget, and reach 1-minimal results on synthetic
+// predicates where the answer is known exactly.
+#include "triage/minimize.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ccfuzz::triage {
+namespace {
+
+trace::Trace ramp(std::size_t n) {
+  trace::Trace t;
+  t.kind = trace::TraceKind::kTraffic;
+  t.duration = TimeNs::millis(static_cast<long long>(n) + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.stamps.push_back(TimeNs::millis(static_cast<long long>(i)));
+  }
+  return t;
+}
+
+bool has_stamp(const trace::Trace& t, long long ms) {
+  return std::find(t.stamps.begin(), t.stamps.end(), TimeNs::millis(ms)) !=
+         t.stamps.end();
+}
+
+TEST(MinimizeEvents, ReducesToTheTwoLoadBearingStamps) {
+  const trace::Trace input = ramp(100);
+  const auto keep = [](const trace::Trace& t) {
+    return has_stamp(t, 37) && has_stamp(t, 73);
+  };
+  const MinimizeResult r = minimize_events(input, keep, 10'000);
+  ASSERT_EQ(r.trace.stamps.size(), 2u);
+  EXPECT_TRUE(has_stamp(r.trace, 37));
+  EXPECT_TRUE(has_stamp(r.trace, 73));
+  EXPECT_TRUE(r.trace.well_formed());
+  EXPECT_GT(r.evals, 0);
+}
+
+TEST(MinimizeEvents, AlwaysTruePredicateEmptiesTheTrace) {
+  const trace::Trace input = ramp(64);
+  const MinimizeResult r = minimize_events(
+      input, [](const trace::Trace&) { return true; }, 10'000);
+  EXPECT_TRUE(r.trace.stamps.empty());
+}
+
+TEST(MinimizeEvents, AlwaysFalsePredicateKeepsTheInput) {
+  const trace::Trace input = ramp(32);
+  const MinimizeResult r = minimize_events(
+      input, [](const trace::Trace&) { return false; }, 10'000);
+  EXPECT_EQ(r.trace.stamps.size(), input.stamps.size());
+}
+
+TEST(MinimizeEvents, RespectsTheEvaluationBudget) {
+  const trace::Trace input = ramp(256);
+  int calls = 0;
+  const auto keep = [&calls](const trace::Trace&) {
+    ++calls;
+    return true;
+  };
+  const MinimizeResult r = minimize_events(input, keep, 5);
+  EXPECT_EQ(r.evals, 5);
+  EXPECT_EQ(calls, 5);
+  // Partial progress is still progress: the budgeted result shrank.
+  EXPECT_LT(r.trace.stamps.size(), input.stamps.size());
+}
+
+TEST(MinimizeEvents, ZeroBudgetAndEmptyInputAreIdentity) {
+  const trace::Trace input = ramp(8);
+  int calls = 0;
+  const auto count = [&calls](const trace::Trace&) {
+    ++calls;
+    return true;
+  };
+  EXPECT_EQ(minimize_events(input, count, 0).trace.stamps.size(), 8u);
+  EXPECT_EQ(calls, 0);
+
+  trace::Trace empty;
+  empty.kind = trace::TraceKind::kLink;
+  EXPECT_TRUE(minimize_events(empty, count, 100).trace.stamps.empty());
+  EXPECT_EQ(calls, 0);  // the predicate is never called on the input itself
+}
+
+TEST(MinimizeEvents, PreservesKindAndDuration) {
+  trace::Trace input = ramp(16);
+  input.kind = trace::TraceKind::kLink;
+  const MinimizeResult r = minimize_events(
+      input, [](const trace::Trace& t) { return t.stamps.size() >= 4; },
+      10'000);
+  EXPECT_EQ(r.trace.kind, trace::TraceKind::kLink);
+  EXPECT_EQ(r.trace.duration, input.duration);
+  EXPECT_EQ(r.trace.stamps.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ccfuzz::triage

@@ -1,9 +1,11 @@
 // ccfuzz — the distributed-campaign CLI.
 //
-//   ccfuzz run    --output DIR [--workers N] [matrix flags]
+//   ccfuzz run    --output DIR [--workers N] [--triage] [matrix flags]
 //   ccfuzz worker --output DIR --shard k/N   [matrix flags]
 //   ccfuzz plan   --output DIR --workers N   [matrix flags]
 //   ccfuzz merge  --output DIR
+//   ccfuzz triage --output DIR [matrix flags]
+//   ccfuzz replay --output DIR [matrix flags]
 //   ccfuzz doctor --output DIR
 //
 // `run` is the front door: with --workers N it plans the shards, fork/execs
@@ -22,6 +24,7 @@
 // and --workers, so no process needs to be told its cell list).
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +43,10 @@
 #include "faultinject/fault_plan.h"
 #include "fuzz/score.h"
 #include "scenario/config.h"
+#include "trace/hash.h"
+#include "trace/trace_io.h"
+#include "triage/bundle.h"
+#include "triage/triage.h"
 #include "util/fs.h"
 #include "util/time.h"
 
@@ -72,12 +79,18 @@ struct Options {
   int max_restarts = 3;
   double restart_window_s = 300.0;
   long long min_free_mb = 16;
+  // Triage flags.
+  int confirm_runs = 3;
+  double tolerance = 0.02;
+  int minimize_evals = 200;
+  bool triage_after = false;  // run: auto-triage a completed campaign
 };
 
 void usage(std::FILE* out) {
   std::fprintf(
       out,
-      "usage: ccfuzz <run|worker|plan|merge> --output DIR [flags]\n"
+      "usage: ccfuzz <run|worker|plan|merge|triage|replay|doctor> "
+      "--output DIR [flags]\n"
       "\n"
       "commands:\n"
       "  run     run the campaign: --workers N spawns N supervised worker\n"
@@ -87,9 +100,14 @@ void usage(std::FILE* out) {
       "          stdout, report tree under <DIR>/shards/<k>/\n"
       "  plan    write <DIR>/shard_plan.json for --workers N\n"
       "  merge   fold <DIR>/shards/*/ back into a report at <DIR>\n"
+      "  triage  confirm, minimize, classify, and bundle every winner trace\n"
+      "          and quarantined genome under <DIR> into <DIR>/findings/\n"
+      "          (exit 1 if any candidate errored)\n"
+      "  replay  re-run every <DIR>/findings/ bundle and compare against its\n"
+      "          recorded expectation (exit 1 on drift or broken bundles)\n"
       "  doctor  health-check a campaign directory: write round-trip, disk\n"
-      "          space, checkpoint integrity, stale worker pids, fault plan\n"
-      "          (exit 0 healthy, 1 findings, 2 usage)\n"
+      "          space, checkpoint integrity, stale worker pids, fault plan,\n"
+      "          finding bundles (exit 0 healthy, 1 findings, 2 usage)\n"
       "\n"
       "matrix flags (identical across run/worker/plan for one campaign):\n"
       "  --ccas a,b          CCA registry names (default reno,cubic)\n"
@@ -105,6 +123,9 @@ void usage(std::FILE* out) {
       "           sliding window, default 300), --min-free-mb N (default\n"
       "           16; 0 disables the disk preflight/drain)\n"
       "worker flags: --skip-cells a,b  (quarantined cells to drop)\n"
+      "triage flags: --confirm N (default 3), --tolerance X (default 0.02),\n"
+      "              --minimize-evals N (default 200; 0 skips minimization);\n"
+      "              `run --triage` triages automatically after completion\n"
       "\n"
       "CCFUZZ_FAULT_PLAN (env): deterministic fault injection for chaos\n"
       "runs — see src/faultinject/fault_plan.h for the grammar.\n");
@@ -237,6 +258,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       usage(stdout);
       std::exit(0);
     }
+    if (flag == "--triage") {  // the one value-less flag
+      opt.triage_after = true;
+      continue;
+    }
     if (i + 1 >= argc) {
       std::fprintf(stderr, "ccfuzz: %s needs a value\n", flag.c_str());
       return false;
@@ -284,6 +309,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.restart_window_s = std::atof(val.c_str());
     } else if (flag == "--min-free-mb") {
       opt.min_free_mb = std::atoll(val.c_str());
+    } else if (flag == "--confirm") {
+      opt.confirm_runs = std::atoi(val.c_str());
+    } else if (flag == "--tolerance") {
+      opt.tolerance = std::atof(val.c_str());
+    } else if (flag == "--minimize-evals") {
+      opt.minimize_evals = std::atoi(val.c_str());
     } else {
       std::fprintf(stderr, "ccfuzz: unknown flag %s\n", flag.c_str());
       return false;
@@ -296,6 +327,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
   if (opt.generations < 1 || opt.population < 2 || opt.islands < 1 ||
       opt.winners < 0 || opt.duration_ms < 1) {
     std::fprintf(stderr, "ccfuzz: bad matrix parameters\n");
+    return false;
+  }
+  if (opt.confirm_runs < 1 || opt.tolerance < 0.0 || opt.minimize_evals < 0) {
+    std::fprintf(stderr, "ccfuzz: bad triage parameters\n");
     return false;
   }
   return true;
@@ -371,6 +406,49 @@ int cmd_merge(const Options& opt) {
     return 1;
   }
   return do_merge(opt.output, *plan);
+}
+
+/// Triages a completed campaign's winners and quarantine into
+/// `<output>/findings/` bundles. Shared by `ccfuzz triage` and `run --triage`.
+int do_triage(const Options& opt) {
+  triage::TriageConfig tcfg;
+  tcfg.confirm_runs = opt.confirm_runs;
+  tcfg.tolerance = opt.tolerance;
+  tcfg.max_minimize_evals = opt.minimize_evals;
+  tcfg.log = stdout;
+  Result<triage::TriageStats> stats =
+      triage::triage_report(build_matrix(opt).cells(), opt.output, tcfg);
+  if (!stats) {
+    std::fprintf(stderr, "ccfuzz triage: %s: %s\n",
+                 to_string(stats.error().code),
+                 stats.error().message.c_str());
+    return 1;
+  }
+  std::printf(
+      "triage: %d candidate(s): %d confirmed, %d flaky, %d unreproduced, "
+      "%d simulator bug(s); %d bundle(s) in %s/findings\n",
+      stats->candidates, stats->confirmed, stats->flaky, stats->unreproduced,
+      stats->simulator_bugs, stats->bundles_written, opt.output.c_str());
+  return stats->errors > 0 ? 1 : 0;
+}
+
+int cmd_replay(const Options& opt) {
+  Result<triage::ReplayStats> stats = triage::replay_findings(
+      build_matrix(opt).cells(), opt.output + "/findings", stdout);
+  if (!stats) {
+    std::fprintf(stderr, "ccfuzz replay: %s: %s\n",
+                 to_string(stats.error().code),
+                 stats.error().message.c_str());
+    return 1;
+  }
+  if (stats->bundles == 0) {
+    std::printf("replay: no finding bundles under %s/findings\n",
+                opt.output.c_str());
+    return 0;
+  }
+  std::printf("replay: %d bundle(s): %d ok, %d drifted, %d broken\n",
+              stats->bundles, stats->ok, stats->drifted, stats->broken);
+  return (stats->drifted > 0 || stats->broken > 0) ? 1 : 0;
 }
 
 /// Health-checks a campaign directory without touching campaign state:
@@ -462,6 +540,79 @@ int cmd_doctor(const Options& opt, const char* argv0) {
     }
   }
 
+  // Finding bundles: every manifest must parse, its traces must load, and
+  // its bookkeeping must be self-consistent — a torn bundle would make
+  // `ccfuzz replay` fail long after the campaign that wrote it is gone.
+  if (stdfs::exists(opt.output + "/findings")) {
+    std::vector<std::string> dirs;
+    for (const auto& entry :
+         stdfs::directory_iterator(opt.output + "/findings")) {
+      if (entry.is_directory()) dirs.push_back(entry.path().string());
+    }
+    std::sort(dirs.begin(), dirs.end());
+    // Scenario hashes can only be checked against the matrix doctor was
+    // given; with default flags a foreign cell name is expected, not a bug.
+    std::vector<campaign::CellConfig> cells;
+    try {
+      cells = build_matrix(opt).cells();
+    } catch (const std::exception&) {
+    }
+    std::size_t sound = 0;
+    for (const std::string& dir : dirs) {
+      const std::string name = stdfs::path(dir).filename().string();
+      Result<triage::BundleManifest> m = triage::load_manifest(dir);
+      if (!m) {
+        warn("finding " + name + ": manifest unusable (" +
+             std::string(to_string(m.error().code)) + "): " +
+             m.error().message);
+        continue;
+      }
+      if (m->id != name) {
+        warn("finding " + name + ": manifest id " + m->id +
+             " does not match its directory");
+        continue;
+      }
+      bool traces_ok = true;
+      for (const char* file :
+           {triage::kOriginalTraceFile, triage::kMinimizedTraceFile}) {
+        try {
+          const trace::Trace t = trace::load_trace(dir + "/" + file);
+          const std::uint64_t want = std::strcmp(file, triage::kOriginalTraceFile)
+                                         ? m->minimized_events
+                                         : m->original_events;
+          if (t.stamps.size() != want) {
+            warn("finding " + name + ": " + file + " has " +
+                 std::to_string(t.stamps.size()) + " event(s), manifest says " +
+                 std::to_string(want));
+            traces_ok = false;
+          }
+        } catch (const std::exception& e) {
+          warn("finding " + name + ": " + file + " unusable: " + e.what());
+          traces_ok = false;
+        }
+      }
+      if (!traces_ok) continue;
+      if (m->minimized_events > m->original_events) {
+        warn("finding " + name + ": minimized trace larger than original");
+        continue;
+      }
+      for (const campaign::CellConfig& cell : cells) {
+        if (cell.name != m->cell) continue;
+        if (trace::hash_hex(campaign::scenario_key(cell.scenario)) !=
+            m->scenario_hash) {
+          warn("finding " + name + ": scenario drifted from cell " +
+               cell.name + " — replay with this matrix would refuse it");
+          traces_ok = false;
+        }
+        break;
+      }
+      if (traces_ok) ++sound;
+    }
+    if (!dirs.empty() && sound == dirs.size()) {
+      ok(std::to_string(sound) + " finding bundle(s) sound");
+    }
+  }
+
   // Stale worker pids left by a dead supervisor.
   const std::string binary = self_binary(argv0);
   for (const std::string& root : roots) {
@@ -520,7 +671,7 @@ int run_in_process(const Options& opt) {
   }
   std::printf("complete: %zu cell(s) reported to %s\n", report.cells.size(),
               opt.output.c_str());
-  return 0;
+  return opt.triage_after ? do_triage(opt) : 0;
 }
 
 int cmd_run(const Options& opt, const char* argv0) {
@@ -555,7 +706,9 @@ int cmd_run(const Options& opt, const char* argv0) {
     std::printf("interrupted: shard state checkpointed, rerun to resume\n");
     return dist::kWorkerInterruptedExit;
   }
-  return do_merge(opt.output, plan);
+  const int merge_rc = do_merge(opt.output, plan);
+  if (merge_rc != 0) return merge_rc;
+  return opt.triage_after ? do_triage(opt) : 0;
 }
 
 }  // namespace
@@ -580,6 +733,8 @@ int main(int argc, char** argv) {
     if (opt.command == "worker") return cmd_worker(opt);
     if (opt.command == "plan") return cmd_plan(opt);
     if (opt.command == "merge") return cmd_merge(opt);
+    if (opt.command == "triage") return do_triage(opt);
+    if (opt.command == "replay") return cmd_replay(opt);
     if (opt.command == "doctor") return cmd_doctor(opt, argv[0]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ccfuzz %s: %s\n", opt.command.c_str(), e.what());
